@@ -1,0 +1,204 @@
+// Command csdbench regenerates every table and figure of the paper's
+// evaluation section and prints them next to the paper's reported values.
+//
+// Usage:
+//
+//	csdbench -experiment all                  # everything (default)
+//	csdbench -experiment fig3                 # kernel optimization study
+//	csdbench -experiment table1 -trials 1000  # FPGA vs CPU vs GPU
+//	csdbench -experiment fig4 -epochs 40      # training convergence
+//	csdbench -experiment metrics              # detection accuracy/P/R/F1
+//	csdbench -experiment table2               # dataset overview
+//	csdbench -experiment energy               # energy per inference item
+//	csdbench -experiment latency              # calls-to-mitigation per family
+//	csdbench -experiment models               # LSTM vs snapshot baseline
+//
+// The fig4/metrics experiments train on a 1/10-scale synthetic corpus by
+// default (the full 29K corpus behaves identically but takes ~10× longer in
+// pure Go); pass -full for the paper-sized corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "csdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("csdbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "fig3 | table1 | fig4 | metrics | table2 | energy | latency | models | window | all")
+	trials := fs.Int("trials", 1000, "CPU/GPU latency samples for table1")
+	epochs := fs.Int("epochs", 40, "training epochs for fig4/metrics")
+	seed := fs.Int64("seed", 1, "seed for all randomized stages")
+	full := fs.Bool("full", false, "use the paper-sized 29K corpus for fig4/metrics (slow)")
+	measureGo := fs.Bool("measure-go", true, "include the plain-Go CPU measurement in table1")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runs := map[string]func() error{
+		"fig3":    func() error { return runFig3() },
+		"table1":  func() error { return runTableI(*trials, *seed, *measureGo) },
+		"fig4":    func() error { return runTraining(*epochs, *seed, *full, true, false) },
+		"metrics": func() error { return runTraining(*epochs, *seed, *full, false, true) },
+		"table2":  func() error { return runTableII(*seed) },
+		"energy":  func() error { return runEnergy() },
+		"latency": func() error { return runLatency(*epochs, *seed) },
+		"models":  func() error { return runModels(*epochs, *seed) },
+		"window":  func() error { return runWindowSweep(*seed) },
+	}
+	if *experiment == "all" {
+		for _, name := range []string{"fig3", "table1", "table2", "energy"} {
+			if err := runs[name](); err != nil {
+				return err
+			}
+		}
+		// One training run serves both fig4 and metrics.
+		return runTraining(*epochs, *seed, *full, true, true)
+	}
+	r, ok := runs[*experiment]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want fig3, table1, fig4, metrics, table2, energy, latency, models, all)", *experiment)
+	}
+	return r()
+}
+
+func runFig3() error {
+	fmt.Println("=== Fig. 3: FPGA-based LSTM inference time per optimization level ===")
+	rows, err := experiments.Fig3()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFig3(rows))
+	fmt.Println()
+	return nil
+}
+
+func runTableI(trials int, seed int64, measureGo bool) error {
+	fmt.Println("=== Table I: traditional DL hardware comparison ===")
+	res, err := experiments.TableI(experiments.TableIConfig{
+		Trials: trials, Seed: seed, MeasureGo: measureGo,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTableI(res))
+	fmt.Println()
+	return nil
+}
+
+func runTraining(epochs int, seed int64, full, wantFig4, wantMetrics bool) error {
+	cfg := experiments.TrainRunConfig{Epochs: epochs, Seed: seed}
+	if full {
+		cfg.RansomwareCount = dataset.PaperRansomwareCount
+		cfg.BenignCount = dataset.PaperBenignCount
+	}
+	scale := "1/10-scale"
+	if full {
+		scale = "paper-scale (29K)"
+	}
+	fmt.Printf("(training on the %s synthetic corpus, %d epochs...)\n", scale, epochs)
+	run, err := experiments.RunTraining(cfg)
+	if err != nil {
+		return err
+	}
+	if wantFig4 {
+		fmt.Println("=== Fig. 4: convergence of LSTM training on ransomware API call sequences ===")
+		fmt.Print(experiments.FormatFig4(run))
+		fmt.Println()
+	}
+	if wantMetrics {
+		fmt.Println("=== §IV: ransomware detection metrics ===")
+		fmt.Print(experiments.FormatMetrics(run))
+		fmt.Println()
+	}
+	return nil
+}
+
+func runLatency(epochs int, seed int64) error {
+	fmt.Println("=== Detection latency: API calls from infection start to mitigation ===")
+	fmt.Printf("(training a detector model first, %d epochs on the 1/10-scale corpus...)\n", epochs)
+	run, err := experiments.RunTraining(experiments.TrainRunConfig{
+		Epochs: epochs, Seed: seed, TargetAccuracy: 0.97,
+	})
+	if err != nil {
+		return err
+	}
+	const traceLen = 3000
+	rows, err := experiments.DetectionLatency(experiments.LatencyConfig{
+		Model: run.Model, TraceLen: traceLen, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatDetectionLatency(rows, traceLen))
+	fmt.Println()
+	return nil
+}
+
+func runWindowSweep(seed int64) error {
+	fmt.Println("=== Window-length sweep: accuracy vs detection latency (extension) ===")
+	fmt.Println("(training one classifier per window length on a 1/20-scale corpus...)")
+	points, err := experiments.WindowSweep(experiments.WindowSweepConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatWindowSweep(points))
+	fmt.Println()
+	return nil
+}
+
+func runModels(epochs int, seed int64) error {
+	fmt.Println("=== Model selection: LSTM vs non-sequential snapshot baseline (§III-A) ===")
+	fmt.Printf("(training the LSTM first, up to %d epochs on the 1/10-scale corpus...)\n", epochs)
+	run, err := experiments.RunTraining(experiments.TrainRunConfig{
+		Epochs: epochs, Seed: seed, TargetAccuracy: 0.985,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := experiments.ModelSelection(run, nil, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatModelSelection(res))
+	fmt.Println()
+	return nil
+}
+
+func runEnergy() error {
+	fmt.Println("=== Energy per inference item (paper §I/§VII efficiency claims) ===")
+	res, err := experiments.Energy()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatEnergy(res))
+	fmt.Println()
+	return nil
+}
+
+func runTableII(seed int64) error {
+	fmt.Println("=== Table II: ransomware dataset overview ===")
+	// Generate the extraction corpus at 1/10 scale for window counts.
+	ds, err := dataset.Build(dataset.BuildConfig{
+		RansomwareCount: dataset.PaperRansomwareCount / 10,
+		BenignCount:     dataset.PaperBenignCount / 10,
+		Seed:            seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTableII(experiments.TableII(ds), ds))
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestRunFastExperiments(t *testing.T) {
+	// The training-based experiments (fig4/metrics/latency) are exercised by
+	// internal/experiments tests; here we cover the CLI wiring of the fast
+	// paths.
+	for _, args := range [][]string{
+		{"-experiment", "fig3"},
+		{"-experiment", "table2", "-seed", "3"},
+		{"-experiment", "energy"},
+		{"-experiment", "table1", "-trials", "50", "-measure-go=false"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Command csdbuild runs the Vitis-style build flow for the CSD inference
+// kernels: it compiles the three kernels of Fig. 2 into kernel objects and
+// links them against a target platform, printing a v++-style build report
+// (latency estimates, scheduling notes, fabric utilization). Linking fails
+// exactly when the real toolchain would — e.g. the fully-unrolled
+// fixed-point design against the SmartSSD's KU15P.
+//
+// Usage:
+//
+//	csdbuild -level fixed -platform u200
+//	csdbuild -level fixed -platform ku15p          # fails: 5,120 DSPs needed
+//	csdbuild -level mixed -platform ku15p          # fits: DSP-packed MACs
+//	csdbuild -level ii -streaming
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/vitis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "csdbuild:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("csdbuild", flag.ContinueOnError)
+	level := fs.String("level", "fixed", "vanilla | ii | fixed | mixed")
+	platform := fs.String("platform", "u200", "u200 | ku15p")
+	streaming := fs.Bool("streaming", false, "use AXI4-Stream kernel links")
+	gateCUs := fs.Int("gatecus", 4, "kernel_gates compute units (must divide 4)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	levels := map[string]kernels.OptLevel{
+		"vanilla": kernels.LevelVanilla,
+		"ii":      kernels.LevelII,
+		"fixed":   kernels.LevelFixedPoint,
+		"mixed":   kernels.LevelMixed,
+	}
+	lv, ok := levels[*level]
+	if !ok {
+		return fmt.Errorf("unknown level %q (want vanilla, ii, fixed, mixed)", *level)
+	}
+	parts := map[string]fpga.Part{"u200": fpga.AlveoU200, "ku15p": fpga.KU15P}
+	part, ok := parts[*platform]
+	if !ok {
+		return fmt.Errorf("unknown platform %q (want u200, ku15p)", *platform)
+	}
+
+	specs, err := kernels.Specs(lstm.PaperConfig(), kernels.Config{
+		Level: lv, GateCUs: *gateCUs, Streaming: *streaming,
+	})
+	if err != nil {
+		return err
+	}
+
+	var objs []*vitis.KernelObject
+	for _, spec := range specs {
+		obj, err := vitis.Compile(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("v++ -c %s: %d cycles/invocation, %d DSP/CU\n",
+			obj.Name, obj.CyclesPerInvocation, obj.ResPerCU.DSP)
+		objs = append(objs, obj)
+	}
+
+	bin, err := vitis.Link(objs, part)
+	if err != nil {
+		return fmt.Errorf("v++ -l: %w", err)
+	}
+	fmt.Println()
+	return bin.Report(os.Stdout)
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestBuildConfigurations(t *testing.T) {
+	ok := [][]string{
+		{"-level", "vanilla", "-platform", "u200"},
+		{"-level", "ii", "-platform", "ku15p"},
+		{"-level", "fixed", "-platform", "u200"},
+		{"-level", "mixed", "-platform", "ku15p"},
+		{"-level", "fixed", "-streaming"},
+		{"-level", "fixed", "-gatecus", "2"},
+	}
+	for _, args := range ok {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestBuildFailures(t *testing.T) {
+	bad := [][]string{
+		{"-level", "fixed", "-platform", "ku15p"}, // 5,120 DSPs > 1,968
+		{"-level", "quantum"},
+		{"-platform", "versal"},
+		{"-level", "fixed", "-gatecus", "3"},
+		{"-level", "vanilla", "-streaming"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

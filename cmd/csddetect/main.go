@@ -1,0 +1,181 @@
+// Command csddetect demonstrates the paper's ransomware use case end to
+// end: it deploys a trained classifier onto the simulated SmartSSD, then
+// replays a live API-call stream — a benign workload that is infected by a
+// ransomware variant partway through — and shows the in-storage detector
+// alerting and triggering mitigation.
+//
+// Usage:
+//
+//	csddetect -weights weights.txt                 # use exported weights
+//	csddetect                                      # quick-train a model first
+//	csddetect -family Lockbit -variant 2 -seed 9
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/sandbox"
+	"github.com/kfrida1/csdinf/internal/train"
+	"github.com/kfrida1/csdinf/internal/winapi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "csddetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("csddetect", flag.ContinueOnError)
+	weights := fs.String("weights", "", "weight file from ransomtrain (empty: quick-train now)")
+	family := fs.String("family", "Wannacry", "ransomware family to unleash")
+	variant := fs.Int("variant", 0, "variant index within the family")
+	benignCalls := fs.Int("benign-calls", 600, "benign API calls before infection")
+	infectedCalls := fs.Int("infected-calls", 2000, "ransomware API calls to replay (max)")
+	seed := fs.Int64("seed", 1, "seed")
+	threshold := fs.Float64("threshold", 0.5, "alert probability threshold")
+	trainEpochs := fs.Int("train-epochs", 15, "epochs for the quick-train fallback")
+	trainScale := fs.Int("train-scale", 20, "1/N corpus scale for the quick-train fallback")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	model, err := loadOrTrain(*weights, *seed, *trainEpochs, *trainScale)
+	if err != nil {
+		return err
+	}
+
+	dev, err := csd.New(csd.Config{})
+	if err != nil {
+		return err
+	}
+	eng, err := core.Deploy(dev, model, core.DeployConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed classifier to CSD (host init %v); per-item FPGA time: ", eng.InitTime())
+	_, _, _, tot := eng.PerItemMicros()
+	fmt.Printf("%.3f µs\n", tot)
+
+	det, err := detect.New(eng, detect.Config{
+		Threshold: *threshold,
+		OnBlock: func(e detect.Event) {
+			dev.SSD().Quarantine(true) // block all writes at the device level
+			fmt.Printf("[call %6d] *** MITIGATION: write quarantine engaged (p=%.3f) ***\n",
+				e.CallIndex, e.Probability)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: benign desktop activity.
+	benign := sandbox.ManualInteractionProfile()
+	benignTrace, err := benign.Generate(*benignCalls, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n--- replaying %d benign API calls (manual desktop interaction) ---\n", len(benignTrace))
+	if err := replay(det, benignTrace, false); err != nil {
+		return err
+	}
+
+	// Phase 2: the infection begins.
+	prof, err := sandbox.RansomwareProfile(*family, *variant)
+	if err != nil {
+		return err
+	}
+	infected, err := prof.Generate(*infectedCalls, *seed+1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- %s.v%d begins executing (%d calls max) ---\n", *family, *variant, len(infected))
+	if err := replay(det, infected, true); err != nil {
+		return err
+	}
+
+	s := det.Stats()
+	fmt.Printf("\nsummary: %d calls observed, %d windows classified, %d alerts, blocked=%v\n",
+		s.CallsObserved, s.WindowsEvaluated, s.Alerts, s.Blocked)
+	if !s.Blocked {
+		return fmt.Errorf("infection ran to completion without mitigation")
+	}
+	stoppedAfter := s.CallsObserved - int64(len(benignTrace))
+	fmt.Printf("ransomware stopped after %d of its API calls (%.1f%% of the trace executed)\n",
+		stoppedAfter, 100*float64(stoppedAfter)/float64(len(infected)))
+	if _, err := dev.SSD().Write(0, []byte("ciphertext")); err != nil {
+		fmt.Printf("subsequent encryption write rejected by the drive: %v\n", err)
+	}
+	return nil
+}
+
+func replay(det *detect.Detector, trace []int, verbose bool) error {
+	for _, call := range trace {
+		ev, err := det.Observe(call)
+		if err != nil {
+			if errors.Is(err, detect.ErrBlocked) {
+				return nil
+			}
+			return err
+		}
+		if ev == nil {
+			continue
+		}
+		if verbose || ev.Action != detect.ActionNone {
+			name, _ := winapi.Name(call)
+			fmt.Printf("[call %6d] window p=%.3f action=%-5s (last call: %s)\n",
+				ev.CallIndex, ev.Probability, ev.Action, name)
+		}
+		if ev.Action == detect.ActionBlock {
+			return nil
+		}
+	}
+	return nil
+}
+
+func loadOrTrain(path string, seed int64, epochs, scale int) (*lstm.Model, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open %s: %w", path, err)
+		}
+		defer f.Close()
+		m, err := lstm.ReadText(f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("loaded weights from %s\n", path)
+		return m, nil
+	}
+
+	fmt.Printf("no weight file given; quick-training on a 1/%d-scale corpus...\n", scale)
+	ds, err := dataset.Build(dataset.BuildConfig{
+		RansomwareCount: dataset.PaperRansomwareCount / scale,
+		BenignCount:     dataset.PaperBenignCount / scale,
+		Seed:            seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trainDS, testDS, err := ds.Split(0.2, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	res, err := train.Train(trainDS, testDS, train.Config{
+		Epochs: epochs, Seed: seed, TargetAccuracy: 0.97, EvalEvery: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("quick-trained to test accuracy %.4f in %d epochs\n", res.Final.Accuracy, res.EpochsRun)
+	return res.Model, nil
+}

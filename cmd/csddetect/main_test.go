@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/train"
+)
+
+// trainedWeights quick-trains a small model and exports it for the CLI.
+func trainedWeights(t *testing.T) string {
+	t.Helper()
+	ds, err := dataset.Build(dataset.BuildConfig{
+		RansomwareCount: 456, BenignCount: 465, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainDS, testDS, err := ds.Split(0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := train.Train(trainDS, testDS, train.Config{
+		Epochs: 8, Seed: 3, TargetAccuracy: 0.95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := res.Model.WriteText(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDetectEndToEnd(t *testing.T) {
+	weights := trainedWeights(t)
+	err := run([]string{
+		"-weights", weights,
+		"-family", "Lockbit", "-variant", "1",
+		"-benign-calls", "300", "-infected-calls", "1500",
+	})
+	if err != nil {
+		t.Fatalf("detection run failed: %v", err)
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	weights := trainedWeights(t)
+	if err := run([]string{"-weights", "/nonexistent.txt"}); err == nil {
+		t.Error("missing weights accepted")
+	}
+	if err := run([]string{"-weights", weights, "-family", "NotAFamily"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

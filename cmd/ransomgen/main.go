@@ -1,0 +1,141 @@
+// Command ransomgen synthesizes the API-call sequence dataset of the
+// paper's Appendix A and writes it in the n+1-column CSV format the offline
+// trainer consumes.
+//
+// Usage:
+//
+//	ransomgen -out dataset.csv                      # paper-sized corpus (29K rows)
+//	ransomgen -out small.csv -ransomware 1334 -benign 1566
+//	ransomgen -out w50.csv -window 50 -stride 10 -seed 7
+//	ransomgen -reports analyses/ -trace-len 2000    # Cuckoo-style JSON reports
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/experiments"
+	"github.com/kfrida1/csdinf/internal/report"
+	"github.com/kfrida1/csdinf/internal/sandbox"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ransomgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ransomgen", flag.ContinueOnError)
+	out := fs.String("out", "dataset.csv", "output CSV path")
+	ransomware := fs.Int("ransomware", dataset.PaperRansomwareCount, "ransomware window count")
+	benign := fs.Int("benign", dataset.PaperBenignCount, "benign window count")
+	window := fs.Int("window", dataset.PaperWindow, "sequence length")
+	stride := fs.Int("stride", dataset.DefaultStride, "sliding-window stride")
+	seed := fs.Int64("seed", 1, "generation seed")
+	reports := fs.String("reports", "", "also write one Cuckoo-style JSON report per variant/app into this directory")
+	traceLen := fs.Int("trace-len", 2000, "trace length for -reports output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *reports != "" {
+		if err := writeReports(*reports, *traceLen, *seed); err != nil {
+			return err
+		}
+	}
+
+	ds, err := dataset.Build(dataset.BuildConfig{
+		RansomwareCount: *ransomware,
+		BenignCount:     *benign,
+		Window:          *window,
+		Stride:          *stride,
+		Seed:            *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", *out, err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", *out, err)
+	}
+
+	fmt.Printf("wrote %d sequences (window %d) to %s\n\n", len(ds.Sequences), ds.Window, *out)
+	fmt.Print(experiments.FormatTableII(experiments.TableII(ds), ds))
+	return nil
+}
+
+// writeReports emits one Cuckoo-style analysis report per ransomware
+// variant and benign application — the interchange format the paper's
+// pipeline consumed from its sandbox farm.
+func writeReports(dir string, traceLen int, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", dir, err)
+	}
+	id := 0
+	write := func(name string, fam string, variant int, trace []int) error {
+		id++
+		r, err := report.FromTrace(
+			report.Info{ID: id, Category: "file", Machine: "win10-x64", Package: "exe"},
+			report.Target{Name: name, Family: fam, Variant: variant},
+			trace,
+		)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("analysis_%04d.json", id))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		defer f.Close()
+		if err := r.Write(f); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	for _, fam := range sandbox.Families {
+		for v := 0; v < fam.Variants; v++ {
+			p, err := sandbox.RansomwareProfile(fam.Name, v)
+			if err != nil {
+				return err
+			}
+			trace, err := p.Generate(traceLen, seed+int64(id))
+			if err != nil {
+				return err
+			}
+			exe := strings.ToLower(fam.Name) + fmt.Sprintf("_v%d.exe", v)
+			if err := write(exe, fam.Name, v, trace); err != nil {
+				return err
+			}
+		}
+	}
+	for _, app := range sandbox.BenignApps {
+		p, err := sandbox.BenignProfile(app)
+		if err != nil {
+			return err
+		}
+		trace, err := p.Generate(traceLen, seed+int64(id))
+		if err != nil {
+			return err
+		}
+		if err := write(app, "", 0, trace); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d analysis reports to %s\n", id, dir)
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/report"
+)
+
+func TestGenerateCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.csv")
+	err := run([]string{
+		"-out", out, "-ransomware", "76", "-benign", "31",
+		"-window", "20", "-stride", "20", "-seed", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Sequences) != 107 || ds.Window != 20 {
+		t.Fatalf("corpus = %d sequences, window %d", len(ds.Sequences), ds.Window)
+	}
+}
+
+func TestGenerateReports(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.csv")
+	reports := filepath.Join(dir, "analyses")
+	err := run([]string{
+		"-out", out, "-ransomware", "76", "-benign", "31",
+		"-window", "20", "-stride", "20",
+		"-reports", reports, "-trace-len", "150",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join(reports, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 76 variants + 30 benign apps.
+	if len(paths) != 106 {
+		t.Fatalf("reports = %d, want 106", len(paths))
+	}
+	f, err := os.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := report.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := r.Trace()
+	if err != nil || len(trace) != 150 {
+		t.Fatalf("report trace: %d items, %v", len(trace), err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"-out", "/nonexistent-dir/x.csv", "-ransomware", "76", "-benign", "31", "-window", "10", "-stride", "10"}); err == nil {
+		t.Error("unwritable path accepted")
+	}
+	if err := run([]string{"-ransomware", "-5"}); err == nil {
+		t.Error("negative count accepted")
+	}
+}

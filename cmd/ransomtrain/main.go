@@ -1,0 +1,151 @@
+// Command ransomtrain performs the offline training stage of §III-A: it
+// fits the embedding+LSTM+FC classifier on an API-call CSV (or a freshly
+// synthesized corpus), reports the convergence trajectory and detection
+// metrics, and exports the weights in the text format the CSD host program
+// ingests at FPGA initialization.
+//
+// Usage:
+//
+//	ransomtrain -out weights.txt                      # synthesize + train
+//	ransomtrain -data dataset.csv -out weights.txt    # train on a CSV
+//	ransomtrain -reports analyses/ -out weights.txt   # train on sandbox reports
+//	ransomtrain -epochs 60 -batch 64 -lr 0.002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/report"
+	"github.com/kfrida1/csdinf/internal/train"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ransomtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ransomtrain", flag.ContinueOnError)
+	data := fs.String("data", "", "input CSV (empty: synthesize a 1/10-scale corpus)")
+	reportsDir := fs.String("reports", "", "directory of Cuckoo-style JSON analysis reports to train on")
+	out := fs.String("out", "weights.txt", "output weight file")
+	epochs := fs.Int("epochs", 40, "training epochs")
+	batch := fs.Int("batch", 32, "mini-batch size")
+	lr := fs.Float64("lr", 3e-3, "Adam learning rate")
+	testFrac := fs.Float64("test", 0.2, "held-out test fraction")
+	seed := fs.Int64("seed", 1, "seed")
+	target := fs.Float64("target", 0, "early-stop test accuracy (0 = run all epochs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ds *dataset.Dataset
+	if *reportsDir != "" {
+		var err error
+		ds, err = datasetFromReports(*reportsDir, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("windowed %d sequences from reports in %s\n", len(ds.Sequences), *reportsDir)
+	} else if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			return fmt.Errorf("open %s: %w", *data, err)
+		}
+		ds, err = dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d sequences (window %d) from %s\n", len(ds.Sequences), ds.Window, *data)
+	} else {
+		var err error
+		ds, err = dataset.Build(dataset.BuildConfig{
+			RansomwareCount: dataset.PaperRansomwareCount / 10,
+			BenignCount:     dataset.PaperBenignCount / 10,
+			Seed:            *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("synthesized %d sequences (window %d)\n", len(ds.Sequences), ds.Window)
+	}
+
+	trainDS, testDS, err := ds.Split(*testFrac, *seed+1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training on %d sequences, evaluating on %d\n", len(trainDS.Sequences), len(testDS.Sequences))
+
+	res, err := train.Train(trainDS, testDS, train.Config{
+		Epochs:         *epochs,
+		BatchSize:      *batch,
+		LR:             *lr,
+		Seed:           *seed,
+		TargetAccuracy: *target,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, rec := range res.History {
+		fmt.Printf("epoch %4d  loss %.4f  acc %.4f  prec %.4f  rec %.4f  f1 %.4f\n",
+			rec.Epoch, rec.TrainLoss, rec.Test.Accuracy, rec.Test.Precision, rec.Test.Recall, rec.Test.F1)
+	}
+	embed, lstmP, head := res.Model.ParamCount()
+	fmt.Printf("model: %d embedding + %d LSTM + %d head parameters\n", embed, lstmP, head)
+	fmt.Printf("final: %s\n", res.FinalConfusion.String())
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", *out, err)
+	}
+	defer f.Close()
+	if err := res.Model.WriteText(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", *out, err)
+	}
+	fmt.Printf("weights exported to %s (host-initialization format)\n", *out)
+	return nil
+}
+
+// datasetFromReports windows every analysis report in dir into a corpus.
+func datasetFromReports(dir string, seed int64) (*dataset.Dataset, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no *.json reports in %s", dir)
+	}
+	var traces []dataset.LabeledTrace
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open %s: %w", path, err)
+		}
+		r, err := report.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		trace, err := r.Trace()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		traces = append(traces, dataset.LabeledTrace{
+			Items:      trace,
+			Ransomware: r.Ransomware(),
+			Source:     r.Target.Name,
+		})
+	}
+	return dataset.FromTraces(traces, 0, 0, seed)
+}

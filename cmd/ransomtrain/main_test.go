@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/report"
+	"github.com/kfrida1/csdinf/internal/sandbox"
+)
+
+func writeSmallCSV(t *testing.T, path string) {
+	t.Helper()
+	ds, err := dataset.Build(dataset.BuildConfig{
+		RansomwareCount: 152, BenignCount: 155, Window: 30, Stride: 15, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainFromCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "ds.csv")
+	weights := filepath.Join(dir, "w.txt")
+	writeSmallCSV(t, csv)
+
+	err := run([]string{"-data", csv, "-out", weights, "-epochs", "2", "-seed", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := lstm.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	embed, lstmP, _ := m.ParamCount()
+	if embed+lstmP != 7472 {
+		t.Fatalf("exported model params = %d", embed+lstmP)
+	}
+}
+
+func TestTrainFromReports(t *testing.T) {
+	dir := t.TempDir()
+	// Write a handful of tiny reports.
+	for i := 0; i < 4; i++ {
+		fam := sandbox.Families[i%len(sandbox.Families)]
+		p, err := sandbox.RansomwareProfile(fam.Name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := p.Generate(250, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := report.FromTrace(report.Info{ID: i}, report.Target{Name: "x", Family: fam.Name}, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(dir, filepath.Base(fam.Name)+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Write(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	// Add a benign report so both classes exist.
+	bp, err := sandbox.BenignProfile(sandbox.BenignApps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := bp.Generate(250, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := report.FromTrace(report.Info{ID: 99}, report.Target{Name: "app"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "benign.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	weights := filepath.Join(t.TempDir(), "w.txt")
+	if err := run([]string{"-reports", dir, "-out", weights, "-epochs", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(weights); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if err := run([]string{"-data", "/nonexistent.csv"}); err == nil {
+		t.Error("missing CSV accepted")
+	}
+	if err := run([]string{"-reports", t.TempDir()}); err == nil {
+		t.Error("empty reports dir accepted")
+	}
+}

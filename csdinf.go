@@ -1,0 +1,351 @@
+// Package csdinf is a Go implementation of the DSN-S 2024 paper
+// "Empowering Data Centers with Computational Storage Drive-Based Deep
+// Learning Inference Functionality to Combat Ransomware" (Friday, Bou-Harb,
+// Lee, Peethambaran, Saxena).
+//
+// The library offloads the entire inference procedure of an LSTM classifier
+// onto the FPGA of a simulated computational storage drive (Samsung
+// SmartSSD class), reproducing the paper's five-kernel pipeline, its HLS
+// optimization study (Fig. 3), the FPGA/CPU/GPU comparison (Table I), and
+// the ransomware-detection use case trained on synthetic Cuckoo-style API
+// call traces (Fig. 4, Table II, §IV metrics).
+//
+// The typical flow mirrors the paper end to end:
+//
+//	ds, _ := csdinf.BuildDataset(csdinf.DatasetConfig{Seed: 1})
+//	trainDS, testDS, _ := ds.Split(0.2, 2)
+//	res, _ := csdinf.Train(trainDS, testDS, csdinf.TrainConfig{Epochs: 30})
+//
+//	dev, _ := csdinf.NewSmartSSD(csdinf.CSDConfig{})
+//	eng, _ := csdinf.Deploy(dev, res.Model, csdinf.DeployConfig{})
+//	result, timing, _ := eng.PredictStored(offset) // in-storage inference
+//
+//	det, _ := csdinf.NewDetector(eng, csdinf.DetectorConfig{})
+//	for _, call := range liveAPICalls {
+//	    ev, _ := det.Observe(call) // streaming detection + mitigation
+//	    _ = ev
+//	}
+//
+// All hardware (FPGA fabric and clock, SmartSSD, PCIe switch, A100/Xeon
+// baselines) is simulated with calibrated timing models — see DESIGN.md for
+// the substitution table — while the arithmetic (fixed-point kernels,
+// training, quantization, detection) is fully functional.
+package csdinf
+
+import (
+	"io"
+
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/cti"
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/metrics"
+	"github.com/kfrida1/csdinf/internal/node"
+	"github.com/kfrida1/csdinf/internal/report"
+	"github.com/kfrida1/csdinf/internal/sandbox"
+	"github.com/kfrida1/csdinf/internal/train"
+	"github.com/kfrida1/csdinf/internal/vitis"
+	"github.com/kfrida1/csdinf/internal/winapi"
+	"github.com/kfrida1/csdinf/internal/xrt"
+)
+
+// Version is the library version.
+const Version = "1.0.0"
+
+// Core model and training types.
+type (
+	// Model is the embedding+LSTM+FC classifier.
+	Model = lstm.Model
+	// ModelConfig describes the classifier architecture.
+	ModelConfig = lstm.Config
+	// TrainConfig controls offline training.
+	TrainConfig = train.Config
+	// TrainResult is a completed training run, including the Fig. 4
+	// convergence history.
+	TrainResult = train.Result
+	// Scores bundles accuracy/precision/recall/F1.
+	Scores = metrics.Scores
+	// Confusion is a binary confusion matrix.
+	Confusion = metrics.Confusion
+)
+
+// Dataset types.
+type (
+	// Dataset is a labelled corpus of fixed-length API-call sequences.
+	Dataset = dataset.Dataset
+	// DatasetConfig controls corpus synthesis.
+	DatasetConfig = dataset.BuildConfig
+	// Sequence is one labelled example.
+	Sequence = dataset.Sequence
+	// Family describes one ransomware family (Table II).
+	Family = sandbox.Family
+)
+
+// Device and engine types.
+type (
+	// SmartSSD is the simulated computational storage drive.
+	SmartSSD = csd.SmartSSD
+	// CSDConfig describes a SmartSSD device.
+	CSDConfig = csd.Config
+	// Engine is a deployed in-storage inference engine.
+	Engine = core.Engine
+	// DeployConfig controls engine deployment.
+	DeployConfig = core.DeployConfig
+	// Result is one classification.
+	Result = kernels.Result
+	// Timing splits a classification into transfer and compute time.
+	Timing = core.Timing
+	// OptLevel selects the kernel optimization level of Fig. 3.
+	OptLevel = kernels.OptLevel
+	// Part is an FPGA device model.
+	Part = fpga.Part
+)
+
+// Detection types.
+type (
+	// Detector consumes a live API-call stream and triggers in-storage
+	// mitigation.
+	Detector = detect.Detector
+	// DetectorConfig controls the detector.
+	DetectorConfig = detect.Config
+	// DetectorEvent describes one classified window.
+	DetectorEvent = detect.Event
+)
+
+// Optimization levels (cumulative, Fig. 3).
+const (
+	LevelVanilla    = kernels.LevelVanilla
+	LevelII         = kernels.LevelII
+	LevelFixedPoint = kernels.LevelFixedPoint
+)
+
+// Detector actions.
+const (
+	ActionNone  = detect.ActionNone
+	ActionAlert = detect.ActionAlert
+	ActionBlock = detect.ActionBlock
+)
+
+// FPGA parts.
+var (
+	// KU15P is the SmartSSD's Kintex UltraScale+ FPGA.
+	KU15P = fpga.KU15P
+	// AlveoU200 is the paper's experimental platform.
+	AlveoU200 = fpga.AlveoU200
+)
+
+// Families lists the ten ransomware families of Table II.
+var Families = sandbox.Families
+
+// VocabSize is the API-call vocabulary size (278, the paper's M).
+const VocabSize = winapi.VocabSize
+
+// PaperModelConfig returns the exact architecture evaluated in the paper:
+// 278-item vocabulary, embedding dimension 8, hidden size 32, softsign cell
+// activation — 7,472 parameters plus the 33-parameter head.
+func PaperModelConfig() ModelConfig { return lstm.PaperConfig() }
+
+// NewModel constructs an untrained classifier with seeded initialization.
+func NewModel(cfg ModelConfig, seed int64) (*Model, error) {
+	return lstm.NewModel(cfg, seed)
+}
+
+// BuildDataset synthesizes an API-call corpus per the paper's Appendix A
+// (sliding windows over ransomware-family and benign-application traces).
+func BuildDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Build(cfg) }
+
+// ReadDatasetCSV parses a corpus in the paper's n+1-column CSV format.
+func ReadDatasetCSV(r io.Reader) (*Dataset, error) { return dataset.ReadCSV(r) }
+
+// Train fits a fresh classifier on trainDS, evaluating on testDS, and
+// records the convergence trajectory (Fig. 4).
+func Train(trainDS, testDS *Dataset, cfg TrainConfig) (*TrainResult, error) {
+	return train.Train(trainDS, testDS, cfg)
+}
+
+// Evaluate runs a model over a dataset and returns the confusion matrix.
+func Evaluate(m *Model, ds *Dataset) (Confusion, error) { return train.Evaluate(m, ds) }
+
+// LoadWeights parses a model from the text weight format exported by
+// SaveWeights (the §III-A host-initialization file).
+func LoadWeights(r io.Reader) (*Model, error) { return lstm.ReadText(r) }
+
+// SaveWeights writes the model in the text weight format.
+func SaveWeights(m *Model, w io.Writer) error { return m.WriteText(w) }
+
+// NewSmartSSD builds a simulated computational storage drive.
+func NewSmartSSD(cfg CSDConfig) (*SmartSSD, error) { return csd.New(cfg) }
+
+// Deploy initializes the CSD's FPGA with the trained model and returns the
+// in-storage inference engine.
+func Deploy(dev *SmartSSD, m *Model, cfg DeployConfig) (*Engine, error) {
+	return core.Deploy(dev, m, cfg)
+}
+
+// NewDetector builds a streaming ransomware detector over a deployed
+// engine (or any detect.Predictor).
+func NewDetector(pred detect.Predictor, cfg DetectorConfig) (*Detector, error) {
+	return detect.New(pred, cfg)
+}
+
+// APIName returns the Windows API name for a vocabulary ID.
+func APIName(id int) (string, error) { return winapi.Name(id) }
+
+// APIID returns the stable vocabulary ID of a Windows API name.
+func APIID(name string) (int, error) { return winapi.ID(name) }
+
+// ErrStreamBlocked is returned by Detector.Observe after mitigation has
+// fired: the device has quarantined writes and the stream is contained.
+var ErrStreamBlocked = detect.ErrBlocked
+
+// BenignApps lists the 30 portable applications whose executions form the
+// benign half of the corpus (Appendix A).
+var BenignApps = sandbox.BenignApps
+
+// RansomwareTrace generates a synthetic sandbox trace of the given family
+// variant — length API-call IDs, deterministic per seed.
+func RansomwareTrace(family string, variant, length int, seed int64) ([]int, error) {
+	p, err := sandbox.RansomwareProfile(family, variant)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(length, seed)
+}
+
+// BenignTrace generates a synthetic execution trace of one of the benign
+// applications in BenignApps.
+func BenignTrace(app string, length int, seed int64) ([]int, error) {
+	p, err := sandbox.BenignProfile(app)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(length, seed)
+}
+
+// DesktopTrace generates a manual-desktop-interaction trace (the paper's
+// second benign source).
+func DesktopTrace(length int, seed int64) ([]int, error) {
+	return sandbox.ManualInteractionProfile().Generate(length, seed)
+}
+
+// Fleet and maintenance types (multi-device nodes, CTI-driven updates).
+type (
+	// Node is a host with several CSD inference engines.
+	Node = node.Node
+	// NodeConfig describes a multi-CSD node.
+	NodeConfig = node.Config
+	// NodeBatchResult is the outcome of a fan-out classification.
+	NodeBatchResult = node.BatchResult
+	// Updater maintains the corpus and hot-swaps retrained models.
+	Updater = cti.Updater
+	// UpdaterConfig controls the updater.
+	UpdaterConfig = cti.Config
+	// UpdateResult summarizes one retraining generation.
+	UpdateResult = cti.UpdateResult
+	// HotSwapEngine is a detector predictor whose engine can be replaced
+	// atomically while a stream is live.
+	HotSwapEngine = cti.HotSwapEngine
+	// AnalysisReport is a Cuckoo-style sandbox analysis report.
+	AnalysisReport = report.Report
+)
+
+// LevelMixed is the mixed-precision configuration (paper §VI future work):
+// DSP-packed narrow gate MACs with a full-precision cell path, sized to fit
+// the SmartSSD's own KU15P.
+const LevelMixed = kernels.LevelMixed
+
+// NewNode deploys the model to several fresh CSDs and returns the
+// node-level scheduler.
+func NewNode(m *Model, cfg NodeConfig) (*Node, error) { return node.New(m, cfg) }
+
+// NewUpdater trains an initial model on the base corpus, deploys it, and
+// returns the CTI-driven maintenance loop.
+func NewUpdater(base *Dataset, cfg UpdaterConfig) (*Updater, *UpdateResult, error) {
+	return cti.NewUpdater(base, cfg)
+}
+
+// ReportFromTrace wraps an API-call trace in a Cuckoo-style analysis
+// report (see internal/report for the schema).
+func ReportFromTrace(name, family string, variant int, trace []int) (*AnalysisReport, error) {
+	return report.FromTrace(
+		report.Info{Category: "file", Machine: "win10-x64", Package: "exe"},
+		report.Target{Name: name, Family: family, Variant: variant},
+		trace,
+	)
+}
+
+// ReadReport parses a Cuckoo-style JSON analysis report.
+func ReadReport(r io.Reader) (*AnalysisReport, error) { return report.Read(r) }
+
+// DatasetFromTraces windows labelled traces into a corpus (the ingestion
+// path for externally supplied sandbox reports).
+func DatasetFromTraces(traces []dataset.LabeledTrace, window, stride int, seed int64) (*Dataset, error) {
+	return dataset.FromTraces(traces, window, stride, seed)
+}
+
+// LabeledTrace is a full-length API-call trace with its label.
+type LabeledTrace = dataset.LabeledTrace
+
+// Toolchain and runtime types (the SmartSSD development toolkit of §II).
+type (
+	// FPGABinary is a linked FPGA binary (.xclbin) with its build report.
+	FPGABinary = vitis.Binary
+	// RuntimeDevice is an XRT-style handle to an opened CSD.
+	RuntimeDevice = xrt.Device
+	// BufferObject is a device-resident DDR buffer (XRT BO).
+	BufferObject = xrt.BO
+	// KernelHandle launches runs of a placed kernel.
+	KernelHandle = xrt.Kernel
+)
+
+// BuildFPGABinary compiles the paper model's three kernels at the given
+// optimization level and links them against the platform — the v++ flow
+// (§IV). It fails with a resource error when the design does not fit, e.g.
+// LevelFixedPoint on the KU15P.
+func BuildFPGABinary(level OptLevel, part Part) (*FPGABinary, error) {
+	specs, err := kernels.Specs(lstm.PaperConfig(), kernels.Config{Level: level, Part: part})
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]*vitis.KernelObject, 0, len(specs))
+	for _, spec := range specs {
+		obj, err := vitis.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, obj)
+	}
+	return vitis.Link(objs, part)
+}
+
+// OpenRuntime attaches the XRT-style runtime to a CSD.
+func OpenRuntime(dev *SmartSSD) (*RuntimeDevice, error) { return xrt.Open(dev) }
+
+// Per-process detection types.
+type (
+	// DetectorMux demultiplexes a system-wide API-call stream into
+	// per-process detectors.
+	DetectorMux = detect.Mux
+	// DetectorMuxConfig controls the demultiplexer.
+	DetectorMuxConfig = detect.MuxConfig
+	// ProcessEvent is a classified window attributed to a process.
+	ProcessEvent = detect.ProcessEvent
+	// ScoredPrediction is one example's probability and ground truth.
+	ScoredPrediction = metrics.ScoredPrediction
+)
+
+// NewDetectorMux builds a per-process detector demultiplexer.
+func NewDetectorMux(pred detect.Predictor, cfg DetectorMuxConfig) (*DetectorMux, error) {
+	return detect.NewMux(pred, cfg)
+}
+
+// Score runs the model over a dataset and returns per-sequence scored
+// predictions for threshold-independent evaluation.
+func Score(m *Model, ds *Dataset) ([]ScoredPrediction, error) { return train.Score(m, ds) }
+
+// AUC computes the area under the ROC curve of scored predictions.
+func AUC(preds []ScoredPrediction) (float64, error) { return metrics.AUC(preds) }

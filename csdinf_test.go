@@ -1,0 +1,385 @@
+package csdinf
+
+import (
+	"bytes"
+	"hash/fnv"
+	"strings"
+	"testing"
+)
+
+// TestEndToEndPipeline exercises the full public API exactly as the README
+// quickstart does: build corpus → train → deploy to a CSD → classify stored
+// sequences → stream-detect an infection.
+func TestEndToEndPipeline(t *testing.T) {
+	// Scaled-down corpus so the test stays fast.
+	ds, err := BuildDataset(DatasetConfig{
+		RansomwareCount: 228, // 3 windows per variant
+		BenignCount:     186, // 6 per benign source
+		Window:          40,
+		Stride:          20,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainDS, testDS, err := ds.Split(0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Train(trainDS, testDS, TrainConfig{
+		Epochs:     10,
+		BatchSize:  16,
+		Seed:       3,
+		EmbedDim:   6,
+		HiddenSize: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Accuracy < 0.85 {
+		t.Fatalf("accuracy = %v", res.Final.Accuracy)
+	}
+
+	// Weight round trip through the host-init text format.
+	var buf bytes.Buffer
+	if err := SaveWeights(res.Model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	model, err := LoadWeights(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deploy to a CSD and classify sequences stored on the SSD.
+	dev, err := NewSmartSSD(CSDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Deploy(dev, model, DeployConfig{Level: LevelFixedPoint, SeqLen: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	correct, total := 0, 0
+	var off int64
+	for _, s := range testDS.Sequences[:40] {
+		if _, err := dev.StoreSequence(off, s.Items); err != nil {
+			t.Fatal(err)
+		}
+		result, timing, err := eng.PredictStored(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if timing.Total() <= 0 {
+			t.Fatal("no time charged")
+		}
+		if result.Ransomware == s.Ransomware {
+			correct++
+		}
+		total++
+		off += int64(len(s.Items) * 4)
+	}
+	if frac := float64(correct) / float64(total); frac < 0.8 {
+		t.Fatalf("stored-classification agreement = %v", frac)
+	}
+
+	// Streaming detection over a live ransomware trace.
+	var ransom *Sequence
+	for i := range testDS.Sequences {
+		if testDS.Sequences[i].Ransomware {
+			ransom = &testDS.Sequences[i]
+			break
+		}
+	}
+	if ransom == nil {
+		t.Fatal("no ransomware sequence in test split")
+	}
+	det, err := NewDetector(eng, DetectorConfig{Stride: 10, AlertsToBlock: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, call := range ransom.Items {
+		if _, err := det.Observe(call); err != nil {
+			break // ErrBlocked is success here
+		}
+	}
+	// Detection isn't guaranteed for every window, but the detector must
+	// have evaluated at least one.
+	if det.Stats().WindowsEvaluated == 0 {
+		t.Fatal("detector never classified a window")
+	}
+}
+
+func TestPaperModelConfigCounts(t *testing.T) {
+	m, err := NewModel(PaperModelConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	embed, lstmP, head := m.ParamCount()
+	if embed+lstmP != 7472 || head != 33 {
+		t.Fatalf("params = %d + %d, want 7472 + 33", embed+lstmP, head)
+	}
+	if VocabSize != 278 {
+		t.Fatalf("VocabSize = %d", VocabSize)
+	}
+}
+
+func TestAPICatalogPassthrough(t *testing.T) {
+	id, err := APIID("CryptEncrypt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := APIName(id)
+	if err != nil || name != "CryptEncrypt" {
+		t.Fatalf("round trip = %q, %v", name, err)
+	}
+	if _, err := APIID("NotAnAPI"); err == nil {
+		t.Error("unknown API accepted")
+	}
+}
+
+func TestFamiliesExported(t *testing.T) {
+	if len(Families) != 10 {
+		t.Fatalf("families = %d", len(Families))
+	}
+	total := 0
+	for _, f := range Families {
+		total += f.Variants
+	}
+	if total != 76 {
+		t.Fatalf("variants = %d", total)
+	}
+}
+
+func TestDatasetCSVThroughFacade(t *testing.T) {
+	ds, err := BuildDataset(DatasetConfig{
+		RansomwareCount: 76, BenignCount: 31, Window: 20, Stride: 20, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatasetCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sequences) != len(ds.Sequences) {
+		t.Fatalf("round trip rows = %d, want %d", len(got.Sequences), len(ds.Sequences))
+	}
+}
+
+func TestPartsExported(t *testing.T) {
+	if KU15P.Name != "xcku15p" || AlveoU200.Name != "xcu200" {
+		t.Fatal("FPGA parts misconfigured")
+	}
+	if LevelVanilla >= LevelII || LevelII >= LevelFixedPoint {
+		t.Fatal("level ordering broken")
+	}
+	if ActionNone == ActionAlert || ActionAlert == ActionBlock {
+		t.Fatal("action constants collide")
+	}
+	if Version == "" {
+		t.Fatal("empty version")
+	}
+}
+
+func TestBuildFPGABinaryFacade(t *testing.T) {
+	bin, err := BuildFPGABinary(LevelFixedPoint, AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.Objects) != 3 {
+		t.Fatalf("kernels = %d, want 3", len(bin.Objects))
+	}
+	if _, err := BuildFPGABinary(LevelFixedPoint, KU15P); err == nil {
+		t.Fatal("fixed-point on KU15P should fail to link")
+	}
+	if _, err := BuildFPGABinary(LevelMixed, KU15P); err != nil {
+		t.Fatalf("mixed on KU15P failed: %v", err)
+	}
+}
+
+func TestRuntimeFacade(t *testing.T) {
+	card, err := NewSmartSSD(CSDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := OpenRuntime(card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := BuildFPGABinary(LevelFixedPoint, AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadXclbin(bin); err != nil {
+		t.Fatal(err)
+	}
+	k, err := dev.Kernel("kernel_gates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := k.Start(4).Wait(); err != nil || d <= 0 {
+		t.Fatalf("run = %v, %v", d, err)
+	}
+}
+
+func TestTraceGenerationFacade(t *testing.T) {
+	trace, err := RansomwareTrace("Wannacry", 0, 500, 1)
+	if err != nil || len(trace) != 500 {
+		t.Fatalf("RansomwareTrace: %d items, %v", len(trace), err)
+	}
+	if _, err := RansomwareTrace("NotAFamily", 0, 10, 1); err == nil {
+		t.Error("unknown family accepted")
+	}
+	bt, err := BenignTrace(BenignApps[0], 200, 2)
+	if err != nil || len(bt) != 200 {
+		t.Fatalf("BenignTrace: %d items, %v", len(bt), err)
+	}
+	dt, err := DesktopTrace(100, 3)
+	if err != nil || len(dt) != 100 {
+		t.Fatalf("DesktopTrace: %d items, %v", len(dt), err)
+	}
+}
+
+func TestReportFacade(t *testing.T) {
+	trace, err := RansomwareTrace("Cerber", 0, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReportFromTrace("cerber.exe", "Cerber", 0, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := got.Trace()
+	if err != nil || len(items) != 300 {
+		t.Fatalf("report trace: %d items, %v", len(items), err)
+	}
+	ds, err := DatasetFromTraces([]LabeledTrace{
+		{Items: items, Ransomware: true, Source: "cerber.exe"},
+	}, 100, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Sequences) != 9 { // (300-100)/25+1
+		t.Fatalf("windows = %d, want 9", len(ds.Sequences))
+	}
+}
+
+func TestMitigationQuarantineFacade(t *testing.T) {
+	dev, err := NewSmartSSD(CSDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.SSD().Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	dev.SSD().Quarantine(true)
+	if _, err := dev.SSD().Write(0, []byte{2}); err == nil {
+		t.Fatal("write under quarantine succeeded")
+	}
+}
+
+func TestDetectorMuxFacade(t *testing.T) {
+	ds, err := BuildDataset(DatasetConfig{
+		RansomwareCount: 228, BenignCount: 186, Window: 40, Stride: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainDS, testDS, err := ds.Split(0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(trainDS, testDS, TrainConfig{
+		Epochs: 8, Seed: 3, EmbedDim: 6, HiddenSize: 12, TargetAccuracy: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewSmartSSD(CSDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Deploy(dev, res.Model, DeployConfig{SeqLen: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, err := NewDetectorMux(eng, DetectorMuxConfig{
+		Detector: DetectorConfig{Stride: 10, AlertsToBlock: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two interleaved processes: pid 7 infected, pid 3 benign desktop.
+	infection, err := RansomwareTrace("Cerber", 0, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desktop, err := DesktopTrace(400, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range infection {
+		if _, err := mux.Observe(3, desktop[i]); err != nil {
+			break
+		}
+		if _, err := mux.Observe(7, infection[i]); err != nil {
+			break
+		}
+	}
+	// AUC through the facade.
+	preds, err := Score(res.Model, testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := AUC(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.9 {
+		t.Fatalf("AUC = %v", auc)
+	}
+}
+
+// TestCorpusDeterminismGolden guards the seeded generation pipeline: the
+// same seed must always produce the same corpus (a silent generator change
+// would invalidate every recorded experiment).
+func TestCorpusDeterminismGolden(t *testing.T) {
+	ds, err := BuildDataset(DatasetConfig{
+		RansomwareCount: 76, BenignCount: 31, Window: 25, Stride: 25, Seed: 12345,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	for _, s := range ds.Sequences {
+		for _, it := range s.Items {
+			h.Write([]byte{byte(it), byte(it >> 8)})
+		}
+		if s.Ransomware {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	// Golden value recorded at v1.0.0; update deliberately (and re-record
+	// EXPERIMENTS.md) if the generator changes.
+	const golden = uint64(0xc755d7c09e9d179d)
+	if got := h.Sum64(); got != golden {
+		t.Fatalf("corpus hash = %#x, want %#x — the seeded generator changed; "+
+			"if intentional, re-record EXPERIMENTS.md and update this golden", got, golden)
+	}
+}

@@ -1,0 +1,114 @@
+// Host application: the paper's host program (§III-A, Fig. 2) written
+// against the raw runtime API, the way the original C++/XRT code drives
+// the hardware. Everything the higher-level Engine does implicitly is
+// explicit here: build the xclbin with the v++ flow, open the device, load
+// the binary, allocate buffer objects in DDR banks, push the scaled
+// weights at initialization, P2P-sync a stored sequence, and launch the
+// preprocess → 4×gates → hidden-state kernel sequence per item.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/kfrida1/csdinf"
+)
+
+func main() {
+	// v++ -c / v++ -l: compile the kernels and link the xclbin against the
+	// paper's platform.
+	bin, err := csdinf.BuildFPGABinary(csdinf.LevelFixedPoint, csdinf.AlveoU200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bin.Report(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Open the CSD and load the binary.
+	card, err := csdinf.NewSmartSSD(csdinf.CSDConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := csdinf.OpenRuntime(card)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.LoadXclbin(bin); err != nil {
+		log.Fatal(err)
+	}
+
+	// Host initialization: serialize the offline-trained weights (here a
+	// fresh paper-architecture model) and push them into DDR bank 0.
+	model, err := csdinf.NewModel(csdinf.PaperModelConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var weights bytes.Buffer
+	if err := csdinf.SaveWeights(model, &weights); err != nil {
+		log.Fatal(err)
+	}
+	weightBO, err := dev.AllocBO(int64(weights.Len()), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	initTime, err := weightBO.SyncToDevice(weights.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhost init: %d weight bytes to DDR bank 0 in %v\n", weights.Len(), initTime)
+
+	// A sequence lands on the SSD (normal data-path activity)...
+	seq := make([]int, 100)
+	for i := range seq {
+		seq[i] = (i * 7) % csdinf.VocabSize
+	}
+	if _, err := card.StoreSequence(0, seq); err != nil {
+		log.Fatal(err)
+	}
+	// ...and is pulled into DDR bank 1 over the on-board P2P switch.
+	seqBO, err := dev.AllocBO(int64(len(seq)*4), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2pTime, err := seqBO.SyncFromSSD(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P2P sequence fetch: %v (no host involvement)\n", p2pTime)
+
+	// Per-item kernel sequence: preprocess, four gate CUs in parallel,
+	// hidden state — Fig. 2's dataflow, launched by hand.
+	pre, err := dev.Kernel("kernel_preprocess")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gates, err := dev.Kernel("kernel_gates")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hidden, err := dev.Kernel("kernel_hidden_state")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var perItem time.Duration
+	for _, launch := range []struct {
+		k *csdinf.KernelHandle
+		n int
+	}{{pre, 1}, {gates, 4}, {hidden, 1}} {
+		d, err := launch.k.Start(launch.n).Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		perItem += d
+	}
+	fmt.Printf("per-item kernel time: %v (paper: 2.15133 µs)\n", perItem)
+
+	total := time.Duration(len(seq)) * perItem
+	fmt.Printf("full %d-item sequence: %v compute + %v transfer\n", len(seq), total, p2pTime)
+	fmt.Printf("cumulative kernel time on device: %v\n", dev.KernelTime())
+}

@@ -1,0 +1,63 @@
+// Optimization study: reproduce the shape of the paper's Fig. 3 by
+// deploying the same model at each cumulative optimization level —
+// Vanilla (kernel parallelization only), +II (PIPELINE/UNROLL/
+// ARRAY_PARTITION), +Fixed-point — and reading the per-kernel latencies
+// and fabric utilization, including the resource wall that makes the
+// fully-unrolled fixed-point design fit the Alveo U200 but not the
+// SmartSSD's smaller KU15P.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/kfrida1/csdinf"
+)
+
+func main() {
+	model, err := csdinf.NewModel(csdinf.PaperModelConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	embed, lstmP, head := model.ParamCount()
+	fmt.Printf("model: %d embedding + %d LSTM + %d head parameters\n\n", embed, lstmP, head)
+
+	fmt.Printf("%-12s %12s %12s %12s %12s %8s %8s\n",
+		"Level", "Preprocess", "Gates", "Hidden", "Total", "DSP%", "LUT%")
+	for _, level := range []csdinf.OptLevel{
+		csdinf.LevelVanilla, csdinf.LevelII, csdinf.LevelFixedPoint,
+	} {
+		dev, err := csdinf.NewSmartSSD(csdinf.CSDConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := csdinf.Deploy(dev, model, csdinf.DeployConfig{
+			Level: level,
+			Part:  csdinf.AlveoU200, // the paper's experimental platform
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pre, gates, hidden, total := eng.PerItemMicros()
+		util := eng.Pipeline().Device().Utilization()
+		fmt.Printf("%-12s %9.3f µs %9.5f µs %9.3f µs %9.3f µs %7.1f%% %7.1f%%\n",
+			level, pre, gates, hidden, total, util.DSP*100, util.LUT*100)
+	}
+
+	fmt.Println("\npaper Fig. 3:  Vanilla 0.740 / 5.076 / 1.651 µs," +
+		" II 0.743 / 2.001 / 1.277 µs, Fixed-point 0.800 / 0.00333 / 1.348 µs")
+
+	// The resource wall: 4 CUs × 1,280 fully-unrolled integer MACs need
+	// 5,120 DSPs. The U200 has 6,840; the SmartSSD's KU15P has 1,968.
+	dev, err := csdinf.NewSmartSSD(csdinf.CSDConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = csdinf.Deploy(dev, model, csdinf.DeployConfig{
+		Level: csdinf.LevelFixedPoint,
+		Part:  csdinf.KU15P,
+	})
+	fmt.Printf("\nfixed-point deployment on the SmartSSD's KU15P: %v\n", err)
+	fmt.Println("(the paper evaluates on the U200 for exactly this reason; on the" +
+		" KU15P the gate unroll factor must drop to ~492 per CU)")
+}

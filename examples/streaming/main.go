@@ -1,0 +1,109 @@
+// Streaming detection: the paper's deployment scenario. A classifier
+// trained offline is deployed to the CSD; the host's live API-call stream
+// is fed to the in-storage detector, which maintains the sliding window,
+// classifies every fully-formed window next to the data it protects, and
+// fires write-quarantine mitigation the moment a Wannacry infection is
+// confirmed — before the encryption loop can finish.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"github.com/kfrida1/csdinf"
+)
+
+func main() {
+	// Offline stage: quick-train a classifier (in production this would be
+	// ransomtrain + exported weights, retrained as CTI feeds surface new
+	// strains).
+	ds, err := csdinf.BuildDataset(csdinf.DatasetConfig{
+		RansomwareCount: 667, BenignCount: 783, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainDS, testDS, err := ds.Split(0.2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := csdinf.Train(trainDS, testDS, csdinf.TrainConfig{
+		Epochs: 20, Seed: 3, TargetAccuracy: 0.97,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classifier ready: test accuracy %.4f\n", res.Final.Accuracy)
+
+	// Deploy to the drive.
+	dev, err := csdinf.NewSmartSSD(csdinf.CSDConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := csdinf.Deploy(dev, res.Model, csdinf.DeployConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mitigated := false
+	det, err := csdinf.NewDetector(eng, csdinf.DetectorConfig{
+		Threshold:     0.5,
+		AlertsToBlock: 2, // one confirmation window before quarantine
+		OnBlock: func(e csdinf.DetectorEvent) {
+			mitigated = true
+			dev.SSD().Quarantine(true) // in-storage mitigation: block all writes
+			fmt.Printf(">>> call %d: WRITE QUARANTINE ENGAGED (p=%.3f) <<<\n",
+				e.CallIndex, e.Probability)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Live stream: a user working normally...
+	benign, err := csdinf.DesktopTrace(800, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ...until a Wannacry variant detonates.
+	infection, err := csdinf.RansomwareTrace("Wannacry", 3, 3000, 43)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stream := append(append([]int{}, benign...), infection...)
+	infectionStart := int64(len(benign))
+	fmt.Printf("replaying %d API calls (infection begins at call %d)\n",
+		len(stream), infectionStart)
+
+	for _, call := range stream {
+		ev, err := det.Observe(call)
+		if err != nil {
+			if errors.Is(err, csdinf.ErrStreamBlocked) {
+				break
+			}
+			log.Fatal(err)
+		}
+		if ev != nil && ev.Action != csdinf.ActionNone {
+			fmt.Printf("call %5d: p=%.3f %s\n", ev.CallIndex, ev.Probability, ev.Action)
+		}
+	}
+
+	s := det.Stats()
+	fmt.Printf("\n%d calls observed, %d windows classified, %d alerts\n",
+		s.CallsObserved, s.WindowsEvaluated, s.Alerts)
+	if !mitigated {
+		log.Fatal("infection completed without mitigation")
+	}
+	detectionLatency := s.CallsObserved - infectionStart
+	fmt.Printf("mitigation fired %d calls into the infection (%.1f%% of the %d-call trace)\n",
+		detectionLatency, 100*float64(detectionLatency)/float64(len(infection)), len(infection))
+
+	// The quarantine holds at the device level: encryption writes now fail
+	// inside the drive, so files beyond this point remain intact.
+	if _, err := dev.SSD().Write(0, []byte("ciphertext")); err != nil {
+		fmt.Printf("ransomware write attempt rejected by the drive: %v\n", err)
+	}
+	fmt.Println("files beyond this point remain unencrypted: the engine lives next to the data it protects")
+}

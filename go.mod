@@ -1,0 +1,3 @@
+module github.com/kfrida1/csdinf
+
+go 1.24

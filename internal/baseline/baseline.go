@@ -1,0 +1,154 @@
+// Package baseline provides the CPU and GPU comparison points of the
+// paper's Table I.
+//
+// The paper measures the per-item forward-pass latency of the same LSTM on
+// an Intel Xeon (991.58 µs, 95% CI 217.5–1765.7) and an NVIDIA A100
+// (741.35 µs, 95% CI 394.5–1088.3). Neither device is available here, and
+// more importantly neither number is about raw FLOPs — a 7,472-parameter
+// LSTM step is ~10K multiply-accumulates, microseconds of arithmetic even on
+// one CPU core. The hundreds of microseconds the paper reports are
+// framework execution overhead: per-operator dispatch on the CPU path and
+// kernel-launch/synchronization costs on the GPU path, with enormous
+// variance (the CPU CI spans 8×).
+//
+// The substitution therefore models exactly that structure: a forward pass
+// is a fixed number of framework operations, each paying a heavy-tailed
+// (lognormal) dispatch cost, with the per-op means calibrated to Table I's
+// reported means and the dispersion to its confidence intervals. The
+// ordering and magnitude of the FPGA-vs-GPU-vs-CPU comparison — the claim
+// the paper is making — is reproduced; the absolute calibration constants
+// are recorded here and in EXPERIMENTS.md.
+//
+// For honesty, MeasureGoCPU also *actually measures* a plain Go
+// implementation of the forward pass on the build machine, reported
+// alongside the model in the Table I harness: it shows what a
+// framework-free CPU implementation costs and makes the overhead
+// attribution explicit.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// FrameworkModel describes per-item inference latency on a framework-hosted
+// platform as a sum of per-operation dispatch costs.
+type FrameworkModel struct {
+	// Name labels the platform in reports.
+	Name string
+	// OpsPerItem is the number of framework operations dispatched per
+	// LSTM timestep.
+	OpsPerItem int
+	// MeanPerOpMicros is the mean cost of one operation in µs.
+	MeanPerOpMicros float64
+	// CVPerOp is the coefficient of variation (σ/mean) of one operation's
+	// cost; dispatch costs are heavy-tailed, so this is large.
+	CVPerOp float64
+}
+
+// CPUXeon is the Table I CPU row: an Intel Xeon running the classifier
+// under an eager ML framework.
+//
+// Per timestep the framework dispatches 26 operations: 5 per gate (input
+// matmul, recurrent matmul, sum, bias add, activation) × 4 gates, the
+// embedding gather, and 5 cell/hidden element-wise ops. The per-op mean is
+// calibrated so 26 ops reproduce the paper's 991.58 µs mean, and the CV so
+// the spread interval reproduces the paper's 217.5–1765.7 µs CI.
+var CPUXeon = FrameworkModel{
+	Name:            "CPU (Intel Xeon)",
+	OpsPerItem:      26,
+	MeanPerOpMicros: 991.5775 / 26,
+	CVPerOp:         2.03,
+}
+
+// GPUA100 is the Table I GPU row: an NVIDIA A100. Per timestep the runtime
+// issues ~10 kernel launches (fused gate GEMMs, element-wise kernels, the
+// gather, synchronization); launch+sync dominates at this tiny model size.
+var GPUA100 = FrameworkModel{
+	Name:            "GPU (NVIDIA A100)",
+	OpsPerItem:      10,
+	MeanPerOpMicros: 741.35336 / 10,
+	CVPerOp:         0.76,
+}
+
+// Validate reports whether the model's parameters are usable.
+func (m FrameworkModel) Validate() error {
+	if m.OpsPerItem <= 0 {
+		return fmt.Errorf("baseline: OpsPerItem must be positive, got %d", m.OpsPerItem)
+	}
+	if m.MeanPerOpMicros <= 0 {
+		return fmt.Errorf("baseline: MeanPerOpMicros must be positive, got %v", m.MeanPerOpMicros)
+	}
+	if m.CVPerOp < 0 {
+		return fmt.Errorf("baseline: CVPerOp must be non-negative, got %v", m.CVPerOp)
+	}
+	return nil
+}
+
+// Mean returns the expected per-item latency in µs (ops × mean per op).
+func (m FrameworkModel) Mean() float64 {
+	return float64(m.OpsPerItem) * m.MeanPerOpMicros
+}
+
+// SampleItem draws one per-item latency in µs: the sum of OpsPerItem
+// independent lognormal dispatch costs.
+func (m FrameworkModel) SampleItem(rng *rand.Rand) float64 {
+	// Lognormal with mean mu_x and CV c: sigma² = ln(1+c²),
+	// mu = ln(mu_x) - sigma²/2.
+	sigma2 := math.Log(1 + m.CVPerOp*m.CVPerOp)
+	mu := math.Log(m.MeanPerOpMicros) - sigma2/2
+	sigma := math.Sqrt(sigma2)
+	var total float64
+	for i := 0; i < m.OpsPerItem; i++ {
+		total += math.Exp(mu + sigma*rng.NormFloat64())
+	}
+	return total
+}
+
+// SampleTrials draws n per-item latencies deterministically from the seed.
+func (m FrameworkModel) SampleTrials(n int, seed int64) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: trial count must be positive, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.SampleItem(rng)
+	}
+	return out, nil
+}
+
+// MeasureGoCPU measures the real wall-clock per-item latency of this
+// machine running the forward pass in plain Go: total sequence time divided
+// by sequence length, repeated for the requested number of trials. It is
+// the framework-free reference point reported next to the modeled Table I
+// rows.
+func MeasureGoCPU(m *lstm.Model, seq []int, trials int) ([]float64, error) {
+	if m == nil {
+		return nil, errors.New("baseline: nil model")
+	}
+	if len(seq) == 0 {
+		return nil, errors.New("baseline: empty sequence")
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("baseline: trial count must be positive, got %d", trials)
+	}
+	out := make([]float64, trials)
+	for i := range out {
+		start := time.Now()
+		if _, err := m.Forward(seq); err != nil {
+			return nil, fmt.Errorf("baseline: forward: %w", err)
+		}
+		elapsed := time.Since(start)
+		out[i] = float64(elapsed.Nanoseconds()) / 1000 / float64(len(seq))
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/metrics"
+)
+
+func TestPresetsMatchTableIMeans(t *testing.T) {
+	if got := CPUXeon.Mean(); math.Abs(got-991.5775) > 1e-9 {
+		t.Errorf("CPU mean = %v, want 991.5775 (Table I)", got)
+	}
+	if got := GPUA100.Mean(); math.Abs(got-741.35336) > 1e-9 {
+		t.Errorf("GPU mean = %v, want 741.35336 (Table I)", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []FrameworkModel{
+		{OpsPerItem: 0, MeanPerOpMicros: 1},
+		{OpsPerItem: 1, MeanPerOpMicros: 0},
+		{OpsPerItem: 1, MeanPerOpMicros: 1, CVPerOp: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d: expected validation error", i)
+		}
+	}
+	if err := CPUXeon.Validate(); err != nil {
+		t.Errorf("CPU preset invalid: %v", err)
+	}
+}
+
+func TestSampleTrialsValidation(t *testing.T) {
+	if _, err := CPUXeon.SampleTrials(0, 1); err == nil {
+		t.Error("zero trials: expected error")
+	}
+	if _, err := (FrameworkModel{}).SampleTrials(10, 1); err == nil {
+		t.Error("invalid model: expected error")
+	}
+}
+
+func TestSampleDeterministicBySeed(t *testing.T) {
+	a, err := GPUA100.SampleTrials(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GPUA100.SampleTrials(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c, err := GPUA100.SampleTrials(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] == c[0] {
+		t.Fatal("different seeds produced identical first sample")
+	}
+}
+
+func TestSampledStatisticsMatchCalibration(t *testing.T) {
+	// With many samples, the empirical mean and spread must reproduce the
+	// Table I rows they were calibrated to.
+	tests := []struct {
+		model                           FrameworkModel
+		wantMean, wantCILow, wantCIHigh float64
+	}{
+		{CPUXeon, 991.5775, 217.46576, 1765.68923},
+		{GPUA100, 741.35336, 394.45317, 1088.25355},
+	}
+	for _, tt := range tests {
+		t.Run(tt.model.Name, func(t *testing.T) {
+			sample, err := tt.model.SampleTrials(20_000, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := metrics.Summarize(sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(s.Mean-tt.wantMean) / tt.wantMean; rel > 0.05 {
+				t.Errorf("mean = %v, want %v (off %.1f%%)", s.Mean, tt.wantMean, rel*100)
+			}
+			low, high, err := metrics.SpreadCI(sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The spread interval half-width should match the paper's CI
+			// half-width within 15%.
+			wantHalf := (tt.wantCIHigh - tt.wantCILow) / 2
+			gotHalf := (high - low) / 2
+			if rel := math.Abs(gotHalf-wantHalf) / wantHalf; rel > 0.15 {
+				t.Errorf("CI half-width = %v, want %v (off %.1f%%)", gotHalf, wantHalf, rel*100)
+			}
+		})
+	}
+}
+
+func TestAllSamplesPositive(t *testing.T) {
+	sample, err := CPUXeon.SampleTrials(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sample {
+		if v <= 0 {
+			t.Fatalf("sample %d = %v, lognormal sums must be positive", i, v)
+		}
+	}
+}
+
+func TestGPUFasterThanCPUOnAverage(t *testing.T) {
+	cpu, err := CPUXeon.SampleTrials(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := GPUA100.SampleTrials(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := metrics.Summarize(cpu)
+	sg, _ := metrics.Summarize(gpu)
+	if sg.Mean >= sc.Mean {
+		t.Fatalf("GPU mean %v should beat CPU mean %v (Table I ordering)", sg.Mean, sc.Mean)
+	}
+}
+
+func TestMeasureGoCPU(t *testing.T) {
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]int, 100)
+	for i := range seq {
+		seq[i] = i % 278
+	}
+	sample, err := MeasureGoCPU(m, seq, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 5 {
+		t.Fatalf("trials = %d", len(sample))
+	}
+	for i, v := range sample {
+		if v <= 0 {
+			t.Fatalf("trial %d = %v µs", i, v)
+		}
+	}
+}
+
+func TestMeasureGoCPUValidation(t *testing.T) {
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureGoCPU(nil, []int{1}, 1); err == nil {
+		t.Error("nil model: expected error")
+	}
+	if _, err := MeasureGoCPU(m, nil, 1); err == nil {
+		t.Error("empty sequence: expected error")
+	}
+	if _, err := MeasureGoCPU(m, []int{1}, 0); err == nil {
+		t.Error("zero trials: expected error")
+	}
+	if _, err := MeasureGoCPU(m, []int{999}, 1); err == nil {
+		t.Error("OOV sequence: expected error")
+	}
+}

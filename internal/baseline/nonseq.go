@@ -1,0 +1,156 @@
+package baseline
+
+// The paper's model selection (§III-A) argues for an LSTM over
+// "non-sequential models (i.e., those that do not process data in a
+// time-dependent sequence) [that] might only analyze static snapshots of
+// data". This file implements exactly that comparator: a logistic
+// regression over the API-call frequency histogram of a window — the
+// strongest model that sees *what* was called but not *in which order* —
+// so the LSTM's advantage (or lack of it, on a given corpus) can be
+// measured instead of asserted.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/metrics"
+)
+
+// HistogramClassifier is a logistic regression on normalized API-call
+// frequency histograms: a non-sequential snapshot model.
+type HistogramClassifier struct {
+	// W holds one weight per vocabulary item; B is the bias.
+	W []float64
+	B float64
+}
+
+// NewHistogramClassifier returns an untrained classifier over the given
+// vocabulary size.
+func NewHistogramClassifier(vocabSize int) (*HistogramClassifier, error) {
+	if vocabSize <= 0 {
+		return nil, fmt.Errorf("baseline: vocabulary size must be positive, got %d", vocabSize)
+	}
+	return &HistogramClassifier{W: make([]float64, vocabSize)}, nil
+}
+
+// features converts a window into its normalized call histogram.
+func (c *HistogramClassifier) features(seq []int) ([]float64, error) {
+	if len(seq) == 0 {
+		return nil, errors.New("baseline: empty sequence")
+	}
+	f := make([]float64, len(c.W))
+	for _, it := range seq {
+		if it < 0 || it >= len(c.W) {
+			return nil, fmt.Errorf("baseline: item %d outside vocabulary %d", it, len(c.W))
+		}
+		f[it]++
+	}
+	inv := 1 / float64(len(seq))
+	for i := range f {
+		f[i] *= inv
+	}
+	return f, nil
+}
+
+// Probability returns the ransomware probability of a window.
+func (c *HistogramClassifier) Probability(seq []int) (float64, error) {
+	f, err := c.features(seq)
+	if err != nil {
+		return 0, err
+	}
+	z := c.B
+	for i, v := range f {
+		z += c.W[i] * v
+	}
+	return 1 / (1 + math.Exp(-z)), nil
+}
+
+// Predict returns the hard label at threshold 0.5.
+func (c *HistogramClassifier) Predict(seq []int) (bool, float64, error) {
+	p, err := c.Probability(seq)
+	if err != nil {
+		return false, 0, err
+	}
+	return p >= 0.5, p, nil
+}
+
+// TrainConfig controls histogram-classifier training.
+type HistTrainConfig struct {
+	// Epochs of SGD; 0 defaults to 30.
+	Epochs int
+	// LR is the learning rate; 0 defaults to 1.0 (features are sparse and
+	// normalized, so large steps are stable).
+	LR float64
+	// L2 is the weight-decay coefficient; 0 defaults to 1e-4.
+	L2 float64
+	// Seed drives epoch shuffling.
+	Seed int64
+}
+
+// Train fits the classifier on the dataset with SGD over the logistic
+// loss.
+func (c *HistogramClassifier) Train(ds *dataset.Dataset, cfg HistTrainConfig) error {
+	if ds == nil || len(ds.Sequences) == 0 {
+		return errors.New("baseline: empty training set")
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 1.0
+	}
+	if cfg.L2 == 0 {
+		cfg.L2 = 1e-4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(ds.Sequences))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			s := ds.Sequences[idx]
+			f, err := c.features(s.Items)
+			if err != nil {
+				return err
+			}
+			z := c.B
+			for i, v := range f {
+				z += c.W[i] * v
+			}
+			p := 1 / (1 + math.Exp(-z))
+			y := 0.0
+			if s.Ransomware {
+				y = 1
+			}
+			g := p - y
+			for i, v := range f {
+				if v != 0 {
+					c.W[i] -= cfg.LR * (g*v + cfg.L2*c.W[i])
+				}
+			}
+			c.B -= cfg.LR * g
+		}
+	}
+	return nil
+}
+
+// Evaluate returns the confusion matrix of the classifier over ds.
+func (c *HistogramClassifier) Evaluate(ds *dataset.Dataset) (metrics.Confusion, error) {
+	if ds == nil || len(ds.Sequences) == 0 {
+		return metrics.Confusion{}, errors.New("baseline: empty evaluation set")
+	}
+	var conf metrics.Confusion
+	for i, s := range ds.Sequences {
+		pred, _, err := c.Predict(s.Items)
+		if err != nil {
+			return metrics.Confusion{}, fmt.Errorf("baseline: sequence %d: %w", i, err)
+		}
+		conf.Observe(pred, s.Ransomware)
+	}
+	return conf, nil
+}

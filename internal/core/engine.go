@@ -1,0 +1,215 @@
+// Package core implements the paper's primary contribution: an inference
+// engine that runs the *entire* LSTM classifier inside a computational
+// storage drive.
+//
+// Deploy plays the role of the paper's host program (§III-A): it ingests the
+// offline-trained weights, scales them to fixed point, initializes the FPGA
+// (placing the five kernels of Fig. 2 on the fabric and loading the
+// parameter buffers over the host PCIe link), and allocates the sequence
+// buffers in FPGA DRAM. After deployment the host is out of the data path:
+// Predict* calls move sequences from the SSD to the FPGA over the on-board
+// peer-to-peer switch and classify them entirely on-device.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// DeployConfig controls engine deployment.
+type DeployConfig struct {
+	// Level is the kernel optimization level; zero defaults to
+	// LevelFixedPoint, the paper's fully-optimized configuration.
+	Level kernels.OptLevel
+	// Part is the FPGA part; zero value defaults to the Alveo U200.
+	Part fpga.Part
+	// SeqLen is the classification window length; zero defaults to 100.
+	SeqLen int
+	// Scale is the fixed-point scale; zero defaults to 10⁶.
+	Scale int64
+}
+
+// Engine is a deployed CSD inference engine. It is not safe for concurrent
+// use (it owns recurrent kernel state), matching the single-stream dataflow
+// of the hardware pipeline.
+type Engine struct {
+	dev  *csd.SmartSSD
+	pipe *kernels.Pipeline
+
+	seqBuf   *csd.Buffer
+	initTime time.Duration
+}
+
+// Deploy initializes the FPGA of the given CSD with the trained model.
+//
+// The returned engine's initTime accounts the one-time host work: shipping
+// the weight file (the text format of §III-A) over the host PCIe link into
+// FPGA DRAM. Per-classification calls never pay it again — the paper's
+// model is "compiled once and can be updated at the operator's discretion".
+func Deploy(dev *csd.SmartSSD, m *lstm.Model, cfg DeployConfig) (*Engine, error) {
+	if dev == nil {
+		return nil, errors.New("core: nil device")
+	}
+	if m == nil {
+		return nil, errors.New("core: nil model")
+	}
+	pipe, err := kernels.New(m, kernels.Config{
+		Level: cfg.Level, Part: cfg.Part, SeqLen: cfg.SeqLen, Scale: cfg.Scale,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: build pipeline: %w", err)
+	}
+
+	// Host initialization: serialize weights exactly as the offline trainer
+	// exports them and push them to FPGA DRAM bank 0.
+	var wbuf bytes.Buffer
+	if err := m.WriteText(&wbuf); err != nil {
+		return nil, fmt.Errorf("core: serialize weights: %w", err)
+	}
+	weightBuf, err := dev.Alloc(int64(wbuf.Len()), 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocate weight buffer: %w", err)
+	}
+	initTime, err := dev.WriteBuffer(weightBuf, wbuf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("core: load weights: %w", err)
+	}
+
+	// Sequence staging buffer in bank 1 (or bank 0 on single-bank devices):
+	// the P2P landing zone for SSD-resident sequences.
+	seqBank := 0
+	if dev.Banks() > 1 {
+		seqBank = 1
+	}
+	seqBuf, err := dev.Alloc(int64(pipe.SeqLen()*csd.ItemBytes), seqBank)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocate sequence buffer: %w", err)
+	}
+
+	return &Engine{dev: dev, pipe: pipe, seqBuf: seqBuf, initTime: initTime}, nil
+}
+
+// Timing breaks a classification's simulated latency into data movement and
+// FPGA compute.
+type Timing struct {
+	// Transfer is the data-movement time (SSD read + PCIe path).
+	Transfer time.Duration
+	// Compute is the kernel execution time on the FPGA.
+	Compute time.Duration
+}
+
+// Total returns Transfer + Compute.
+func (t Timing) Total() time.Duration { return t.Transfer + t.Compute }
+
+// PredictStored classifies the sequence stored at the given SSD byte
+// offset, moving it to the FPGA over the P2P path — the paper's headline
+// dataflow with no host involvement.
+func (e *Engine) PredictStored(ssdOff int64) (kernels.Result, Timing, error) {
+	xfer, err := e.dev.TransferP2P(ssdOff, e.seqBuf)
+	if err != nil {
+		return kernels.Result{}, Timing{}, fmt.Errorf("core: fetch sequence: %w", err)
+	}
+	return e.classifyBuffer(Timing{Transfer: xfer})
+}
+
+// PredictStoredViaHost classifies the stored sequence but stages it through
+// host memory — the traditional path, kept for the P2P ablation.
+func (e *Engine) PredictStoredViaHost(ssdOff int64) (kernels.Result, Timing, error) {
+	xfer, err := e.dev.TransferViaHost(ssdOff, e.seqBuf)
+	if err != nil {
+		return kernels.Result{}, Timing{}, fmt.Errorf("core: fetch sequence via host: %w", err)
+	}
+	return e.classifyBuffer(Timing{Transfer: xfer})
+}
+
+// Predict classifies a host-provided sequence (e.g. a live window from the
+// detection pipeline), paying one host-link transfer to stage it.
+func (e *Engine) Predict(seq []int) (kernels.Result, Timing, error) {
+	data, err := csd.EncodeItems(seq)
+	if err != nil {
+		return kernels.Result{}, Timing{}, fmt.Errorf("core: encode sequence: %w", err)
+	}
+	if len(seq) != e.pipe.SeqLen() {
+		return kernels.Result{}, Timing{}, fmt.Errorf("core: sequence length %d, engine expects %d",
+			len(seq), e.pipe.SeqLen())
+	}
+	xfer, err := e.dev.WriteBuffer(e.seqBuf, data)
+	if err != nil {
+		return kernels.Result{}, Timing{}, fmt.Errorf("core: stage sequence: %w", err)
+	}
+	return e.classifyBuffer(Timing{Transfer: xfer})
+}
+
+func (e *Engine) classifyBuffer(t Timing) (kernels.Result, Timing, error) {
+	seq, err := csd.DecodeItems(e.seqBuf.Bytes())
+	if err != nil {
+		return kernels.Result{}, Timing{}, fmt.Errorf("core: decode sequence: %w", err)
+	}
+	res, cycles, err := e.pipe.Classify(seq)
+	if err != nil {
+		return kernels.Result{}, Timing{}, fmt.Errorf("core: classify: %w", err)
+	}
+	t.Compute = e.pipe.Device().Duration(cycles)
+	return res, t, nil
+}
+
+// PerItemMicros returns the per-item kernel latencies in microseconds
+// (preprocess, gates, hidden state, total) — the quantities of Fig. 3 and
+// the FPGA row of Table I.
+func (e *Engine) PerItemMicros() (preprocess, gates, hidden, total float64) {
+	return e.pipe.KernelMicros()
+}
+
+// InitTime returns the one-time host initialization cost paid at Deploy.
+func (e *Engine) InitTime() time.Duration { return e.initTime }
+
+// Pipeline exposes the kernel pipeline (for benchmarks and diagnostics).
+func (e *Engine) Pipeline() *kernels.Pipeline { return e.pipe }
+
+// Device exposes the CSD the engine is deployed on.
+func (e *Engine) Device() *csd.SmartSSD { return e.dev }
+
+// SeqLen returns the classification window length.
+func (e *Engine) SeqLen() int { return e.pipe.SeqLen() }
+
+// ScanResult is the outcome of a background scan over stored sequences.
+type ScanResult struct {
+	// Results are per-sequence classifications, in offset order.
+	Results []kernels.Result
+	// Flagged counts ransomware verdicts.
+	Flagged int
+	// Timing is the aggregate simulated device time (transfers + compute).
+	Timing Timing
+}
+
+// ScanStored classifies a batch of sequences resident on the SSD — the
+// background-scanning deployment the paper's introduction motivates ("data
+// centers can execute the classifier continuously in the background ...
+// without exhausting the CPU"). Each sequence moves over the P2P path; the
+// host never touches the data.
+func (e *Engine) ScanStored(offsets []int64) (*ScanResult, error) {
+	if len(offsets) == 0 {
+		return nil, errors.New("core: no offsets to scan")
+	}
+	out := &ScanResult{Results: make([]kernels.Result, len(offsets))}
+	for i, off := range offsets {
+		res, timing, err := e.PredictStored(off)
+		if err != nil {
+			return nil, fmt.Errorf("core: scan offset %d: %w", off, err)
+		}
+		out.Results[i] = res
+		if res.Ransomware {
+			out.Flagged++
+		}
+		out.Timing.Transfer += timing.Transfer
+		out.Timing.Compute += timing.Compute
+	}
+	return out, nil
+}

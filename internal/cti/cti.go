@@ -1,0 +1,217 @@
+// Package cti implements the model-maintenance loop the paper prescribes
+// for production deployments (§III-A): "it is advisable to update the
+// FPGA-based model with a version that has been retrained on new ransomware
+// strains once they are uncovered in Cyber Threat Intelligence (CTI)
+// feeds."
+//
+// The loop is: a CTI feed delivers sandbox analysis reports of newly
+// observed strains → the updater folds their windows into the training
+// corpus → retrains the classifier → redeploys it to the CSD → atomically
+// swaps the running detector onto the new engine. The FPGA bitstream never
+// changes — the paper's kernel design "remains fixed regardless of changes
+// in the number of parameters ... the FPGA-based model is compiled once and
+// can be updated at the operator's discretion" — only the weight buffers
+// reload.
+package cti
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/metrics"
+	"github.com/kfrida1/csdinf/internal/report"
+	"github.com/kfrida1/csdinf/internal/train"
+)
+
+// HotSwapEngine is a detect.Predictor whose underlying CSD engine can be
+// replaced atomically while a detection stream is live.
+type HotSwapEngine struct {
+	mu  sync.RWMutex
+	eng *core.Engine
+}
+
+var _ detect.Predictor = (*HotSwapEngine)(nil)
+
+// NewHotSwapEngine wraps an initial engine.
+func NewHotSwapEngine(eng *core.Engine) (*HotSwapEngine, error) {
+	if eng == nil {
+		return nil, errors.New("cti: nil engine")
+	}
+	return &HotSwapEngine{eng: eng}, nil
+}
+
+// Predict delegates to the current engine.
+func (h *HotSwapEngine) Predict(seq []int) (kernels.Result, core.Timing, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.eng.Predict(seq)
+}
+
+// SeqLen returns the current engine's window length.
+func (h *HotSwapEngine) SeqLen() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.eng.SeqLen()
+}
+
+// Swap replaces the engine. The new engine must use the same window length
+// (the hardware counter is fixed at synthesis time).
+func (h *HotSwapEngine) Swap(eng *core.Engine) error {
+	if eng == nil {
+		return errors.New("cti: nil engine")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if eng.SeqLen() != h.eng.SeqLen() {
+		return fmt.Errorf("cti: window length %d does not match deployed %d (fixed at synthesis)",
+			eng.SeqLen(), h.eng.SeqLen())
+	}
+	h.eng = eng
+	return nil
+}
+
+// Engine returns the current engine (for inspection).
+func (h *HotSwapEngine) Engine() *core.Engine {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.eng
+}
+
+// Config controls the updater.
+type Config struct {
+	// Device is the CSD models are deployed to.
+	Device *csd.SmartSSD
+	// Deploy configures each deployment (level, part, window).
+	Deploy core.DeployConfig
+	// Train configures each retraining run.
+	Train train.Config
+	// Stride is the window stride for ingested traces; 0 defaults to the
+	// dataset default.
+	Stride int
+	// TestFraction is the held-out share per retraining; 0 defaults 0.2.
+	TestFraction float64
+	// Seed drives splits and shuffles.
+	Seed int64
+}
+
+// Updater maintains the corpus, retrains on new CTI samples, and hot-swaps
+// the deployed model. It is safe for concurrent use with a live detector
+// reading through the HotSwapEngine; Ingest itself must not be called
+// concurrently.
+type Updater struct {
+	cfg        Config
+	corpus     *dataset.Dataset
+	hot        *HotSwapEngine
+	generation int
+	model      *lstm.Model
+}
+
+// UpdateResult summarizes one retraining generation.
+type UpdateResult struct {
+	// Generation counts deployments (initial = 1).
+	Generation int
+	// NewSequences is how many windows the ingested reports contributed.
+	NewSequences int
+	// CorpusSize is the corpus size after ingestion.
+	CorpusSize int
+	// Final is the held-out evaluation of the new model.
+	Final metrics.Scores
+}
+
+// NewUpdater trains an initial model on the base corpus and deploys it.
+func NewUpdater(base *dataset.Dataset, cfg Config) (*Updater, *UpdateResult, error) {
+	if base == nil || len(base.Sequences) == 0 {
+		return nil, nil, errors.New("cti: empty base corpus")
+	}
+	if cfg.Device == nil {
+		return nil, nil, errors.New("cti: nil device")
+	}
+	if cfg.TestFraction == 0 {
+		cfg.TestFraction = 0.2
+	}
+	u := &Updater{cfg: cfg, corpus: base}
+	res, err := u.retrainAndDeploy(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return u, res, nil
+}
+
+// Engine returns the hot-swappable engine to wire into a detector.
+func (u *Updater) Engine() *HotSwapEngine { return u.hot }
+
+// Model returns the most recently trained classifier (e.g. to replicate
+// onto additional devices or nodes).
+func (u *Updater) Model() *lstm.Model { return u.model }
+
+// CorpusSize returns the current corpus size.
+func (u *Updater) CorpusSize() int { return len(u.corpus.Sequences) }
+
+// Ingest folds the CTI reports into the corpus, retrains, redeploys, and
+// swaps the live engine.
+func (u *Updater) Ingest(reports []*report.Report) (*UpdateResult, error) {
+	if len(reports) == 0 {
+		return nil, errors.New("cti: no reports to ingest")
+	}
+	var traces []dataset.LabeledTrace
+	for i, r := range reports {
+		trace, err := r.Trace()
+		if err != nil {
+			return nil, fmt.Errorf("cti: report %d: %w", i, err)
+		}
+		source := r.Target.Name
+		if r.Target.Family != "" {
+			source = fmt.Sprintf("%s.v%d", r.Target.Family, r.Target.Variant)
+		}
+		traces = append(traces, dataset.LabeledTrace{
+			Items:      trace,
+			Ransomware: r.Ransomware(),
+			Source:     source,
+		})
+	}
+	fresh, err := dataset.FromTraces(traces, u.corpus.Window, u.cfg.Stride, u.cfg.Seed+int64(u.generation))
+	if err != nil {
+		return nil, fmt.Errorf("cti: window reports: %w", err)
+	}
+	u.corpus.Sequences = append(u.corpus.Sequences, fresh.Sequences...)
+	return u.retrainAndDeploy(len(fresh.Sequences))
+}
+
+func (u *Updater) retrainAndDeploy(newSeqs int) (*UpdateResult, error) {
+	u.generation++
+	trainDS, testDS, err := u.corpus.Split(u.cfg.TestFraction, u.cfg.Seed+int64(u.generation))
+	if err != nil {
+		return nil, fmt.Errorf("cti: split: %w", err)
+	}
+	tr, err := train.Train(trainDS, testDS, u.cfg.Train)
+	if err != nil {
+		return nil, fmt.Errorf("cti: retrain generation %d: %w", u.generation, err)
+	}
+	eng, err := core.Deploy(u.cfg.Device, tr.Model, u.cfg.Deploy)
+	if err != nil {
+		return nil, fmt.Errorf("cti: deploy generation %d: %w", u.generation, err)
+	}
+	u.model = tr.Model
+	if u.hot == nil {
+		hot, err := NewHotSwapEngine(eng)
+		if err != nil {
+			return nil, err
+		}
+		u.hot = hot
+	} else if err := u.hot.Swap(eng); err != nil {
+		return nil, err
+	}
+	return &UpdateResult{
+		Generation:   u.generation,
+		NewSequences: newSeqs,
+		CorpusSize:   len(u.corpus.Sequences),
+		Final:        tr.Final,
+	}, nil
+}

@@ -1,0 +1,207 @@
+package cti
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/report"
+	"github.com/kfrida1/csdinf/internal/sandbox"
+	"github.com/kfrida1/csdinf/internal/ssd"
+	"github.com/kfrida1/csdinf/internal/train"
+)
+
+func testUpdater(t *testing.T) (*Updater, *UpdateResult) {
+	t.Helper()
+	base, err := dataset.Build(dataset.BuildConfig{
+		RansomwareCount: 152, BenignCount: 155, Window: 40, Stride: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := csd.New(csd.Config{SSD: ssd.Config{Capacity: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, res, err := NewUpdater(base, Config{
+		Device: dev,
+		Deploy: core.DeployConfig{SeqLen: 40},
+		Train:  train.Config{Epochs: 3, EmbedDim: 4, HiddenSize: 6, Seed: 2},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, res
+}
+
+func newStrainReports(t *testing.T, n int) []*report.Report {
+	t.Helper()
+	var out []*report.Report
+	for i := 0; i < n; i++ {
+		p, err := sandbox.RansomwareProfile("Lockbit", i%6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := p.Generate(200, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := report.FromTrace(
+			report.Info{ID: i, Category: "file", Machine: "win11-x64"},
+			report.Target{Name: "lockbit_new.exe", Family: "Lockbit", Variant: 100 + i},
+			trace,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestNewUpdaterValidation(t *testing.T) {
+	dev, err := csd.New(csd.Config{SSD: ssd.Config{Capacity: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewUpdater(nil, Config{Device: dev}); err == nil {
+		t.Error("nil corpus: expected error")
+	}
+	if _, _, err := NewUpdater(&dataset.Dataset{Window: 10}, Config{Device: dev}); err == nil {
+		t.Error("empty corpus: expected error")
+	}
+	base, err := dataset.Build(dataset.BuildConfig{
+		RansomwareCount: 76, BenignCount: 31, Window: 20, Stride: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewUpdater(base, Config{}); err == nil {
+		t.Error("nil device: expected error")
+	}
+}
+
+func TestInitialDeployment(t *testing.T) {
+	u, res := testUpdater(t)
+	if res.Generation != 1 {
+		t.Fatalf("generation = %d", res.Generation)
+	}
+	if u.Engine() == nil || u.Engine().Engine() == nil {
+		t.Fatal("no engine deployed")
+	}
+	if u.Engine().SeqLen() != 40 {
+		t.Fatalf("SeqLen = %d", u.Engine().SeqLen())
+	}
+}
+
+func TestIngestRetrainsAndSwaps(t *testing.T) {
+	u, _ := testUpdater(t)
+	before := u.Engine().Engine()
+	sizeBefore := u.CorpusSize()
+
+	res, err := u.Ingest(newStrainReports(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != 2 {
+		t.Fatalf("generation = %d", res.Generation)
+	}
+	if res.NewSequences == 0 {
+		t.Fatal("reports contributed no windows")
+	}
+	if res.CorpusSize != sizeBefore+res.NewSequences {
+		t.Fatalf("corpus accounting: %d != %d + %d", res.CorpusSize, sizeBefore, res.NewSequences)
+	}
+	if u.Engine().Engine() == before {
+		t.Fatal("engine not swapped")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	u, _ := testUpdater(t)
+	if _, err := u.Ingest(nil); err == nil {
+		t.Error("empty ingest: expected error")
+	}
+	bad := &report.Report{Behavior: report.Behavior{Processes: []report.Process{{PID: 1}}}}
+	if _, err := u.Ingest([]*report.Report{bad}); err == nil {
+		t.Error("empty report: expected error")
+	}
+}
+
+func TestHotSwapValidation(t *testing.T) {
+	if _, err := NewHotSwapEngine(nil); err == nil {
+		t.Error("nil engine: expected error")
+	}
+	u, _ := testUpdater(t)
+	if err := u.Engine().Swap(nil); err == nil {
+		t.Error("swap to nil: expected error")
+	}
+}
+
+func TestHotSwapWindowMismatchRejected(t *testing.T) {
+	u, _ := testUpdater(t)
+	dev, err := csd.New(csd.Config{SSD: ssd.Config{Capacity: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := dataset.Build(dataset.BuildConfig{
+		RansomwareCount: 76, BenignCount: 31, Window: 20, Stride: 20, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _, err := NewUpdater(base, Config{
+		Device: dev,
+		Deploy: core.DeployConfig{SeqLen: 20},
+		Train:  train.Config{Epochs: 1, EmbedDim: 4, HiddenSize: 4, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Engine().Swap(other.Engine().Engine()); err == nil {
+		t.Fatal("mismatched window swap accepted")
+	}
+}
+
+// TestLiveDetectorSurvivesSwap drives a detector through the hot-swap
+// engine while an update happens concurrently: the stream must never
+// observe an inconsistent engine.
+func TestLiveDetectorSurvivesSwap(t *testing.T) {
+	u, _ := testUpdater(t)
+	det, err := detect.New(u.Engine(), detect.Config{Stride: 5, Threshold: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := sandbox.ManualInteractionProfile().Generate(400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		if _, err := u.Ingest(newStrainReports(t, 2)); err != nil {
+			errCh <- err
+		}
+	}()
+	for _, call := range trace {
+		if _, err := det.Observe(call); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if det.Stats().WindowsEvaluated == 0 {
+		t.Fatal("detector never evaluated during swap")
+	}
+}

@@ -1,0 +1,383 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/kfrida1/csdinf/internal/winapi"
+)
+
+func smallConfig() BuildConfig {
+	return BuildConfig{
+		RansomwareCount: 152, // 2 windows per variant
+		BenignCount:     93,  // 3 per benign source
+		Window:          40,
+		Stride:          10,
+		Seed:            1,
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	trace := make([]int, 20)
+	for i := range trace {
+		trace[i] = i
+	}
+	tests := []struct {
+		name           string
+		window, stride int
+		wantN          int
+	}{
+		{"exact fit", 20, 5, 1},
+		{"stride 5", 10, 5, 3},
+		{"stride 1", 10, 1, 11},
+		{"window larger than trace", 25, 5, 0},
+		{"stride larger than window", 5, 10, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ws, err := SlidingWindows(trace, tt.window, tt.stride)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ws) != tt.wantN {
+				t.Fatalf("got %d windows, want %d", len(ws), tt.wantN)
+			}
+			for i, w := range ws {
+				if len(w) != tt.window {
+					t.Fatalf("window %d has length %d", i, len(w))
+				}
+				if w[0] != i*tt.stride {
+					t.Fatalf("window %d starts at %d, want %d", i, w[0], i*tt.stride)
+				}
+			}
+		})
+	}
+}
+
+func TestSlidingWindowsErrors(t *testing.T) {
+	if _, err := SlidingWindows([]int{1, 2}, 0, 1); err == nil {
+		t.Error("window 0: expected error")
+	}
+	if _, err := SlidingWindows([]int{1, 2}, 1, 0); err == nil {
+		t.Error("stride 0: expected error")
+	}
+}
+
+func TestSlidingWindowsCopies(t *testing.T) {
+	trace := []int{1, 2, 3, 4}
+	ws, err := SlidingWindows(trace, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws[0][0] = 99
+	if trace[0] == 99 {
+		t.Fatal("window aliases the trace")
+	}
+}
+
+// Property: WindowCount matches len(SlidingWindows(...)).
+func TestPropWindowCountFormula(t *testing.T) {
+	f := func(lenRaw, winRaw, strideRaw uint8) bool {
+		traceLen := int(lenRaw)
+		window := int(winRaw)%50 + 1
+		stride := int(strideRaw)%20 + 1
+		trace := make([]int, traceLen)
+		ws, err := SlidingWindows(trace, window, stride)
+		if err != nil {
+			return false
+		}
+		return len(ws) == WindowCount(traceLen, window, stride)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildSmall(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, b := ds.Counts()
+	if r != 152 || b != 93 {
+		t.Fatalf("counts = (%d, %d), want (152, 93)", r, b)
+	}
+	if len(ds.Sequences) != 245 {
+		t.Fatalf("total = %d", len(ds.Sequences))
+	}
+	for i, s := range ds.Sequences {
+		if len(s.Items) != 40 {
+			t.Fatalf("sequence %d has length %d", i, len(s.Items))
+		}
+		if s.Source == "" {
+			t.Fatalf("sequence %d has no source", i)
+		}
+		for _, it := range s.Items {
+			if it < 0 || it >= winapi.VocabSize {
+				t.Fatalf("sequence %d contains OOV item %d", i, it)
+			}
+		}
+	}
+}
+
+func TestBuildShuffled(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If shuffled, ransomware examples should not all be at the front.
+	firstBenign := -1
+	for i, s := range ds.Sequences {
+		if !s.Ransomware {
+			firstBenign = i
+			break
+		}
+	}
+	if firstBenign < 0 || firstBenign > 152 {
+		t.Fatalf("first benign at %d; corpus not shuffled", firstBenign)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sequences) != len(b.Sequences) {
+		t.Fatal("different sizes for same seed")
+	}
+	for i := range a.Sequences {
+		if a.Sequences[i].Ransomware != b.Sequences[i].Ransomware ||
+			a.Sequences[i].Items[0] != b.Sequences[i].Items[0] {
+			t.Fatalf("sequence %d differs for same seed", i)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  BuildConfig
+	}{
+		{"negative counts", BuildConfig{RansomwareCount: -1, BenignCount: 10}},
+		{"negative stride", BuildConfig{RansomwareCount: 10, BenignCount: 10, Stride: -1}},
+		{"negative window", BuildConfig{RansomwareCount: 10, BenignCount: 10, Window: -5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Build(tt.cfg); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestBuildPaperFraction(t *testing.T) {
+	// A proportionally scaled-down paper corpus keeps the 46% ransomware mix.
+	ds, err := Build(BuildConfig{RansomwareCount: 1334, BenignCount: 1566, Window: 100, Stride: 25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := ds.RansomwareFraction(); math.Abs(f-0.46) > 0.001 {
+		t.Fatalf("ransomware fraction = %v, want ~0.46", f)
+	}
+}
+
+func TestSourceCounts(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ds.SourceCounts()
+	// 76 variants + 31 benign sources.
+	if len(counts) != 107 {
+		t.Fatalf("distinct sources = %d, want 107", len(counts))
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(ds.Sequences) {
+		t.Fatalf("source counts sum %d != corpus %d", total, len(ds.Sequences))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(test.Sequences); got != 49 {
+		t.Fatalf("test size = %d, want 49", got)
+	}
+	if len(train.Sequences)+len(test.Sequences) != len(ds.Sequences) {
+		t.Fatal("split lost sequences")
+	}
+	if train.Window != ds.Window || test.Window != ds.Window {
+		t.Fatal("split lost window size")
+	}
+	if _, _, err := ds.Split(1.5, 0); err == nil {
+		t.Error("Split(1.5) expected error")
+	}
+	if _, _, err := ds.Split(-0.1, 0); err == nil {
+		t.Error("Split(-0.1) expected error")
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := ds.Subsample(50, 4)
+	if len(sub.Sequences) != 50 {
+		t.Fatalf("subsample size = %d", len(sub.Sequences))
+	}
+	all := ds.Subsample(10_000, 4)
+	if len(all.Sequences) != len(ds.Sequences) {
+		t.Fatal("oversized subsample should return the full corpus")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// n+1 columns per row.
+	firstLine, _, _ := strings.Cut(buf.String(), "\n")
+	if got := len(strings.Split(firstLine, ",")); got != 41 {
+		t.Fatalf("CSV has %d columns, want window+1 = 41", got)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Window != ds.Window || len(got.Sequences) != len(ds.Sequences) {
+		t.Fatalf("round trip shape mismatch: %d/%d vs %d/%d",
+			got.Window, len(got.Sequences), ds.Window, len(ds.Sequences))
+	}
+	for i := range ds.Sequences {
+		if got.Sequences[i].Ransomware != ds.Sequences[i].Ransomware {
+			t.Fatalf("label %d lost in round trip", i)
+		}
+		for j := range ds.Sequences[i].Items {
+			if got.Sequences[i].Items[j] != ds.Sequences[i].Items[j] {
+				t.Fatalf("item (%d, %d) lost in round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"one column", "5\n"},
+		{"ragged rows", "1,2,1\n1,2,3,0\n"},
+		{"bad item", "a,2,1\n"},
+		{"oov item", "9999,2,1\n"},
+		{"negative item", "-1,2,1\n"},
+		{"bad label", "1,2,7\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tt.input))
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !errors.Is(err, ErrBadCSV) {
+				t.Fatalf("error %v does not wrap ErrBadCSV", err)
+			}
+		})
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("1,2,1\n\n3,4,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Sequences) != 2 {
+		t.Fatalf("rows = %d, want 2", len(ds.Sequences))
+	}
+}
+
+func TestWriteCSVLengthMismatch(t *testing.T) {
+	ds := &Dataset{Window: 3, Sequences: []Sequence{{Items: []int{1, 2}}}}
+	if err := ds.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for mismatched sequence length")
+	}
+}
+
+func BenchmarkBuildScaledCorpus(b *testing.B) {
+	cfg := BuildConfig{RansomwareCount: 1334, BenignCount: 1566, Window: 100, Stride: 25, Seed: 5}
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFromTraces(t *testing.T) {
+	traces := []LabeledTrace{
+		{Items: make([]int, 100), Ransomware: true, Source: "a"},
+		{Items: make([]int, 60), Ransomware: false, Source: "b"},
+		{Items: make([]int, 10), Ransomware: false, Source: "short"}, // skipped
+	}
+	ds, err := FromTraces(traces, 50, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: (100-50)/25+1 = 3 windows; b: 1 window; short: 0.
+	if len(ds.Sequences) != 4 {
+		t.Fatalf("windows = %d, want 4", len(ds.Sequences))
+	}
+	r, b := ds.Counts()
+	if r != 3 || b != 1 {
+		t.Fatalf("counts = (%d, %d)", r, b)
+	}
+}
+
+func TestFromTracesErrors(t *testing.T) {
+	if _, err := FromTraces(nil, 10, 5, 1); err == nil {
+		t.Error("no traces: expected error")
+	}
+	if _, err := FromTraces([]LabeledTrace{{Items: []int{99999}}}, 1, 1, 1); err == nil {
+		t.Error("OOV trace: expected error")
+	}
+	if _, err := FromTraces([]LabeledTrace{{Items: make([]int, 5)}}, 10, 5, 1); err == nil {
+		t.Error("all-short traces: expected error")
+	}
+}
+
+func TestFromTracesDefaults(t *testing.T) {
+	ds, err := FromTraces([]LabeledTrace{{Items: make([]int, 150), Ransomware: true}}, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Window != PaperWindow {
+		t.Fatalf("default window = %d", ds.Window)
+	}
+	// (150-100)/25+1 = 3 windows.
+	if len(ds.Sequences) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ds.Sequences))
+	}
+}

@@ -1,0 +1,218 @@
+// Package detect implements the paper's ransomware use case (§IV): a
+// streaming detector that watches the live API-call stream of the system
+// housing the CSD, maintains a sliding window, classifies each fully-formed
+// window on the in-storage engine, and triggers mitigation "directly within
+// the CSD" — quarantining writes before encryption can proceed.
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/kernels"
+)
+
+// Predictor classifies a fully-formed window. *core.Engine satisfies it;
+// tests may substitute fakes.
+type Predictor interface {
+	// Predict classifies one window of API-call IDs.
+	Predict(seq []int) (kernels.Result, core.Timing, error)
+	// SeqLen returns the window length the predictor expects.
+	SeqLen() int
+}
+
+var _ Predictor = (*core.Engine)(nil)
+
+// Action is the detector's response to a classified window.
+type Action int
+
+// Actions, in escalating order.
+const (
+	// ActionNone: window classified benign.
+	ActionNone Action = iota + 1
+	// ActionAlert: a window crossed the probability threshold.
+	ActionAlert
+	// ActionBlock: enough consecutive alerts accumulated to trigger
+	// in-storage mitigation (write quarantine).
+	ActionBlock
+)
+
+// String returns the action name.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionAlert:
+		return "alert"
+	case ActionBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Event describes one classified window.
+type Event struct {
+	// CallIndex is the index of the API call that completed the window.
+	CallIndex int64
+	// Probability is the classifier's ransomware probability.
+	Probability float64
+	// Action is the detector's response.
+	Action Action
+}
+
+// Config controls the detector.
+type Config struct {
+	// Stride is how many new calls arrive between classifications once the
+	// window is full; 0 defaults to 25 (the dataset extraction stride).
+	Stride int
+	// Threshold is the alert probability; 0 defaults to 0.5.
+	Threshold float64
+	// AlertsToBlock is how many consecutive alerting windows trigger
+	// mitigation; 0 defaults to 2 (one confirmation re-check).
+	AlertsToBlock int
+	// OnBlock, when non-nil, is invoked exactly once when mitigation fires.
+	OnBlock func(Event)
+}
+
+func (c *Config) defaults() {
+	if c.Stride == 0 {
+		c.Stride = 25
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.5
+	}
+	if c.AlertsToBlock == 0 {
+		c.AlertsToBlock = 2
+	}
+}
+
+// Detector consumes an API-call stream and classifies sliding windows on
+// the CSD engine. It is not safe for concurrent use — it models the single
+// in-device stream of the paper's deployment.
+type Detector struct {
+	pred Predictor
+	cfg  Config
+
+	window    []int
+	filled    int
+	sinceEval int
+	calls     int64
+
+	consecutive int
+	blocked     bool
+
+	windowsEvaluated int64
+	alerts           int64
+}
+
+// New builds a detector over the predictor.
+func New(pred Predictor, cfg Config) (*Detector, error) {
+	if pred == nil {
+		return nil, errors.New("detect: nil predictor")
+	}
+	cfg.defaults()
+	if cfg.Stride <= 0 {
+		return nil, fmt.Errorf("detect: stride must be positive, got %d", cfg.Stride)
+	}
+	if cfg.Threshold <= 0 || cfg.Threshold >= 1 {
+		return nil, fmt.Errorf("detect: threshold %v outside (0, 1)", cfg.Threshold)
+	}
+	if cfg.AlertsToBlock <= 0 {
+		return nil, fmt.Errorf("detect: AlertsToBlock must be positive, got %d", cfg.AlertsToBlock)
+	}
+	w := pred.SeqLen()
+	if w <= 0 {
+		return nil, fmt.Errorf("detect: predictor window %d invalid", w)
+	}
+	return &Detector{pred: pred, cfg: cfg, window: make([]int, w)}, nil
+}
+
+// ErrBlocked is returned by Observe after mitigation has fired: the device
+// has quarantined writes and the stream should be considered contained.
+var ErrBlocked = errors.New("detect: mitigation active, stream blocked")
+
+// Observe feeds one API call into the detector. When the call completes a
+// classification window (every Stride calls once the window is full), the
+// window is classified and an Event returned; otherwise the event is nil.
+func (d *Detector) Observe(apiCallID int) (*Event, error) {
+	if d.blocked {
+		return nil, ErrBlocked
+	}
+	d.calls++
+	if d.filled < len(d.window) {
+		d.window[d.filled] = apiCallID
+		d.filled++
+		if d.filled < len(d.window) {
+			return nil, nil
+		}
+		// First full window: classify immediately.
+		return d.classify()
+	}
+	// Slide: drop the oldest call.
+	copy(d.window, d.window[1:])
+	d.window[len(d.window)-1] = apiCallID
+	d.sinceEval++
+	if d.sinceEval < d.cfg.Stride {
+		return nil, nil
+	}
+	return d.classify()
+}
+
+func (d *Detector) classify() (*Event, error) {
+	d.sinceEval = 0
+	res, _, err := d.pred.Predict(d.window)
+	if err != nil {
+		return nil, fmt.Errorf("detect: classify window at call %d: %w", d.calls, err)
+	}
+	d.windowsEvaluated++
+	ev := &Event{CallIndex: d.calls - 1, Probability: res.Probability, Action: ActionNone}
+	if res.Probability >= d.cfg.Threshold {
+		d.alerts++
+		d.consecutive++
+		ev.Action = ActionAlert
+		if d.consecutive >= d.cfg.AlertsToBlock {
+			ev.Action = ActionBlock
+			d.blocked = true
+			if d.cfg.OnBlock != nil {
+				d.cfg.OnBlock(*ev)
+			}
+		}
+	} else {
+		d.consecutive = 0
+	}
+	return ev, nil
+}
+
+// Blocked reports whether mitigation has fired.
+func (d *Detector) Blocked() bool { return d.blocked }
+
+// Stats summarizes detector activity.
+type Stats struct {
+	CallsObserved    int64
+	WindowsEvaluated int64
+	Alerts           int64
+	Blocked          bool
+}
+
+// Stats returns a snapshot of the detector's counters.
+func (d *Detector) Stats() Stats {
+	return Stats{
+		CallsObserved:    d.calls,
+		WindowsEvaluated: d.windowsEvaluated,
+		Alerts:           d.alerts,
+		Blocked:          d.blocked,
+	}
+}
+
+// Reset clears all stream state (window, counters, mitigation latch).
+func (d *Detector) Reset() {
+	d.filled = 0
+	d.sinceEval = 0
+	d.calls = 0
+	d.consecutive = 0
+	d.blocked = false
+	d.windowsEvaluated = 0
+	d.alerts = 0
+}

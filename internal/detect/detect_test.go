@@ -1,0 +1,224 @@
+package detect
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/kernels"
+)
+
+// fakePredictor flags any window containing the marker item.
+type fakePredictor struct {
+	window int
+	marker int
+	calls  int
+	err    error
+}
+
+func (f *fakePredictor) Predict(seq []int) (kernels.Result, core.Timing, error) {
+	f.calls++
+	if f.err != nil {
+		return kernels.Result{}, core.Timing{}, f.err
+	}
+	for _, it := range seq {
+		if it == f.marker {
+			return kernels.Result{Ransomware: true, Probability: 0.95}, core.Timing{}, nil
+		}
+	}
+	return kernels.Result{Probability: 0.05}, core.Timing{}, nil
+}
+
+func (f *fakePredictor) SeqLen() int { return f.window }
+
+func TestNewValidation(t *testing.T) {
+	p := &fakePredictor{window: 10, marker: 1}
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil predictor: expected error")
+	}
+	if _, err := New(p, Config{Stride: -1}); err == nil {
+		t.Error("negative stride: expected error")
+	}
+	if _, err := New(p, Config{Threshold: 1.5}); err == nil {
+		t.Error("bad threshold: expected error")
+	}
+	if _, err := New(p, Config{AlertsToBlock: -1}); err == nil {
+		t.Error("negative alerts-to-block: expected error")
+	}
+	if _, err := New(&fakePredictor{window: 0}, Config{}); err == nil {
+		t.Error("zero-window predictor: expected error")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionNone.String() != "none" || ActionAlert.String() != "alert" || ActionBlock.String() != "block" {
+		t.Error("action names broken")
+	}
+	if Action(0).String() != "Action(0)" {
+		t.Error("unknown action formatting broken")
+	}
+}
+
+func TestFirstWindowClassifiedWhenFull(t *testing.T) {
+	p := &fakePredictor{window: 5, marker: 99}
+	d, err := New(p, Config{Stride: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		ev, err := d.Observe(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			t.Fatalf("event before window full at call %d", i)
+		}
+	}
+	ev, err := d.Observe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil {
+		t.Fatal("no event when window filled")
+	}
+	if ev.Action != ActionNone {
+		t.Fatalf("benign window action = %v", ev.Action)
+	}
+	if ev.CallIndex != 4 {
+		t.Fatalf("CallIndex = %d, want 4", ev.CallIndex)
+	}
+}
+
+func TestStrideBetweenEvaluations(t *testing.T) {
+	p := &fakePredictor{window: 5, marker: 99}
+	d, err := New(p, Config{Stride: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := d.Observe(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.calls != 1 {
+		t.Fatalf("evaluations after first window = %d", p.calls)
+	}
+	// Next evaluation exactly Stride calls later.
+	for i := 0; i < 2; i++ {
+		ev, err := d.Observe(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			t.Fatalf("early evaluation at slide %d", i)
+		}
+	}
+	ev, err := d.Observe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil || p.calls != 2 {
+		t.Fatalf("evaluation did not fire at stride boundary (calls=%d)", p.calls)
+	}
+}
+
+func TestAlertEscalatesToBlock(t *testing.T) {
+	p := &fakePredictor{window: 4, marker: 7}
+	var blocked []Event
+	d, err := New(p, Config{
+		Stride:        2,
+		AlertsToBlock: 2,
+		OnBlock:       func(e Event) { blocked = append(blocked, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the window with marker items: first evaluation alerts.
+	var last *Event
+	feed := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			ev, err := d.Observe(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev != nil {
+				last = ev
+			}
+		}
+	}
+	feed(4)
+	if last == nil || last.Action != ActionAlert {
+		t.Fatalf("first malicious window action = %+v", last)
+	}
+	feed(2) // second consecutive alert -> block
+	if last.Action != ActionBlock {
+		t.Fatalf("second alert action = %v, want block", last.Action)
+	}
+	if !d.Blocked() {
+		t.Fatal("detector not latched after block")
+	}
+	if len(blocked) != 1 {
+		t.Fatalf("OnBlock fired %d times, want 1", len(blocked))
+	}
+	if _, err := d.Observe(7); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("post-block Observe error = %v, want ErrBlocked", err)
+	}
+}
+
+func TestConsecutiveCounterResetsOnBenign(t *testing.T) {
+	p := &fakePredictor{window: 1, marker: 7}
+	d, err := New(p, Config{Stride: 1, AlertsToBlock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alert, benign, alert, benign... must never block.
+	items := []int{7, 1, 7, 1, 7, 1, 7, 1}
+	for _, it := range items {
+		if _, err := d.Observe(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Blocked() {
+		t.Fatal("alternating alerts blocked despite reset rule")
+	}
+}
+
+func TestPredictorErrorPropagates(t *testing.T) {
+	p := &fakePredictor{window: 2, marker: 7, err: errors.New("boom")}
+	d, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Observe(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Observe(1); err == nil {
+		t.Fatal("predictor error swallowed")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	p := &fakePredictor{window: 3, marker: 7}
+	d, err := New(p, Config{Stride: 1, AlertsToBlock: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range []int{1, 1, 7} {
+		if _, err := d.Observe(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.CallsObserved != 3 || s.WindowsEvaluated != 1 || s.Alerts != 1 || !s.Blocked {
+		t.Fatalf("stats = %+v", s)
+	}
+	d.Reset()
+	s = d.Stats()
+	if s.CallsObserved != 0 || s.Blocked {
+		t.Fatalf("post-reset stats = %+v", s)
+	}
+	if _, err := d.Observe(1); err != nil {
+		t.Fatalf("Observe after Reset: %v", err)
+	}
+}

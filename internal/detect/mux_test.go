@@ -1,0 +1,102 @@
+package detect
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewMuxValidation(t *testing.T) {
+	p := &fakePredictor{window: 4, marker: 7}
+	if _, err := NewMux(nil, MuxConfig{}); err == nil {
+		t.Error("nil predictor: expected error")
+	}
+	if _, err := NewMux(p, MuxConfig{MaxProcesses: -1}); err == nil {
+		t.Error("negative max processes: expected error")
+	}
+	if _, err := NewMux(p, MuxConfig{Detector: Config{Threshold: 2}}); err == nil {
+		t.Error("bad detector config: expected error")
+	}
+}
+
+func TestMuxIsolatesProcesses(t *testing.T) {
+	p := &fakePredictor{window: 4, marker: 7}
+	m, err := NewMux(p, MuxConfig{Detector: Config{Stride: 1, AlertsToBlock: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave: pid 1 streams marker calls, pid 2 streams benign calls.
+	// Without per-process windows, pid 2's calls would dilute pid 1's
+	// window below detectability... here pid 1 must fire on its own.
+	var blockedEv *ProcessEvent
+	for i := 0; i < 8 && blockedEv == nil; i++ {
+		if ev, err := m.Observe(2, 1); err != nil {
+			t.Fatal(err)
+		} else if ev != nil && ev.Action == ActionBlock {
+			t.Fatalf("benign process blocked: %+v", ev)
+		}
+		ev, err := m.Observe(1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil && ev.Action == ActionBlock {
+			blockedEv = ev
+		}
+	}
+	if blockedEv == nil {
+		t.Fatal("infected process never blocked")
+	}
+	if blockedEv.PID != 1 {
+		t.Fatalf("blocked pid = %d, want 1", blockedEv.PID)
+	}
+	blocked, pid := m.Blocked()
+	if !blocked || pid != 1 {
+		t.Fatalf("Blocked() = %v, %d", blocked, pid)
+	}
+	// The mux latches globally (device-level quarantine).
+	if _, err := m.Observe(2, 1); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("post-block observe error = %v", err)
+	}
+}
+
+func TestMuxEviction(t *testing.T) {
+	p := &fakePredictor{window: 4, marker: 7}
+	m, err := NewMux(p, MuxConfig{
+		Detector:     Config{Stride: 1, Threshold: 0.99},
+		MaxProcesses: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := 1; pid <= 5; pid++ {
+		if _, err := m.Observe(pid, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Processes(); got != 3 {
+		t.Fatalf("tracked processes = %d, want 3 (evicted down)", got)
+	}
+	// The longest-idle (pid 1, 2) must be gone; recent pids remain.
+	stats := m.ProcessStats()
+	for _, pid := range []int{3, 4, 5} {
+		if _, ok := stats[pid]; !ok {
+			t.Fatalf("recent pid %d evicted", pid)
+		}
+	}
+}
+
+func TestMuxStats(t *testing.T) {
+	p := &fakePredictor{window: 2, marker: 7}
+	m, err := NewMux(p, MuxConfig{Detector: Config{Stride: 1, Threshold: 0.99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := m.Observe(10, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := m.ProcessStats()
+	if s, ok := stats[10]; !ok || s.CallsObserved != 4 {
+		t.Fatalf("stats[10] = %+v", stats[10])
+	}
+}

@@ -1,0 +1,109 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/hls"
+)
+
+func TestFPGAPower(t *testing.T) {
+	// Empty design: static floor only.
+	p, err := FPGAPower(hls.Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != StaticFPGAWatts {
+		t.Fatalf("idle power = %v, want %v", p, StaticFPGAWatts)
+	}
+	// The paper's fixed-point design: ~5,200 DSPs, ~330K LUTs.
+	p, err = FPGAPower(hls.Resources{DSP: 5200, LUT: 330_000, BRAM: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 + 13 + 39.6 + 0.15 ≈ 57 W — an accelerator-card figure, far below
+	// CPU/GPU package draw.
+	if p < 30 || p > 80 {
+		t.Fatalf("fixed-point design power = %v W, expected tens of watts", p)
+	}
+	if _, err := FPGAPower(hls.Resources{DSP: -1}); err == nil {
+		t.Error("negative resources: expected error")
+	}
+}
+
+func TestPerItemValidation(t *testing.T) {
+	if _, err := PerItem("x", 0, 1); err == nil {
+		t.Error("zero watts: expected error")
+	}
+	if _, err := PerItem("x", 1, -1); err == nil {
+		t.Error("negative latency: expected error")
+	}
+	e, err := PerItem("x", 10, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MicroJoules != 25 {
+		t.Fatalf("energy = %v µJ, want 25", e.MicroJoules)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	// Latencies from Table I.
+	ests, err := Compare(hls.Resources{DSP: 5200, LUT: 330_000}, 2.15, 991.58, 741.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 3 {
+		t.Fatalf("platforms = %d", len(ests))
+	}
+	fpga, cpu, gpu := ests[0], ests[1], ests[2]
+	// The efficiency claim: the CSD wins on power AND latency, so energy
+	// per item is orders of magnitude lower.
+	if !(fpga.MicroJoules < gpu.MicroJoules && gpu.MicroJoules < cpu.MicroJoules) {
+		t.Fatalf("energy ordering broken: %v %v %v",
+			fpga.MicroJoules, gpu.MicroJoules, cpu.MicroJoules)
+	}
+	if s := SavingsVs(fpga, gpu); s < 100 {
+		t.Fatalf("CSD energy savings vs GPU = %.0f×, expected > 100×", s)
+	}
+	if s := SavingsVs(fpga, cpu); s < 300 {
+		t.Fatalf("CSD energy savings vs CPU = %.0f×, expected > 300×", s)
+	}
+	// FPGA power below both platforms.
+	if fpga.Watts >= gpu.Watts || fpga.Watts >= cpu.Watts {
+		t.Fatalf("CSD power %v W not below CPU %v / GPU %v", fpga.Watts, cpu.Watts, gpu.Watts)
+	}
+}
+
+func TestCompareErrorPaths(t *testing.T) {
+	if _, err := Compare(hls.Resources{DSP: -1}, 1, 1, 1); err == nil {
+		t.Error("bad resources: expected error")
+	}
+	if _, err := Compare(hls.Resources{}, 0, 1, 1); err == nil {
+		t.Error("zero fpga latency: expected error")
+	}
+	if _, err := Compare(hls.Resources{}, 1, 0, 1); err == nil {
+		t.Error("zero cpu latency: expected error")
+	}
+	if _, err := Compare(hls.Resources{}, 1, 1, 0); err == nil {
+		t.Error("zero gpu latency: expected error")
+	}
+}
+
+func TestSavingsVsZero(t *testing.T) {
+	if got := SavingsVs(Estimate{}, Estimate{MicroJoules: 5}); got != 0 {
+		t.Fatalf("SavingsVs with zero baseline = %v", got)
+	}
+}
+
+func TestSmartSSDEnvelopeFloor(t *testing.T) {
+	// A tiny design's XPE estimate is below the device envelope; Compare
+	// must charge at least the SmartSSD's device power.
+	ests, err := Compare(hls.Resources{DSP: 10}, 2.15, 991.58, 741.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ests[0].Watts-SmartSSDWatts) > 1e-9 {
+		t.Fatalf("small-design power = %v, want device envelope %v", ests[0].Watts, SmartSSDWatts)
+	}
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/kernels"
+)
+
+func TestFig3ShapeMatchesPaper(t *testing.T) {
+	rows, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 levels", len(rows))
+	}
+	byLevel := map[kernels.OptLevel]Fig3Row{}
+	for _, r := range rows {
+		byLevel[r.Level] = r
+		if math.Abs(r.TotalUS-(r.PreprocessUS+r.GatesUS+r.HiddenUS)) > 1e-9 {
+			t.Errorf("%v total inconsistent", r.Level)
+		}
+	}
+	v, ii, fx := byLevel[kernels.LevelVanilla], byLevel[kernels.LevelII], byLevel[kernels.LevelFixedPoint]
+	// Headline shape assertions from the paper's prose.
+	if !(v.TotalUS > ii.TotalUS && ii.TotalUS > fx.TotalUS) {
+		t.Errorf("totals not monotone: %v %v %v", v.TotalUS, ii.TotalUS, fx.TotalUS)
+	}
+	if fx.GatesUS > 0.05 {
+		t.Errorf("fixed-point gates = %v µs, should be near zero", fx.GatesUS)
+	}
+	// "II minimization reduced the execution time of kernel_hidden_state by
+	// a relatively wide margin".
+	if ii.HiddenUS >= v.HiddenUS {
+		t.Errorf("II did not reduce hidden_state: %v vs %v", ii.HiddenUS, v.HiddenUS)
+	}
+	// "the execution time of kernel_preprocess remained fairly fixed".
+	if math.Abs(v.PreprocessUS-ii.PreprocessUS) > 0.1 {
+		t.Errorf("preprocess moved Vanilla→II: %v vs %v", v.PreprocessUS, ii.PreprocessUS)
+	}
+	// Total reduction factor ~3.3-3.5× (7.15→2.15 in the paper).
+	if ratio := v.TotalUS / fx.TotalUS; ratio < 2.8 || ratio > 4.0 {
+		t.Errorf("total reduction = %.2f×, paper ~3.4×", ratio)
+	}
+}
+
+func TestFormatFig3(t *testing.T) {
+	rows, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatFig3(rows)
+	for _, want := range []string{"Vanilla", "II", "Fixed-point", "paper", "Gates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatFig3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIOrderingAndSpeedup(t *testing.T) {
+	res, err := TableI(TableIConfig{Trials: 2000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	fpga, cpu, gpu := res.Rows[0], res.Rows[1], res.Rows[2]
+	if !(fpga.MeanUS < gpu.MeanUS && gpu.MeanUS < cpu.MeanUS) {
+		t.Fatalf("ordering broken: FPGA %v GPU %v CPU %v", fpga.MeanUS, gpu.MeanUS, cpu.MeanUS)
+	}
+	if fpga.HasCI {
+		t.Error("FPGA row should have no CI (emulation mode), like the paper")
+	}
+	if !cpu.HasCI || !gpu.HasCI {
+		t.Error("CPU/GPU rows must carry CIs")
+	}
+	// Speedup within 20% of the paper's 344.6×.
+	if rel := math.Abs(res.SpeedupVsGPU-PaperSpeedupVsGPU) / PaperSpeedupVsGPU; rel > 0.20 {
+		t.Errorf("speedup vs GPU = %.1f×, paper 344.6× (off %.0f%%)", res.SpeedupVsGPU, rel*100)
+	}
+	// CPU CI should be wide, bracketing the mean asymmetrically-ish like the
+	// paper's (lower bound far below mean).
+	if cpu.CILowUS >= cpu.MeanUS/2 {
+		t.Errorf("CPU CI low %v not far below mean %v", cpu.CILowUS, cpu.MeanUS)
+	}
+}
+
+func TestTableIWithGoMeasurement(t *testing.T) {
+	res, err := TableI(TableIConfig{Trials: 100, Seed: 1, MeasureGo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 with MeasureGo", len(res.Rows))
+	}
+	goRow := res.Rows[3]
+	if goRow.MeanUS <= 0 {
+		t.Fatal("go measurement empty")
+	}
+	out := FormatTableI(res)
+	if !strings.Contains(out, "N/A") || !strings.Contains(out, "344.6") {
+		t.Errorf("FormatTableI missing expected fields:\n%s", out)
+	}
+}
+
+func TestTableIValidation(t *testing.T) {
+	if _, err := TableI(TableIConfig{Trials: -5}); err == nil {
+		t.Fatal("negative trials: expected error")
+	}
+}
+
+func TestRunTrainingSmall(t *testing.T) {
+	run, err := RunTraining(TrainRunConfig{
+		RansomwareCount: 152,
+		BenignCount:     155,
+		Window:          30,
+		Stride:          15,
+		Epochs:          15,
+		BatchSize:       16,
+		Seed:            2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.TrainSize+run.TestSize != 307 {
+		t.Fatalf("split sizes = %d + %d", run.TrainSize, run.TestSize)
+	}
+	// Short (30-call) windows subsampled from full-length traces are a hard
+	// variant of the paper's task; anything well above chance demonstrates
+	// the harness learns.
+	if run.Final.Accuracy < 0.75 {
+		t.Fatalf("accuracy = %v on small corpus", run.Final.Accuracy)
+	}
+	fig4 := FormatFig4(run)
+	if !strings.Contains(fig4, "Peak accuracy") || !strings.Contains(fig4, "0.9833") {
+		t.Errorf("FormatFig4 missing fields:\n%s", fig4)
+	}
+	met := FormatMetrics(run)
+	for _, want := range []string{"Accuracy", "Precision", "Recall", "F1", "Confusion"} {
+		if !strings.Contains(met, want) {
+			t.Errorf("FormatMetrics missing %q", want)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	run, err := RunTraining(TrainRunConfig{
+		RansomwareCount: 152, BenignCount: 62, Window: 20, Stride: 20,
+		Epochs: 1, BatchSize: 32, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := TableII(run.Dataset)
+	if len(rows) != 10 {
+		t.Fatalf("families = %d, want 10", len(rows))
+	}
+	totalVariants, totalWindows := 0, 0
+	for _, r := range rows {
+		totalVariants += r.Instances
+		totalWindows += r.Windows
+		if !r.Encrypts {
+			t.Errorf("%s must encrypt", r.Family)
+		}
+	}
+	if totalVariants != 76 {
+		t.Errorf("variants = %d, want 76 (Table II rows)", totalVariants)
+	}
+	if totalWindows != 152 {
+		t.Errorf("ransomware windows = %d, want 152", totalWindows)
+	}
+	out := FormatTableII(rows, run.Dataset)
+	for _, want := range []string{"Ryuk", "Wannacry", "Self-propagation", "Total: 76 variants"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTableII missing %q:\n%s", want, out)
+		}
+	}
+	// nil dataset allowed.
+	if rows := TableII(nil); len(rows) != 10 {
+		t.Error("TableII(nil) should still list families")
+	}
+}
+
+func TestEnergyComparison(t *testing.T) {
+	res, err := Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.SavingsVsGPU < 100 || res.SavingsVsCPU < 100 {
+		t.Fatalf("CSD energy savings too small: %v / %v", res.SavingsVsCPU, res.SavingsVsGPU)
+	}
+	out := FormatEnergy(res)
+	for _, want := range []string{"FPGA (CSD)", "Energy/item", "savings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatEnergy missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDetectionLatency(t *testing.T) {
+	// Train a quick model, then measure per-family time to mitigation.
+	run, err := RunTraining(TrainRunConfig{
+		RansomwareCount: 667, BenignCount: 783,
+		Epochs: 6, Seed: 4, TargetAccuracy: 0.95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := DetectionLatency(LatencyConfig{
+		Model: run.Model, TraceLen: 2000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("families = %d", len(rows))
+	}
+	totalVars, totalDet := 0, 0
+	for _, r := range rows {
+		totalVars += r.Variants
+		totalDet += r.Detected
+		if r.Detected > 0 && (r.MeanCalls <= 0 || r.MaxCalls <= 0) {
+			t.Fatalf("%s: detected but no latency recorded: %+v", r.Family, r)
+		}
+	}
+	if totalVars != 76 {
+		t.Fatalf("variants = %d", totalVars)
+	}
+	// The deployed detector must stop the strong majority of variants well
+	// before the 2000-call trace completes.
+	if float64(totalDet)/float64(totalVars) < 0.9 {
+		t.Fatalf("only %d/%d variants stopped", totalDet, totalVars)
+	}
+	out := FormatDetectionLatency(rows, 2000)
+	for _, want := range []string{"Ryuk", "Mean calls", "variants stopped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatDetectionLatency missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := DetectionLatency(LatencyConfig{}); err == nil {
+		t.Error("nil model: expected error")
+	}
+}
+
+func TestModelSelection(t *testing.T) {
+	run, err := RunTraining(TrainRunConfig{
+		RansomwareCount: 456, BenignCount: 465,
+		Epochs: 8, Seed: 6, TargetAccuracy: 0.95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ModelSelection(run, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LSTM.Accuracy < 0.9 || res.Histogram.Accuracy < 0.8 {
+		t.Fatalf("accuracies = %v / %v", res.LSTM.Accuracy, res.Histogram.Accuracy)
+	}
+	out := FormatModelSelection(res)
+	for _, want := range []string{"LSTM", "Histogram", "advantage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatModelSelection missing %q", want)
+		}
+	}
+	if _, err := ModelSelection(nil, nil, 1); err == nil {
+		t.Error("nil run: expected error")
+	}
+}
+
+func TestWindowSweep(t *testing.T) {
+	points, err := WindowSweep(WindowSweepConfig{
+		Windows:         []int{40, 80},
+		RansomwareCount: 456,
+		BenignCount:     465,
+		Epochs:          6,
+		Seed:            11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Accuracy < 0.85 {
+			t.Fatalf("window %d accuracy = %v", p.Window, p.Accuracy)
+		}
+		if p.SampledVariants != 10 {
+			t.Fatalf("window %d sampled %d variants", p.Window, p.SampledVariants)
+		}
+		if p.PerWindowMicros <= 0 {
+			t.Fatalf("window %d has no FPGA time", p.Window)
+		}
+	}
+	// Longer windows cost proportionally more FPGA time per classification.
+	if points[1].PerWindowMicros <= points[0].PerWindowMicros {
+		t.Fatalf("FPGA time not increasing with window: %v vs %v",
+			points[0].PerWindowMicros, points[1].PerWindowMicros)
+	}
+	out := FormatWindowSweep(points)
+	if !strings.Contains(out, "FPGA µs/window") {
+		t.Errorf("FormatWindowSweep output:\n%s", out)
+	}
+	if _, err := WindowSweep(WindowSweepConfig{Windows: []int{-1}}); err == nil {
+		t.Error("negative window: expected error")
+	}
+}

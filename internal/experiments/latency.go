@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/sandbox"
+)
+
+// This file measures how *promptly* the deployed detector stops an
+// infection — the quantity behind the paper's "promptly detect ransomware
+// ... enabling effective and timely mitigation directly within the CSD"
+// claim, which §IV asserts but does not tabulate.
+
+// FamilyLatency is the detection latency for one ransomware family.
+type FamilyLatency struct {
+	Family string
+	// Variants is the number of variants replayed.
+	Variants int
+	// Detected counts variants stopped before the trace ended.
+	Detected int
+	// MeanCalls / MaxCalls are the API-call counts from infection start to
+	// mitigation across detected variants.
+	MeanCalls float64
+	MaxCalls  int64
+}
+
+// LatencyConfig controls the detection-latency experiment.
+type LatencyConfig struct {
+	// Model is the trained classifier (train one with RunTraining first).
+	Model *lstm.Model
+	// TraceLen is the infected trace length replayed per variant; 0
+	// defaults to 3000.
+	TraceLen int
+	// BenignPrefix is the benign desktop activity replayed before each
+	// infection; 0 defaults to 400 calls.
+	BenignPrefix int
+	// Window is the classification window length; 0 defaults to the
+	// paper's 100.
+	Window int
+	// Seed drives trace generation.
+	Seed int64
+}
+
+// DetectionLatency replays every variant of every family against a freshly
+// deployed detector and reports per-family time-to-mitigation.
+func DetectionLatency(cfg LatencyConfig) ([]FamilyLatency, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("experiments: latency needs a trained model")
+	}
+	if cfg.TraceLen == 0 {
+		cfg.TraceLen = 3000
+	}
+	if cfg.BenignPrefix == 0 {
+		cfg.BenignPrefix = 400
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 100
+	}
+
+	var out []FamilyLatency
+	for _, fam := range sandbox.Families {
+		row := FamilyLatency{Family: fam.Name, Variants: fam.Variants}
+		var sum int64
+		for v := 0; v < fam.Variants; v++ {
+			calls, detected, err := replayVariantWindow(cfg, fam.Name, v, cfg.Window)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s.v%d: %w", fam.Name, v, err)
+			}
+			if detected {
+				row.Detected++
+				sum += calls
+				if calls > row.MaxCalls {
+					row.MaxCalls = calls
+				}
+			}
+		}
+		if row.Detected > 0 {
+			row.MeanCalls = float64(sum) / float64(row.Detected)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Family < out[j].Family })
+	return out, nil
+}
+
+// replayVariantWindow runs one infection against a fresh detector deployed
+// at the given window length and returns the number of ransomware API
+// calls executed before mitigation.
+func replayVariantWindow(cfg LatencyConfig, family string, variant, window int) (int64, bool, error) {
+	if cfg.TraceLen == 0 {
+		cfg.TraceLen = 3000
+	}
+	if cfg.BenignPrefix == 0 {
+		cfg.BenignPrefix = 400
+	}
+	dev, err := csd.New(csd.Config{})
+	if err != nil {
+		return 0, false, err
+	}
+	eng, err := core.Deploy(dev, cfg.Model, core.DeployConfig{SeqLen: window})
+	if err != nil {
+		return 0, false, err
+	}
+	det, err := detect.New(eng, detect.Config{})
+	if err != nil {
+		return 0, false, err
+	}
+
+	benign, err := sandbox.ManualInteractionProfile().Generate(cfg.BenignPrefix, cfg.Seed)
+	if err != nil {
+		return 0, false, err
+	}
+	prof, err := sandbox.RansomwareProfile(family, variant)
+	if err != nil {
+		return 0, false, err
+	}
+	infected, err := prof.Generate(cfg.TraceLen, cfg.Seed+int64(variant)+1)
+	if err != nil {
+		return 0, false, err
+	}
+
+	for _, call := range benign {
+		if _, err := det.Observe(call); err != nil {
+			return 0, false, err
+		}
+	}
+	if det.Blocked() {
+		// False-positive block on the benign prefix: count as undetected
+		// for latency purposes (it never saw the infection).
+		return 0, false, nil
+	}
+	for i, call := range infected {
+		ev, err := det.Observe(call)
+		if err != nil {
+			return 0, false, err
+		}
+		if ev != nil && ev.Action == detect.ActionBlock {
+			return int64(i + 1), true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// FormatDetectionLatency renders the per-family latency table.
+func FormatDetectionLatency(rows []FamilyLatency, traceLen int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %14s %12s\n",
+		"Family", "Variants", "Detected", "Mean calls", "Max calls")
+	var totalVars, totalDet int
+	var weighted float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10d %10d %14.0f %12d\n",
+			r.Family, r.Variants, r.Detected, r.MeanCalls, r.MaxCalls)
+		totalVars += r.Variants
+		totalDet += r.Detected
+		weighted += r.MeanCalls * float64(r.Detected)
+	}
+	if totalDet > 0 {
+		fmt.Fprintf(&b, "All: %d/%d variants stopped, mean %.0f calls into the infection (trace %d calls)\n",
+			totalDet, totalVars, weighted/float64(totalDet), traceLen)
+	}
+	return b.String()
+}

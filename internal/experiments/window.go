@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/sandbox"
+)
+
+// The paper fixes the sequence length at 100 API calls (Appendix A) without
+// exploring alternatives. This experiment sweeps the window length and
+// reports the trade-off it controls: longer windows carry more context
+// (accuracy) but delay the first classification and slow each one
+// (detection latency) — the quantity that decides how much encryption a
+// real infection completes before mitigation.
+
+// WindowPoint is the outcome at one window length.
+type WindowPoint struct {
+	Window int
+	// Accuracy is held-out test accuracy at this window length.
+	Accuracy float64
+	// F1 is the held-out F1 score.
+	F1 float64
+	// MeanDetectionCalls is the mean API-call count from infection start
+	// to mitigation over the sampled variants (0 when none detected).
+	MeanDetectionCalls float64
+	// DetectedVariants / SampledVariants give the detection rate.
+	DetectedVariants int
+	SampledVariants  int
+	// PerWindowMicros is the simulated FPGA time to classify one window
+	// (items × per-item time).
+	PerWindowMicros float64
+}
+
+// WindowSweepConfig controls the sweep.
+type WindowSweepConfig struct {
+	// Windows are the lengths to evaluate; empty defaults to 50/100/200.
+	Windows []int
+	// SequencesPerClass scales each corpus; 0 defaults to ~1/20 paper
+	// scale (667/783).
+	RansomwareCount, BenignCount int
+	// Epochs per training run; 0 defaults to 10.
+	Epochs int
+	// Seed drives everything.
+	Seed int64
+}
+
+// WindowSweep trains one classifier per window length and measures
+// accuracy, detection latency (first variant of each family replayed as a
+// live infection), and per-window FPGA time.
+func WindowSweep(cfg WindowSweepConfig) ([]WindowPoint, error) {
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = []int{50, 100, 200}
+	}
+	if cfg.RansomwareCount == 0 {
+		cfg.RansomwareCount = dataset.PaperRansomwareCount / 20
+	}
+	if cfg.BenignCount == 0 {
+		cfg.BenignCount = dataset.PaperBenignCount / 20
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 10
+	}
+
+	var out []WindowPoint
+	for _, w := range cfg.Windows {
+		if w <= 0 {
+			return nil, fmt.Errorf("experiments: window %d must be positive", w)
+		}
+		run, err := RunTraining(TrainRunConfig{
+			RansomwareCount: cfg.RansomwareCount,
+			BenignCount:     cfg.BenignCount,
+			Window:          w,
+			Stride:          max(w/4, 1),
+			Epochs:          cfg.Epochs,
+			Seed:            cfg.Seed,
+			TargetAccuracy:  0.99,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: window %d: %w", w, err)
+		}
+		pt := WindowPoint{Window: w, Accuracy: run.Final.Accuracy, F1: run.Final.F1}
+
+		// Detection latency over the first variant of each family.
+		lat := LatencyConfig{Model: run.Model, TraceLen: 3000, Seed: cfg.Seed + 7}
+		var sum int64
+		for _, fam := range sandbox.Families {
+			calls, detected, err := replayVariantWindow(lat, fam.Name, 0, w)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: window %d, %s: %w", w, fam.Name, err)
+			}
+			pt.SampledVariants++
+			if detected {
+				pt.DetectedVariants++
+				sum += calls
+			}
+		}
+		if pt.DetectedVariants > 0 {
+			pt.MeanDetectionCalls = float64(sum) / float64(pt.DetectedVariants)
+		}
+
+		// Per-window FPGA time at the deployed per-item latency.
+		dev, err := csd.New(csd.Config{})
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.Deploy(dev, run.Model, core.DeployConfig{SeqLen: w})
+		if err != nil {
+			return nil, err
+		}
+		_, _, _, perItem := eng.PerItemMicros()
+		pt.PerWindowMicros = perItem * float64(w)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatWindowSweep renders the sweep table.
+func FormatWindowSweep(points []WindowPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s %10s %12s %16s %16s\n",
+		"Window", "Accuracy", "F1", "Detected", "Mean det. calls", "FPGA µs/window")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %10.4f %10.4f %9d/%-2d %16.0f %16.1f\n",
+			p.Window, p.Accuracy, p.F1, p.DetectedVariants, p.SampledVariants,
+			p.MeanDetectionCalls, p.PerWindowMicros)
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+// Package fpga models the FPGA accelerator of a computational storage drive:
+// a part with finite DSP/LUT/FF/BRAM budgets and a kernel clock, onto which
+// compute units are placed and executed.
+//
+// Two parts are provided: the Kintex UltraScale+ KU15P inside Samsung's
+// SmartSSD, and the Alveo U200 the paper uses as its experimental platform
+// (§IV, "part of the UltraScale family and similar to the SmartSSD's Kintex
+// KU15P"). Placement validates that every kernel's scheduled resource usage
+// — which grows with unrolling, exactly as in real HLS — fits the part, so
+// infeasible pragma combinations fail loudly instead of reporting fantasy
+// speedups.
+package fpga
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/hls"
+)
+
+// Part is an FPGA device model.
+type Part struct {
+	// Name is the part number.
+	Name string
+	// Budget is the available fabric.
+	Budget hls.Resources
+	// ClockMHz is the kernel clock frequency.
+	ClockMHz float64
+	// DDRBanks is the number of attached global-memory banks.
+	DDRBanks int
+}
+
+// KU15P is the Xilinx Kintex UltraScale+ XCKU15P inside the SmartSSD.
+var KU15P = Part{
+	Name:     "xcku15p",
+	Budget:   hls.Resources{DSP: 1968, LUT: 522_720, FF: 1_045_440, BRAM: 984},
+	ClockMHz: 300,
+	DDRBanks: 1,
+}
+
+// AlveoU200 is the Alveo U200 accelerator card, the paper's experimental
+// platform. The paper's approach conservatively uses two of its four DDR
+// banks (§III-C).
+var AlveoU200 = Part{
+	Name:     "xcu200",
+	Budget:   hls.Resources{DSP: 6840, LUT: 1_182_240, FF: 2_364_480, BRAM: 2160},
+	ClockMHz: 300,
+	DDRBanks: 4,
+}
+
+// KernelSpec describes a kernel to be placed on the device.
+type KernelSpec struct {
+	// Name identifies the kernel (e.g. "kernel_gates").
+	Name string
+	// CUs is the number of compute units to instantiate (the paper places
+	// four kernel_gates CUs).
+	CUs int
+	// Loops are the loop nests executed per invocation, in order.
+	Loops []hls.Loop
+	// Buffers are the kernel's on-chip buffers.
+	Buffers []hls.Buffer
+}
+
+// PlacedKernel is a kernel resident on a device.
+type PlacedKernel struct {
+	// Spec is the placed specification.
+	Spec KernelSpec
+	// Schedules holds the per-loop schedules, in Spec.Loops order.
+	Schedules []hls.Schedule
+	// CyclesPerInvocation is the total latency of one invocation of one CU.
+	CyclesPerInvocation int64
+	// Res is the total fabric consumed by all CUs of this kernel.
+	Res hls.Resources
+}
+
+// Notes aggregates the scheduling notes of all loops.
+func (k *PlacedKernel) Notes() []string {
+	var out []string
+	for _, s := range k.Schedules {
+		out = append(out, s.Notes...)
+	}
+	return out
+}
+
+// Device is an FPGA with kernels placed on it.
+type Device struct {
+	part    Part
+	used    hls.Resources
+	kernels map[string]*PlacedKernel
+}
+
+// NewDevice returns an empty device for the part.
+func NewDevice(part Part) (*Device, error) {
+	if part.ClockMHz <= 0 {
+		return nil, fmt.Errorf("fpga: part %q has non-positive clock %v", part.Name, part.ClockMHz)
+	}
+	return &Device{part: part, kernels: make(map[string]*PlacedKernel)}, nil
+}
+
+// Part returns the device's part model.
+func (d *Device) Part() Part { return d.part }
+
+// Used returns the fabric consumed so far.
+func (d *Device) Used() hls.Resources { return d.used }
+
+// ErrResourceExhausted is returned when a kernel does not fit the remaining
+// fabric.
+var ErrResourceExhausted = errors.New("fpga: insufficient fabric resources")
+
+// ErrDuplicateKernel is returned when a kernel name is placed twice.
+var ErrDuplicateKernel = errors.New("fpga: kernel already placed")
+
+// Place schedules the kernel's loops, accounts its resources (times CUs),
+// and admits it onto the device if it fits.
+func (d *Device) Place(spec KernelSpec) (*PlacedKernel, error) {
+	if spec.Name == "" {
+		return nil, errors.New("fpga: kernel must have a name")
+	}
+	if _, dup := d.kernels[spec.Name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateKernel, spec.Name)
+	}
+	if spec.CUs <= 0 {
+		return nil, fmt.Errorf("fpga: kernel %q must have at least one CU, got %d", spec.Name, spec.CUs)
+	}
+	pk := &PlacedKernel{Spec: spec}
+	var perCU hls.Resources
+	for _, l := range spec.Loops {
+		s, err := hls.ScheduleLoop(l)
+		if err != nil {
+			return nil, fmt.Errorf("fpga: kernel %q: %w", spec.Name, err)
+		}
+		pk.Schedules = append(pk.Schedules, s)
+		pk.CyclesPerInvocation += s.Cycles
+		perCU.Add(s.Res)
+	}
+	for _, b := range spec.Buffers {
+		perCU.Add(b.Resources())
+	}
+	pk.Res = perCU.Scale(spec.CUs)
+
+	total := d.used
+	total.Add(pk.Res)
+	if !total.Fits(d.part.Budget) {
+		return nil, fmt.Errorf("%w: kernel %q needs %+v, device %q has %+v used of %+v",
+			ErrResourceExhausted, spec.Name, pk.Res, d.part.Name, d.used, d.part.Budget)
+	}
+	d.used = total
+	d.kernels[spec.Name] = pk
+	return pk, nil
+}
+
+// Kernel returns the placed kernel with the given name.
+func (d *Device) Kernel(name string) (*PlacedKernel, error) {
+	k, ok := d.kernels[name]
+	if !ok {
+		return nil, fmt.Errorf("fpga: kernel %q not placed", name)
+	}
+	return k, nil
+}
+
+// Duration converts a cycle count to wall-clock time at the kernel clock.
+func (d *Device) Duration(cycles int64) time.Duration {
+	ns := float64(cycles) * 1000 / d.part.ClockMHz
+	return time.Duration(ns * float64(time.Nanosecond))
+}
+
+// Microseconds converts a cycle count to microseconds at the kernel clock.
+func (d *Device) Microseconds(cycles int64) float64 {
+	return float64(cycles) / d.part.ClockMHz
+}
+
+// Utilization reports the fraction of each resource class in use.
+type Utilization struct {
+	DSP, LUT, FF, BRAM float64
+}
+
+// Utilization returns current fabric utilization fractions.
+func (d *Device) Utilization() Utilization {
+	frac := func(used, budget int) float64 {
+		if budget == 0 {
+			return 0
+		}
+		return float64(used) / float64(budget)
+	}
+	return Utilization{
+		DSP:  frac(d.used.DSP, d.part.Budget.DSP),
+		LUT:  frac(d.used.LUT, d.part.Budget.LUT),
+		FF:   frac(d.used.FF, d.part.Budget.FF),
+		BRAM: frac(d.used.BRAM, d.part.Budget.BRAM),
+	}
+}

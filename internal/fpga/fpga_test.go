@@ -1,0 +1,192 @@
+package fpga
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/hls"
+)
+
+func simpleSpec(name string, cus int) KernelSpec {
+	return KernelSpec{
+		Name: name,
+		CUs:  cus,
+		Loops: []hls.Loop{
+			{Name: "l", Trip: 100, Body: []hls.Op{hls.IntMul, hls.IntAdd}, Pipeline: true},
+		},
+		Buffers: []hls.Buffer{{Name: "b", Words: 2048}},
+	}
+}
+
+func TestPartModels(t *testing.T) {
+	if KU15P.Budget.DSP != 1968 {
+		t.Errorf("KU15P DSP = %d, want 1968", KU15P.Budget.DSP)
+	}
+	if AlveoU200.Budget.DSP != 6840 {
+		t.Errorf("U200 DSP = %d, want 6840", AlveoU200.Budget.DSP)
+	}
+	if AlveoU200.DDRBanks != 4 {
+		t.Errorf("U200 DDR banks = %d, want 4 (paper §III-C)", AlveoU200.DDRBanks)
+	}
+	if KU15P.ClockMHz != 300 || AlveoU200.ClockMHz != 300 {
+		t.Error("kernel clock should be the 300 MHz Vitis default")
+	}
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(Part{Name: "bad", ClockMHz: 0}); err == nil {
+		t.Fatal("zero clock: expected error")
+	}
+}
+
+func TestPlaceAndRetrieve(t *testing.T) {
+	d, err := NewDevice(AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := d.Place(simpleSpec("kernel_gates", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.CyclesPerInvocation <= 0 {
+		t.Fatal("no latency computed")
+	}
+	// 4 CUs quadruple resources.
+	single, err := NewDevice(AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk1, err := single.Place(simpleSpec("kernel_gates", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.Res.DSP != 4*pk1.Res.DSP {
+		t.Fatalf("4-CU DSP = %d, want %d", pk.Res.DSP, 4*pk1.Res.DSP)
+	}
+	got, err := d.Kernel("kernel_gates")
+	if err != nil || got != pk {
+		t.Fatalf("Kernel() = %v, %v", got, err)
+	}
+	if _, err := d.Kernel("missing"); err == nil {
+		t.Error("Kernel(missing) expected error")
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	d, err := NewDevice(AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Place(KernelSpec{Name: "", CUs: 1}); err == nil {
+		t.Error("empty name: expected error")
+	}
+	if _, err := d.Place(KernelSpec{Name: "k", CUs: 0}); err == nil {
+		t.Error("zero CUs: expected error")
+	}
+	if _, err := d.Place(simpleSpec("dup", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Place(simpleSpec("dup", 1)); !errors.Is(err, ErrDuplicateKernel) {
+		t.Errorf("duplicate error = %v, want ErrDuplicateKernel", err)
+	}
+}
+
+func TestResourceExhaustion(t *testing.T) {
+	d, err := NewDevice(KU15P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fully-unrolled 4096-wide integer MAC needs 4096 DSPs > KU15P's 1968.
+	spec := KernelSpec{
+		Name: "huge",
+		CUs:  1,
+		Loops: []hls.Loop{{
+			Name: "mac", Trip: 4096, Body: []hls.Op{hls.IntMul},
+			Pipeline: true, Unroll: 4096, ArrayPartition: true,
+		}},
+	}
+	if _, err := d.Place(spec); !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("error = %v, want ErrResourceExhausted", err)
+	}
+	// The same kernel fits the U200.
+	u, err := NewDevice(AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Place(spec); err != nil {
+		t.Fatalf("U200 placement failed: %v", err)
+	}
+}
+
+func TestScheduleErrorPropagates(t *testing.T) {
+	d, err := NewDevice(AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := KernelSpec{
+		Name:  "bad",
+		CUs:   1,
+		Loops: []hls.Loop{{Name: "neg", Trip: -1}},
+	}
+	if _, err := d.Place(spec); err == nil {
+		t.Fatal("expected schedule error")
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	d, err := NewDevice(AlveoU200) // 300 MHz -> 3.333 ns/cycle
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Duration(300); got != time.Microsecond {
+		t.Fatalf("Duration(300) = %v, want 1µs", got)
+	}
+	if got := d.Microseconds(645); math.Abs(got-2.15) > 1e-9 {
+		t.Fatalf("Microseconds(645) = %v, want 2.15", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	d, err := NewDevice(AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := d.Utilization()
+	if u.DSP != 0 || u.LUT != 0 {
+		t.Fatal("fresh device should be idle")
+	}
+	if _, err := d.Place(simpleSpec("k", 4)); err != nil {
+		t.Fatal(err)
+	}
+	u = d.Utilization()
+	if u.DSP <= 0 || u.DSP > 1 {
+		t.Fatalf("DSP utilization = %v", u.DSP)
+	}
+	if u.BRAM <= 0 {
+		t.Fatal("buffer should consume BRAM")
+	}
+}
+
+func TestNotesAggregated(t *testing.T) {
+	d, err := NewDevice(AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := KernelSpec{
+		Name: "noted",
+		CUs:  1,
+		Loops: []hls.Loop{{
+			Name: "acc", Trip: 10, Body: []hls.Op{hls.FAdd},
+			CarriedDep: true, Pipeline: true,
+		}},
+	}
+	pk, err := d.Place(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pk.Notes()) == 0 {
+		t.Fatal("expected carried-dependency note")
+	}
+}

@@ -1,0 +1,332 @@
+// Package hls models how Vitis High-Level Synthesis schedules loop nests
+// onto FPGA fabric: initiation intervals, pipeline depths, unrolling, array
+// partitioning, and the resource cost of each choice.
+//
+// The paper's Fig. 3 is produced by Vitis hardware emulation, which is
+// itself a cycle-*estimating* model rather than real silicon. This package
+// re-implements that class of estimator. A kernel is described as a loop
+// nest (trip counts, per-iteration operator chains, memory accesses) plus
+// the HLS pragmas applied to it, and Schedule derives:
+//
+//   - the achieved initiation interval II — the paper's §III-D optimization
+//     target — bounded below by loop-carried dependency chains and by
+//     memory-port contention (relieved by #pragma HLS ARRAY_PARTITION);
+//   - total latency in clock cycles, using pipelined scheduling
+//     (trip-1)·II + depth when #pragma HLS PIPELINE applies, and sequential
+//     iteration otherwise;
+//   - DSP/LUT/BRAM/FF consumption, which #pragma HLS UNROLL multiplies —
+//     the resource/latency trade-off that makes full unrolling feasible
+//     only after the fixed-point conversion shrinks multipliers from
+//     floating-point macros to single DSP slices.
+//
+// Operator latencies are effective values in the range Vitis reports for
+// UltraScale parts at a 300 MHz kernel clock; they are calibrated so the
+// five-kernel LSTM of the paper lands near Fig. 3's measurements (see
+// EXPERIMENTS.md for paper-vs-measured deltas).
+package hls
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is a hardware operator appearing in a loop body.
+type Op int
+
+// Operators. Floating-point macros are multi-cycle and LUT/DSP hungry;
+// fixed-point (integer) operators map to single DSP slices or plain LUT
+// logic, which is the entire premise of the paper's fixed-point conversion.
+const (
+	FAdd Op = iota + 1
+	FMul
+	FDiv
+	FAbs
+	FCmp
+	FExp // used only by the tanh/sigmoid ablation; softsign avoids it
+	IntAdd
+	IntMul
+	IntDivConst // division by a compile-time constant (scale correction)
+	IntAbs
+	IntCmp
+	Shift
+	Select
+	MemRead  // on-chip (BRAM/register) read
+	MemWrite // on-chip write
+)
+
+// String returns the operator mnemonic.
+func (o Op) String() string {
+	names := map[Op]string{
+		FAdd: "fadd", FMul: "fmul", FDiv: "fdiv", FAbs: "fabs", FCmp: "fcmp",
+		FExp: "fexp", IntAdd: "add", IntMul: "mul", IntDivConst: "divc",
+		IntAbs: "abs", IntCmp: "cmp", Shift: "shift", Select: "select",
+		MemRead: "rd", MemWrite: "wr",
+	}
+	if n, ok := names[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Latency returns the operator latency in cycles at the 300 MHz kernel
+// clock, matching the order of magnitude Vitis reports for UltraScale+.
+func (o Op) Latency() (int, error) {
+	switch o {
+	case FAdd:
+		return 7, nil
+	case FMul:
+		return 4, nil
+	case FDiv:
+		return 16, nil
+	case FAbs, FCmp:
+		return 1, nil
+	case FExp:
+		return 20, nil
+	case IntAdd, IntAbs, IntCmp, Shift, Select:
+		return 1, nil
+	case IntMul:
+		return 2, nil
+	case IntDivConst:
+		return 3, nil // strength-reduced to multiply+shift by the compiler
+	case MemRead, MemWrite:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("hls: unknown op %d", int(o))
+	}
+}
+
+// Resources aggregates fabric consumption.
+type Resources struct {
+	DSP  int
+	LUT  int
+	FF   int
+	BRAM int // BRAM36 blocks
+}
+
+// Add accumulates other into r.
+func (r *Resources) Add(other Resources) {
+	r.DSP += other.DSP
+	r.LUT += other.LUT
+	r.FF += other.FF
+	r.BRAM += other.BRAM
+}
+
+// Scale multiplies all resource counts by n (unroll replication).
+func (r Resources) Scale(n int) Resources {
+	return Resources{DSP: r.DSP * n, LUT: r.LUT * n, FF: r.FF * n, BRAM: r.BRAM * n}
+}
+
+// Fits reports whether r fits within the budget b.
+func (r Resources) Fits(b Resources) bool {
+	return r.DSP <= b.DSP && r.LUT <= b.LUT && r.FF <= b.FF && r.BRAM <= b.BRAM
+}
+
+// resources returns the fabric cost of one instance of the operator,
+// in the range Vitis utilization reports show for UltraScale+ at 300 MHz.
+func (o Op) resources() Resources {
+	switch o {
+	case FAdd:
+		return Resources{DSP: 2, LUT: 200, FF: 300}
+	case FMul:
+		return Resources{DSP: 3, LUT: 100, FF: 150}
+	case FDiv:
+		return Resources{LUT: 800, FF: 1200}
+	case FAbs, FCmp:
+		return Resources{LUT: 50, FF: 50}
+	case FExp:
+		return Resources{DSP: 7, LUT: 1500, FF: 2000}
+	case IntAdd:
+		return Resources{LUT: 30, FF: 30}
+	case IntMul:
+		return Resources{DSP: 1, LUT: 20, FF: 40}
+	case IntDivConst:
+		return Resources{DSP: 1, LUT: 60, FF: 80}
+	case IntAbs, IntCmp, Shift, Select:
+		return Resources{LUT: 30, FF: 20}
+	case MemRead, MemWrite:
+		return Resources{LUT: 10, FF: 10}
+	default:
+		return Resources{}
+	}
+}
+
+// MemPorts is the number of concurrently usable memory ports per kernel
+// when buffers are *not* partitioned: dual-port BRAM.
+const MemPorts = 2
+
+// Loop describes one level of a loop nest plus its pragmas.
+type Loop struct {
+	// Name identifies the loop in diagnostics.
+	Name string
+	// Trip is the iteration count.
+	Trip int
+	// Body is the per-iteration operator dependency chain.
+	Body []Op
+	// CarriedDep marks a loop-carried dependency through the whole body
+	// chain (e.g. a floating-point accumulation), which bounds the achieved
+	// II from below by the body latency.
+	CarriedDep bool
+	// MemAccessesPerIter counts accesses per iteration to *unpartitioned*
+	// buffers; they contend for MemPorts and bound II. #pragma HLS
+	// ARRAY_PARTITION complete (ArrayPartition below) lifts the bound.
+	MemAccessesPerIter int
+
+	// Pipeline corresponds to #pragma HLS PIPELINE.
+	Pipeline bool
+	// RequestedII is the II= argument of the pipeline pragma (0 means 1).
+	RequestedII int
+	// Unroll corresponds to #pragma HLS UNROLL factor=N (0/1 = off).
+	// Trip/Unroll iterations execute, each doing Unroll copies of the body
+	// in parallel; resources multiply accordingly.
+	Unroll int
+	// ArrayPartition corresponds to #pragma HLS ARRAY_PARTITION complete:
+	// indexed buffers become registers, removing the memory-port II bound
+	// (and moving buffer storage from BRAM to FF — see Buffer).
+	ArrayPartition bool
+
+	// Sub holds nested loops executed sequentially inside each iteration.
+	// A loop containing sub-loops cannot be pipelined (HLS would require
+	// them fully unrolled); Schedule returns an error in that case.
+	Sub []Loop
+
+	// Prologue and Epilogue are fixed cycle counts before/after the loop:
+	// AXI burst setup, adder-tree drains, activation tails. They make the
+	// calibration explicit rather than buried in fudge factors.
+	Prologue, Epilogue int
+}
+
+// Schedule is the result of scheduling a loop nest.
+type Schedule struct {
+	// Cycles is the total latency of one execution of the loop nest.
+	Cycles int64
+	// II is the achieved initiation interval (pipelined loops only; 0
+	// otherwise).
+	II int
+	// Depth is the pipeline depth (body latency).
+	Depth int
+	// Res is the fabric consumed.
+	Res Resources
+	// Notes explains scheduling decisions (II bounds that fired, etc.).
+	Notes []string
+}
+
+// ErrPipelineWithSubLoops is returned when PIPELINE is requested on a loop
+// containing non-unrolled sub-loops.
+var ErrPipelineWithSubLoops = errors.New("hls: cannot pipeline a loop containing sub-loops")
+
+// ScheduleLoop derives the schedule of a loop nest.
+func ScheduleLoop(l Loop) (Schedule, error) {
+	if l.Trip < 0 {
+		return Schedule{}, fmt.Errorf("hls: loop %q has negative trip count %d", l.Name, l.Trip)
+	}
+	unroll := l.Unroll
+	if unroll <= 0 {
+		unroll = 1
+	}
+	if unroll > l.Trip && l.Trip > 0 {
+		unroll = l.Trip
+	}
+	effTrip := 0
+	if l.Trip > 0 {
+		effTrip = (l.Trip + unroll - 1) / unroll
+	}
+
+	depth := 0
+	var bodyRes Resources
+	for _, op := range l.Body {
+		lat, err := op.Latency()
+		if err != nil {
+			return Schedule{}, fmt.Errorf("hls: loop %q: %w", l.Name, err)
+		}
+		depth += lat
+		bodyRes.Add(op.resources())
+	}
+	bodyRes = bodyRes.Scale(unroll)
+
+	s := Schedule{Depth: depth, Res: bodyRes}
+
+	if l.Pipeline {
+		if len(l.Sub) > 0 {
+			return Schedule{}, fmt.Errorf("%w: %q", ErrPipelineWithSubLoops, l.Name)
+		}
+		ii := l.RequestedII
+		if ii <= 0 {
+			ii = 1
+		}
+		if l.CarriedDep && depth > ii {
+			ii = depth
+			s.Notes = append(s.Notes, fmt.Sprintf("loop %q: II raised to %d by carried dependency", l.Name, ii))
+		}
+		if !l.ArrayPartition && l.MemAccessesPerIter > 0 {
+			memII := (l.MemAccessesPerIter*unroll + MemPorts - 1) / MemPorts
+			if memII > ii {
+				ii = memII
+				s.Notes = append(s.Notes,
+					fmt.Sprintf("loop %q: II raised to %d by memory-port contention (ARRAY_PARTITION would lift this)", l.Name, ii))
+			}
+		}
+		s.II = ii
+		if effTrip > 0 {
+			s.Cycles = int64(effTrip-1)*int64(ii) + int64(depth)
+		}
+	} else {
+		var subCycles int64
+		for _, sub := range l.Sub {
+			ss, err := ScheduleLoop(sub)
+			if err != nil {
+				return Schedule{}, err
+			}
+			subCycles += ss.Cycles
+			s.Res.Add(ss.Res)
+			s.Notes = append(s.Notes, ss.Notes...)
+		}
+		// Sequential execution: every iteration pays the full body chain,
+		// its sub-loops, and one cycle of loop control.
+		perIter := int64(depth) + subCycles
+		if l.Trip > 0 {
+			perIter++
+		}
+		s.Cycles = int64(effTrip) * perIter
+	}
+
+	s.Cycles += int64(l.Prologue) + int64(l.Epilogue)
+	return s, nil
+}
+
+// Buffer describes an on-chip data buffer and its storage cost.
+type Buffer struct {
+	// Name identifies the buffer.
+	Name string
+	// Words is the number of 32-bit words.
+	Words int
+	// PartitionComplete corresponds to #pragma HLS ARRAY_PARTITION
+	// complete: the buffer is implemented in flip-flops instead of BRAM.
+	PartitionComplete bool
+}
+
+// Resources returns the storage cost of the buffer: fully partitioned
+// buffers burn FF/LUT, unpartitioned ones consume BRAM36 blocks (1 Ki
+// 32-bit words each).
+func (b Buffer) Resources() Resources {
+	if b.Words <= 0 {
+		return Resources{}
+	}
+	if b.PartitionComplete {
+		return Resources{FF: b.Words * 32, LUT: b.Words * 8}
+	}
+	blocks := (b.Words + 1023) / 1024
+	return Resources{BRAM: blocks}
+}
+
+// AXI and DDR timing constants used by kernel descriptors for their
+// prologue/epilogue costs. They model the paper's setup: global-memory
+// buffers in two DDR banks reached over AXI master interfaces (§III-C).
+const (
+	// AXIReadLatency is the cycles from issuing an AXI read burst to the
+	// first beat arriving from DDR.
+	AXIReadLatency = 64
+	// AXIWriteLatency is the cycles to retire an AXI write burst.
+	AXIWriteLatency = 28
+	// BurstBeat is the cycles per additional beat of an open burst.
+	BurstBeat = 1
+)

@@ -1,0 +1,274 @@
+package hls
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpLatencies(t *testing.T) {
+	// Ordering invariants the paper's optimizations rely on.
+	lat := func(o Op) int {
+		t.Helper()
+		l, err := o.Latency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	if !(lat(IntMul) < lat(FMul)) {
+		t.Error("integer multiply must be cheaper than float multiply (fixed-point premise)")
+	}
+	if !(lat(IntAdd) < lat(FAdd)) {
+		t.Error("integer add must be cheaper than float add")
+	}
+	if !(lat(IntDivConst) < lat(FDiv)) {
+		t.Error("constant division must be cheaper than float division")
+	}
+	if !(lat(FExp) > lat(FDiv)) {
+		t.Error("exp must be the most expensive float op (softsign premise)")
+	}
+	if _, err := Op(999).Latency(); err == nil {
+		t.Error("unknown op: expected error")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if FAdd.String() != "fadd" || IntMul.String() != "mul" {
+		t.Error("op mnemonics broken")
+	}
+	if !strings.HasPrefix(Op(999).String(), "Op(") {
+		t.Error("unknown op formatting broken")
+	}
+}
+
+func TestOpResourcesIntCheaperThanFloat(t *testing.T) {
+	if IntMul.resources().DSP >= FMul.resources().DSP {
+		t.Error("integer multiply must use fewer DSPs than float multiply")
+	}
+	if IntAdd.resources().LUT >= FAdd.resources().LUT {
+		t.Error("integer add must use fewer LUTs than float add")
+	}
+}
+
+func TestResourcesAddScaleFits(t *testing.T) {
+	r := Resources{DSP: 1, LUT: 10, FF: 20, BRAM: 2}
+	r.Add(Resources{DSP: 2, LUT: 5, FF: 5, BRAM: 1})
+	if r != (Resources{DSP: 3, LUT: 15, FF: 25, BRAM: 3}) {
+		t.Fatalf("Add = %+v", r)
+	}
+	if got := r.Scale(2); got != (Resources{DSP: 6, LUT: 30, FF: 50, BRAM: 6}) {
+		t.Fatalf("Scale = %+v", got)
+	}
+	budget := Resources{DSP: 10, LUT: 100, FF: 100, BRAM: 10}
+	if !r.Fits(budget) {
+		t.Error("should fit budget")
+	}
+	if (Resources{DSP: 11}).Fits(budget) {
+		t.Error("DSP overflow should not fit")
+	}
+}
+
+func TestPipelinedLoopLatencyFormula(t *testing.T) {
+	// (trip-1)*II + depth.
+	l := Loop{Name: "mac", Trip: 100, Body: []Op{FMul, FAdd}, Pipeline: true}
+	s, err := ScheduleLoop(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 1 {
+		t.Fatalf("II = %d, want 1", s.II)
+	}
+	if s.Depth != 11 {
+		t.Fatalf("Depth = %d, want 11 (fmul 4 + fadd 7)", s.Depth)
+	}
+	if want := int64(99*1 + 11); s.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d", s.Cycles, want)
+	}
+}
+
+func TestCarriedDependencyBoundsII(t *testing.T) {
+	l := Loop{Name: "acc", Trip: 40, Body: []Op{FMul, FAdd}, CarriedDep: true, Pipeline: true}
+	s, err := ScheduleLoop(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 11 {
+		t.Fatalf("II = %d, want 11 (carried chain)", s.II)
+	}
+	if len(s.Notes) == 0 || !strings.Contains(s.Notes[0], "carried dependency") {
+		t.Fatalf("missing carried-dependency note: %v", s.Notes)
+	}
+}
+
+func TestMemoryContentionBoundsIIAndPartitionLiftsIt(t *testing.T) {
+	base := Loop{Name: "rd4", Trip: 32, Body: []Op{IntAdd}, MemAccessesPerIter: 4, Pipeline: true}
+	s, err := ScheduleLoop(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 2 { // 4 accesses / 2 ports
+		t.Fatalf("II = %d, want 2", s.II)
+	}
+	part := base
+	part.ArrayPartition = true
+	s2, err := ScheduleLoop(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.II != 1 {
+		t.Fatalf("partitioned II = %d, want 1", s2.II)
+	}
+	if s2.Cycles >= s.Cycles {
+		t.Fatalf("ARRAY_PARTITION did not reduce cycles: %d vs %d", s2.Cycles, s.Cycles)
+	}
+}
+
+func TestUnrollReducesTripAndMultipliesResources(t *testing.T) {
+	base := Loop{Name: "u", Trip: 64, Body: []Op{IntMul, IntAdd}, Pipeline: true, ArrayPartition: true}
+	s1, err := ScheduleLoop(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u4 := base
+	u4.Unroll = 4
+	s4, err := ScheduleLoop(u4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.Cycles >= s1.Cycles {
+		t.Fatalf("unroll did not speed up: %d vs %d", s4.Cycles, s1.Cycles)
+	}
+	if s4.Res.DSP != 4*s1.Res.DSP {
+		t.Fatalf("unroll-4 DSP = %d, want %d", s4.Res.DSP, 4*s1.Res.DSP)
+	}
+	// Unroll beyond trip count clamps.
+	huge := base
+	huge.Unroll = 1000
+	sh, err := ScheduleLoop(huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Res.DSP != 64*s1.Res.DSP {
+		t.Fatalf("clamped unroll DSP = %d, want %d", sh.Res.DSP, 64*s1.Res.DSP)
+	}
+}
+
+func TestUnrollWithMemContention(t *testing.T) {
+	// Unrolling without partitioning multiplies port pressure.
+	l := Loop{Name: "m", Trip: 64, Body: []Op{IntAdd}, MemAccessesPerIter: 1, Unroll: 8, Pipeline: true}
+	s, err := ScheduleLoop(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 4 { // 8 accesses / 2 ports
+		t.Fatalf("II = %d, want 4", s.II)
+	}
+}
+
+func TestSequentialLoopWithSubLoops(t *testing.T) {
+	inner := Loop{Name: "inner", Trip: 10, Body: []Op{IntMul, IntAdd}, Pipeline: true, ArrayPartition: true}
+	outer := Loop{Name: "outer", Trip: 4, Body: []Op{IntAdd}, Sub: []Loop{inner}}
+	s, err := ScheduleLoop(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := ScheduleLoop(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * (1 + si.Cycles + 1) // body(IntAdd=1) + inner + control
+	if s.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d", s.Cycles, want)
+	}
+}
+
+func TestPipelineWithSubLoopsRejected(t *testing.T) {
+	l := Loop{Name: "bad", Trip: 4, Pipeline: true, Sub: []Loop{{Name: "inner", Trip: 2}}}
+	if _, err := ScheduleLoop(l); !errors.Is(err, ErrPipelineWithSubLoops) {
+		t.Fatalf("error = %v, want ErrPipelineWithSubLoops", err)
+	}
+}
+
+func TestNegativeTripRejected(t *testing.T) {
+	if _, err := ScheduleLoop(Loop{Name: "neg", Trip: -1}); err == nil {
+		t.Fatal("negative trip: expected error")
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	s, err := ScheduleLoop(Loop{Name: "z", Trip: 0, Body: []Op{FAdd}, Pipeline: true, Prologue: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles != 5 {
+		t.Fatalf("zero-trip cycles = %d, want prologue only", s.Cycles)
+	}
+}
+
+func TestPrologueEpilogueAdded(t *testing.T) {
+	l := Loop{Name: "p", Trip: 10, Body: []Op{IntAdd}, Pipeline: true, Prologue: AXIReadLatency, Epilogue: AXIWriteLatency}
+	s, err := ScheduleLoop(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(9 + 1 + AXIReadLatency + AXIWriteLatency); s.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d", s.Cycles, want)
+	}
+}
+
+func TestRequestedIIHonored(t *testing.T) {
+	l := Loop{Name: "ii4", Trip: 10, Body: []Op{IntAdd}, Pipeline: true, RequestedII: 4}
+	s, err := ScheduleLoop(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 4 {
+		t.Fatalf("II = %d, want 4", s.II)
+	}
+}
+
+func TestBufferResources(t *testing.T) {
+	if got := (Buffer{Words: 0}).Resources(); got != (Resources{}) {
+		t.Errorf("empty buffer resources = %+v", got)
+	}
+	b := Buffer{Name: "w", Words: 1280}
+	r := b.Resources()
+	if r.BRAM != 2 {
+		t.Errorf("1280-word buffer BRAM = %d, want 2", r.BRAM)
+	}
+	p := Buffer{Name: "w", Words: 1280, PartitionComplete: true}
+	rp := p.Resources()
+	if rp.BRAM != 0 || rp.FF == 0 {
+		t.Errorf("partitioned buffer resources = %+v", rp)
+	}
+}
+
+// Property: cycles are monotone non-decreasing in trip count.
+func TestPropCyclesMonotoneInTrip(t *testing.T) {
+	f := func(trip uint8, pipeline bool) bool {
+		mk := func(n int) Loop {
+			return Loop{Name: "m", Trip: n, Body: []Op{IntMul, IntAdd}, Pipeline: pipeline}
+		}
+		a, err1 := ScheduleLoop(mk(int(trip)))
+		b, err2 := ScheduleLoop(mk(int(trip) + 1))
+		return err1 == nil && err2 == nil && b.Cycles >= a.Cycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pipelining never makes a loop slower than sequential execution.
+func TestPropPipelineNeverSlower(t *testing.T) {
+	f := func(trip uint8) bool {
+		body := []Op{FMul, FAdd}
+		seq, err1 := ScheduleLoop(Loop{Name: "s", Trip: int(trip), Body: body})
+		pipe, err2 := ScheduleLoop(Loop{Name: "p", Trip: int(trip), Body: body, Pipeline: true})
+		return err1 == nil && err2 == nil && pipe.Cycles <= seq.Cycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+func TestMixedLevelString(t *testing.T) {
+	if LevelMixed.String() != "Mixed-precision" {
+		t.Fatalf("String() = %q", LevelMixed.String())
+	}
+}
+
+// trainToyModel returns a model trained on the marker task plus its
+// training examples (shared by the mixed-precision fidelity tests).
+func trainToyModel(t *testing.T) (*lstm.Model, [][]int, []bool) {
+	t.Helper()
+	m, err := lstm.NewModel(lstm.Config{
+		VocabSize: 10, EmbedDim: 4, HiddenSize: 8, CellActivation: 3, // softsign
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs [][]int
+	var labels []bool
+	for i := 0; i < 30; i++ {
+		seq := []int{2, 3, 4, 5, 6, 7, 8, 9}
+		label := i%2 == 0
+		if label {
+			seq[i%8] = 1
+		}
+		seqs = append(seqs, seq)
+		labels = append(labels, label)
+	}
+	opt := &lstm.Adam{LR: 0.02}
+	g := m.NewGrads()
+	for epoch := 0; epoch < 40; epoch++ {
+		g.Zero()
+		for i, seq := range seqs {
+			if _, err := m.Backward(seq, labels[i], g, 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := opt.Apply(m, g, len(seqs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, seqs, labels
+}
+
+// TestMixedPrecisionFitsKU15P is the whole point of the extension: the
+// paper model deploys on the SmartSSD's own FPGA at LevelMixed, while
+// LevelFixedPoint cannot (TestFixedPointGatesExceedKU15P).
+func TestMixedPrecisionFitsKU15P(t *testing.T) {
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(m, Config{Level: LevelMixed, Part: fpga.KU15P})
+	if err != nil {
+		t.Fatalf("mixed precision on KU15P failed: %v", err)
+	}
+	if used := p.Device().Used().DSP; used > fpga.KU15P.Budget.DSP {
+		t.Fatalf("DSP usage %d exceeds KU15P budget", used)
+	}
+	// Gate DSPs quartered vs full fixed point (5,120 → 1,280).
+	if used := p.Device().Used().DSP; used < 1280 || used > 1500 {
+		t.Fatalf("mixed DSP usage = %d, expected ~1,280 + small kernels", used)
+	}
+}
+
+// TestMixedPrecisionAgreement: narrow gate MACs must preserve the trained
+// model's decisions on clearly-separated inputs.
+func TestMixedPrecisionAgreement(t *testing.T) {
+	m, seqs, _ := trainToyModel(t)
+	mixed, err := New(m, Config{Level: LevelMixed, SeqLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for _, seq := range seqs {
+		res, _, err := mixed.Classify(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := m.Predict(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ransomware == want {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(seqs)); frac < 0.9 {
+		t.Fatalf("mixed/float agreement = %v, want >= 0.9", frac)
+	}
+}
+
+// TestMixedLatencyComparableToFixed: mixed precision trades precision for
+// resources, not speed — per-item latency stays in the fixed-point
+// regime (well under the II level).
+func TestMixedLatencyComparableToFixed(t *testing.T) {
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedP, err := New(m, Config{Level: LevelFixedPoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixedP, err := New(m, Config{Level: LevelMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, ft := fixedP.KernelMicros()
+	_, _, _, mt := mixedP.KernelMicros()
+	if mt > ft*1.2 {
+		t.Fatalf("mixed total %v µs much slower than fixed %v µs", mt, ft)
+	}
+	iiP, err := New(m, Config{Level: LevelII})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, it := iiP.KernelMicros()
+	if mt >= it {
+		t.Fatalf("mixed total %v µs not better than II level %v µs", mt, it)
+	}
+}
+
+func TestMixedStateResetBetweenSequences(t *testing.T) {
+	m, seqs, _ := trainToyModel(t)
+	p, err := New(m, Config{Level: LevelMixed, SeqLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := p.Classify(seqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Classify(seqs[1]); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := p.Classify(seqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Probability != b.Probability {
+		t.Fatalf("state leaked between sequences: %v vs %v", a.Probability, b.Probability)
+	}
+}

@@ -1,0 +1,186 @@
+package lstm
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/kfrida1/csdinf/internal/activation"
+	"github.com/kfrida1/csdinf/internal/tensor"
+)
+
+// Grads holds gradients with the same shapes as Model's parameters.
+type Grads struct {
+	Embedding *tensor.Matrix
+	Gates     [4]Gate
+	FCW       tensor.Vector
+	FCB       float64
+}
+
+// NewGrads returns a zeroed gradient accumulator for model m.
+func (m *Model) NewGrads() *Grads {
+	g := &Grads{
+		Embedding: tensor.NewMatrix(m.cfg.VocabSize, m.cfg.EmbedDim),
+		FCW:       tensor.NewVector(m.cfg.HiddenSize),
+	}
+	for i := range g.Gates {
+		g.Gates[i] = Gate{
+			Wx: tensor.NewMatrix(m.cfg.HiddenSize, m.cfg.EmbedDim),
+			Wh: tensor.NewMatrix(m.cfg.HiddenSize, m.cfg.HiddenSize),
+			B:  tensor.NewVector(m.cfg.HiddenSize),
+		}
+	}
+	return g
+}
+
+// Zero clears all accumulated gradients in place.
+func (g *Grads) Zero() {
+	g.Embedding.Zero()
+	for i := range g.Gates {
+		g.Gates[i].Wx.Zero()
+		g.Gates[i].Wh.Zero()
+		g.Gates[i].B.Zero()
+	}
+	g.FCW.Zero()
+	g.FCB = 0
+}
+
+// BCELoss returns the binary cross-entropy of probability p against the
+// boolean label, clamped away from log(0).
+func BCELoss(p float64, label bool) float64 {
+	const eps = 1e-12
+	p = math.Min(math.Max(p, eps), 1-eps)
+	if label {
+		return -math.Log(p)
+	}
+	return -math.Log(1 - p)
+}
+
+// BackwardResult reports the outcome of one example's forward+backward pass.
+type BackwardResult struct {
+	Prob float64 // predicted ransomware probability
+	Loss float64 // binary cross-entropy
+}
+
+// Backward runs a forward pass over seq, then full backpropagation through
+// time of the binary cross-entropy against label, accumulating into grads.
+// Per-timestep state gradients are norm-clipped at clipNorm (<= 0 disables
+// clipping) to keep 100-step BPTT stable.
+func (m *Model) Backward(seq []int, label bool, grads *Grads, clipNorm float64) (BackwardResult, error) {
+	if len(seq) == 0 {
+		return BackwardResult{}, ErrEmptySequence
+	}
+	cfg := m.cfg
+
+	// Forward with caches.
+	caches := make([]stepCache, len(seq))
+	st := m.NewState()
+	for t, item := range seq {
+		if err := m.Step(item, &st, &caches[t]); err != nil {
+			return BackwardResult{}, fmt.Errorf("timestep %d: %w", t, err)
+		}
+	}
+	logit := m.Logit(st.H)
+	prob := activation.SigmoidF(logit)
+	y := 0.0
+	if label {
+		y = 1.0
+	}
+
+	// d(BCE)/d(logit) for a sigmoid output is simply (p - y).
+	dLogit := prob - y
+
+	// Head gradients.
+	for i := range grads.FCW {
+		grads.FCW[i] += dLogit * st.H[i]
+	}
+	grads.FCB += dLogit
+
+	// Backpropagation through time.
+	dh := tensor.NewVector(cfg.HiddenSize) // dLoss/dh_t
+	dc := tensor.NewVector(cfg.HiddenSize) // dLoss/dC_t
+	for i := range dh {
+		dh[i] = dLogit * m.FCW[i]
+	}
+
+	dx := tensor.NewVector(cfg.EmbedDim)
+	dhNext := tensor.NewVector(cfg.HiddenSize)
+	tmpH := tensor.NewVector(cfg.HiddenSize)
+	tmpX := tensor.NewVector(cfg.EmbedDim)
+	dPre := [4]tensor.Vector{}
+	for g := range dPre {
+		dPre[g] = tensor.NewVector(cfg.HiddenSize)
+	}
+
+	for t := len(seq) - 1; t >= 0; t-- {
+		c := &caches[t]
+		i, f, o, cand := c.gate[0], c.gate[1], c.gate[2], c.gate[3]
+
+		if clipNorm > 0 {
+			dh.ClipNorm(clipNorm)
+			dc.ClipNorm(clipNorm)
+		}
+
+		// h = o * act(C): split dh into the output gate and the cell path.
+		for k := 0; k < cfg.HiddenSize; k++ {
+			dO := dh[k] * c.actC[k]
+			dActC := dh[k] * o[k]
+			dc[k] += dActC * m.cellActDeriv(c.c[k], c.actC[k])
+
+			dI := dc[k] * cand[k]
+			dF := dc[k] * c.cPrev[k]
+			dCand := dc[k] * i[k]
+
+			// Gate pre-activation gradients.
+			dPre[0][k] = dI * i[k] * (1 - i[k])
+			dPre[1][k] = dF * f[k] * (1 - f[k])
+			dPre[2][k] = dO * o[k] * (1 - o[k])
+			dPre[3][k] = dCand * m.cellActDerivPre(c.preact[3][k], cand[k])
+		}
+
+		// Parameter gradients and upstream input/hidden gradients.
+		dx.Zero()
+		dhNext.Zero()
+		for g := range m.Gates {
+			grads.Gates[g].Wx.AddOuter(dPre[g], c.x)
+			grads.Gates[g].Wh.AddOuter(dPre[g], c.hPrev)
+			grads.Gates[g].B.Add(dPre[g])
+
+			m.Gates[g].Wx.MulVecT(tmpX, dPre[g])
+			dx.Add(tmpX)
+			m.Gates[g].Wh.MulVecT(tmpH, dPre[g])
+			dhNext.Add(tmpH)
+		}
+
+		// Embedding gradient for this item.
+		grads.Embedding.Row(c.item).Add(dx)
+
+		// Propagate to t-1: dC flows through the forget gate.
+		for k := 0; k < cfg.HiddenSize; k++ {
+			dc[k] *= f[k]
+		}
+		copy(dh, dhNext)
+	}
+
+	return BackwardResult{Prob: prob, Loss: BCELoss(prob, label)}, nil
+}
+
+// cellActDeriv evaluates d(cellAct)/dz at the cell state, given the raw cell
+// value and its activated output (conventions differ per kind; see
+// activation.Kind.Derivative).
+func (m *Model) cellActDeriv(raw, out float64) float64 {
+	switch m.cfg.CellActivation {
+	case activation.Tanh:
+		return 1 - out*out
+	case activation.Softsign:
+		d := 1 + math.Abs(raw)
+		return 1 / (d * d)
+	default:
+		// Validate guarantees one of the above.
+		panic("lstm: unreachable cell activation")
+	}
+}
+
+// cellActDerivPre is cellActDeriv for the candidate pre-activation.
+func (m *Model) cellActDerivPre(pre, out float64) float64 {
+	return m.cellActDeriv(pre, out)
+}

@@ -1,0 +1,292 @@
+// Package lstm implements the offline classifier of the paper: an embedding
+// layer, a single LSTM layer, and a one-unit fully-connected head with a
+// logistic output, trained with truncated-free full BPTT.
+//
+// The paper's experimental model (§IV) uses an embedding dimension of 8, a
+// hidden size of 32, and a vocabulary of 278 API calls, giving 2,224
+// embedding parameters and 5,248 LSTM parameters (7,472 total) plus a 32+1
+// parameter head. NewModel reproduces those counts for the same
+// configuration; see TestParamCountMatchesPaper.
+//
+// The cell activation is configurable between tanh (the textbook LSTM) and
+// softsign (the paper's FPGA-friendly replacement, §III-D); training with
+// softsign yields a model whose weights can be executed bit-faithfully by the
+// fixed-point kernels with no retraining.
+package lstm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/kfrida1/csdinf/internal/activation"
+	"github.com/kfrida1/csdinf/internal/tensor"
+)
+
+// Config describes the classifier architecture.
+type Config struct {
+	// VocabSize is M, the number of distinct sequence items (API calls).
+	VocabSize int
+	// EmbedDim is O, the embedding size.
+	EmbedDim int
+	// HiddenSize is H, the LSTM hidden/cell width.
+	HiddenSize int
+	// CellActivation is applied to the candidate vector and the cell state
+	// (tanh in the textbook LSTM, softsign per the paper). Gate activations
+	// are always sigmoid.
+	CellActivation activation.Kind
+}
+
+// PaperConfig returns the exact architecture evaluated in the paper.
+func PaperConfig() Config {
+	return Config{VocabSize: 278, EmbedDim: 8, HiddenSize: 32, CellActivation: activation.Softsign}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.VocabSize <= 0 {
+		return fmt.Errorf("lstm: VocabSize must be positive, got %d", c.VocabSize)
+	}
+	if c.EmbedDim <= 0 {
+		return fmt.Errorf("lstm: EmbedDim must be positive, got %d", c.EmbedDim)
+	}
+	if c.HiddenSize <= 0 {
+		return fmt.Errorf("lstm: HiddenSize must be positive, got %d", c.HiddenSize)
+	}
+	switch c.CellActivation {
+	case activation.Tanh, activation.Softsign:
+		return nil
+	default:
+		return fmt.Errorf("lstm: unsupported cell activation %v", c.CellActivation)
+	}
+}
+
+// Gate holds the parameters of one LSTM gate: y = act(Wx·x + Wh·h + b).
+type Gate struct {
+	Wx *tensor.Matrix // HiddenSize × EmbedDim
+	Wh *tensor.Matrix // HiddenSize × HiddenSize
+	B  tensor.Vector  // HiddenSize
+}
+
+// GateName identifies one of the four LSTM gates in exports and diagnostics.
+type GateName int
+
+// Gate identifiers, in the order the paper presents them (§III-A).
+const (
+	GateInput GateName = iota + 1
+	GateForget
+	GateOutput
+	GateCandidate
+)
+
+// String returns the conventional single-letter name used in the paper's
+// equations: i, f, o, C'.
+func (g GateName) String() string {
+	switch g {
+	case GateInput:
+		return "i"
+	case GateForget:
+		return "f"
+	case GateOutput:
+		return "o"
+	case GateCandidate:
+		return "C'"
+	default:
+		return fmt.Sprintf("GateName(%d)", int(g))
+	}
+}
+
+// GateNames lists the four gates in canonical order.
+var GateNames = []GateName{GateInput, GateForget, GateOutput, GateCandidate}
+
+// Model is the trainable classifier. It is not safe for concurrent mutation;
+// concurrent read-only forward passes are safe.
+type Model struct {
+	cfg Config
+
+	// Embedding is the M×O item-embedding table (the paper's flattened
+	// p ∈ R^{M×O} buffer consumed by kernel_preprocess).
+	Embedding *tensor.Matrix
+
+	// Gates in canonical order: input, forget, output, candidate.
+	Gates [4]Gate
+
+	// FCW and FCB map the final hidden state to a classification logit.
+	FCW tensor.Vector
+	FCB float64
+}
+
+// NewModel constructs a model with Xavier-initialized weights drawn from the
+// given seed. The forget-gate bias is initialized to 1, the standard trick
+// that lets gradients flow early in training.
+func NewModel(cfg Config, seed int64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{
+		cfg:       cfg,
+		Embedding: tensor.NewMatrix(cfg.VocabSize, cfg.EmbedDim),
+		FCW:       tensor.NewVector(cfg.HiddenSize),
+	}
+	m.Embedding.XavierFill(rng, cfg.VocabSize, cfg.EmbedDim)
+	for g := range m.Gates {
+		m.Gates[g] = Gate{
+			Wx: tensor.NewMatrix(cfg.HiddenSize, cfg.EmbedDim),
+			Wh: tensor.NewMatrix(cfg.HiddenSize, cfg.HiddenSize),
+			B:  tensor.NewVector(cfg.HiddenSize),
+		}
+		m.Gates[g].Wx.XavierFill(rng, cfg.EmbedDim, cfg.HiddenSize)
+		m.Gates[g].Wh.XavierFill(rng, cfg.HiddenSize, cfg.HiddenSize)
+	}
+	// Forget-gate bias at 1.0.
+	for i := range m.Gates[1].B {
+		m.Gates[1].B[i] = 1
+	}
+	m.FCW.UniformFill(rng, math.Sqrt(1/float64(cfg.HiddenSize)))
+	return m, nil
+}
+
+// Config returns the model architecture.
+func (m *Model) Config() Config { return m.cfg }
+
+// ParamCount returns (embedding params, LSTM params, head params).
+func (m *Model) ParamCount() (embed, lstm, head int) {
+	embed = m.cfg.VocabSize * m.cfg.EmbedDim
+	perGate := m.cfg.HiddenSize*m.cfg.EmbedDim + m.cfg.HiddenSize*m.cfg.HiddenSize + m.cfg.HiddenSize
+	lstm = 4 * perGate
+	head = m.cfg.HiddenSize + 1
+	return embed, lstm, head
+}
+
+// State is the recurrent state carried between timesteps.
+type State struct {
+	H tensor.Vector // hidden state h_t
+	C tensor.Vector // cell state C_t
+}
+
+// NewState returns a zero state sized for the model.
+func (m *Model) NewState() State {
+	return State{H: tensor.NewVector(m.cfg.HiddenSize), C: tensor.NewVector(m.cfg.HiddenSize)}
+}
+
+// ErrItemOutOfRange is returned when a sequence contains an item ID outside
+// [0, VocabSize).
+var ErrItemOutOfRange = errors.New("lstm: sequence item outside vocabulary")
+
+// ErrEmptySequence is returned when a forward pass receives no items.
+var ErrEmptySequence = errors.New("lstm: empty sequence")
+
+// Embed writes the embedding of item into dst (length EmbedDim).
+func (m *Model) Embed(item int, dst tensor.Vector) error {
+	if item < 0 || item >= m.cfg.VocabSize {
+		return fmt.Errorf("%w: item %d, vocab %d", ErrItemOutOfRange, item, m.cfg.VocabSize)
+	}
+	copy(dst, m.Embedding.Row(item))
+	return nil
+}
+
+// stepCache records one timestep's intermediate values for BPTT.
+type stepCache struct {
+	item   int
+	x      tensor.Vector    // embedding input
+	preact [4]tensor.Vector // pre-activation per gate
+	gate   [4]tensor.Vector // activated gate values (i, f, o, C')
+	c      tensor.Vector    // cell state after update
+	actC   tensor.Vector    // cellAct(c)
+	h      tensor.Vector    // hidden state
+	hPrev  tensor.Vector
+	cPrev  tensor.Vector
+}
+
+// Step advances the recurrent state by one item, the exact computation the
+// FPGA kernels reproduce in fixed point: gate pre-activations, sigmoid gates,
+// cell update Ct = f*C(t-1) + i*C', and h = o*cellAct(Ct).
+//
+// If cache is non-nil the intermediates are recorded for backpropagation.
+func (m *Model) Step(item int, st *State, cache *stepCache) error {
+	cfg := m.cfg
+	x := tensor.NewVector(cfg.EmbedDim)
+	if err := m.Embed(item, x); err != nil {
+		return err
+	}
+	cellAct, err := cfg.CellActivation.Func()
+	if err != nil {
+		return err
+	}
+
+	var gates [4]tensor.Vector
+	var preacts [4]tensor.Vector
+	tmp := tensor.NewVector(cfg.HiddenSize)
+	for g := range m.Gates {
+		pre := tensor.NewVector(cfg.HiddenSize)
+		m.Gates[g].Wx.MulVec(pre, x)
+		m.Gates[g].Wh.MulVec(tmp, st.H)
+		pre.Add(tmp)
+		pre.Add(m.Gates[g].B)
+		out := tensor.NewVector(cfg.HiddenSize)
+		if GateName(g+1) == GateCandidate {
+			for i, p := range pre {
+				out[i] = cellAct(p)
+			}
+		} else {
+			for i, p := range pre {
+				out[i] = activation.SigmoidF(p)
+			}
+		}
+		preacts[g], gates[g] = pre, out
+	}
+
+	hPrev, cPrev := st.H.Clone(), st.C.Clone()
+	i, f, o, cand := gates[0], gates[1], gates[2], gates[3]
+	newC := tensor.NewVector(cfg.HiddenSize)
+	actC := tensor.NewVector(cfg.HiddenSize)
+	newH := tensor.NewVector(cfg.HiddenSize)
+	for k := range newC {
+		newC[k] = f[k]*cPrev[k] + i[k]*cand[k]
+		actC[k] = cellAct(newC[k])
+		newH[k] = o[k] * actC[k]
+	}
+	st.C, st.H = newC, newH
+
+	if cache != nil {
+		*cache = stepCache{
+			item: item, x: x,
+			preact: preacts, gate: gates,
+			c: newC, actC: actC, h: newH,
+			hPrev: hPrev, cPrev: cPrev,
+		}
+	}
+	return nil
+}
+
+// Logit maps a hidden state to the classification logit of the FC head.
+func (m *Model) Logit(h tensor.Vector) float64 {
+	return m.FCW.Dot(h) + m.FCB
+}
+
+// Forward runs the full sequence and returns the ransomware probability
+// (sigmoid of the head logit at the final timestep).
+func (m *Model) Forward(seq []int) (float64, error) {
+	if len(seq) == 0 {
+		return 0, ErrEmptySequence
+	}
+	st := m.NewState()
+	for _, item := range seq {
+		if err := m.Step(item, &st, nil); err != nil {
+			return 0, err
+		}
+	}
+	return activation.SigmoidF(m.Logit(st.H)), nil
+}
+
+// Predict returns the hard label (true = ransomware) at threshold 0.5 along
+// with the probability.
+func (m *Model) Predict(seq []int) (bool, float64, error) {
+	p, err := m.Forward(seq)
+	if err != nil {
+		return false, 0, err
+	}
+	return p >= 0.5, p, nil
+}

@@ -1,0 +1,451 @@
+package lstm
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/kfrida1/csdinf/internal/activation"
+)
+
+func testConfig() Config {
+	return Config{VocabSize: 12, EmbedDim: 4, HiddenSize: 6, CellActivation: activation.Softsign}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"paper config", PaperConfig(), false},
+		{"tanh cell", Config{VocabSize: 5, EmbedDim: 2, HiddenSize: 3, CellActivation: activation.Tanh}, false},
+		{"zero vocab", Config{EmbedDim: 2, HiddenSize: 3, CellActivation: activation.Tanh}, true},
+		{"zero embed", Config{VocabSize: 5, HiddenSize: 3, CellActivation: activation.Tanh}, true},
+		{"zero hidden", Config{VocabSize: 5, EmbedDim: 2, CellActivation: activation.Tanh}, true},
+		{"sigmoid cell act", Config{VocabSize: 5, EmbedDim: 2, HiddenSize: 3, CellActivation: activation.Sigmoid}, true},
+		{"missing cell act", Config{VocabSize: 5, EmbedDim: 2, HiddenSize: 3}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParamCountMatchesPaper(t *testing.T) {
+	m, err := NewModel(PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	embed, lstmP, head := m.ParamCount()
+	if embed != 2224 {
+		t.Errorf("embedding params = %d, want 2224 (paper §IV)", embed)
+	}
+	if lstmP != 5248 {
+		t.Errorf("LSTM params = %d, want 5248 (paper §IV)", lstmP)
+	}
+	if embed+lstmP != 7472 {
+		t.Errorf("total = %d, want 7472 (paper §IV)", embed+lstmP)
+	}
+	if head != 33 {
+		t.Errorf("head params = %d, want 32 weights + 1 bias", head)
+	}
+}
+
+func TestGateNameString(t *testing.T) {
+	want := map[GateName]string{GateInput: "i", GateForget: "f", GateOutput: "o", GateCandidate: "C'"}
+	for g, s := range want {
+		if g.String() != s {
+			t.Errorf("GateName %d = %q, want %q", int(g), g.String(), s)
+		}
+	}
+	if GateName(0).String() != "GateName(0)" {
+		t.Errorf("unknown gate name formatting broke: %q", GateName(0).String())
+	}
+}
+
+func TestNewModelDeterministic(t *testing.T) {
+	a, err := NewModel(testConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewModel(testConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := a.Forward([]int{1, 2, 3})
+	pb, _ := b.Forward([]int{1, 2, 3})
+	if pa != pb {
+		t.Fatalf("same seed produced different forward results: %v vs %v", pa, pb)
+	}
+	c, err := NewModel(testConfig(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, _ := c.Forward([]int{1, 2, 3})
+	if pa == pc {
+		t.Fatal("different seeds produced identical forward results")
+	}
+}
+
+func TestForgetBiasInitializedToOne(t *testing.T) {
+	m, err := NewModel(testConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range m.Gates[1].B {
+		if b != 1 {
+			t.Fatalf("forget bias [%d] = %v, want 1", i, b)
+		}
+	}
+}
+
+func TestForwardErrors(t *testing.T) {
+	m, err := NewModel(testConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forward(nil); !errors.Is(err, ErrEmptySequence) {
+		t.Errorf("Forward(nil) error = %v, want ErrEmptySequence", err)
+	}
+	if _, err := m.Forward([]int{0, 99}); !errors.Is(err, ErrItemOutOfRange) {
+		t.Errorf("Forward(out of range) error = %v, want ErrItemOutOfRange", err)
+	}
+	if _, err := m.Forward([]int{-1}); !errors.Is(err, ErrItemOutOfRange) {
+		t.Errorf("Forward(negative) error = %v, want ErrItemOutOfRange", err)
+	}
+}
+
+func TestForwardProbabilityRange(t *testing.T) {
+	m, err := NewModel(testConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Forward([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 {
+		t.Fatalf("probability %v outside (0, 1)", p)
+	}
+}
+
+func TestPredictThreshold(t *testing.T) {
+	m, err := NewModel(testConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, p, err := m.Predict([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != (p >= 0.5) {
+		t.Fatalf("Predict label %v inconsistent with probability %v", label, p)
+	}
+}
+
+// TestGradientCheck verifies analytic BPTT gradients against central
+// differences for every parameter group, for both cell activations.
+func TestGradientCheck(t *testing.T) {
+	for _, act := range []activation.Kind{activation.Softsign, activation.Tanh} {
+		t.Run(act.String(), func(t *testing.T) {
+			cfg := Config{VocabSize: 7, EmbedDim: 3, HiddenSize: 4, CellActivation: act}
+			m, err := NewModel(cfg, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := []int{1, 4, 2, 6, 0, 3}
+			label := true
+
+			grads := m.NewGrads()
+			if _, err := m.Backward(seq, label, grads, 0); err != nil {
+				t.Fatal(err)
+			}
+
+			lossAt := func() float64 {
+				p, err := m.Forward(seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return BCELoss(p, label)
+			}
+
+			const h = 1e-6
+			check := func(name string, param []float64, grad []float64) {
+				t.Helper()
+				for j := range param {
+					orig := param[j]
+					param[j] = orig + h
+					up := lossAt()
+					param[j] = orig - h
+					down := lossAt()
+					param[j] = orig
+					numeric := (up - down) / (2 * h)
+					if diff := math.Abs(numeric - grad[j]); diff > 1e-4*(1+math.Abs(numeric)) {
+						t.Errorf("%s[%d]: numeric %v, analytic %v", name, j, numeric, grad[j])
+					}
+				}
+			}
+
+			check("embedding", m.Embedding.Data, grads.Embedding.Data)
+			for g := range m.Gates {
+				name := GateName(g + 1).String()
+				check("wx."+name, m.Gates[g].Wx.Data, grads.Gates[g].Wx.Data)
+				check("wh."+name, m.Gates[g].Wh.Data, grads.Gates[g].Wh.Data)
+				check("b."+name, m.Gates[g].B, grads.Gates[g].B)
+			}
+			check("fc.w", m.FCW, grads.FCW)
+
+			// FCB is a scalar field, not a slice; perturb it directly.
+			orig := m.FCB
+			m.FCB = orig + h
+			up := lossAt()
+			m.FCB = orig - h
+			down := lossAt()
+			m.FCB = orig
+			numeric := (up - down) / (2 * h)
+			if diff := math.Abs(numeric - grads.FCB); diff > 1e-4*(1+math.Abs(numeric)) {
+				t.Errorf("fc.b: numeric %v, analytic %v", numeric, grads.FCB)
+			}
+		})
+	}
+}
+
+func TestBackwardErrors(t *testing.T) {
+	m, err := NewModel(testConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.NewGrads()
+	if _, err := m.Backward(nil, true, g, 0); !errors.Is(err, ErrEmptySequence) {
+		t.Errorf("Backward(nil) error = %v, want ErrEmptySequence", err)
+	}
+	if _, err := m.Backward([]int{500}, true, g, 0); !errors.Is(err, ErrItemOutOfRange) {
+		t.Errorf("Backward(OOV) error = %v, want ErrItemOutOfRange", err)
+	}
+}
+
+func TestBCELoss(t *testing.T) {
+	if got := BCELoss(1, true); got > 1e-10 {
+		t.Errorf("BCE(1, true) = %v, want ~0", got)
+	}
+	if got := BCELoss(0, false); got > 1e-10 {
+		t.Errorf("BCE(0, false) = %v, want ~0", got)
+	}
+	if got := BCELoss(0.5, true); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Errorf("BCE(0.5, true) = %v, want ln 2", got)
+	}
+	// Clamping: no infinities.
+	if got := BCELoss(0, true); math.IsInf(got, 0) {
+		t.Error("BCE(0, true) is infinite; clamping failed")
+	}
+}
+
+// TestLearnsToySeparation trains on a trivially separable task: sequences
+// containing item 1 are positive. A correct model + optimizer pair must reach
+// high accuracy quickly.
+func TestLearnsToySeparation(t *testing.T) {
+	cfg := Config{VocabSize: 8, EmbedDim: 4, HiddenSize: 8, CellActivation: activation.Softsign}
+	m, err := NewModel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type example struct {
+		seq   []int
+		label bool
+	}
+	var examples []example
+	for i := 0; i < 40; i++ {
+		base := []int{2, 3, 4, 5, 6, 7, 2, 3}
+		seq := make([]int, len(base))
+		copy(seq, base)
+		label := i%2 == 0
+		if label {
+			seq[i%len(seq)] = 1
+		}
+		examples = append(examples, example{seq, label})
+	}
+
+	opt := &Adam{LR: 0.01}
+	grads := m.NewGrads()
+	for epoch := 0; epoch < 60; epoch++ {
+		grads.Zero()
+		for _, ex := range examples {
+			if _, err := m.Backward(ex.seq, ex.label, grads, 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := opt.Apply(m, grads, len(examples)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	correct := 0
+	for _, ex := range examples {
+		got, _, err := m.Predict(ex.seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == ex.label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(examples)); acc < 0.95 {
+		t.Fatalf("toy task accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestSGDMomentumLearns(t *testing.T) {
+	cfg := testConfig()
+	m, err := NewModel(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []int{1, 2, 3, 4}
+	grads := m.NewGrads()
+	opt := &SGD{LR: 0.5, Momentum: 0.9}
+	var first, last float64
+	for i := 0; i < 30; i++ {
+		grads.Zero()
+		res, err := m.Backward(seq, true, grads, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.Loss
+		}
+		last = res.Loss
+		if err := opt.Apply(m, grads, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Fatalf("SGD+momentum did not reduce loss: first %v, last %v", first, last)
+	}
+}
+
+func TestOptimizerBatchSizeValidation(t *testing.T) {
+	m, err := NewModel(testConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.NewGrads()
+	if err := (&SGD{LR: 0.1}).Apply(m, g, 0); err == nil {
+		t.Error("SGD.Apply(batch=0) expected error")
+	}
+	if err := (&Adam{}).Apply(m, g, -1); err == nil {
+		t.Error("Adam.Apply(batch=-1) expected error")
+	}
+}
+
+func TestGradsZero(t *testing.T) {
+	m, err := NewModel(testConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.NewGrads()
+	if _, err := m.Backward([]int{1, 2}, true, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	g.Zero()
+	for _, v := range g.Embedding.Data {
+		if v != 0 {
+			t.Fatal("Zero left embedding gradient nonzero")
+		}
+	}
+	if g.FCB != 0 {
+		t.Fatal("Zero left FCB gradient nonzero")
+	}
+}
+
+// Property: hidden state stays strictly inside (-1, 1) with softsign cell
+// activation — |h| = |o·softsign(C)| < 1 since both factors are < 1.
+func TestPropHiddenStateBounded(t *testing.T) {
+	m, err := NewModel(testConfig(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		st := m.NewState()
+		for _, r := range raw {
+			if err := m.Step(int(r)%m.cfg.VocabSize, &st, nil); err != nil {
+				return false
+			}
+		}
+		for _, h := range st.H {
+			if h <= -1 || h >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Forward is a pure function of the sequence.
+func TestPropForwardDeterministic(t *testing.T) {
+	m, err := NewModel(testConfig(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		seq := make([]int, len(raw))
+		for i, r := range raw {
+			seq[i] = int(r) % m.cfg.VocabSize
+		}
+		p1, err1 := m.Forward(seq)
+		p2, err2 := m.Forward(seq)
+		return err1 == nil && err2 == nil && p1 == p2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForwardPaperModel(b *testing.B) {
+	m, err := NewModel(PaperConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := make([]int, 100)
+	for i := range seq {
+		seq[i] = i % 278
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forward(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackwardPaperModel(b *testing.B) {
+	m, err := NewModel(PaperConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := make([]int, 100)
+	for i := range seq {
+		seq[i] = i % 278
+	}
+	grads := m.NewGrads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grads.Zero()
+		if _, err := m.Backward(seq, true, grads, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

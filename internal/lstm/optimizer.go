@@ -1,0 +1,131 @@
+package lstm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates model parameters from accumulated gradients.
+type Optimizer interface {
+	// Apply performs one update of model from grads, where grads hold the
+	// *sum* over batchSize examples. Implementations divide by batchSize.
+	Apply(m *Model, grads *Grads, batchSize int) error
+}
+
+// paramViews returns aligned flat views over a model's parameters and a
+// gradient accumulator's entries, in a stable order. Optimizer state arrays
+// index into the same order.
+func paramViews(m *Model, g *Grads) (params, grads [][]float64) {
+	params = append(params, m.Embedding.Data)
+	grads = append(grads, g.Embedding.Data)
+	for i := range m.Gates {
+		params = append(params, m.Gates[i].Wx.Data, m.Gates[i].Wh.Data, m.Gates[i].B)
+		grads = append(grads, g.Gates[i].Wx.Data, g.Gates[i].Wh.Data, g.Gates[i].B)
+	}
+	params = append(params, m.FCW, []float64{m.FCB})
+	grads = append(grads, g.FCW, []float64{g.FCB})
+	return params, grads
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity [][]float64
+}
+
+// Apply implements Optimizer.
+func (s *SGD) Apply(m *Model, grads *Grads, batchSize int) error {
+	if batchSize <= 0 {
+		return fmt.Errorf("lstm: batch size must be positive, got %d", batchSize)
+	}
+	params, gs := paramViews(m, grads)
+	if s.velocity == nil && s.Momentum != 0 {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, len(p))
+		}
+	}
+	inv := 1 / float64(batchSize)
+	for i, p := range params {
+		g := gs[i]
+		for j := range p {
+			step := s.LR * g[j] * inv
+			if s.Momentum != 0 {
+				s.velocity[i][j] = s.Momentum*s.velocity[i][j] + step
+				step = s.velocity[i][j]
+			}
+			p[j] -= step
+		}
+	}
+	// FCB is copied through a one-element view; write it back.
+	m.FCB = params[len(params)-1][0]
+	return nil
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba 2015), the optimizer used
+// for all experiments here: the paper trains offline in TensorFlow, whose
+// default for this model class is Adam.
+type Adam struct {
+	LR      float64 // defaults to 1e-3 when zero
+	Beta1   float64 // defaults to 0.9 when zero
+	Beta2   float64 // defaults to 0.999 when zero
+	Epsilon float64 // defaults to 1e-8 when zero
+
+	t    int
+	mom  [][]float64
+	vel  [][]float64
+	init bool
+}
+
+func (a *Adam) defaults() {
+	if a.LR == 0 {
+		a.LR = 1e-3
+	}
+	if a.Beta1 == 0 {
+		a.Beta1 = 0.9
+	}
+	if a.Beta2 == 0 {
+		a.Beta2 = 0.999
+	}
+	if a.Epsilon == 0 {
+		a.Epsilon = 1e-8
+	}
+}
+
+// Apply implements Optimizer.
+func (a *Adam) Apply(m *Model, grads *Grads, batchSize int) error {
+	if batchSize <= 0 {
+		return fmt.Errorf("lstm: batch size must be positive, got %d", batchSize)
+	}
+	a.defaults()
+	params, gs := paramViews(m, grads)
+	if !a.init {
+		a.mom = make([][]float64, len(params))
+		a.vel = make([][]float64, len(params))
+		for i, p := range params {
+			a.mom[i] = make([]float64, len(p))
+			a.vel[i] = make([]float64, len(p))
+		}
+		a.init = true
+	}
+	a.t++
+	inv := 1 / float64(batchSize)
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g := gs[i]
+		mo, ve := a.mom[i], a.vel[i]
+		for j := range p {
+			gj := g[j] * inv
+			mo[j] = a.Beta1*mo[j] + (1-a.Beta1)*gj
+			ve[j] = a.Beta2*ve[j] + (1-a.Beta2)*gj*gj
+			mHat := mo[j] / bc1
+			vHat := ve[j] / bc2
+			p[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		}
+	}
+	m.FCB = params[len(params)-1][0]
+	return nil
+}

@@ -1,0 +1,183 @@
+package lstm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/kfrida1/csdinf/internal/activation"
+)
+
+// The text weight format mirrors the paper's offline-to-host handoff: after
+// training converges, the weights and biases are extracted (the paper uses
+// TensorFlow's get_weights(), which returns the input weights W_x, the
+// recurrent weights W_h, and the bias terms) and written to a text file that
+// the host program ingests while initializing the FPGA (§III-A).
+//
+// Layout (whitespace-separated, one logical record per line):
+//
+//	csdinf-weights v1
+//	config vocab <M> embed <O> hidden <H> cellact <name>
+//	embedding <M*O floats, row-major>
+//	gate <i|f|o|C'> wx <H*O floats>
+//	gate <i|f|o|C'> wh <H*H floats>
+//	gate <i|f|o|C'> b <H floats>
+//	fc w <H floats>
+//	fc b <float>
+
+// formatHeader is the magic first line of the weight text format.
+const formatHeader = "csdinf-weights v1"
+
+// ErrBadWeightFile is wrapped by all weight-parsing failures so callers can
+// match the class of error with errors.Is.
+var ErrBadWeightFile = errors.New("lstm: malformed weight file")
+
+// WriteText serializes the model to the text weight format. Floats are
+// written with enough digits for exact float64 round-tripping.
+func (m *Model) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	actName := m.cfg.CellActivation.String()
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintf(bw, "config vocab %d embed %d hidden %d cellact %s\n",
+		m.cfg.VocabSize, m.cfg.EmbedDim, m.cfg.HiddenSize, actName)
+
+	writeFloats := func(prefix string, vals []float64) {
+		bw.WriteString(prefix)
+		for _, v := range vals {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(v, 'g', 17, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	writeFloats("embedding", m.Embedding.Data)
+	for g, gate := range m.Gates {
+		name := GateName(g + 1).String()
+		writeFloats("gate "+name+" wx", gate.Wx.Data)
+		writeFloats("gate "+name+" wh", gate.Wh.Data)
+		writeFloats("gate "+name+" b", gate.B)
+	}
+	writeFloats("fc w", m.FCW)
+	writeFloats("fc b", []float64{m.FCB})
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("lstm: write weights: %w", err)
+	}
+	return nil
+}
+
+// ReadText parses a model from the text weight format.
+func ReadText(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty input", ErrBadWeightFile)
+	}
+	if got := strings.TrimSpace(sc.Text()); got != formatHeader {
+		return nil, fmt.Errorf("%w: bad header %q", ErrBadWeightFile, got)
+	}
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: missing config line", ErrBadWeightFile)
+	}
+	cfg, err := parseConfigLine(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewModel(cfg, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadWeightFile, err)
+	}
+
+	readFloats := func(wantPrefix []string, dst []float64) error {
+		if !sc.Scan() {
+			return fmt.Errorf("%w: missing %q record", ErrBadWeightFile, strings.Join(wantPrefix, " "))
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) < len(wantPrefix) {
+			return fmt.Errorf("%w: truncated record %q", ErrBadWeightFile, sc.Text())
+		}
+		for i, p := range wantPrefix {
+			if fields[i] != p {
+				return fmt.Errorf("%w: expected record %q, got %q",
+					ErrBadWeightFile, strings.Join(wantPrefix, " "), fields[i])
+			}
+		}
+		vals := fields[len(wantPrefix):]
+		if len(vals) != len(dst) {
+			return fmt.Errorf("%w: record %q has %d values, want %d",
+				ErrBadWeightFile, strings.Join(wantPrefix, " "), len(vals), len(dst))
+		}
+		for i, s := range vals {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("%w: bad float %q in %q: %v",
+					ErrBadWeightFile, s, strings.Join(wantPrefix, " "), err)
+			}
+			dst[i] = f
+		}
+		return nil
+	}
+
+	if err := readFloats([]string{"embedding"}, m.Embedding.Data); err != nil {
+		return nil, err
+	}
+	for g := range m.Gates {
+		name := GateName(g + 1).String()
+		if err := readFloats([]string{"gate", name, "wx"}, m.Gates[g].Wx.Data); err != nil {
+			return nil, err
+		}
+		if err := readFloats([]string{"gate", name, "wh"}, m.Gates[g].Wh.Data); err != nil {
+			return nil, err
+		}
+		if err := readFloats([]string{"gate", name, "b"}, m.Gates[g].B); err != nil {
+			return nil, err
+		}
+	}
+	if err := readFloats([]string{"fc", "w"}, m.FCW); err != nil {
+		return nil, err
+	}
+	fcb := make([]float64, 1)
+	if err := readFloats([]string{"fc", "b"}, fcb); err != nil {
+		return nil, err
+	}
+	m.FCB = fcb[0]
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lstm: read weights: %w", err)
+	}
+	return m, nil
+}
+
+func parseConfigLine(line string) (Config, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 9 || fields[0] != "config" {
+		return Config{}, fmt.Errorf("%w: bad config line %q", ErrBadWeightFile, line)
+	}
+	var cfg Config
+	keys := map[string]*int{"vocab": &cfg.VocabSize, "embed": &cfg.EmbedDim, "hidden": &cfg.HiddenSize}
+	for i := 1; i < 7; i += 2 {
+		p, ok := keys[fields[i]]
+		if !ok {
+			return Config{}, fmt.Errorf("%w: unknown config key %q", ErrBadWeightFile, fields[i])
+		}
+		n, err := strconv.Atoi(fields[i+1])
+		if err != nil {
+			return Config{}, fmt.Errorf("%w: bad config value %q: %v", ErrBadWeightFile, fields[i+1], err)
+		}
+		*p = n
+	}
+	if fields[7] != "cellact" {
+		return Config{}, fmt.Errorf("%w: expected cellact key, got %q", ErrBadWeightFile, fields[7])
+	}
+	switch fields[8] {
+	case "tanh":
+		cfg.CellActivation = activation.Tanh
+	case "softsign":
+		cfg.CellActivation = activation.Softsign
+	default:
+		return Config{}, fmt.Errorf("%w: unknown cell activation %q", ErrBadWeightFile, fields[8])
+	}
+	return cfg, nil
+}

@@ -1,0 +1,137 @@
+package lstm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWeightTextRoundTrip(t *testing.T) {
+	m, err := NewModel(testConfig(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb so we're not round-tripping pristine init values only.
+	m.FCB = -0.123456789123456789
+	m.Gates[3].B[0] = 1e-17
+
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Config() != m.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", got.Config(), m.Config())
+	}
+	seq := []int{0, 3, 7, 11, 2}
+	p1, err := m.Forward(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := got.Forward(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("round-tripped model diverges: %v vs %v", p1, p2)
+	}
+	// Bit-exact parameter comparison.
+	for i := range m.Embedding.Data {
+		if m.Embedding.Data[i] != got.Embedding.Data[i] {
+			t.Fatalf("embedding[%d] %v != %v", i, m.Embedding.Data[i], got.Embedding.Data[i])
+		}
+	}
+	if got.FCB != m.FCB {
+		t.Fatalf("FCB %v != %v", got.FCB, m.FCB)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	valid := func() string {
+		m, err := NewModel(testConfig(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	lines := strings.Split(strings.TrimRight(valid, "\n"), "\n")
+
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header", "not-a-weight-file\n"},
+		{"missing config", lines[0] + "\n"},
+		{"bad config key", strings.Replace(valid, "config vocab", "config bogus", 1)},
+		{"bad config count", strings.Replace(valid, "cellact softsign", "cellact", 1)},
+		{"bad activation", strings.Replace(valid, "cellact softsign", "cellact relu", 1)},
+		{"bad vocab value", strings.Replace(valid, "vocab 12", "vocab twelve", 1)},
+		{"zero vocab", strings.Replace(valid, "vocab 12", "vocab 0", 1)},
+		{"truncated records", strings.Join(lines[:3], "\n") + "\n"},
+		{"bad float", strings.Replace(valid, "embedding ", "embedding zzz", 1)},
+		{"wrong record order", strings.Replace(valid, "gate i wx", "gate f wx", 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadText(strings.NewReader(tt.input))
+			if err == nil {
+				t.Fatal("expected error, got nil")
+			}
+			if !errors.Is(err, ErrBadWeightFile) {
+				t.Fatalf("error %v does not wrap ErrBadWeightFile", err)
+			}
+		})
+	}
+}
+
+func TestReadTextWrongValueCount(t *testing.T) {
+	m, err := NewModel(testConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Drop one value from the embedding record.
+	text := buf.String()
+	lines := strings.SplitN(text, "\n", 4)
+	emb := strings.Fields(lines[2])
+	lines[2] = strings.Join(emb[:len(emb)-1], " ")
+	if _, err := ReadText(strings.NewReader(strings.Join(lines, "\n"))); !errors.Is(err, ErrBadWeightFile) {
+		t.Fatalf("error = %v, want ErrBadWeightFile", err)
+	}
+}
+
+func TestWriteTextTanhVariant(t *testing.T) {
+	cfg := testConfig()
+	cfg.CellActivation = 2 // activation.Tanh
+	m, err := NewModel(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cellact tanh") {
+		t.Fatal("tanh variant not recorded in config line")
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config().CellActivation != cfg.CellActivation {
+		t.Fatal("tanh activation lost in round trip")
+	}
+}

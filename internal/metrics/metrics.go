@@ -1,0 +1,199 @@
+// Package metrics implements the binary-classification metrics and the
+// confidence-interval estimation used by the paper's evaluation (§IV):
+// accuracy, precision, recall, F1 from a confusion matrix, and mean ± 95% CI
+// for latency measurements (Table I).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix. The positive class is
+// "ransomware".
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one prediction against ground truth.
+func (c *Confusion) Observe(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of observations.
+func (c *Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total, or 0 for an empty matrix.
+func (c *Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (c *Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when no positives exist.
+func (c *Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when undefined.
+func (c *Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String formats the matrix and derived scores.
+func (c *Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d acc=%.4f prec=%.4f rec=%.4f f1=%.4f",
+		c.TP, c.FP, c.TN, c.FN, c.Accuracy(), c.Precision(), c.Recall(), c.F1())
+}
+
+// Scores bundles the four headline metrics.
+type Scores struct {
+	Accuracy, Precision, Recall, F1 float64
+}
+
+// Scores returns the four headline metrics of the matrix.
+func (c *Confusion) Scores() Scores {
+	return Scores{Accuracy: c.Accuracy(), Precision: c.Precision(), Recall: c.Recall(), F1: c.F1()}
+}
+
+// Summary describes a latency sample: mean and a 95% confidence interval, as
+// reported in the paper's Table I.
+type Summary struct {
+	N          int
+	Mean       float64
+	StdDev     float64
+	CILow      float64
+	CIHigh     float64
+	Min, Max   float64
+	Median     float64
+	P95        float64
+	HasCI      bool // false when N < 2
+	Confidence float64
+}
+
+// ErrEmptySample is returned when summarizing zero observations.
+var ErrEmptySample = errors.New("metrics: empty sample")
+
+// Summarize computes mean, spread, and a 95% CI of the sample using the
+// Student-t critical value for the sample's degrees of freedom.
+func Summarize(sample []float64) (Summary, error) {
+	n := len(sample)
+	if n == 0 {
+		return Summary{}, ErrEmptySample
+	}
+	var sum float64
+	for _, v := range sample {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range sample {
+		d := v - mean
+		ss += d * d
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:          n,
+		Mean:       mean,
+		Min:        sorted[0],
+		Max:        sorted[n-1],
+		Median:     percentile(sorted, 0.5),
+		P95:        percentile(sorted, 0.95),
+		Confidence: 0.95,
+	}
+	if n >= 2 {
+		sd := math.Sqrt(ss / float64(n-1))
+		se := sd / math.Sqrt(float64(n))
+		t := tCritical95(n - 1)
+		s.StdDev = sd
+		s.CILow = mean - t*se
+		s.CIHigh = mean + t*se
+		s.HasCI = true
+	}
+	return s, nil
+}
+
+// percentile returns the p-quantile of a sorted sample with linear
+// interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom (exact table for small df, 1.96 asymptote).
+func tCritical95(df int) float64 {
+	table := []float64{
+		0,                                                             // df 0 unused
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2-10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11-20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21-30
+	}
+	switch {
+	case df <= 0:
+		return math.NaN()
+	case df < len(table):
+		return table[df]
+	case df < 60:
+		return 2.00
+	case df < 120:
+		return 1.98
+	default:
+		return 1.96
+	}
+}
+
+// SpreadCI returns a 95% dispersion interval of the sample itself (mean ±
+// t·sd, not the standard error). Table I's very wide CPU/GPU intervals
+// (e.g. 217-1765 µs around a 991 µs mean) describe per-measurement spread
+// rather than uncertainty of the mean; SpreadCI reproduces that convention.
+func SpreadCI(sample []float64) (low, high float64, err error) {
+	s, err := Summarize(sample)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !s.HasCI {
+		return s.Mean, s.Mean, nil
+	}
+	t := tCritical95(s.N - 1)
+	return s.Mean - t*s.StdDev, s.Mean + t*s.StdDev, nil
+}

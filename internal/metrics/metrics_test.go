@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionObserve(t *testing.T) {
+	var c Confusion
+	c.Observe(true, true)   // TP
+	c.Observe(true, false)  // FP
+	c.Observe(false, false) // TN
+	c.Observe(false, true)  // FN
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestScoresKnownValues(t *testing.T) {
+	// 90 TP, 2 FP, 95 TN, 5 FN.
+	c := Confusion{TP: 90, FP: 2, TN: 95, FN: 5}
+	if got, want := c.Accuracy(), 185.0/192.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Accuracy = %v, want %v", got, want)
+	}
+	if got, want := c.Precision(), 90.0/92.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Precision = %v, want %v", got, want)
+	}
+	if got, want := c.Recall(), 90.0/95.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Recall = %v, want %v", got, want)
+	}
+	p, r := c.Precision(), c.Recall()
+	if got, want := c.F1(), 2*p*r/(p+r); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, want)
+	}
+	s := c.Scores()
+	if s.Accuracy != c.Accuracy() || s.F1 != c.F1() {
+		t.Error("Scores() disagrees with individual methods")
+	}
+}
+
+func TestDegenerateScores(t *testing.T) {
+	var empty Confusion
+	if empty.Accuracy() != 0 || empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 {
+		t.Error("empty matrix must score 0 everywhere")
+	}
+	noPosPred := Confusion{TN: 10, FN: 5}
+	if noPosPred.Precision() != 0 {
+		t.Error("precision with no positive predictions must be 0")
+	}
+	noPos := Confusion{TN: 10, FP: 5}
+	if noPos.Recall() != 0 {
+		t.Error("recall with no actual positives must be 0")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	s := c.String()
+	for _, want := range []string{"TP=1", "FP=2", "TN=3", "FN=4", "acc="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !s.HasCI || s.CILow >= s.Mean || s.CIHigh <= s.Mean {
+		t.Errorf("CI [%v, %v] does not bracket mean %v", s.CILow, s.CIHigh, s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmptySample) {
+		t.Fatalf("error = %v, want ErrEmptySample", err)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s, err := Summarize([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasCI {
+		t.Error("singleton sample cannot have a CI")
+	}
+	if s.Mean != 42 || s.Median != 42 || s.Min != 42 || s.Max != 42 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Summarize(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 10},
+		{0.5, 30},
+		{1, 50},
+		{0.25, 20},
+		{0.375, 25},
+	}
+	for _, tt := range tests {
+		if got := percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	tests := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706},
+		{10, 2.228},
+		{30, 2.042},
+		{45, 2.00},
+		{100, 1.98},
+		{10_000, 1.96},
+	}
+	for _, tt := range tests {
+		if got := tCritical95(tt.df); got != tt.want {
+			t.Errorf("tCritical95(%d) = %v, want %v", tt.df, got, tt.want)
+		}
+	}
+	if !math.IsNaN(tCritical95(0)) {
+		t.Error("tCritical95(0) should be NaN")
+	}
+}
+
+func TestCICoversTrueMean(t *testing.T) {
+	// Frequentist sanity check: the 95% CI of the mean should cover the true
+	// mean in roughly 95% of repeated experiments.
+	rng := rand.New(rand.NewSource(9))
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		sample := make([]float64, 30)
+		for j := range sample {
+			sample[j] = 10 + rng.NormFloat64()*3
+		}
+		s, err := Summarize(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.CILow <= 10 && 10 <= s.CIHigh {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.90 || rate > 0.99 {
+		t.Fatalf("CI coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestSpreadCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	sample := make([]float64, 1000)
+	for i := range sample {
+		sample[i] = 991 + rng.NormFloat64()*395
+	}
+	low, high, err := SpreadCI(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Should be roughly mean ± 1.96σ, i.e. a wide per-measurement interval
+	// like Table I's, not a narrow standard-error band.
+	if high-low < 1000 {
+		t.Fatalf("spread interval [%v, %v] too narrow", low, high)
+	}
+	if _, _, err := SpreadCI(nil); err == nil {
+		t.Error("SpreadCI(nil) expected error")
+	}
+	l, h, err := SpreadCI([]float64{5})
+	if err != nil || l != 5 || h != 5 {
+		t.Errorf("SpreadCI singleton = (%v, %v, %v)", l, h, err)
+	}
+}
+
+// Property: accuracy, precision, recall, F1 always land in [0, 1].
+func TestPropScoresBounded(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		s := c.Scores()
+		for _, v := range []float64{s.Accuracy, s.Precision, s.Recall, s.F1} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize respects ordering invariants Min <= Median <= Max and
+// CILow <= Mean <= CIHigh.
+func TestPropSummaryOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, r := range raw {
+			sample[i] = float64(r)
+		}
+		s, err := Summarize(sample)
+		if err != nil {
+			return false
+		}
+		if s.Min > s.Median || s.Median > s.Max {
+			return false
+		}
+		if s.HasCI && (s.CILow > s.Mean || s.Mean > s.CIHigh) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

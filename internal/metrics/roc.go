@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ScoredPrediction is one example's predicted probability and ground truth,
+// the input to threshold-independent evaluation.
+type ScoredPrediction struct {
+	// Probability is the classifier's ransomware probability.
+	Probability float64
+	// Actual is the ground-truth label.
+	Actual bool
+}
+
+// ThresholdPoint is the confusion matrix at one decision threshold.
+type ThresholdPoint struct {
+	Threshold float64
+	Confusion Confusion
+	// TPR is the true-positive rate (recall) at this threshold.
+	TPR float64
+	// FPR is the false-positive rate at this threshold.
+	FPR float64
+}
+
+// ThresholdSweep evaluates the scored predictions at each threshold,
+// producing the precision/recall trade-off behind the paper's fixed-0.5
+// operating point.
+func ThresholdSweep(preds []ScoredPrediction, thresholds []float64) ([]ThresholdPoint, error) {
+	if len(preds) == 0 {
+		return nil, errors.New("metrics: no predictions")
+	}
+	if len(thresholds) == 0 {
+		return nil, errors.New("metrics: no thresholds")
+	}
+	out := make([]ThresholdPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		if th < 0 || th > 1 {
+			return nil, fmt.Errorf("metrics: threshold %v outside [0, 1]", th)
+		}
+		var c Confusion
+		for _, p := range preds {
+			c.Observe(p.Probability >= th, p.Actual)
+		}
+		pt := ThresholdPoint{Threshold: th, Confusion: c}
+		if c.TP+c.FN > 0 {
+			pt.TPR = float64(c.TP) / float64(c.TP+c.FN)
+		}
+		if c.FP+c.TN > 0 {
+			pt.FPR = float64(c.FP) / float64(c.FP+c.TN)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// AUC computes the area under the ROC curve by the rank-sum
+// (Mann-Whitney U) formulation: the probability a random positive scores
+// above a random negative, with ties counted half.
+func AUC(preds []ScoredPrediction) (float64, error) {
+	var pos, neg int
+	for _, p := range preds {
+		if p.Actual {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, errors.New("metrics: AUC requires both classes")
+	}
+	sorted := append([]ScoredPrediction(nil), preds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Probability < sorted[j].Probability })
+
+	// Assign average ranks, handling ties.
+	ranks := make([]float64, len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j].Probability == sorted[i].Probability {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var rankSum float64
+	for i, p := range sorted {
+		if p.Actual {
+			rankSum += ranks[i]
+		}
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg)), nil
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func perfectPreds() []ScoredPrediction {
+	return []ScoredPrediction{
+		{0.9, true}, {0.8, true}, {0.95, true},
+		{0.1, false}, {0.2, false}, {0.05, false},
+	}
+}
+
+func TestThresholdSweep(t *testing.T) {
+	pts, err := ThresholdSweep(perfectPreds(), []float64{0.0, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Threshold 0: everything predicted positive.
+	if pts[0].TPR != 1 || pts[0].FPR != 1 {
+		t.Fatalf("th=0: TPR %v FPR %v", pts[0].TPR, pts[0].FPR)
+	}
+	// Threshold 0.5 separates perfectly.
+	if pts[1].TPR != 1 || pts[1].FPR != 0 {
+		t.Fatalf("th=0.5: TPR %v FPR %v", pts[1].TPR, pts[1].FPR)
+	}
+	if pts[1].Confusion.Accuracy() != 1 {
+		t.Fatalf("th=0.5 accuracy = %v", pts[1].Confusion.Accuracy())
+	}
+	// Threshold 1: only probabilities >= 1 predicted positive (none here).
+	if pts[2].TPR != 0 || pts[2].FPR != 0 {
+		t.Fatalf("th=1: TPR %v FPR %v", pts[2].TPR, pts[2].FPR)
+	}
+}
+
+func TestThresholdSweepValidation(t *testing.T) {
+	if _, err := ThresholdSweep(nil, []float64{0.5}); err == nil {
+		t.Error("no predictions: expected error")
+	}
+	if _, err := ThresholdSweep(perfectPreds(), nil); err == nil {
+		t.Error("no thresholds: expected error")
+	}
+	if _, err := ThresholdSweep(perfectPreds(), []float64{1.5}); err == nil {
+		t.Error("out-of-range threshold: expected error")
+	}
+}
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	auc, err := AUC(perfectPreds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("AUC = %v, want 1 for perfect separation", auc)
+	}
+}
+
+func TestAUCInvertedSeparation(t *testing.T) {
+	preds := []ScoredPrediction{
+		{0.1, true}, {0.2, true},
+		{0.8, false}, {0.9, false},
+	}
+	auc, err := AUC(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0 {
+		t.Fatalf("AUC = %v, want 0 for inverted separation", auc)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	preds := make([]ScoredPrediction, 4000)
+	for i := range preds {
+		preds[i] = ScoredPrediction{Probability: rng.Float64(), Actual: rng.Intn(2) == 0}
+	}
+	auc, err := AUC(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("AUC on random scores = %v, want ~0.5", auc)
+	}
+}
+
+func TestAUCTiesCountHalf(t *testing.T) {
+	preds := []ScoredPrediction{
+		{0.5, true}, {0.5, false},
+	}
+	auc, err := AUC(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Fatalf("AUC with full ties = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCRequiresBothClasses(t *testing.T) {
+	if _, err := AUC([]ScoredPrediction{{0.5, true}}); err == nil {
+		t.Error("single class: expected error")
+	}
+	if _, err := AUC(nil); err == nil {
+		t.Error("empty: expected error")
+	}
+}

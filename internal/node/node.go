@@ -1,0 +1,185 @@
+// Package node models a data-center node hosting several computational
+// storage drives. The paper's scalability argument (§II) is that the
+// SmartSSD "represents a scalable solution ... allowing for the
+// installation of multiple devices within a single node"; this package
+// provides that node-level view: one trained classifier deployed to N
+// simulated CSDs, work fanned out across them, and aggregate throughput
+// accounting.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// Config describes a node.
+type Config struct {
+	// Devices is the number of CSDs installed; 0 defaults to 1.
+	Devices int
+	// CSD configures each drive (zero value = SmartSSD defaults).
+	CSD csd.Config
+	// Deploy configures each engine (zero value = paper defaults).
+	Deploy core.DeployConfig
+}
+
+// Node is a host with several CSD inference engines. Its methods are safe
+// for concurrent use.
+type Node struct {
+	engines []*engineSlot
+	next    int
+	nextMu  sync.Mutex
+}
+
+// engineSlot serializes access to one engine (a single hardware pipeline
+// per device).
+type engineSlot struct {
+	mu   sync.Mutex
+	eng  *core.Engine
+	dev  *csd.SmartSSD
+	busy time.Duration // accumulated simulated device time
+	jobs int64
+}
+
+// New builds a node: cfg.Devices fresh CSDs, each with the model deployed.
+func New(m *lstm.Model, cfg Config) (*Node, error) {
+	if m == nil {
+		return nil, errors.New("node: nil model")
+	}
+	if cfg.Devices == 0 {
+		cfg.Devices = 1
+	}
+	if cfg.Devices < 0 {
+		return nil, fmt.Errorf("node: device count must be positive, got %d", cfg.Devices)
+	}
+	n := &Node{}
+	for i := 0; i < cfg.Devices; i++ {
+		dev, err := csd.New(cfg.CSD)
+		if err != nil {
+			return nil, fmt.Errorf("node: device %d: %w", i, err)
+		}
+		eng, err := core.Deploy(dev, m, cfg.Deploy)
+		if err != nil {
+			return nil, fmt.Errorf("node: deploy to device %d: %w", i, err)
+		}
+		n.engines = append(n.engines, &engineSlot{eng: eng, dev: dev})
+	}
+	return n, nil
+}
+
+// Devices returns the number of installed CSDs.
+func (n *Node) Devices() int { return len(n.engines) }
+
+// Predict classifies one sequence on the next device (round-robin).
+func (n *Node) Predict(seq []int) (kernels.Result, core.Timing, error) {
+	n.nextMu.Lock()
+	slot := n.engines[n.next%len(n.engines)]
+	n.next++
+	n.nextMu.Unlock()
+
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	res, timing, err := slot.eng.Predict(seq)
+	if err != nil {
+		return kernels.Result{}, core.Timing{}, err
+	}
+	slot.busy += timing.Total()
+	slot.jobs++
+	return res, timing, nil
+}
+
+// BatchResult is the outcome of a fan-out classification.
+type BatchResult struct {
+	// Results are per-sequence classifications, in input order.
+	Results []kernels.Result
+	// Makespan is the simulated completion time: the busiest device's
+	// total simulated time for its share of the batch.
+	Makespan time.Duration
+	// DeviceTime is the summed simulated time across all devices.
+	DeviceTime time.Duration
+}
+
+// PredictBatch fans a batch out across all devices (striped assignment)
+// and reports the simulated makespan — the node-level throughput figure.
+func (n *Node) PredictBatch(seqs [][]int) (*BatchResult, error) {
+	if len(seqs) == 0 {
+		return nil, errors.New("node: empty batch")
+	}
+	results := make([]kernels.Result, len(seqs))
+	perDevice := make([]time.Duration, len(n.engines))
+	errs := make([]error, len(n.engines))
+
+	var wg sync.WaitGroup
+	for d := range n.engines {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			slot := n.engines[d]
+			slot.mu.Lock()
+			defer slot.mu.Unlock()
+			for i := d; i < len(seqs); i += len(n.engines) {
+				res, timing, err := slot.eng.Predict(seqs[i])
+				if err != nil {
+					errs[d] = fmt.Errorf("node: device %d sequence %d: %w", d, i, err)
+					return
+				}
+				results[i] = res
+				perDevice[d] += timing.Total()
+				slot.busy += timing.Total()
+				slot.jobs++
+			}
+		}(d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &BatchResult{Results: results}
+	for _, t := range perDevice {
+		out.DeviceTime += t
+		if t > out.Makespan {
+			out.Makespan = t
+		}
+	}
+	return out, nil
+}
+
+// DeviceStats describes one device's accumulated work.
+type DeviceStats struct {
+	Jobs     int64
+	BusyTime time.Duration
+}
+
+// Stats returns per-device accumulated work.
+func (n *Node) Stats() []DeviceStats {
+	out := make([]DeviceStats, len(n.engines))
+	for i, s := range n.engines {
+		s.mu.Lock()
+		out[i] = DeviceStats{Jobs: s.jobs, BusyTime: s.busy}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ThroughputPerSecond estimates node classification throughput from the
+// deployed per-sequence latency: devices / seconds-per-sequence.
+func (n *Node) ThroughputPerSecond() float64 {
+	if len(n.engines) == 0 {
+		return 0
+	}
+	eng := n.engines[0].eng
+	_, _, _, perItemUS := eng.PerItemMicros()
+	perSeq := perItemUS * float64(eng.SeqLen()) / 1e6 // seconds
+	if perSeq <= 0 {
+		return 0
+	}
+	return float64(len(n.engines)) / perSeq
+}

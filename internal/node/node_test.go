@@ -1,0 +1,162 @@
+package node
+
+import (
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/activation"
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/ssd"
+)
+
+func testNode(t *testing.T, devices int) *Node {
+	t.Helper()
+	m, err := lstm.NewModel(lstm.Config{
+		VocabSize: 20, EmbedDim: 4, HiddenSize: 6, CellActivation: activation.Softsign,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(m, Config{
+		Devices: devices,
+		CSD:     csd.Config{SSD: ssd.Config{Capacity: 1 << 20}},
+		Deploy:  core.DeployConfig{SeqLen: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func testSeq() []int { return []int{1, 2, 3, 4, 5, 6, 7, 8} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil model: expected error")
+	}
+	m, err := lstm.NewModel(lstm.Config{
+		VocabSize: 5, EmbedDim: 2, HiddenSize: 3, CellActivation: activation.Softsign,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m, Config{Devices: -2}); err == nil {
+		t.Error("negative devices: expected error")
+	}
+	n, err := New(m, Config{}) // defaults to 1 device
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Devices() != 1 {
+		t.Fatalf("default devices = %d", n.Devices())
+	}
+}
+
+func TestPredictRoundRobin(t *testing.T) {
+	n := testNode(t, 3)
+	for i := 0; i < 6; i++ {
+		if _, _, err := n.Predict(testSeq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range n.Stats() {
+		if s.Jobs != 2 {
+			t.Fatalf("device %d jobs = %d, want 2 (round robin)", i, s.Jobs)
+		}
+		if s.BusyTime <= 0 {
+			t.Fatalf("device %d has no accumulated time", i)
+		}
+	}
+}
+
+func TestPredictBatchStriping(t *testing.T) {
+	n := testNode(t, 4)
+	batch := make([][]int, 10)
+	for i := range batch {
+		batch[i] = testSeq()
+	}
+	res, err := n.PredictBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 10 {
+		t.Fatalf("results = %d", len(res.Results))
+	}
+	if res.Makespan <= 0 || res.DeviceTime < res.Makespan {
+		t.Fatalf("timing inconsistent: makespan %v, total %v", res.Makespan, res.DeviceTime)
+	}
+	// 4 devices: makespan should be well below total device time.
+	if res.Makespan*2 > res.DeviceTime {
+		t.Fatalf("no parallel speedup: makespan %v vs total %v", res.Makespan, res.DeviceTime)
+	}
+}
+
+func TestPredictBatchErrors(t *testing.T) {
+	n := testNode(t, 2)
+	if _, err := n.PredictBatch(nil); err == nil {
+		t.Error("empty batch: expected error")
+	}
+	if _, err := n.PredictBatch([][]int{{99}}); err == nil {
+		t.Error("bad sequence: expected error")
+	}
+}
+
+func TestMoreDevicesReduceMakespan(t *testing.T) {
+	batch := make([][]int, 16)
+	for i := range batch {
+		batch[i] = testSeq()
+	}
+	n1 := testNode(t, 1)
+	n4 := testNode(t, 4)
+	r1, err := n1.PredictBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := n4.PredictBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Makespan >= r1.Makespan {
+		t.Fatalf("4 devices (%v) not faster than 1 (%v)", r4.Makespan, r1.Makespan)
+	}
+}
+
+func TestThroughputScalesWithDevices(t *testing.T) {
+	n1, n4 := testNode(t, 1), testNode(t, 4)
+	t1, t4 := n1.ThroughputPerSecond(), n4.ThroughputPerSecond()
+	if t1 <= 0 {
+		t.Fatalf("throughput = %v", t1)
+	}
+	if ratio := t4 / t1; ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("throughput ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestConcurrentPredict(t *testing.T) {
+	n := testNode(t, 2)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 10; i++ {
+				if _, _, err := n.Predict(testSeq()); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var jobs int64
+	for _, s := range n.Stats() {
+		jobs += s.Jobs
+	}
+	if jobs != 80 {
+		t.Fatalf("total jobs = %d, want 80", jobs)
+	}
+}

@@ -1,0 +1,108 @@
+// Package pcie models PCI Express links and the on-board switch of a
+// computational storage drive.
+//
+// The SmartSSD pairs its PM1733 SSD with the KU15P FPGA over a PCIe Gen3 x4
+// bus behind an on-board switch (paper §II, Fig. 1). The switch supports
+// peer-to-peer (P2P) transfers between the SSD and the FPGA DRAM that never
+// cross to the host root complex — the feature that "drastically reduces
+// PCIe traffic and CPU overhead". This package provides the timing model for
+// both the direct device-internal path and host-mediated paths.
+package pcie
+
+import (
+	"fmt"
+	"time"
+)
+
+// Gen is a PCIe generation.
+type Gen int
+
+// Supported generations.
+const (
+	Gen3 Gen = 3
+	Gen4 Gen = 4
+)
+
+// perLaneGBps returns the post-encoding per-lane throughput in GB/s.
+func (g Gen) perLaneGBps() (float64, error) {
+	switch g {
+	case Gen3:
+		return 0.985, nil // 8 GT/s with 128b/130b encoding
+	case Gen4:
+		return 1.969, nil // 16 GT/s with 128b/130b encoding
+	default:
+		return 0, fmt.Errorf("pcie: unsupported generation %d", int(g))
+	}
+}
+
+// Link is a PCIe link.
+type Link struct {
+	// Gen is the PCIe generation.
+	Gen Gen
+	// Lanes is the lane count (x4, x8, ...).
+	Lanes int
+	// Efficiency is the fraction of raw bandwidth usable after TLP/DLLP
+	// protocol overhead; 0 defaults to 0.85, typical for 256-byte payloads.
+	Efficiency float64
+	// PropagationDelay is the fixed per-transfer latency (root-complex or
+	// switch traversal); 0 defaults to 1 µs.
+	PropagationDelay time.Duration
+}
+
+// SmartSSDInternal is the SmartSSD's device-internal Gen3 x4 path through
+// the on-board switch (SSD ↔ FPGA DRAM). Switch-local traversal is cheaper
+// than a root-complex round trip.
+var SmartSSDInternal = Link{Gen: Gen3, Lanes: 4, PropagationDelay: 500 * time.Nanosecond}
+
+// HostGen3x4 is a host-to-device Gen3 x4 path through the root complex.
+var HostGen3x4 = Link{Gen: Gen3, Lanes: 4, PropagationDelay: 2 * time.Microsecond}
+
+func (l Link) normalized() (Link, error) {
+	if l.Lanes <= 0 {
+		return l, fmt.Errorf("pcie: lane count must be positive, got %d", l.Lanes)
+	}
+	if _, err := l.Gen.perLaneGBps(); err != nil {
+		return l, err
+	}
+	if l.Efficiency == 0 {
+		l.Efficiency = 0.85
+	}
+	if l.Efficiency < 0 || l.Efficiency > 1 {
+		return l, fmt.Errorf("pcie: efficiency %v outside (0, 1]", l.Efficiency)
+	}
+	if l.PropagationDelay == 0 {
+		l.PropagationDelay = time.Microsecond
+	}
+	return l, nil
+}
+
+// Bandwidth returns the effective link bandwidth in bytes per second.
+func (l Link) Bandwidth() (float64, error) {
+	n, err := l.normalized()
+	if err != nil {
+		return 0, err
+	}
+	perLane, err := n.Gen.perLaneGBps()
+	if err != nil {
+		return 0, err
+	}
+	return perLane * 1e9 * float64(n.Lanes) * n.Efficiency, nil
+}
+
+// TransferTime returns the time to move size bytes across the link:
+// propagation delay plus serialization at effective bandwidth.
+func (l Link) TransferTime(size int64) (time.Duration, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("pcie: negative transfer size %d", size)
+	}
+	n, err := l.normalized()
+	if err != nil {
+		return 0, err
+	}
+	bw, err := n.Bandwidth()
+	if err != nil {
+		return 0, err
+	}
+	ser := time.Duration(float64(size) / bw * float64(time.Second))
+	return n.PropagationDelay + ser, nil
+}

@@ -1,0 +1,100 @@
+package pcie
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBandwidthGen3x4(t *testing.T) {
+	bw, err := HostGen3x4.Bandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gen3 x4 ≈ 3.94 GB/s raw, ~3.35 GB/s at 85% efficiency.
+	if bw < 3.0e9 || bw > 3.6e9 {
+		t.Fatalf("Gen3 x4 effective bandwidth = %v B/s, want ~3.35e9", bw)
+	}
+}
+
+func TestBandwidthGen4Doubles(t *testing.T) {
+	g3, err := Link{Gen: Gen3, Lanes: 4}.Bandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := Link{Gen: Gen4, Lanes: 4}.Bandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := g4 / g3; math.Abs(ratio-2) > 0.02 {
+		t.Fatalf("Gen4/Gen3 ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	if _, err := (Link{Gen: Gen3, Lanes: 0}).Bandwidth(); err == nil {
+		t.Error("zero lanes: expected error")
+	}
+	if _, err := (Link{Gen: Gen(9), Lanes: 4}).Bandwidth(); err == nil {
+		t.Error("unknown gen: expected error")
+	}
+	if _, err := (Link{Gen: Gen3, Lanes: 4, Efficiency: 1.5}).Bandwidth(); err == nil {
+		t.Error("efficiency > 1: expected error")
+	}
+	if _, err := HostGen3x4.TransferTime(-1); err == nil {
+		t.Error("negative size: expected error")
+	}
+}
+
+func TestTransferTimeComponents(t *testing.T) {
+	// Zero bytes: pure propagation delay.
+	d0, err := SmartSSDInternal.TransferTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 != 500*time.Nanosecond {
+		t.Fatalf("zero-byte transfer = %v, want propagation delay 500ns", d0)
+	}
+	// 1 MB at ~3.35 GB/s ≈ 300 µs serialization.
+	d1, err := HostGen3x4.TransferTime(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 < 200*time.Microsecond || d1 > 500*time.Microsecond {
+		t.Fatalf("1MB transfer = %v, want ~315µs", d1)
+	}
+}
+
+func TestInternalPathFasterThanHost(t *testing.T) {
+	// The P2P premise: the switch-local path has lower fixed latency than a
+	// root-complex traversal.
+	pi, err := SmartSSDInternal.TransferTime(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := HostGen3x4.TransferTime(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi >= ph {
+		t.Fatalf("internal path %v not faster than host path %v", pi, ph)
+	}
+}
+
+// Property: transfer time is monotone in size and superadditive-free
+// (splitting a transfer only adds propagation delay).
+func TestPropTransferMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		tx, err1 := HostGen3x4.TransferTime(x)
+		ty, err2 := HostGen3x4.TransferTime(y)
+		return err1 == nil && err2 == nil && tx <= ty
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package report implements a Cuckoo-Sandbox-style analysis report format.
+//
+// The paper's dataset pipeline (Appendix A) detonates samples in Cuckoo
+// Sandbox, which emits JSON analysis reports containing the ordered API
+// calls of every monitored process; those reports are then flattened into
+// the training corpus. This package provides that interchange layer: the
+// trace generator can emit reports in the same shape Cuckoo produces
+// (analysis info, per-process call lists with categories and timestamps),
+// and the dataset builder can ingest a directory of reports exactly as the
+// paper's tooling ingested real ones.
+package report
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/kfrida1/csdinf/internal/winapi"
+)
+
+// Report mirrors the subset of a Cuckoo analysis report the corpus
+// pipeline consumes.
+type Report struct {
+	// Info describes the analysis task.
+	Info Info `json:"info"`
+	// Target describes the detonated sample or monitored workload.
+	Target Target `json:"target"`
+	// Behavior holds the API-call activity.
+	Behavior Behavior `json:"behavior"`
+}
+
+// Info is the analysis metadata.
+type Info struct {
+	ID       int    `json:"id"`
+	Category string `json:"category"` // "file" for detonations
+	Machine  string `json:"machine"`  // e.g. "win10-x64"
+	Package  string `json:"package"`  // e.g. "exe"
+}
+
+// Target identifies the sample.
+type Target struct {
+	Name string `json:"name"`
+	// Family is empty for benign workloads.
+	Family string `json:"family,omitempty"`
+	// Variant distinguishes family variants.
+	Variant int `json:"variant,omitempty"`
+}
+
+// Behavior carries per-process API activity.
+type Behavior struct {
+	Processes []Process `json:"processes"`
+}
+
+// Process is one monitored process.
+type Process struct {
+	PID   int    `json:"pid"`
+	Name  string `json:"process_name"`
+	Calls []Call `json:"calls"`
+}
+
+// Call is one API invocation.
+type Call struct {
+	// API is the Windows API name.
+	API string `json:"api"`
+	// Category is the behavioural category Cuckoo assigns.
+	Category string `json:"category"`
+	// Time is a monotone per-process sequence timestamp.
+	Time int64 `json:"time"`
+}
+
+// FromTrace builds a single-process report from an API-call ID trace.
+func FromTrace(info Info, target Target, trace []int) (*Report, error) {
+	calls := make([]Call, len(trace))
+	for i, id := range trace {
+		name, err := winapi.Name(id)
+		if err != nil {
+			return nil, fmt.Errorf("report: trace position %d: %w", i, err)
+		}
+		cat, err := winapi.CategoryOf(id)
+		if err != nil {
+			return nil, fmt.Errorf("report: trace position %d: %w", i, err)
+		}
+		calls[i] = Call{API: name, Category: cat.String(), Time: int64(i)}
+	}
+	return &Report{
+		Info:   info,
+		Target: target,
+		Behavior: Behavior{Processes: []Process{{
+			PID: 4242, Name: target.Name, Calls: calls,
+		}}},
+	}, nil
+}
+
+// ErrBadReport wraps all parse/validation failures.
+var ErrBadReport = errors.New("report: malformed analysis report")
+
+// Write serializes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("report: encode: %w", err)
+	}
+	return nil
+}
+
+// Read parses a JSON analysis report.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	if len(r.Behavior.Processes) == 0 {
+		return nil, fmt.Errorf("%w: no processes", ErrBadReport)
+	}
+	return &r, nil
+}
+
+// Trace flattens the report back into the ordered API-call ID sequence "in
+// the order in which they would be observed on a system housing a CSD"
+// (Appendix A): calls from all processes merged by timestamp.
+func (r *Report) Trace() ([]int, error) {
+	var total int
+	for _, p := range r.Behavior.Processes {
+		total += len(p.Calls)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("%w: no API calls", ErrBadReport)
+	}
+	// k-way merge by Time; process lists are individually time-ordered.
+	idx := make([]int, len(r.Behavior.Processes))
+	out := make([]int, 0, total)
+	for len(out) < total {
+		best, bestTime := -1, int64(0)
+		for pi, p := range r.Behavior.Processes {
+			if idx[pi] >= len(p.Calls) {
+				continue
+			}
+			t := p.Calls[idx[pi]].Time
+			if best == -1 || t < bestTime {
+				best, bestTime = pi, t
+			}
+		}
+		call := r.Behavior.Processes[best].Calls[idx[best]]
+		idx[best]++
+		id, err := winapi.ID(call.API)
+		if err != nil {
+			return nil, fmt.Errorf("%w: unknown API %q", ErrBadReport, call.API)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// Ransomware reports the ground-truth label encoded in the target.
+func (r *Report) Ransomware() bool { return r.Target.Family != "" }

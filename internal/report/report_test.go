@@ -1,0 +1,177 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/kfrida1/csdinf/internal/sandbox"
+	"github.com/kfrida1/csdinf/internal/winapi"
+)
+
+func sampleTrace(t *testing.T) []int {
+	t.Helper()
+	p, err := sandbox.RansomwareProfile("Cerber", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := p.Generate(300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func TestFromTraceRoundTrip(t *testing.T) {
+	trace := sampleTrace(t)
+	r, err := FromTrace(
+		Info{ID: 1, Category: "file", Machine: "win10-x64", Package: "exe"},
+		Target{Name: "cerber_v1.exe", Family: "Cerber", Variant: 1},
+		trace,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ransomware() {
+		t.Fatal("family-tagged report not labelled ransomware")
+	}
+	got, err := r.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("trace length %d, want %d", len(got), len(trace))
+	}
+	for i := range trace {
+		if got[i] != trace[i] {
+			t.Fatalf("call %d = %d, want %d", i, got[i], trace[i])
+		}
+	}
+}
+
+func TestFromTraceRejectsOOV(t *testing.T) {
+	if _, err := FromTrace(Info{}, Target{}, []int{99999}); err == nil {
+		t.Fatal("OOV item accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	trace := sampleTrace(t)
+	r, err := FromTrace(Info{ID: 7}, Target{Name: "x.exe", Family: "Cerber"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Cuckoo-shaped JSON keys must be present.
+	for _, key := range []string{`"behavior"`, `"processes"`, `"api"`, `"category"`, `"info"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing key %s", key)
+		}
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTrace, err := got.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotTrace) != len(trace) {
+		t.Fatalf("round trip length %d, want %d", len(gotTrace), len(trace))
+	}
+	if got.Info.ID != 7 || got.Target.Family != "Cerber" {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":     "not json at all",
+		"no processes": `{"info":{"id":1},"behavior":{"processes":[]}}`,
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(input)); !errors.Is(err, ErrBadReport) {
+				t.Fatalf("error = %v, want ErrBadReport", err)
+			}
+		})
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	empty := &Report{Behavior: Behavior{Processes: []Process{{PID: 1}}}}
+	if _, err := empty.Trace(); !errors.Is(err, ErrBadReport) {
+		t.Errorf("empty calls: error = %v", err)
+	}
+	bad := &Report{Behavior: Behavior{Processes: []Process{{
+		PID: 1, Calls: []Call{{API: "NotAnAPI", Time: 0}},
+	}}}}
+	if _, err := bad.Trace(); !errors.Is(err, ErrBadReport) {
+		t.Errorf("unknown API: error = %v", err)
+	}
+}
+
+func TestTraceMergesProcessesByTime(t *testing.T) {
+	a, _ := winapi.ID("CreateFileW")
+	b, _ := winapi.ID("ReadFile")
+	c, _ := winapi.ID("WriteFile")
+	r := &Report{Behavior: Behavior{Processes: []Process{
+		{PID: 1, Calls: []Call{{API: "CreateFileW", Time: 0}, {API: "WriteFile", Time: 4}}},
+		{PID: 2, Calls: []Call{{API: "ReadFile", Time: 2}}},
+	}}}
+	got, err := r.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{a, b, c}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged trace = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBenignReportLabel(t *testing.T) {
+	r, err := FromTrace(Info{}, Target{Name: "firefox.exe"}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ransomware() {
+		t.Fatal("benign target labelled ransomware")
+	}
+}
+
+// Property: FromTrace → Trace is the identity for any valid trace.
+func TestPropReportTraceIdentity(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		trace := make([]int, len(raw))
+		for i, r := range raw {
+			trace[i] = int(r) % winapi.VocabSize
+		}
+		rep, err := FromTrace(Info{}, Target{Name: "t"}, trace)
+		if err != nil {
+			return false
+		}
+		got, err := rep.Trace()
+		if err != nil || len(got) != len(trace) {
+			return false
+		}
+		for i := range trace {
+			if got[i] != trace[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,340 @@
+package sandbox
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Shared building blocks. Two deliberate ambiguity channels keep the
+// learning problem realistically hard (the paper's model peaks at 0.9833,
+// not 1.0):
+//
+//  1. Ransomware reconnaissance is *identical* to benign application
+//     startup (droppers mimic legitimate installers), so sliding windows
+//     taken entirely from the first moments of an infection carry no
+//     signal — the false-negative channel.
+//  2. Benign archivers creating encrypted archives run the *same*
+//     open→read→encrypt→write→move file cycle as ransomware, differing
+//     only in the absence of service tampering — the false-positive
+//     channel.
+
+func sysNoise() []int {
+	return ids("GetTickCount", "QueryPerformanceCounter", "HeapAlloc",
+		"HeapFree", "GetModuleHandleW", "GetProcAddress", "GetLastError",
+		"LoadLibraryW", "FreeLibrary", "NtClose")
+}
+
+func guiNoise() []int {
+	return ids("GetMessageW", "PeekMessageW", "DispatchMessageW",
+		"TranslateMessage", "DefWindowProcW", "SendMessageW", "GetKeyState",
+		"GetCursorPos", "ShowWindow", "Sleep")
+}
+
+func fileNoise() []int {
+	return ids("GetFileAttributesW", "NtQueryInformationFile",
+		"SetFilePointerEx", "GetFileSize", "NtClose", "HeapAlloc")
+}
+
+func regReadMotif() Motif {
+	return Motif{Seq: ids("RegOpenKeyExW", "RegQueryValueExW", "RegCloseKey"), Weight: 2}
+}
+
+func fileReadMotif() Motif {
+	return Motif{Seq: ids("CreateFileW", "GetFileSize", "ReadFile", "ReadFile", "NtClose"), Weight: 3}
+}
+
+func fileWriteMotif() Motif {
+	return Motif{Seq: ids("CreateFileW", "WriteFile", "FlushFileBuffers", "NtClose"), Weight: 2}
+}
+
+func enumMotif() Motif {
+	return Motif{
+		Seq:    ids("FindFirstFileExW", "GetFileAttributesW", "FindNextFileW", "FindNextFileW", "FindClose"),
+		Weight: 4,
+	}
+}
+
+// encryptionMotif is the file-encryption cycle. It is shared verbatim by
+// the ransomware encryption phase and the benign archiver's
+// encrypted-archive phase (ambiguity channel 2). Modern variants use the
+// CNG stack instead of classic CryptoAPI.
+func encryptionMotif(useCNG bool) Motif {
+	if useCNG {
+		return Motif{
+			Seq: ids("NtCreateFile", "NtReadFile", "BCryptEncrypt",
+				"NtWriteFile", "SetEndOfFile", "NtClose", "MoveFileWithProgressW"),
+			Weight: 5,
+		}
+	}
+	return Motif{
+		Seq: ids("CreateFileW", "ReadFile", "CryptEncrypt", "WriteFile",
+			"SetEndOfFile", "NtClose", "MoveFileW"),
+		Weight: 5,
+	}
+}
+
+// startupPhase is the shared benign-looking opening of every process:
+// module loading, registry probing, first file reads. Ransomware recon
+// (ambiguity channel 1) uses exactly this phase.
+func startupPhase(name string, frac float64) Phase {
+	return Phase{
+		Name: name, Frac: frac,
+		Motifs:    []Motif{regReadMotif(), fileReadMotif()},
+		Noise:     append(sysNoise(), guiNoise()...),
+		MotifProb: 0.3,
+	}
+}
+
+// RansomwareProfile builds the behaviour profile of one variant of a
+// family. Variant indices run [0, family.Variants); each variant gets
+// deterministic perturbations (crypto stack choice, motif weights, phase
+// proportions) so the 76 variants produce recognizably related but
+// distinct traces, the way real family variants differ.
+func RansomwareProfile(familyName string, variant int) (*Profile, error) {
+	fam, err := FamilyByName(familyName)
+	if err != nil {
+		return nil, err
+	}
+	if variant < 0 || variant >= fam.Variants {
+		return nil, fmt.Errorf("sandbox: family %s has %d variants, requested %d",
+			fam.Name, fam.Variants, variant)
+	}
+	rng := rand.New(rand.NewSource(profileSeed(fam.Name, variant)))
+
+	useCNG := rng.Float64() < 0.5
+	jitter := func(base float64) float64 { return base * (0.85 + 0.3*rng.Float64()) }
+
+	keygenMotif := Motif{
+		Seq:    ids("CryptAcquireContextW", "CryptGenKey", "CryptExportKey", "CryptGenRandom"),
+		Weight: 3,
+	}
+	if useCNG {
+		keygenMotif.Seq = ids("BCryptOpenAlgorithmProvider",
+			"BCryptGenerateSymmetricKey", "BCryptGenRandom", "NCryptCreatePersistedKey")
+	}
+	shadowMotif := Motif{
+		// Shadow-copy deletion and service tampering surface as
+		// service-control plus process-launch activity in Cuckoo traces —
+		// the discriminative behaviour benign archivers never show.
+		Seq:    ids("OpenSCManagerW", "OpenServiceW", "ControlService", "CreateProcessW", "NtClose"),
+		Weight: 1.5,
+	}
+	persistMotif := Motif{
+		Seq:    ids("RegOpenKeyExW", "RegSetValueExW", "RegCloseKey", "CopyFileW"),
+		Weight: 2,
+	}
+	antiDebugMotif := Motif{
+		Seq:    ids("IsDebuggerPresent", "CheckRemoteDebuggerPresent", "GetTickCount", "Sleep"),
+		Weight: 2.5,
+	}
+	mutexMotif := Motif{
+		Seq:    ids("CreateMutexW", "GetLastError", "WaitForSingleObject"),
+		Weight: 1,
+	}
+	noteMotif := Motif{
+		Seq:    ids("CreateFileW", "WriteFile", "NtClose", "SetClipboardData"),
+		Weight: 2,
+	}
+	propagationMotif := Motif{
+		Seq: ids("WSAStartup", "socket", "connect", "send", "recv",
+			"WriteProcessMemory", "CreateRemoteThread", "closesocket"),
+		Weight: 3,
+	}
+	c2Motif := Motif{
+		Seq:    ids("getaddrinfo", "socket", "connect", "send", "recv", "closesocket"),
+		Weight: 2,
+	}
+
+	phases := []Phase{
+		// Ambiguity channel 1: the dropper's opening moments look exactly
+		// like a legitimate application starting up. Windows drawn entirely
+		// from here are labelled ransomware yet carry benign content.
+		startupPhase("recon", jitter(0.03)),
+		{
+			Name: "persistence", Frac: jitter(0.05),
+			Motifs:    []Motif{persistMotif, mutexMotif, antiDebugMotif},
+			Noise:     sysNoise(),
+			MotifProb: 0.45,
+		},
+		{
+			Name: "keygen", Frac: jitter(0.06),
+			Motifs:    []Motif{keygenMotif, c2Motif},
+			Noise:     sysNoise(),
+			MotifProb: 0.5,
+		},
+		{
+			Name: "enumeration", Frac: jitter(0.12),
+			Motifs:    []Motif{enumMotif()},
+			Noise:     fileNoise(),
+			MotifProb: 0.6,
+		},
+		{
+			Name: "encryption", Frac: 0.55,
+			Motifs:    []Motif{encryptionMotif(useCNG), enumMotif(), shadowMotif},
+			Noise:     fileNoise(),
+			MotifProb: 0.75,
+		},
+		{
+			// Ransom notes are dropped per directory while encryption is
+			// still running, so note windows keep carrying the encryption
+			// cycle.
+			Name: "note", Frac: jitter(0.05),
+			Motifs:    []Motif{noteMotif, encryptionMotif(useCNG)},
+			Noise:     fileNoise(),
+			MotifProb: 0.6,
+		},
+	}
+	if fam.SelfPropagates {
+		phases = append(phases, Phase{
+			Name: "propagation", Frac: jitter(0.12),
+			Motifs:    []Motif{propagationMotif, c2Motif},
+			Noise:     sysNoise(),
+			MotifProb: 0.6,
+		})
+	}
+
+	return &Profile{
+		Name:       fmt.Sprintf("%s.v%d", fam.Name, variant),
+		Ransomware: true,
+		Phases:     phases,
+	}, nil
+}
+
+// BenignProfile builds the behaviour profile of one of the 30 benign apps.
+func BenignProfile(app string) (*Profile, error) {
+	arch, err := ArchetypeOf(app)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(profileSeed(app, 0)))
+	jitter := func(base float64) float64 { return base * (0.85 + 0.3*rng.Float64()) }
+
+	browseMotif := Motif{
+		Seq: ids("getaddrinfo", "socket", "connect", "WSASend", "WSARecv",
+			"WSARecv", "closesocket"),
+		Weight: 4,
+	}
+	httpMotif := Motif{
+		Seq: ids("InternetOpenW", "InternetConnectW", "HttpOpenRequestW",
+			"HttpSendRequestW", "InternetReadFile", "InternetCloseHandle"),
+		Weight: 3,
+	}
+	regWriteMotif := Motif{
+		Seq:    ids("RegCreateKeyExW", "RegSetValueExW", "RegCloseKey"),
+		Weight: 1,
+	}
+	// Benign crypto: signature verification and password-vault hashing —
+	// crypto-adjacent but distinguishable from bulk encryption.
+	hashVerifyMotif := Motif{
+		Seq:    ids("CryptAcquireContextW", "CryptCreateHash", "CryptHashData", "CryptGetHashParam", "CryptDestroyHash"),
+		Weight: 2,
+	}
+	mediaReadMotif := Motif{
+		Seq:    ids("ReadFile", "ReadFile", "ReadFile", "SetFilePointerEx"),
+		Weight: 4,
+	}
+
+	var phases []Phase
+	switch arch {
+	case ArchFileManager:
+		phases = []Phase{
+			startupPhase("startup", jitter(0.1)),
+			{Name: "scan", Frac: jitter(0.55), Motifs: []Motif{enumMotif(), fileReadMotif()}, Noise: guiNoise(), MotifProb: 0.55},
+			{Name: "interact", Frac: 0.35, Motifs: []Motif{fileReadMotif(), fileWriteMotif()}, Noise: guiNoise(), MotifProb: 0.25},
+		}
+	case ArchBrowser:
+		phases = []Phase{
+			startupPhase("startup", jitter(0.1)),
+			{Name: "browse", Frac: jitter(0.65), Motifs: []Motif{browseMotif, httpMotif, fileWriteMotif()}, Noise: guiNoise(), MotifProb: 0.5},
+			{Name: "cache", Frac: 0.25, Motifs: []Motif{fileWriteMotif(), fileReadMotif()}, Noise: guiNoise(), MotifProb: 0.35},
+		}
+	case ArchEditor:
+		phases = []Phase{
+			startupPhase("startup", jitter(0.12)),
+			{Name: "edit", Frac: jitter(0.6), Motifs: []Motif{fileReadMotif()}, Noise: guiNoise(), MotifProb: 0.12},
+			{Name: "save", Frac: 0.28, Motifs: []Motif{fileWriteMotif(), fileReadMotif()}, Noise: guiNoise(), MotifProb: 0.3},
+		}
+	case ArchMediaPlayer:
+		phases = []Phase{
+			startupPhase("startup", jitter(0.1)),
+			{Name: "play", Frac: 0.9, Motifs: []Motif{mediaReadMotif}, Noise: guiNoise(), MotifProb: 0.5},
+		}
+	case ArchArchiver:
+		phases = []Phase{
+			startupPhase("startup", jitter(0.08)),
+			{Name: "scan", Frac: jitter(0.22), Motifs: []Motif{enumMotif()}, Noise: sysNoise(), MotifProb: 0.5},
+			{Name: "compress", Frac: jitter(0.48), Motifs: []Motif{fileReadMotif(), fileWriteMotif()}, Noise: sysNoise(), MotifProb: 0.6},
+			// Ambiguity channel 2: creating an encrypted archive runs the
+			// very same file-encryption cycle as ransomware (same motif,
+			// same background noise) — only the service tampering is
+			// absent. Windows from here are labelled benign yet look
+			// malicious.
+			{Name: "encrypt-archive", Frac: 0.22,
+				Motifs:    []Motif{encryptionMotif(false), enumMotif()},
+				Noise:     fileNoise(),
+				MotifProb: 0.75},
+		}
+	case ArchInstaller:
+		phases = []Phase{
+			{Name: "verify", Frac: jitter(0.2), Motifs: []Motif{hashVerifyMotif, fileReadMotif()}, Noise: sysNoise(), MotifProb: 0.5},
+			{Name: "install", Frac: jitter(0.55), Motifs: []Motif{fileWriteMotif(), regWriteMotif, fileReadMotif()}, Noise: sysNoise(), MotifProb: 0.5},
+			{Name: "finish", Frac: 0.25, Motifs: []Motif{regWriteMotif}, Noise: guiNoise(), MotifProb: 0.2},
+		}
+	case ArchNetTool:
+		phases = []Phase{
+			startupPhase("startup", jitter(0.1)),
+			{Name: "transfer", Frac: jitter(0.65), Motifs: []Motif{browseMotif, fileWriteMotif(), fileReadMotif()}, Noise: sysNoise(), MotifProb: 0.55},
+			{Name: "idle", Frac: 0.25, Motifs: nil, Noise: guiNoise(), MotifProb: 0},
+		}
+	case ArchSysUtility:
+		phases = []Phase{
+			{Name: "probe", Frac: jitter(0.7), Motifs: []Motif{regReadMotif()},
+				Noise: ids("GetSystemInfo", "GetNativeSystemInfo", "GetVersionExW",
+					"NtDeviceIoControlFile", "GetSystemDirectoryW", "QueryPerformanceCounter",
+					"GetTickCount64", "HeapAlloc", "HeapFree"),
+				MotifProb: 0.3},
+			{Name: "report", Frac: 0.3, Motifs: []Motif{fileWriteMotif()}, Noise: guiNoise(), MotifProb: 0.2},
+		}
+	default:
+		return nil, fmt.Errorf("sandbox: unhandled archetype %v", arch)
+	}
+
+	return &Profile{Name: app, Ransomware: false, Phases: phases}, nil
+}
+
+// ManualInteractionProfile models a user operating the Windows desktop: GUI
+// message pumping, clipboard, occasional file and registry access. The
+// paper derives part of its benign corpus from such manual interaction.
+func ManualInteractionProfile() *Profile {
+	desktopNoise := ids("GetMessageW", "PeekMessageW", "DispatchMessageW",
+		"TranslateMessage", "SendMessageW", "PostMessageW", "GetKeyState",
+		"GetAsyncKeyState", "GetCursorPos", "SetCursorPos", "ShowWindow",
+		"GetForegroundWindow", "Sleep")
+	clipboardMotif := Motif{
+		Seq:    ids("OpenClipboard", "GetClipboardData", "CloseClipboard"),
+		Weight: 2,
+	}
+	openDocMotif := Motif{
+		Seq:    ids("CreateFileW", "ReadFile", "NtClose"),
+		Weight: 2,
+	}
+	return &Profile{
+		Name:       "manual-interaction",
+		Ransomware: false,
+		Phases: []Phase{
+			{Name: "desktop", Frac: 1.0,
+				Motifs:    []Motif{clipboardMotif, openDocMotif},
+				Noise:     desktopNoise,
+				MotifProb: 0.12},
+		},
+	}
+}
+
+// profileSeed derives a stable seed from a profile identity.
+func profileSeed(name string, variant int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{byte(variant), byte(variant >> 8)})
+	return int64(h.Sum64())
+}

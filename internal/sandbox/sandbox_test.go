@@ -1,0 +1,362 @@
+package sandbox
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/kfrida1/csdinf/internal/winapi"
+)
+
+func TestFamiliesMatchTableII(t *testing.T) {
+	want := map[string]struct {
+		variants int
+		selfProp bool
+	}{
+		"Ryuk":       {5, true},
+		"Lockbit":    {6, true},
+		"Teslacrypt": {10, false},
+		"Virlock":    {11, false},
+		"Cryptowall": {8, false},
+		"Cerber":     {9, false},
+		"Wannacry":   {7, true},
+		"Locky":      {6, false},
+		"Chimera":    {9, false},
+		"BadRabbit":  {5, true},
+	}
+	if len(Families) != 10 {
+		t.Fatalf("len(Families) = %d, want 10", len(Families))
+	}
+	for _, f := range Families {
+		w, ok := want[f.Name]
+		if !ok {
+			t.Errorf("unexpected family %q", f.Name)
+			continue
+		}
+		if f.Variants != w.variants {
+			t.Errorf("%s variants = %d, want %d", f.Name, f.Variants, w.variants)
+		}
+		if f.SelfPropagates != w.selfProp {
+			t.Errorf("%s self-propagation = %v, want %v", f.Name, f.SelfPropagates, w.selfProp)
+		}
+		if !f.Encrypts {
+			t.Errorf("%s must encrypt (all Table II families do)", f.Name)
+		}
+	}
+	// Table II rows sum to 76 (the prose says 78; we follow the table).
+	if got := TotalVariants(); got != 76 {
+		t.Errorf("TotalVariants() = %d, want 76", got)
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	f, err := FamilyByName("Wannacry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Variants != 7 || !f.SelfPropagates {
+		t.Fatalf("Wannacry = %+v", f)
+	}
+	if _, err := FamilyByName("NotAFamily"); err == nil {
+		t.Fatal("FamilyByName(unknown) expected error")
+	}
+}
+
+func TestThirtyBenignApps(t *testing.T) {
+	if len(BenignApps) != 30 {
+		t.Fatalf("len(BenignApps) = %d, want 30 (paper Appendix A)", len(BenignApps))
+	}
+	seen := make(map[string]bool)
+	for _, app := range BenignApps {
+		if seen[app] {
+			t.Errorf("duplicate app %q", app)
+		}
+		seen[app] = true
+		if _, err := ArchetypeOf(app); err != nil {
+			t.Errorf("app %q has no archetype: %v", app, err)
+		}
+	}
+	if _, err := ArchetypeOf("Unknown App"); err == nil {
+		t.Error("ArchetypeOf(unknown) expected error")
+	}
+}
+
+func TestArchetypeString(t *testing.T) {
+	for a := ArchFileManager; a <= ArchSysUtility; a++ {
+		if s := a.String(); strings.HasPrefix(s, "Archetype(") {
+			t.Errorf("archetype %d has no name", int(a))
+		}
+	}
+	if Archetype(0).String() != "Archetype(0)" {
+		t.Error("invalid archetype formatting broke")
+	}
+}
+
+func TestRansomwareProfileErrors(t *testing.T) {
+	if _, err := RansomwareProfile("NotAFamily", 0); err == nil {
+		t.Error("unknown family: expected error")
+	}
+	if _, err := RansomwareProfile("Ryuk", 5); err == nil {
+		t.Error("variant index beyond family count: expected error")
+	}
+	if _, err := RansomwareProfile("Ryuk", -1); err == nil {
+		t.Error("negative variant: expected error")
+	}
+}
+
+func TestRansomwareProfileStructure(t *testing.T) {
+	for _, fam := range Families {
+		p, err := RansomwareProfile(fam.Name, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", fam.Name, err)
+		}
+		if !p.Ransomware {
+			t.Errorf("%s profile not labelled ransomware", fam.Name)
+		}
+		names := make([]string, len(p.Phases))
+		for i, ph := range p.Phases {
+			names[i] = ph.Name
+		}
+		joined := strings.Join(names, ",")
+		if !strings.Contains(joined, "encryption") {
+			t.Errorf("%s lacks encryption phase: %v", fam.Name, names)
+		}
+		if fam.SelfPropagates != strings.Contains(joined, "propagation") {
+			t.Errorf("%s propagation phase presence = %v, want %v",
+				fam.Name, strings.Contains(joined, "propagation"), fam.SelfPropagates)
+		}
+	}
+}
+
+func TestGenerateLengthAndRange(t *testing.T) {
+	p, err := RansomwareProfile("Lockbit", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, length := range []int{1, 100, 997, 5000} {
+		trace, err := p.Generate(length, 42)
+		if err != nil {
+			t.Fatalf("Generate(%d): %v", length, err)
+		}
+		if len(trace) != length {
+			t.Fatalf("Generate(%d) returned %d calls", length, len(trace))
+		}
+		for i, id := range trace {
+			if id < 0 || id >= winapi.VocabSize {
+				t.Fatalf("trace[%d] = %d outside vocabulary", i, id)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	p, err := BenignProfile("Rufus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Generate(0, 1); err == nil {
+		t.Error("Generate(0) expected error")
+	}
+	empty := &Profile{Name: "empty"}
+	if _, err := empty.Generate(10, 1); err == nil {
+		t.Error("Generate with no phases expected error")
+	}
+	bad := &Profile{Name: "bad", Phases: []Phase{{Name: "x", Frac: 1}}}
+	if _, err := bad.Generate(10, 1); err == nil {
+		t.Error("Generate with empty phase expected error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, err := RansomwareProfile("Cerber", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Generate(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c, err := p.Generate(500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	p0, err := RansomwareProfile("Teslacrypt", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := RansomwareProfile("Teslacrypt", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p0.Generate(1000, 1)
+	b, _ := p1.Generate(1000, 1)
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("two variants produced identical traces")
+	}
+}
+
+func TestRansomwareTraceContainsEncryptionSignal(t *testing.T) {
+	p, err := RansomwareProfile("Ryuk", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := p.Generate(4000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypto := 0
+	for _, id := range trace {
+		cat, err := winapi.CategoryOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cat == winapi.CatCrypto {
+			crypto++
+		}
+	}
+	// The encryption phase is 55% of the trace with a crypto call in most
+	// motif emissions; crypto activity must be prominent.
+	if frac := float64(crypto) / float64(len(trace)); frac < 0.03 {
+		t.Fatalf("crypto fraction %v too low for a ransomware trace", frac)
+	}
+}
+
+func TestBenignProfilesAllArchetypes(t *testing.T) {
+	for _, app := range BenignApps {
+		p, err := BenignProfile(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if p.Ransomware {
+			t.Errorf("%s labelled ransomware", app)
+		}
+		trace, err := p.Generate(300, 11)
+		if err != nil {
+			t.Fatalf("%s generate: %v", app, err)
+		}
+		if len(trace) != 300 {
+			t.Fatalf("%s trace length %d", app, len(trace))
+		}
+	}
+	if _, err := BenignProfile("Unknown App"); err == nil {
+		t.Error("BenignProfile(unknown) expected error")
+	}
+}
+
+func TestBenignTracesMostlyNonCrypto(t *testing.T) {
+	// Across the benign corpus, crypto activity must stay rare (though not
+	// zero: installers and archivers legitimately use CryptoAPI).
+	totalCrypto, totalCalls := 0, 0
+	for _, app := range BenignApps {
+		p, err := BenignProfile(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := p.Generate(1000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range trace {
+			cat, _ := winapi.CategoryOf(id)
+			if cat == winapi.CatCrypto {
+				totalCrypto++
+			}
+		}
+		totalCalls += len(trace)
+	}
+	frac := float64(totalCrypto) / float64(totalCalls)
+	if frac > 0.05 {
+		t.Fatalf("benign corpus crypto fraction %v too high", frac)
+	}
+	if totalCrypto == 0 {
+		t.Fatal("benign corpus has zero crypto calls; ambiguity injection missing")
+	}
+}
+
+func TestManualInteractionProfile(t *testing.T) {
+	p := ManualInteractionProfile()
+	if p.Ransomware {
+		t.Fatal("manual interaction labelled ransomware")
+	}
+	trace, err := p.Generate(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gui := 0
+	for _, id := range trace {
+		cat, _ := winapi.CategoryOf(id)
+		if cat == winapi.CatGUI {
+			gui++
+		}
+	}
+	if frac := float64(gui) / float64(len(trace)); frac < 0.4 {
+		t.Fatalf("manual interaction GUI fraction %v too low", frac)
+	}
+}
+
+// Property: generation never emits an out-of-vocabulary ID and always honours
+// the requested length, for any profile and seed.
+func TestPropGenerateWellFormed(t *testing.T) {
+	f := func(famIdx uint8, variant uint8, seed int64, lenRaw uint16) bool {
+		fam := Families[int(famIdx)%len(Families)]
+		p, err := RansomwareProfile(fam.Name, int(variant)%fam.Variants)
+		if err != nil {
+			return false
+		}
+		length := int(lenRaw)%2000 + 1
+		trace, err := p.Generate(length, seed)
+		if err != nil || len(trace) != length {
+			return false
+		}
+		for _, id := range trace {
+			if id < 0 || id >= winapi.VocabSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerateRansomwareTrace(b *testing.B) {
+	p, err := RansomwareProfile("Lockbit", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(4000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package tensor provides the minimal dense linear algebra the offline
+// trainer and reference model need: vectors, row-major matrices, matrix-
+// vector products, and weight initialization.
+//
+// It is intentionally not a general tensor library — the model in the paper
+// is a single-layer LSTM with an embedding table and a one-unit head, so
+// everything here is 1-D or 2-D, float64, and allocation-conscious.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element of v to 0 in place.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Add accumulates w into v in place. It panics on length mismatch: shapes in
+// this model are fixed at construction, so a mismatch is a programming error.
+func (v Vector) Add(w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: add length mismatch %d != %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Scale multiplies every element of v by s in place.
+func (v Vector) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d != %d", len(v), len(w)))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds Rows*Cols values; element (r, c) is Data[r*Cols+c].
+	Data []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) Vector { return Vector(m.Data[r*m.Cols : (r+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes dst = m · x. dst must have length m.Rows and x length
+// m.Cols; MulVec panics otherwise (fixed shapes, programming error).
+func (m *Matrix) MulVec(dst, x Vector) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: mulvec shape mismatch: %dx%d by %d into %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var s float64
+		for c, xv := range x {
+			s += row[c] * xv
+		}
+		dst[r] = s
+	}
+}
+
+// MulVecT computes dst = mᵀ · x (used in backpropagation). dst must have
+// length m.Cols and x length m.Rows.
+func (m *Matrix) MulVecT(dst, x Vector) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: mulvecT shape mismatch: %dx%d ᵀ by %d into %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for c := range dst {
+		dst[c] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		xr := x[r]
+		for c := range row {
+			dst[c] += row[c] * xr
+		}
+	}
+}
+
+// AddOuter accumulates the outer product a·bᵀ into m (gradient accumulation).
+func (m *Matrix) AddOuter(a, b Vector) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic(fmt.Sprintf("tensor: addouter shape mismatch: %dx%d += %d outer %d",
+			m.Rows, m.Cols, len(a), len(b)))
+	}
+	for r := range a {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		ar := a[r]
+		for c := range row {
+			row[c] += ar * b[c]
+		}
+	}
+}
+
+// AddScaled accumulates s*other into m in place.
+func (m *Matrix) AddScaled(other *Matrix, s float64) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: addscaled shape mismatch %dx%d vs %dx%d",
+			m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	for i := range m.Data {
+		m.Data[i] += s * other.Data[i]
+	}
+}
+
+// XavierFill fills m with Glorot/Xavier-uniform values drawn from rng:
+// U(-L, L) with L = sqrt(6/(fanIn+fanOut)). This is the initializer the
+// offline trainer uses for weight matrices.
+func (m *Matrix) XavierFill(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// UniformFill fills v with U(-limit, limit) values drawn from rng.
+func (v Vector) UniformFill(rng *rand.Rand, limit float64) {
+	for i := range v {
+		v[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// ClipNorm rescales v in place so its Euclidean norm is at most maxNorm, and
+// reports whether clipping occurred. Gradient clipping keeps BPTT stable on
+// long (length-100) sequences.
+func (v Vector) ClipNorm(maxNorm float64) bool {
+	n := v.Norm()
+	if n <= maxNorm || n == 0 {
+		return false
+	}
+	v.Scale(maxNorm / n)
+	return true
+}

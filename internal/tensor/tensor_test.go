@@ -1,0 +1,274 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(3)
+	if len(v) != 3 {
+		t.Fatalf("NewVector(3) length = %d", len(v))
+	}
+	v[0], v[1], v[2] = 1, 2, 3
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+	v.Add(Vector{1, 1, 1})
+	if v[2] != 4 {
+		t.Fatalf("Add: v = %v", v)
+	}
+	v.Scale(2)
+	if v[0] != 4 || v[1] != 6 || v[2] != 8 {
+		t.Fatalf("Scale: v = %v", v)
+	}
+	v.Zero()
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("Zero: v[%d] = %v", i, x)
+		}
+	}
+}
+
+func TestVectorDotNorm(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Dot(Vector{1, 2}); got != 11 {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestVectorMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"add": func() { Vector{1}.Add(Vector{1, 2}) },
+		"dot": func() { Vector{1}.Dot(Vector{1, 2}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestMatrixAtSetRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if got := m.At(1, 2); got != 7 {
+		t.Fatalf("At(1,2) = %v", got)
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row(1) = %v", row)
+	}
+	row[0] = 5 // Row aliases storage.
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row does not alias matrix storage")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := NewVector(2)
+	m.MulVec(dst, Vector{1, 1, 1})
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", dst)
+	}
+}
+
+func TestMatrixMulVecT(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := NewVector(3)
+	m.MulVecT(dst, Vector{1, 2})
+	// mᵀ·[1,2] = [1+8, 2+10, 3+12]
+	want := Vector{9, 12, 15}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecT = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestMatrixAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuter(Vector{1, 2}, Vector{3, 4})
+	want := []float64{3, 4, 6, 8}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("AddOuter = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestMatrixAddScaled(t *testing.T) {
+	m := NewMatrix(1, 2)
+	o := NewMatrix(1, 2)
+	copy(o.Data, []float64{2, 4})
+	m.AddScaled(o, 0.5)
+	if m.Data[0] != 1 || m.Data[1] != 2 {
+		t.Fatalf("AddScaled = %v", m.Data)
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := NewMatrix(1, 1)
+	m.Set(0, 0, 3)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 3 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	cases := map[string]func(){
+		"mulvec dst":   func() { m.MulVec(NewVector(3), NewVector(3)) },
+		"mulvec x":     func() { m.MulVec(NewVector(2), NewVector(2)) },
+		"mulvecT":      func() { m.MulVecT(NewVector(2), NewVector(2)) },
+		"addouter":     func() { m.AddOuter(NewVector(3), NewVector(3)) },
+		"addscaled":    func() { m.AddScaled(NewMatrix(3, 2), 1) },
+		"negative dim": func() { NewMatrix(-1, 2) },
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestXavierFillRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(32, 40)
+	m.XavierFill(rng, 40, 32)
+	limit := math.Sqrt(6.0 / 72.0)
+	for i, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Xavier value [%d] = %v outside ±%v", i, v, limit)
+		}
+	}
+	// Must not be all-zero (vanishingly unlikely with a real fill).
+	var sum float64
+	for _, v := range m.Data {
+		sum += math.Abs(v)
+	}
+	if sum == 0 {
+		t.Fatal("XavierFill produced all zeros")
+	}
+}
+
+func TestUniformFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := NewVector(100)
+	v.UniformFill(rng, 0.5)
+	for i, x := range v {
+		if x < -0.5 || x > 0.5 {
+			t.Fatalf("UniformFill [%d] = %v outside ±0.5", i, x)
+		}
+	}
+}
+
+func TestClipNorm(t *testing.T) {
+	v := Vector{3, 4} // norm 5
+	if clipped := v.ClipNorm(10); clipped {
+		t.Fatal("ClipNorm clipped a vector already under the bound")
+	}
+	if clipped := v.ClipNorm(1); !clipped {
+		t.Fatal("ClipNorm failed to clip")
+	}
+	if got := v.Norm(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %v, want 1", got)
+	}
+	z := Vector{0, 0}
+	if z.ClipNorm(1) {
+		t.Fatal("ClipNorm clipped the zero vector")
+	}
+}
+
+// Property: MulVec is linear: M(ax) == a * Mx.
+func TestPropMulVecLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMatrix(4, 5)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	f := func(scale int8, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := NewVector(5)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		a := float64(scale) / 16
+		ax := x.Clone()
+		ax.Scale(a)
+		y1, y2 := NewVector(4), NewVector(4)
+		m.MulVec(y1, ax)
+		m.MulVec(y2, x)
+		y2.Scale(a)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-9*(1+math.Abs(y2[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: xᵀ(My) == (Mᵀx)ᵀy — MulVec and MulVecT are adjoint.
+func TestPropMulVecAdjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(3, 4)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		x, y := NewVector(3), NewVector(4)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		my := NewVector(3)
+		m.MulVec(my, y)
+		mtx := NewVector(4)
+		m.MulVecT(mtx, x)
+		lhs, rhs := x.Dot(my), mtx.Dot(y)
+		return math.Abs(lhs-rhs) <= 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMulVec32x40(b *testing.B) {
+	m := NewMatrix(32, 40)
+	rng := rand.New(rand.NewSource(4))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	x, dst := NewVector(40), NewVector(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}

@@ -1,0 +1,186 @@
+package train
+
+import (
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/metrics"
+)
+
+// smallData builds a quick corpus and split for harness tests.
+func smallData(t *testing.T) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.Build(dataset.BuildConfig{
+		RansomwareCount: 160,
+		BenignCount:     160,
+		Window:          30,
+		Stride:          15,
+		Seed:            11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.25, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestTrainValidation(t *testing.T) {
+	trainDS, testDS := smallData(t)
+	if _, err := Train(nil, testDS, Config{}); err == nil {
+		t.Error("nil train set: expected error")
+	}
+	if _, err := Train(trainDS, nil, Config{}); err == nil {
+		t.Error("nil test set: expected error")
+	}
+	empty := &dataset.Dataset{Window: 30}
+	if _, err := Train(empty, testDS, Config{}); err == nil {
+		t.Error("empty train set: expected error")
+	}
+	if _, err := Train(trainDS, testDS, Config{Epochs: -1}); err == nil {
+		t.Error("negative epochs: expected error")
+	}
+	if _, err := Train(trainDS, testDS, Config{BatchSize: -1}); err == nil {
+		t.Error("negative batch: expected error")
+	}
+}
+
+func TestTrainLearnsSyntheticCorpus(t *testing.T) {
+	trainDS, testDS := smallData(t)
+	res, err := Train(trainDS, testDS, Config{
+		Epochs:    12,
+		BatchSize: 16,
+		Seed:      3,
+		EvalEvery: 2,
+		// A small model is plenty for the scaled-down corpus and keeps the
+		// test fast.
+		EmbedDim:   6,
+		HiddenSize: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Accuracy < 0.85 {
+		t.Fatalf("final accuracy = %v, want >= 0.85 on synthetic corpus", res.Final.Accuracy)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no convergence history recorded")
+	}
+	// History must be evaluated at the configured cadence.
+	for i, rec := range res.History {
+		if rec.Epoch <= 0 {
+			t.Fatalf("history[%d] epoch = %d", i, rec.Epoch)
+		}
+		if rec.TrainLoss < 0 {
+			t.Fatalf("history[%d] negative loss", i)
+		}
+	}
+	// Loss should broadly decrease from first to last record.
+	first, last := res.History[0].TrainLoss, res.History[len(res.History)-1].TrainLoss
+	if last >= first {
+		t.Fatalf("train loss did not decrease: %v -> %v", first, last)
+	}
+	if best, epoch := res.BestAccuracy(); best < res.Final.Accuracy-1e-9 || epoch == 0 {
+		t.Fatalf("BestAccuracy = (%v, %d) inconsistent with final %v", best, epoch, res.Final.Accuracy)
+	}
+}
+
+func TestTrainEarlyStopOnTarget(t *testing.T) {
+	trainDS, testDS := smallData(t)
+	res, err := Train(trainDS, testDS, Config{
+		Epochs:         40,
+		BatchSize:      16,
+		Seed:           3,
+		EmbedDim:       6,
+		HiddenSize:     12,
+		TargetAccuracy: 0.80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReachedTarget {
+		t.Fatal("never reached an easily reachable target accuracy")
+	}
+	if res.EpochsRun >= 40 {
+		t.Fatalf("early stop did not fire: ran %d epochs", res.EpochsRun)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	trainDS, testDS := smallData(t)
+	cfg := Config{Epochs: 3, BatchSize: 16, Seed: 5, EmbedDim: 4, HiddenSize: 6}
+	a, err := Train(trainDS, testDS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(trainDS, testDS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Final != b.Final {
+		t.Fatalf("same seed produced different results: %+v vs %+v", a.Final, b.Final)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	trainDS, _ := smallData(t)
+	if _, err := Evaluate(nil, trainDS); err == nil {
+		t.Error("nil model: expected error")
+	}
+	res, err := Train(trainDS, trainDS, Config{Epochs: 1, EmbedDim: 4, HiddenSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(res.Model, &dataset.Dataset{}); err == nil {
+		t.Error("empty dataset: expected error")
+	}
+	conf, err := Evaluate(res.Model, trainDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() != len(trainDS.Sequences) {
+		t.Fatalf("evaluated %d of %d sequences", conf.Total(), len(trainDS.Sequences))
+	}
+}
+
+func TestScoreAndAUC(t *testing.T) {
+	trainDS, testDS := smallData(t)
+	res, err := Train(trainDS, testDS, Config{
+		Epochs: 10, BatchSize: 16, Seed: 3, EmbedDim: 6, HiddenSize: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := Score(res.Model, testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(testDS.Sequences) {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	auc, err := metrics.AUC(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.9 {
+		t.Fatalf("AUC = %v on learnable corpus", auc)
+	}
+	// Threshold sweep: TPR must be non-increasing in the threshold.
+	pts, err := metrics.ThresholdSweep(preds, []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TPR > pts[i-1].TPR+1e-12 {
+			t.Fatalf("TPR increased with threshold: %v", pts)
+		}
+	}
+	if _, err := Score(nil, testDS); err == nil {
+		t.Error("nil model: expected error")
+	}
+	if _, err := Score(res.Model, &dataset.Dataset{}); err == nil {
+		t.Error("empty set: expected error")
+	}
+}

@@ -1,0 +1,139 @@
+package vitis
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/hls"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+func paperSpecs(t *testing.T, level kernels.OptLevel) []fpga.KernelSpec {
+	t.Helper()
+	specs, err := kernels.Specs(lstm.PaperConfig(), kernels.Config{Level: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+func TestCompile(t *testing.T) {
+	specs := paperSpecs(t, kernels.LevelFixedPoint)
+	for _, spec := range specs {
+		obj, err := Compile(spec)
+		if err != nil {
+			t.Fatalf("compile %s: %v", spec.Name, err)
+		}
+		if obj.CyclesPerInvocation <= 0 {
+			t.Errorf("%s: no latency estimate", spec.Name)
+		}
+		if obj.ResPerCU == (hls.Resources{}) {
+			t.Errorf("%s: no resource estimate", spec.Name)
+		}
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	if _, err := Compile(fpga.KernelSpec{Name: "", CUs: 1}); err == nil {
+		t.Error("unnamed kernel: expected error")
+	}
+	if _, err := Compile(fpga.KernelSpec{Name: "k", CUs: 0}); err == nil {
+		t.Error("zero CUs: expected error")
+	}
+	bad := fpga.KernelSpec{Name: "k", CUs: 1, Loops: []hls.Loop{{Name: "neg", Trip: -1}}}
+	if _, err := Compile(bad); err == nil {
+		t.Error("bad loop: expected error")
+	}
+}
+
+func TestLinkFixedPointOnU200(t *testing.T) {
+	var objs []*KernelObject
+	for _, spec := range paperSpecs(t, kernels.LevelFixedPoint) {
+		obj, err := Compile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	bin, err := Link(objs, fpga.AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.Utilization.DSP <= 0.5 {
+		t.Errorf("fixed-point DSP utilization = %v, expected ~75%%", bin.Utilization.DSP)
+	}
+	if bin.Device() == nil {
+		t.Error("linked binary lost its device")
+	}
+}
+
+func TestLinkFailsOnKU15P(t *testing.T) {
+	var objs []*KernelObject
+	for _, spec := range paperSpecs(t, kernels.LevelFixedPoint) {
+		obj, err := Compile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	if _, err := Link(objs, fpga.KU15P); !errors.Is(err, fpga.ErrResourceExhausted) {
+		t.Fatalf("error = %v, want ErrResourceExhausted", err)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	if _, err := Link(nil, fpga.AlveoU200); err == nil {
+		t.Error("no objects: expected error")
+	}
+	if _, err := Link([]*KernelObject{nil}, fpga.AlveoU200); err == nil {
+		t.Error("nil object: expected error")
+	}
+	if _, err := Link([]*KernelObject{{Name: "x", Spec: fpga.KernelSpec{Name: "x", CUs: 1}}},
+		fpga.Part{Name: "bad"}); err == nil {
+		t.Error("invalid platform: expected error")
+	}
+}
+
+func TestReport(t *testing.T) {
+	var objs []*KernelObject
+	for _, spec := range paperSpecs(t, kernels.LevelVanilla) {
+		obj, err := Compile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	bin, err := Link(objs, fpga.AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := bin.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Build summary", "xcu200", "kernel_preprocess", "kernel_gates",
+		"kernel_hidden_state", "Utilization", "µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpecsValidation(t *testing.T) {
+	if _, err := kernels.Specs(lstm.Config{}, kernels.Config{}); err == nil {
+		t.Error("invalid model config: expected error")
+	}
+	if _, err := kernels.Specs(lstm.PaperConfig(), kernels.Config{GateCUs: 3}); err == nil {
+		t.Error("bad gate CUs: expected error")
+	}
+	if _, err := kernels.Specs(lstm.PaperConfig(), kernels.Config{Level: kernels.LevelVanilla, Streaming: true}); err == nil {
+		t.Error("streaming at vanilla: expected error")
+	}
+}

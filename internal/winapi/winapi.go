@@ -1,0 +1,285 @@
+// Package winapi provides the catalog of Windows API calls that make up the
+// classifier's vocabulary.
+//
+// The paper's model has an embedding table of 2,224 parameters with an
+// embedding dimension of 8, i.e. a vocabulary of exactly 278 distinct API
+// calls observed across the Cuckoo Sandbox traces (§IV). This package fixes
+// that vocabulary: 278 real Windows/NT API names, grouped into behavioural
+// categories that the sandbox trace generator composes into ransomware and
+// benign activity.
+//
+// IDs are stable: they are assigned in catalog order and never change, so a
+// trained model, an exported weight file, and a generated dataset always
+// agree on the meaning of each item ID.
+package winapi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Category classifies an API call by the subsystem it touches.
+type Category int
+
+// Categories of the catalog. They start at 1 so the zero value is invalid.
+const (
+	CatFile Category = iota + 1
+	CatRegistry
+	CatProcess
+	CatMemory
+	CatCrypto
+	CatNetwork
+	CatService
+	CatGUI
+	CatSync
+	CatSystem
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case CatFile:
+		return "file"
+	case CatRegistry:
+		return "registry"
+	case CatProcess:
+		return "process"
+	case CatMemory:
+		return "memory"
+	case CatCrypto:
+		return "crypto"
+	case CatNetwork:
+		return "network"
+	case CatService:
+		return "service"
+	case CatGUI:
+		return "gui"
+	case CatSync:
+		return "sync"
+	case CatSystem:
+		return "system"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists all categories in catalog order.
+var Categories = []Category{
+	CatFile, CatRegistry, CatProcess, CatMemory, CatCrypto,
+	CatNetwork, CatService, CatGUI, CatSync, CatSystem,
+}
+
+// catalog maps each category to its API names, in stable order. The total
+// across all categories is exactly 278 (asserted by tests and init).
+var catalog = map[Category][]string{
+	CatFile: {
+		"NtCreateFile", "NtOpenFile", "NtReadFile", "NtWriteFile", "NtDeleteFile",
+		"NtQueryInformationFile", "NtSetInformationFile", "NtQueryDirectoryFile",
+		"NtClose", "NtDeviceIoControlFile", "CreateFileW", "ReadFile", "WriteFile",
+		"DeleteFileW", "CopyFileW", "CopyFileExW", "MoveFileW", "MoveFileWithProgressW",
+		"GetFileAttributesW", "SetFileAttributesW", "GetFileSize", "SetFilePointer",
+		"SetFilePointerEx", "SetEndOfFile", "FlushFileBuffers", "FindFirstFileExW",
+		"FindNextFileW", "FindClose", "GetFileInformationByHandle", "GetFileType",
+		"CreateDirectoryW", "RemoveDirectoryW", "GetTempPathW", "GetTempFileNameW",
+		"WriteConsoleW", "GetFullPathNameW", "SearchPathW", "LockFileEx",
+		"UnlockFileEx", "ReplaceFileW",
+	},
+	CatRegistry: {
+		"RegOpenKeyExW", "RegCreateKeyExW", "RegCloseKey", "RegQueryValueExW",
+		"RegSetValueExW", "RegDeleteValueW", "RegDeleteKeyW", "RegEnumKeyExW",
+		"RegEnumValueW", "RegQueryInfoKeyW", "RegFlushKey", "RegSaveKeyW",
+		"RegLoadKeyW", "RegUnLoadKeyW", "RegNotifyChangeKeyValue", "NtOpenKey",
+		"NtCreateKey", "NtQueryValueKey", "NtSetValueKey", "NtDeleteKey",
+		"NtDeleteValueKey", "NtEnumerateKey", "NtEnumerateValueKey", "NtQueryKey",
+		"NtRenameKey", "NtSaveKey", "NtLoadKey", "RegOpenKeyExA", "RegSetValueExA",
+		"RegQueryValueExA",
+	},
+	CatProcess: {
+		"CreateProcessW", "CreateProcessInternalW", "OpenProcess", "TerminateProcess",
+		"ExitProcess", "NtCreateProcess", "NtCreateUserProcess", "NtOpenProcess",
+		"NtTerminateProcess", "NtSuspendProcess", "NtResumeProcess", "CreateThread",
+		"CreateRemoteThread", "OpenThread", "SuspendThread", "ResumeThread",
+		"TerminateThread", "ExitThread", "NtCreateThreadEx", "NtOpenThread",
+		"GetThreadContext", "SetThreadContext", "QueueUserAPC",
+		"CreateToolhelp32Snapshot", "Process32FirstW", "Process32NextW",
+		"Thread32First", "Thread32Next", "Module32FirstW", "Module32NextW",
+		"ShellExecuteExW", "WinExec", "GetExitCodeProcess", "GetCurrentProcessId",
+		"GetProcessTimes",
+	},
+	CatMemory: {
+		"VirtualAlloc", "VirtualAllocEx", "VirtualFree", "VirtualProtect",
+		"VirtualProtectEx", "VirtualQuery", "VirtualQueryEx",
+		"NtAllocateVirtualMemory", "NtFreeVirtualMemory", "NtProtectVirtualMemory",
+		"NtQueryVirtualMemory", "NtReadVirtualMemory", "NtWriteVirtualMemory",
+		"WriteProcessMemory", "ReadProcessMemory", "HeapAlloc", "HeapFree",
+		"HeapCreate", "GlobalAlloc", "LocalAlloc",
+	},
+	CatCrypto: {
+		"CryptAcquireContextW", "CryptReleaseContext", "CryptGenKey", "CryptDeriveKey",
+		"CryptDestroyKey", "CryptEncrypt", "CryptDecrypt", "CryptHashData",
+		"CryptCreateHash", "CryptDestroyHash", "CryptGetHashParam", "CryptImportKey",
+		"CryptExportKey", "CryptGenRandom", "BCryptOpenAlgorithmProvider",
+		"BCryptCloseAlgorithmProvider", "BCryptGenerateSymmetricKey", "BCryptEncrypt",
+		"BCryptDecrypt", "BCryptGenRandom", "BCryptDestroyKey",
+		"NCryptOpenStorageProvider", "NCryptCreatePersistedKey", "NCryptEncrypt",
+		"CryptProtectData",
+	},
+	CatNetwork: {
+		"socket", "connect", "send", "recv", "sendto", "recvfrom", "bind", "listen",
+		"accept", "closesocket", "select", "ioctlsocket", "gethostbyname",
+		"getaddrinfo", "WSAStartup", "WSACleanup", "WSASocketW", "WSAConnect",
+		"WSASend", "WSARecv", "InternetOpenW", "InternetOpenUrlW", "InternetConnectW",
+		"InternetReadFile", "InternetWriteFile", "InternetCloseHandle",
+		"HttpOpenRequestW", "HttpSendRequestW", "HttpQueryInfoW", "WinHttpOpen",
+		"WinHttpConnect", "WinHttpSendRequest", "WinHttpReceiveResponse",
+		"URLDownloadToFileW", "DnsQuery_W",
+	},
+	CatService: {
+		"OpenSCManagerW", "CreateServiceW", "OpenServiceW", "StartServiceW",
+		"ControlService", "DeleteService", "QueryServiceStatusEx",
+		"CloseServiceHandle", "EnumServicesStatusExW", "ChangeServiceConfigW",
+		"RegisterServiceCtrlHandlerW", "SetServiceStatus", "QueryServiceConfigW",
+		"NotifyServiceStatusChangeW", "StartServiceCtrlDispatcherW",
+	},
+	CatGUI: {
+		"CreateWindowExW", "DestroyWindow", "ShowWindow", "FindWindowW",
+		"FindWindowExW", "GetForegroundWindow", "SetForegroundWindow",
+		"GetWindowTextW", "SetWindowTextW", "SendMessageW", "PostMessageW",
+		"GetMessageW", "PeekMessageW", "DispatchMessageW", "TranslateMessage",
+		"DefWindowProcW", "RegisterClassExW", "MessageBoxW", "SetWindowsHookExW",
+		"UnhookWindowsHookEx", "CallNextHookEx", "GetKeyState", "GetAsyncKeyState",
+		"GetCursorPos", "SetCursorPos", "ClipCursor", "OpenClipboard",
+		"GetClipboardData", "SetClipboardData", "CloseClipboard",
+	},
+	CatSync: {
+		"CreateMutexW", "OpenMutexW", "ReleaseMutex", "CreateEventW", "OpenEventW",
+		"SetEvent", "ResetEvent", "WaitForSingleObject", "WaitForMultipleObjects",
+		"CreateSemaphoreW", "ReleaseSemaphore", "Sleep", "SleepEx",
+		"NtDelayExecution", "NtWaitForSingleObject", "InitializeCriticalSection",
+		"EnterCriticalSection", "LeaveCriticalSection",
+	},
+	CatSystem: {
+		"GetSystemInfo", "GetNativeSystemInfo", "GetVersionExW", "GetComputerNameW",
+		"GetUserNameW", "GetSystemTime", "GetLocalTime", "GetTickCount",
+		"GetTickCount64", "QueryPerformanceCounter", "GetSystemDirectoryW",
+		"GetWindowsDirectoryW", "GetEnvironmentVariableW", "SetEnvironmentVariableW",
+		"ExpandEnvironmentStringsW", "GetCommandLineW", "GetModuleHandleW",
+		"GetModuleFileNameW", "LoadLibraryW", "LoadLibraryExW", "FreeLibrary",
+		"GetProcAddress", "LdrLoadDll", "LdrGetProcedureAddress",
+		"IsDebuggerPresent", "CheckRemoteDebuggerPresent", "OutputDebugStringW",
+		"SetErrorMode", "GetLastError", "AdjustTokenPrivileges",
+	},
+}
+
+// VocabSize is the number of distinct API calls: the paper's M = 278.
+const VocabSize = 278
+
+var (
+	names      []string
+	nameToID   map[string]int
+	categories []Category
+	catToIDs   map[Category][]int
+)
+
+func init() {
+	names = make([]string, 0, VocabSize)
+	nameToID = make(map[string]int, VocabSize)
+	catToIDs = make(map[Category][]int, len(Categories))
+	for _, cat := range Categories {
+		for _, n := range catalog[cat] {
+			if _, dup := nameToID[n]; dup {
+				panic(fmt.Sprintf("winapi: duplicate API name %q", n))
+			}
+			id := len(names)
+			nameToID[n] = id
+			names = append(names, n)
+			categories = append(categories, cat)
+			catToIDs[cat] = append(catToIDs[cat], id)
+		}
+	}
+	if len(names) != VocabSize {
+		panic(fmt.Sprintf("winapi: catalog has %d calls, want %d", len(names), VocabSize))
+	}
+}
+
+// Count returns the catalog size (always VocabSize).
+func Count() int { return len(names) }
+
+// Name returns the API name for id, or an error when id is out of range.
+func Name(id int) (string, error) {
+	if id < 0 || id >= len(names) {
+		return "", fmt.Errorf("winapi: id %d out of range [0, %d)", id, len(names))
+	}
+	return names[id], nil
+}
+
+// ID returns the stable ID of the named API call.
+func ID(name string) (int, error) {
+	id, ok := nameToID[name]
+	if !ok {
+		return 0, fmt.Errorf("winapi: unknown API %q", name)
+	}
+	return id, nil
+}
+
+// MustID is ID for compile-time-known names; it panics on unknown names so
+// trace profiles fail loudly at package init rather than producing corrupt
+// datasets.
+func MustID(name string) int {
+	id, err := ID(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// CategoryOf returns the category of the API call with the given id.
+func CategoryOf(id int) (Category, error) {
+	if id < 0 || id >= len(categories) {
+		return 0, fmt.Errorf("winapi: id %d out of range [0, %d)", id, len(categories))
+	}
+	return categories[id], nil
+}
+
+// IDsByCategory returns the IDs belonging to a category, in stable order.
+// The returned slice is a copy.
+func IDsByCategory(cat Category) []int {
+	ids := catToIDs[cat]
+	out := make([]int, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// AllNames returns every API name in ID order. The returned slice is a copy.
+func AllNames() []string {
+	out := make([]string, len(names))
+	copy(out, names)
+	return out
+}
+
+// MustIDs maps a list of names to IDs, panicking on any unknown name. It is
+// the bulk form of MustID for building static trace motifs.
+func MustIDs(apiNames ...string) []int {
+	out := make([]int, len(apiNames))
+	for i, n := range apiNames {
+		out[i] = MustID(n)
+	}
+	return out
+}
+
+// CategoryCounts returns the number of API calls per category, sorted by
+// category value; useful for dataset statistics.
+func CategoryCounts() map[Category]int {
+	out := make(map[Category]int, len(catToIDs))
+	for c, ids := range catToIDs {
+		out[c] = len(ids)
+	}
+	return out
+}
+
+// SortedNames returns all names sorted lexicographically (for display).
+func SortedNames() []string {
+	out := AllNames()
+	sort.Strings(out)
+	return out
+}

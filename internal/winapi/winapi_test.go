@@ -1,0 +1,205 @@
+package winapi
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestVocabSizeMatchesPaper(t *testing.T) {
+	// Paper §IV: 2,224 embedding parameters at embedding dim 8 ⇒ M = 278.
+	if Count() != 278 {
+		t.Fatalf("Count() = %d, want 278", Count())
+	}
+	if Count() != VocabSize {
+		t.Fatalf("Count() = %d disagrees with VocabSize %d", Count(), VocabSize)
+	}
+}
+
+func TestNamesUniqueAndNonEmpty(t *testing.T) {
+	seen := make(map[string]bool, Count())
+	for id := 0; id < Count(); id++ {
+		n, err := Name(id)
+		if err != nil {
+			t.Fatalf("Name(%d): %v", id, err)
+		}
+		if n == "" {
+			t.Fatalf("Name(%d) is empty", id)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate API name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestIDNameRoundTrip(t *testing.T) {
+	for id := 0; id < Count(); id++ {
+		n, err := Name(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ID(n)
+		if err != nil {
+			t.Fatalf("ID(%q): %v", n, err)
+		}
+		if got != id {
+			t.Fatalf("ID(Name(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestNameErrors(t *testing.T) {
+	for _, id := range []int{-1, Count(), 1 << 20} {
+		if _, err := Name(id); err == nil {
+			t.Errorf("Name(%d) expected error", id)
+		}
+	}
+}
+
+func TestIDErrors(t *testing.T) {
+	if _, err := ID("NotARealAPICall"); err == nil {
+		t.Error("ID(unknown) expected error")
+	}
+}
+
+func TestMustIDPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustID(unknown) did not panic")
+		}
+	}()
+	MustID("NotARealAPICall")
+}
+
+func TestMustIDs(t *testing.T) {
+	ids := MustIDs("CreateFileW", "ReadFile", "CryptEncrypt", "WriteFile")
+	if len(ids) != 4 {
+		t.Fatalf("MustIDs length = %d", len(ids))
+	}
+	for i, id := range ids {
+		if id < 0 || id >= Count() {
+			t.Fatalf("MustIDs[%d] = %d out of range", i, id)
+		}
+	}
+}
+
+func TestCategoryOf(t *testing.T) {
+	tests := []struct {
+		api  string
+		want Category
+	}{
+		{"CreateFileW", CatFile},
+		{"RegSetValueExW", CatRegistry},
+		{"CreateProcessW", CatProcess},
+		{"VirtualAlloc", CatMemory},
+		{"CryptEncrypt", CatCrypto},
+		{"connect", CatNetwork},
+		{"OpenSCManagerW", CatService},
+		{"MessageBoxW", CatGUI},
+		{"CreateMutexW", CatSync},
+		{"IsDebuggerPresent", CatSystem},
+	}
+	for _, tt := range tests {
+		cat, err := CategoryOf(MustID(tt.api))
+		if err != nil {
+			t.Fatalf("CategoryOf(%s): %v", tt.api, err)
+		}
+		if cat != tt.want {
+			t.Errorf("CategoryOf(%s) = %v, want %v", tt.api, cat, tt.want)
+		}
+	}
+	if _, err := CategoryOf(-1); err == nil {
+		t.Error("CategoryOf(-1) expected error")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for _, c := range Categories {
+		if s := c.String(); s == "" || s[0] == 'C' {
+			t.Errorf("Category(%d).String() = %q looks wrong", int(c), s)
+		}
+	}
+	if Category(0).String() != "Category(0)" {
+		t.Errorf("invalid category formatting: %q", Category(0).String())
+	}
+}
+
+func TestIDsByCategoryPartition(t *testing.T) {
+	total := 0
+	seen := make(map[int]bool)
+	for _, cat := range Categories {
+		ids := IDsByCategory(cat)
+		if len(ids) == 0 {
+			t.Errorf("category %v has no APIs", cat)
+		}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("id %d in more than one category", id)
+			}
+			seen[id] = true
+			got, err := CategoryOf(id)
+			if err != nil || got != cat {
+				t.Fatalf("CategoryOf(%d) = %v, %v; want %v", id, got, err, cat)
+			}
+		}
+		total += len(ids)
+	}
+	if total != Count() {
+		t.Fatalf("categories cover %d ids, want %d", total, Count())
+	}
+}
+
+func TestIDsByCategoryReturnsCopy(t *testing.T) {
+	a := IDsByCategory(CatFile)
+	a[0] = -999
+	b := IDsByCategory(CatFile)
+	if b[0] == -999 {
+		t.Fatal("IDsByCategory exposes internal state")
+	}
+}
+
+func TestAllNamesReturnsCopy(t *testing.T) {
+	a := AllNames()
+	a[0] = "mutated"
+	b := AllNames()
+	if b[0] == "mutated" {
+		t.Fatal("AllNames exposes internal state")
+	}
+}
+
+func TestCategoryCounts(t *testing.T) {
+	counts := CategoryCounts()
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != VocabSize {
+		t.Fatalf("category counts sum to %d, want %d", sum, VocabSize)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	s := SortedNames()
+	if !sort.StringsAreSorted(s) {
+		t.Fatal("SortedNames not sorted")
+	}
+	if len(s) != VocabSize {
+		t.Fatalf("SortedNames length = %d", len(s))
+	}
+}
+
+// Property: every valid id has a category and a name.
+func TestPropValidIDsTotal(t *testing.T) {
+	f := func(raw uint16) bool {
+		id := int(raw) % VocabSize
+		if _, err := Name(id); err != nil {
+			return false
+		}
+		_, err := CategoryOf(id)
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package xrt models the Xilinx Runtime (XRT) programming interface the
+// paper's host application is written against (§II: the SmartSSD "is
+// accompanied by a comprehensive development toolkit that includes a
+// runtime library, an Application Programming Interface (API), a compiler,
+// and necessary drivers"; §IV: "all necessary code for the host and
+// kernels ... made use of Xilinx Runtime (XRT)").
+//
+// The shape follows the native XRT C++ API: open a device, load an xclbin
+// (a linked vitis.Binary), allocate buffer objects in specific DDR banks,
+// sync data between host/SSD and device memory, obtain kernel handles, and
+// launch runs whose completion is awaited. Timing comes from the same
+// models as everywhere else in this repository: PCIe link costs for syncs,
+// scheduled kernel latencies for runs.
+package xrt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/vitis"
+)
+
+// Device is an opened CSD with (optionally) a program loaded.
+type Device struct {
+	card *csd.SmartSSD
+
+	mu         sync.Mutex
+	program    *vitis.Binary
+	kernelTime time.Duration // cumulative simulated kernel execution time
+}
+
+// Open attaches the runtime to a CSD.
+func Open(card *csd.SmartSSD) (*Device, error) {
+	if card == nil {
+		return nil, errors.New("xrt: nil device")
+	}
+	return &Device{card: card}, nil
+}
+
+// ErrNoProgram is returned when kernel operations run before LoadXclbin.
+var ErrNoProgram = errors.New("xrt: no xclbin loaded")
+
+// LoadXclbin loads a linked binary onto the device.
+func (d *Device) LoadXclbin(bin *vitis.Binary) error {
+	if bin == nil {
+		return errors.New("xrt: nil xclbin")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.program = bin
+	return nil
+}
+
+// Program returns the loaded binary (nil if none).
+func (d *Device) Program() *vitis.Binary {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.program
+}
+
+// KernelTime returns the cumulative simulated kernel execution time.
+func (d *Device) KernelTime() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.kernelTime
+}
+
+// BO is a buffer object resident in a device DDR bank.
+type BO struct {
+	dev *Device
+	buf *csd.Buffer
+}
+
+// AllocBO reserves a buffer object of the given size in a DDR bank.
+func (d *Device) AllocBO(size int64, bank int) (*BO, error) {
+	buf, err := d.card.Alloc(size, bank)
+	if err != nil {
+		return nil, fmt.Errorf("xrt: %w", err)
+	}
+	return &BO{dev: d, buf: buf}, nil
+}
+
+// Size returns the buffer size in bytes.
+func (bo *BO) Size() int64 { return bo.buf.Size }
+
+// Bank returns the DDR bank the buffer lives in.
+func (bo *BO) Bank() int { return bo.buf.Bank }
+
+// Bytes exposes the device-side contents (the kernel's view).
+func (bo *BO) Bytes() []byte { return bo.buf.Bytes() }
+
+// SyncToDevice moves host data into the buffer over the host PCIe link
+// (XCL_BO_SYNC_BO_TO_DEVICE).
+func (bo *BO) SyncToDevice(data []byte) (time.Duration, error) {
+	t, err := bo.dev.card.WriteBuffer(bo.buf, data)
+	if err != nil {
+		return 0, fmt.Errorf("xrt: sync to device: %w", err)
+	}
+	return t, nil
+}
+
+// SyncFromDevice copies the buffer back to host memory
+// (XCL_BO_SYNC_BO_FROM_DEVICE).
+func (bo *BO) SyncFromDevice(dst []byte) (time.Duration, error) {
+	t, err := bo.dev.card.ReadBuffer(bo.buf, dst)
+	if err != nil {
+		return 0, fmt.Errorf("xrt: sync from device: %w", err)
+	}
+	return t, nil
+}
+
+// SyncFromSSD fills the buffer straight from the drive over the on-board
+// P2P path — the SmartSSD-specific extension that bypasses the host.
+func (bo *BO) SyncFromSSD(ssdOff int64) (time.Duration, error) {
+	t, err := bo.dev.card.TransferP2P(ssdOff, bo.buf)
+	if err != nil {
+		return 0, fmt.Errorf("xrt: sync from ssd: %w", err)
+	}
+	return t, nil
+}
+
+// Kernel is a handle to a placed kernel in the loaded program.
+type Kernel struct {
+	dev  *Device
+	name string
+	// latency is one CU's per-invocation latency.
+	latency time.Duration
+	cus     int
+}
+
+// Kernel resolves a kernel by name from the loaded program.
+func (d *Device) Kernel(name string) (*Kernel, error) {
+	d.mu.Lock()
+	program := d.program
+	d.mu.Unlock()
+	if program == nil {
+		return nil, ErrNoProgram
+	}
+	for _, obj := range program.Objects {
+		if obj.Name == name {
+			return &Kernel{
+				dev:     d,
+				name:    name,
+				latency: program.Device().Duration(obj.CyclesPerInvocation),
+				cus:     obj.Spec.CUs,
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("xrt: kernel %q not in loaded xclbin", name)
+}
+
+// Name returns the kernel name.
+func (k *Kernel) Name() string { return k.name }
+
+// CUs returns the number of compute units available.
+func (k *Kernel) CUs() int { return k.cus }
+
+// Run is an in-flight kernel execution.
+type Run struct {
+	duration time.Duration
+	err      error
+}
+
+// Start enqueues n parallel invocations of the kernel (one per CU where
+// possible; excess invocations serialize in ⌈n/CUs⌉ rounds, the way real
+// CU scheduling behaves). Use n=1 for a plain launch.
+func (k *Kernel) Start(n int) *Run {
+	if n <= 0 {
+		return &Run{err: fmt.Errorf("xrt: kernel %s: invocation count %d must be positive", k.name, n)}
+	}
+	rounds := (n + k.cus - 1) / k.cus
+	d := time.Duration(rounds) * k.latency
+	k.dev.mu.Lock()
+	k.dev.kernelTime += d
+	k.dev.mu.Unlock()
+	return &Run{duration: d}
+}
+
+// Wait blocks until the run completes (instantaneous in simulation) and
+// returns the simulated execution time.
+func (r *Run) Wait() (time.Duration, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	return r.duration, nil
+}

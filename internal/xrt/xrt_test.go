@@ -1,0 +1,195 @@
+package xrt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/ssd"
+	"github.com/kfrida1/csdinf/internal/vitis"
+)
+
+func testBinary(t *testing.T) *vitis.Binary {
+	t.Helper()
+	specs, err := kernels.Specs(lstm.PaperConfig(), kernels.Config{Level: kernels.LevelFixedPoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs []*vitis.KernelObject
+	for _, spec := range specs {
+		obj, err := vitis.Compile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	bin, err := vitis.Link(objs, fpga.AlveoU200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func testDevice(t *testing.T) (*csd.SmartSSD, *Device) {
+	t.Helper()
+	card, err := csd.New(csd.Config{SSD: ssd.Config{Capacity: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Open(card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return card, dev
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(nil); err == nil {
+		t.Fatal("nil card: expected error")
+	}
+}
+
+func TestLoadXclbin(t *testing.T) {
+	_, dev := testDevice(t)
+	if err := dev.LoadXclbin(nil); err == nil {
+		t.Error("nil xclbin: expected error")
+	}
+	if _, err := dev.Kernel("kernel_gates"); !errors.Is(err, ErrNoProgram) {
+		t.Errorf("kernel before load: error = %v, want ErrNoProgram", err)
+	}
+	bin := testBinary(t)
+	if err := dev.LoadXclbin(bin); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Program() != bin {
+		t.Fatal("program not retained")
+	}
+}
+
+func TestBOSyncRoundTrip(t *testing.T) {
+	_, dev := testDevice(t)
+	bo, err := dev.AllocBO(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bo.Size() != 64 || bo.Bank() != 0 {
+		t.Fatalf("BO = size %d bank %d", bo.Size(), bo.Bank())
+	}
+	payload := []byte("weights and biases, scaled by 1e6..")
+	d1, err := bo.SyncToDevice(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 <= 0 {
+		t.Fatal("no transfer time charged")
+	}
+	dst := make([]byte, len(payload))
+	if _, err := bo.SyncFromDevice(dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, payload) {
+		t.Fatalf("round trip = %q", dst)
+	}
+}
+
+func TestBOSyncFromSSD(t *testing.T) {
+	card, dev := testDevice(t)
+	seq := []int{1, 2, 3, 4}
+	if _, err := card.StoreSequence(4096, seq); err != nil {
+		t.Fatal(err)
+	}
+	bo, err := dev.AllocBO(int64(len(seq)*csd.ItemBytes), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bo.SyncFromSSD(4096); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csd.DecodeItems(bo.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("item %d = %d", i, got[i])
+		}
+	}
+	// P2P traffic accounted, no host traffic for the sequence fetch.
+	if card.Traffic().P2PBytes == 0 {
+		t.Fatal("P2P path not used")
+	}
+}
+
+func TestKernelRuns(t *testing.T) {
+	_, dev := testDevice(t)
+	if err := dev.LoadXclbin(testBinary(t)); err != nil {
+		t.Fatal(err)
+	}
+	gates, err := dev.Kernel("kernel_gates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gates.CUs() != 4 || gates.Name() != "kernel_gates" {
+		t.Fatalf("kernel = %s with %d CUs", gates.Name(), gates.CUs())
+	}
+	// 4 invocations fit the 4 CUs: one round.
+	d4, err := gates.Start(4).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 invocations: two rounds.
+	d8, err := gates.Start(8).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d8 != 2*d4 {
+		t.Fatalf("8 invocations = %v, want 2 × %v", d8, d4)
+	}
+	if _, err := gates.Start(0).Wait(); err == nil {
+		t.Error("zero invocations: expected error")
+	}
+	if _, err := dev.Kernel("missing"); err == nil {
+		t.Error("unknown kernel: expected error")
+	}
+	if dev.KernelTime() != d4+d8 {
+		t.Fatalf("cumulative kernel time = %v, want %v", dev.KernelTime(), d4+d8)
+	}
+}
+
+func TestFullHostFlowTiming(t *testing.T) {
+	// The paper's per-item flow through the raw runtime: preprocess, four
+	// parallel gate CUs, hidden state. The summed simulated time must equal
+	// the engine-level per-item figure (~2.2 µs).
+	_, dev := testDevice(t)
+	if err := dev.LoadXclbin(testBinary(t)); err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	for _, step := range []struct {
+		kernel string
+		n      int
+	}{
+		{"kernel_preprocess", 1},
+		{"kernel_gates", 4}, // one per gate, all CUs in parallel
+		{"kernel_hidden_state", 1},
+	} {
+		k, err := dev.Kernel(step.kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := k.Start(step.n).Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d
+	}
+	us := float64(total.Nanoseconds()) / 1000
+	if us < 2.0 || us > 2.5 {
+		t.Fatalf("per-item host-flow time = %v µs, want ~2.2", us)
+	}
+}
