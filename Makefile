@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test bench verify fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# verify is the pre-merge gate: static checks, a full build, and the whole
+# test suite under the race detector (the serving layer is concurrent).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -w .

@@ -10,8 +10,10 @@ package csdinf
 // the same results as formatted tables.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"github.com/kfrida1/csdinf/internal/baseline"
 	"github.com/kfrida1/csdinf/internal/core"
@@ -189,7 +191,7 @@ func BenchmarkAblation_P2PvsHost(b *testing.B) {
 		_, eng := setup(b)
 		var last Timing
 		for i := 0; i < b.N; i++ {
-			_, timing, err := eng.PredictStored(0)
+			_, timing, err := eng.PredictStored(context.Background(), 0)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -201,7 +203,7 @@ func BenchmarkAblation_P2PvsHost(b *testing.B) {
 		_, eng := setup(b)
 		var last Timing
 		for i := 0; i < b.N; i++ {
-			_, timing, err := eng.PredictStoredViaHost(0)
+			_, timing, err := eng.PredictStoredViaHost(context.Background(), 0)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -421,13 +423,47 @@ func BenchmarkNode_Throughput(b *testing.B) {
 			}
 			var res *NodeBatchResult
 			for i := 0; i < b.N; i++ {
-				res, err = n.PredictBatch(batch)
+				res, err = n.PredictBatch(context.Background(), batch)
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.ReportMetric(float64(res.Makespan.Microseconds()), "sim_makespan_µs")
 			b.ReportMetric(n.ThroughputPerSecond(), "sim_seq/s")
+		})
+	}
+}
+
+// Concurrent serving (§II scalability): 64 goroutines push live windows
+// through the request scheduler over 1/2/4 devices — bounded queues,
+// least-busy placement. Reports simulated device time per request.
+func BenchmarkServe_Throughput(b *testing.B) {
+	m := paperModel(b)
+	seq := paperSeq()
+	for _, devices := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "dev1", 2: "dev2", 4: "dev4"}[devices], func(b *testing.B) {
+			s, err := NewServer(m, NodeConfig{Devices: devices}, ServeConfig{Block: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.SetParallelism(64)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, _, err := s.Predict(context.Background(), seq); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			var busy time.Duration
+			var jobs int64
+			for _, st := range s.Stats() {
+				busy += st.BusyTime
+				jobs += st.Jobs
+			}
+			if jobs > 0 {
+				b.ReportMetric(float64(busy.Microseconds())/float64(jobs), "sim_µs/req")
+			}
 		})
 	}
 }
@@ -454,7 +490,7 @@ func BenchmarkBackgroundScan(b *testing.B) {
 	b.ResetTimer()
 	var last *core.ScanResult
 	for i := 0; i < b.N; i++ {
-		last, err = eng.ScanStored(offsets)
+		last, err = eng.ScanStored(context.Background(), offsets)
 		if err != nil {
 			b.Fatal(err)
 		}

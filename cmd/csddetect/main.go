@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -120,7 +121,7 @@ func run(args []string) error {
 
 func replay(det *detect.Detector, trace []int, verbose bool) error {
 	for _, call := range trace {
-		ev, err := det.Observe(call)
+		ev, err := det.Observe(context.Background(), call)
 		if err != nil {
 			if errors.Is(err, detect.ErrBlocked) {
 				return nil

@@ -18,13 +18,20 @@
 //
 //	dev, _ := csdinf.NewSmartSSD(csdinf.CSDConfig{})
 //	eng, _ := csdinf.Deploy(dev, res.Model, csdinf.DeployConfig{})
-//	result, timing, _ := eng.PredictStored(offset) // in-storage inference
+//	result, timing, _ := eng.PredictStored(ctx, offset) // in-storage inference
 //
 //	det, _ := csdinf.NewDetector(eng, csdinf.DetectorConfig{})
 //	for _, call := range liveAPICalls {
-//	    ev, _ := det.Observe(call) // streaming detection + mitigation
+//	    ev, _ := det.Observe(ctx, call) // streaming detection + mitigation
 //	    _ = ev
 //	}
+//
+// Every inference entry point — a single engine, a multi-device node, the
+// concurrent serving layer, the hot-swap wrapper — implements the Inferencer
+// interface and takes a context.Context, so cancellation and deadlines
+// propagate from the caller down to the device queue. For sustained
+// concurrent load, NewServer schedules requests over several devices with
+// bounded queues and least-busy placement.
 //
 // All hardware (FPGA fabric and clock, SmartSSD, PCIe switch, A100/Xeon
 // baselines) is simulated with calibrated timing models — see DESIGN.md for
@@ -33,6 +40,7 @@
 package csdinf
 
 import (
+	"fmt"
 	"io"
 
 	"github.com/kfrida1/csdinf/internal/core"
@@ -41,12 +49,14 @@ import (
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/detect"
 	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/metrics"
 	"github.com/kfrida1/csdinf/internal/node"
 	"github.com/kfrida1/csdinf/internal/report"
 	"github.com/kfrida1/csdinf/internal/sandbox"
+	"github.com/kfrida1/csdinf/internal/serve"
 	"github.com/kfrida1/csdinf/internal/train"
 	"github.com/kfrida1/csdinf/internal/vitis"
 	"github.com/kfrida1/csdinf/internal/winapi"
@@ -103,6 +113,10 @@ type (
 	OptLevel = kernels.OptLevel
 	// Part is an FPGA device model.
 	Part = fpga.Part
+	// Inferencer is the stack-wide inference contract: context-aware
+	// classification of live and SSD-resident sequences. Engine, Node,
+	// Server, and HotSwapEngine all implement it.
+	Inferencer = infer.Inferencer
 )
 
 // Detection types.
@@ -261,6 +275,54 @@ const LevelMixed = kernels.LevelMixed
 // NewNode deploys the model to several fresh CSDs and returns the
 // node-level scheduler.
 func NewNode(m *Model, cfg NodeConfig) (*Node, error) { return node.New(m, cfg) }
+
+// Serving types (the concurrent request-scheduling layer).
+type (
+	// Server schedules inference requests over several single-stream CSD
+	// engines: bounded per-device queues, least-busy placement, stored-scan
+	// batching, and context cancellation end-to-end.
+	Server = serve.Server
+	// ServeConfig controls the request scheduler.
+	ServeConfig = serve.Config
+	// ServerDeviceStats describes one device's serving activity.
+	ServerDeviceStats = serve.DeviceStats
+)
+
+// Serving errors.
+var (
+	// ErrQueueFull is the scheduler's backpressure signal when a device
+	// queue has no room (and ServeConfig.Block is false).
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrServerClosed is returned for requests submitted to, or still
+	// queued in, a closed server.
+	ErrServerClosed = serve.ErrClosed
+)
+
+// NewServer deploys the model to nodeCfg.Devices fresh CSDs and starts the
+// concurrent request scheduler over them. Close the server to stop its
+// device workers.
+func NewServer(m *Model, nodeCfg NodeConfig, serveCfg ServeConfig) (*Server, error) {
+	devices := nodeCfg.Devices
+	if devices == 0 {
+		devices = 1
+	}
+	if devices < 0 {
+		return nil, fmt.Errorf("csdinf: device count must be positive, got %d", devices)
+	}
+	engines := make([]Inferencer, devices)
+	for i := range engines {
+		dev, err := csd.New(nodeCfg.CSD)
+		if err != nil {
+			return nil, fmt.Errorf("csdinf: device %d: %w", i, err)
+		}
+		eng, err := core.Deploy(dev, m, nodeCfg.Deploy)
+		if err != nil {
+			return nil, fmt.Errorf("csdinf: deploy to device %d: %w", i, err)
+		}
+		engines[i] = eng
+	}
+	return serve.New(engines, serveCfg)
+}
 
 // NewUpdater trains an initial model on the base corpus, deploys it, and
 // returns the CTI-driven maintenance loop.

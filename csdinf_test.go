@@ -2,8 +2,11 @@ package csdinf
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"hash/fnv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -67,7 +70,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		if _, err := dev.StoreSequence(off, s.Items); err != nil {
 			t.Fatal(err)
 		}
-		result, timing, err := eng.PredictStored(off)
+		result, timing, err := eng.PredictStored(context.Background(), off)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +103,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, call := range ransom.Items {
-		if _, err := det.Observe(call); err != nil {
+		if _, err := det.Observe(context.Background(), call); err != nil {
 			break // ErrBlocked is success here
 		}
 	}
@@ -333,10 +336,10 @@ func TestDetectorMuxFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range infection {
-		if _, err := mux.Observe(3, desktop[i]); err != nil {
+		if _, err := mux.Observe(context.Background(), 3, desktop[i]); err != nil {
 			break
 		}
-		if _, err := mux.Observe(7, infection[i]); err != nil {
+		if _, err := mux.Observe(context.Background(), 7, infection[i]); err != nil {
 			break
 		}
 	}
@@ -381,5 +384,64 @@ func TestCorpusDeterminismGolden(t *testing.T) {
 	if got := h.Sum64(); got != golden {
 		t.Fatalf("corpus hash = %#x, want %#x — the seeded generator changed; "+
 			"if intentional, re-record EXPERIMENTS.md and update this golden", got, golden)
+	}
+}
+
+// TestServerFacade exercises the concurrent serving layer end to end
+// through the public API: deploy to several devices, push live and stored
+// work from concurrent callers, and close.
+func TestServerFacade(t *testing.T) {
+	cfg := PaperModelConfig()
+	cfg.EmbedDim, cfg.HiddenSize = 4, 8 // scaled down to keep the test fast
+	m, err := NewModel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(m, NodeConfig{
+		Devices: 2,
+		Deploy:  DeployConfig{SeqLen: 16},
+	}, ServeConfig{Block: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Devices() != 2 || s.SeqLen() != 16 {
+		t.Fatalf("Devices = %d, SeqLen = %d", s.Devices(), s.SeqLen())
+	}
+	seq := make([]int, 16)
+	for i := range seq {
+		seq[i] = i + 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, _, err := s.Predict(context.Background(), seq); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	var jobs int64
+	for _, st := range s.Stats() {
+		jobs += st.Jobs
+	}
+	if jobs != 32 {
+		t.Fatalf("jobs = %d, want 32", jobs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Predict(context.Background(), seq); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("post-close error = %v, want ErrServerClosed", err)
 	}
 }

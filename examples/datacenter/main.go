@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -71,7 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, call := range infection {
-		if _, err := det.Observe(call); err != nil {
+		if _, err := det.Observe(context.Background(), call); err != nil {
 			break // mitigation fired
 		}
 	}
@@ -92,7 +93,7 @@ func main() {
 		}
 		batch[i] = w
 	}
-	res, err := fleet.PredictBatch(batch)
+	res, err := fleet.PredictBatch(context.Background(), batch)
 	if err != nil {
 		log.Fatal(err)
 	}

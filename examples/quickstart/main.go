@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,7 +66,7 @@ func main() {
 		if _, err := dev.StoreSequence(off, s.Items); err != nil {
 			log.Fatal(err)
 		}
-		result, timing, err := eng.PredictStored(off)
+		result, timing, err := eng.PredictStored(context.Background(), off)
 		if err != nil {
 			log.Fatal(err)
 		}

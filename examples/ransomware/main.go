@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,7 +73,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fixedRes, _, err := eng.Predict(s.Items)
+		fixedRes, _, err := eng.Predict(context.Background(), s.Items)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -78,7 +79,7 @@ func main() {
 		len(stream), infectionStart)
 
 	for _, call := range stream {
-		ev, err := det.Observe(call)
+		ev, err := det.Observe(context.Background(), call)
 		if err != nil {
 			if errors.Is(err, csdinf.ErrStreamBlocked) {
 				break

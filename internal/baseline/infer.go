@@ -1,0 +1,150 @@
+package baseline
+
+// This file adapts the package's comparison-point models to the stack-wide
+// infer.Inferencer contract, so the host-framework LSTM (Table I's CPU/GPU
+// rows) and the non-sequential histogram classifier can be dropped into any
+// consumer of the interface — the detector, the mux, the serving layer —
+// and compared against the CSD engine on identical streams.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/infer"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// HostLSTM runs the reference LSTM on the host and reports framework-model
+// latencies: the same classifier the CSD engine runs, but paying the
+// Table I per-item dispatch costs instead of the FPGA pipeline's. With a
+// nil Framework it charges the measured Go wall-clock time instead.
+type HostLSTM struct {
+	model  *lstm.Model
+	seqLen int
+
+	// mu guards rng (SampleItem mutates it) and serializes Forward, which
+	// mirrors the single-stream eager-framework execution being modeled.
+	mu  sync.Mutex
+	fw  *FrameworkModel
+	rng *rand.Rand
+}
+
+var _ infer.Inferencer = (*HostLSTM)(nil)
+
+// NewHostLSTM wraps the model as an Inferencer with the given window
+// length. fw selects the framework latency model (e.g. &CPUXeon, &GPUA100);
+// nil charges measured Go wall-clock time. seed drives latency sampling.
+func NewHostLSTM(m *lstm.Model, seqLen int, fw *FrameworkModel, seed int64) (*HostLSTM, error) {
+	if m == nil {
+		return nil, errors.New("baseline: nil model")
+	}
+	if seqLen <= 0 {
+		return nil, fmt.Errorf("baseline: window length must be positive, got %d", seqLen)
+	}
+	if fw != nil {
+		if err := fw.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &HostLSTM{
+		model: m, seqLen: seqLen, fw: fw,
+		rng: rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Predict classifies the window on the host LSTM. Timing.Compute is the
+// framework model's sampled per-item latency summed over the window (or the
+// measured wall clock with a nil framework); Transfer is zero — the data is
+// already in host memory.
+func (h *HostLSTM) Predict(ctx context.Context, seq []int) (kernels.Result, infer.Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return kernels.Result{}, infer.Timing{}, err
+	}
+	if len(seq) != h.seqLen {
+		return kernels.Result{}, infer.Timing{}, fmt.Errorf("baseline: sequence length %d, host model expects %d",
+			len(seq), h.seqLen)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	start := time.Now()
+	p, err := h.model.Forward(seq)
+	if err != nil {
+		return kernels.Result{}, infer.Timing{}, fmt.Errorf("baseline: forward: %w", err)
+	}
+	var compute time.Duration
+	if h.fw != nil {
+		var micros float64
+		for i := 0; i < len(seq); i++ {
+			micros += h.fw.SampleItem(h.rng)
+		}
+		compute = time.Duration(micros * float64(time.Microsecond))
+	} else {
+		compute = time.Since(start)
+	}
+	res := kernels.Result{Ransomware: p >= 0.5, Probability: p}
+	return res, infer.Timing{Compute: compute}, nil
+}
+
+// PredictStored fails: a host model has no attached storage to read from.
+func (h *HostLSTM) PredictStored(ctx context.Context, ssdOff int64) (kernels.Result, infer.Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return kernels.Result{}, infer.Timing{}, err
+	}
+	return kernels.Result{}, infer.Timing{}, fmt.Errorf("baseline: host LSTM offset %d: %w", ssdOff, infer.ErrNoStoredData)
+}
+
+// SeqLen returns the classification window length.
+func (h *HostLSTM) SeqLen() int { return h.seqLen }
+
+// HistogramInferencer adapts the non-sequential histogram classifier to the
+// Inferencer contract, for order-blind ablations on live streams.
+type HistogramInferencer struct {
+	clf    *HistogramClassifier
+	seqLen int
+}
+
+var _ infer.Inferencer = (*HistogramInferencer)(nil)
+
+// NewHistogramInferencer wraps a (typically trained) histogram classifier.
+func NewHistogramInferencer(clf *HistogramClassifier, seqLen int) (*HistogramInferencer, error) {
+	if clf == nil {
+		return nil, errors.New("baseline: nil classifier")
+	}
+	if seqLen <= 0 {
+		return nil, fmt.Errorf("baseline: window length must be positive, got %d", seqLen)
+	}
+	return &HistogramInferencer{clf: clf, seqLen: seqLen}, nil
+}
+
+// Predict classifies the window's call histogram. The snapshot model is
+// computationally negligible, so Timing is zero.
+func (h *HistogramInferencer) Predict(ctx context.Context, seq []int) (kernels.Result, infer.Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return kernels.Result{}, infer.Timing{}, err
+	}
+	if len(seq) != h.seqLen {
+		return kernels.Result{}, infer.Timing{}, fmt.Errorf("baseline: sequence length %d, histogram model expects %d",
+			len(seq), h.seqLen)
+	}
+	flagged, p, err := h.clf.Predict(seq)
+	if err != nil {
+		return kernels.Result{}, infer.Timing{}, err
+	}
+	return kernels.Result{Ransomware: flagged, Probability: p}, infer.Timing{}, nil
+}
+
+// PredictStored fails: the snapshot model has no attached storage.
+func (h *HistogramInferencer) PredictStored(ctx context.Context, ssdOff int64) (kernels.Result, infer.Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return kernels.Result{}, infer.Timing{}, err
+	}
+	return kernels.Result{}, infer.Timing{}, fmt.Errorf("baseline: histogram model offset %d: %w", ssdOff, infer.ErrNoStoredData)
+}
+
+// SeqLen returns the classification window length.
+func (h *HistogramInferencer) SeqLen() int { return h.seqLen }

@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/activation"
+	"github.com/kfrida1/csdinf/internal/infer"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+func testModel(t *testing.T) *lstm.Model {
+	t.Helper()
+	m, err := lstm.NewModel(lstm.Config{
+		VocabSize: 20, EmbedDim: 4, HiddenSize: 6, CellActivation: activation.Softsign,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewHostLSTMValidation(t *testing.T) {
+	m := testModel(t)
+	if _, err := NewHostLSTM(nil, 5, nil, 1); err == nil {
+		t.Error("nil model: expected error")
+	}
+	if _, err := NewHostLSTM(m, 0, nil, 1); err == nil {
+		t.Error("zero window: expected error")
+	}
+	bad := FrameworkModel{OpsPerItem: -1}
+	if _, err := NewHostLSTM(m, 5, &bad, 1); err == nil {
+		t.Error("invalid framework model: expected error")
+	}
+}
+
+func TestHostLSTMMatchesReference(t *testing.T) {
+	m := testModel(t)
+	h, err := NewHostLSTM(m, 5, &CPUXeon, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SeqLen() != 5 {
+		t.Fatalf("SeqLen = %d", h.SeqLen())
+	}
+	seq := []int{3, 1, 4, 1, 5}
+	res, timing, err := h.Predict(context.Background(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Forward(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Probability-want) > 1e-12 {
+		t.Fatalf("host %v vs reference %v", res.Probability, want)
+	}
+	if timing.Compute <= 0 {
+		t.Fatal("framework model charged no compute time")
+	}
+	if timing.Transfer != 0 {
+		t.Fatalf("host path paid a transfer: %v", timing.Transfer)
+	}
+	if _, _, err := h.Predict(context.Background(), []int{1, 2}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestHostLSTMMeasuredPath(t *testing.T) {
+	h, err := NewHostLSTM(testModel(t), 5, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, timing, err := h.Predict(context.Background(), []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.Compute <= 0 {
+		t.Fatal("measured path charged no wall-clock time")
+	}
+}
+
+func TestHostLSTMStoredAndContext(t *testing.T) {
+	h, err := NewHostLSTM(testModel(t), 5, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.PredictStored(context.Background(), 0); !errors.Is(err, infer.ErrNoStoredData) {
+		t.Fatalf("PredictStored error = %v, want ErrNoStoredData", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := h.Predict(ctx, []int{1, 2, 3, 4, 5}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Predict error = %v, want context.Canceled", err)
+	}
+}
+
+func TestHistogramInferencer(t *testing.T) {
+	clf, err := NewHistogramClassifier(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHistogramInferencer(nil, 5); err == nil {
+		t.Error("nil classifier: expected error")
+	}
+	if _, err := NewHistogramInferencer(clf, 0); err == nil {
+		t.Error("zero window: expected error")
+	}
+	h, err := NewHistogramInferencer(clf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := h.Predict(context.Background(), []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untrained classifier: z = 0 → probability exactly 0.5.
+	if res.Probability != 0.5 {
+		t.Fatalf("untrained probability = %v, want 0.5", res.Probability)
+	}
+	if _, _, err := h.Predict(context.Background(), []int{1}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, _, err := h.PredictStored(context.Background(), 64); !errors.Is(err, infer.ErrNoStoredData) {
+		t.Fatalf("PredictStored error = %v, want ErrNoStoredData", err)
+	}
+}

@@ -13,12 +13,14 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"github.com/kfrida1/csdinf/internal/csd"
 	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
 )
@@ -38,7 +40,10 @@ type DeployConfig struct {
 
 // Engine is a deployed CSD inference engine. It is not safe for concurrent
 // use (it owns recurrent kernel state), matching the single-stream dataflow
-// of the hardware pipeline.
+// of the hardware pipeline; serialize access externally (internal/node,
+// internal/serve) to share one engine between goroutines.
+//
+// Engine implements infer.Inferencer.
 type Engine struct {
 	dev  *csd.SmartSSD
 	pipe *kernels.Pipeline
@@ -97,21 +102,20 @@ func Deploy(dev *csd.SmartSSD, m *lstm.Model, cfg DeployConfig) (*Engine, error)
 }
 
 // Timing breaks a classification's simulated latency into data movement and
-// FPGA compute.
-type Timing struct {
-	// Transfer is the data-movement time (SSD read + PCIe path).
-	Transfer time.Duration
-	// Compute is the kernel execution time on the FPGA.
-	Compute time.Duration
-}
+// FPGA compute. It is an alias of infer.Timing, the breakdown shared by
+// every Inferencer implementation.
+type Timing = infer.Timing
 
-// Total returns Transfer + Compute.
-func (t Timing) Total() time.Duration { return t.Transfer + t.Compute }
+var _ infer.Inferencer = (*Engine)(nil)
 
 // PredictStored classifies the sequence stored at the given SSD byte
 // offset, moving it to the FPGA over the P2P path — the paper's headline
-// dataflow with no host involvement.
-func (e *Engine) PredictStored(ssdOff int64) (kernels.Result, Timing, error) {
+// dataflow with no host involvement. A canceled ctx aborts the call before
+// the device is touched.
+func (e *Engine) PredictStored(ctx context.Context, ssdOff int64) (kernels.Result, Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return kernels.Result{}, Timing{}, err
+	}
 	xfer, err := e.dev.TransferP2P(ssdOff, e.seqBuf)
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: fetch sequence: %w", err)
@@ -121,7 +125,10 @@ func (e *Engine) PredictStored(ssdOff int64) (kernels.Result, Timing, error) {
 
 // PredictStoredViaHost classifies the stored sequence but stages it through
 // host memory — the traditional path, kept for the P2P ablation.
-func (e *Engine) PredictStoredViaHost(ssdOff int64) (kernels.Result, Timing, error) {
+func (e *Engine) PredictStoredViaHost(ctx context.Context, ssdOff int64) (kernels.Result, Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return kernels.Result{}, Timing{}, err
+	}
 	xfer, err := e.dev.TransferViaHost(ssdOff, e.seqBuf)
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: fetch sequence via host: %w", err)
@@ -130,15 +137,20 @@ func (e *Engine) PredictStoredViaHost(ssdOff int64) (kernels.Result, Timing, err
 }
 
 // Predict classifies a host-provided sequence (e.g. a live window from the
-// detection pipeline), paying one host-link transfer to stage it.
-func (e *Engine) Predict(seq []int) (kernels.Result, Timing, error) {
-	data, err := csd.EncodeItems(seq)
-	if err != nil {
-		return kernels.Result{}, Timing{}, fmt.Errorf("core: encode sequence: %w", err)
+// detection pipeline), paying one host-link transfer to stage it. The
+// length check runs before the encode so an oversized sequence is rejected
+// without paying for serialization.
+func (e *Engine) Predict(ctx context.Context, seq []int) (kernels.Result, Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return kernels.Result{}, Timing{}, err
 	}
 	if len(seq) != e.pipe.SeqLen() {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: sequence length %d, engine expects %d",
 			len(seq), e.pipe.SeqLen())
+	}
+	data, err := csd.EncodeItems(seq)
+	if err != nil {
+		return kernels.Result{}, Timing{}, fmt.Errorf("core: encode sequence: %w", err)
 	}
 	xfer, err := e.dev.WriteBuffer(e.seqBuf, data)
 	if err != nil {
@@ -189,22 +201,47 @@ type ScanResult struct {
 	Timing Timing
 }
 
+// OffsetError attributes a scan failure to the SSD offset that caused it.
+type OffsetError struct {
+	// Offset is the failing SSD byte offset.
+	Offset int64
+	// Index is the offset's position in the scanned slice.
+	Index int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *OffsetError) Error() string {
+	return fmt.Sprintf("core: scan offset %d (index %d): %v", e.Offset, e.Index, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *OffsetError) Unwrap() error { return e.Err }
+
 // ScanStored classifies a batch of sequences resident on the SSD — the
 // background-scanning deployment the paper's introduction motivates ("data
 // centers can execute the classifier continuously in the background ...
 // without exhausting the CPU"). Each sequence moves over the P2P path; the
 // host never touches the data.
-func (e *Engine) ScanStored(offsets []int64) (*ScanResult, error) {
+//
+// On a per-offset failure the scan stops, but the classifications completed
+// so far are returned alongside an *OffsetError naming the failing offset
+// and wrapping the cause; a canceled ctx likewise returns the partial
+// results with ctx.Err().
+func (e *Engine) ScanStored(ctx context.Context, offsets []int64) (*ScanResult, error) {
 	if len(offsets) == 0 {
 		return nil, errors.New("core: no offsets to scan")
 	}
-	out := &ScanResult{Results: make([]kernels.Result, len(offsets))}
+	out := &ScanResult{Results: make([]kernels.Result, 0, len(offsets))}
 	for i, off := range offsets {
-		res, timing, err := e.PredictStored(off)
-		if err != nil {
-			return nil, fmt.Errorf("core: scan offset %d: %w", off, err)
+		if err := ctx.Err(); err != nil {
+			return out, err
 		}
-		out.Results[i] = res
+		res, timing, err := e.PredictStored(ctx, off)
+		if err != nil {
+			return out, &OffsetError{Offset: off, Index: i, Err: err}
+		}
+		out.Results = append(out.Results, res)
 		if res.Ransomware {
 			out.Flagged++
 		}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/kfrida1/csdinf/internal/activation"
@@ -70,7 +72,7 @@ func TestPredictStoredP2P(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := dev.Traffic()
-	res, timing, err := eng.PredictStored(8192)
+	res, timing, err := eng.PredictStored(context.Background(), 8192)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +100,11 @@ func TestPredictStoredHostPathSlower(t *testing.T) {
 	if _, err := dev.StoreSequence(0, seq); err != nil {
 		t.Fatal(err)
 	}
-	_, p2p, err := eng.PredictStored(0)
+	_, p2p, err := eng.PredictStored(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, host, err := eng.PredictStoredViaHost(0)
+	_, host, err := eng.PredictStoredViaHost(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestPredictStoredHostPathSlower(t *testing.T) {
 
 func TestPredictDirect(t *testing.T) {
 	_, eng := testSetup(t, kernels.LevelVanilla, 5)
-	res, timing, err := eng.Predict([]int{1, 2, 3, 4, 5})
+	res, timing, err := eng.Predict(context.Background(), []int{1, 2, 3, 4, 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,10 +128,10 @@ func TestPredictDirect(t *testing.T) {
 	if res.Probability <= 0 || res.Probability >= 1 {
 		t.Fatalf("probability = %v", res.Probability)
 	}
-	if _, _, err := eng.Predict([]int{1, 2}); err == nil {
+	if _, _, err := eng.Predict(context.Background(), []int{1, 2}); err == nil {
 		t.Error("short sequence: expected error")
 	}
-	if _, _, err := eng.Predict([]int{-1, 2, 3, 4, 5}); err == nil {
+	if _, _, err := eng.Predict(context.Background(), []int{-1, 2, 3, 4, 5}); err == nil {
 		t.Error("negative item: expected error")
 	}
 }
@@ -150,7 +152,7 @@ func TestPredictMatchesReferenceModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	seq := []int{3, 1, 4, 1, 5, 9}
-	res, _, err := eng.Predict(seq)
+	res, _, err := eng.Predict(context.Background(), seq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +170,7 @@ func TestPredictStoredPropagatesMediaFault(t *testing.T) {
 	if err := dev.SSD().InjectReadFault(0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := eng.PredictStored(0); !errors.Is(err, ssd.ErrMediaFault) {
+	if _, _, err := eng.PredictStored(context.Background(), 0); !errors.Is(err, ssd.ErrMediaFault) {
 		t.Fatalf("error = %v, want wrapped ErrMediaFault", err)
 	}
 }
@@ -183,7 +185,7 @@ func TestPredictStoredRejectsOOVData(t *testing.T) {
 	if _, err := dev.StoreSequence(0, bogus); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := eng.PredictStored(0); !errors.Is(err, lstm.ErrItemOutOfRange) {
+	if _, _, err := eng.PredictStored(context.Background(), 0); !errors.Is(err, lstm.ErrItemOutOfRange) {
 		t.Fatalf("error = %v, want wrapped ErrItemOutOfRange", err)
 	}
 }
@@ -213,7 +215,7 @@ func TestScanStored(t *testing.T) {
 		}
 		offsets = append(offsets, off)
 	}
-	res, err := eng.ScanStored(offsets)
+	res, err := eng.ScanStored(context.Background(), offsets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,14 +229,67 @@ func TestScanStored(t *testing.T) {
 	if res.Flagged != 0 && res.Flagged != len(offsets) {
 		t.Fatalf("inconsistent verdicts: flagged %d of %d", res.Flagged, len(offsets))
 	}
-	if _, err := eng.ScanStored(nil); err == nil {
+	if _, err := eng.ScanStored(context.Background(), nil); err == nil {
 		t.Error("empty scan: expected error")
 	}
-	// A media fault mid-scan surfaces.
+	// A media fault mid-scan surfaces with the completed prefix intact.
 	if err := dev.SSD().InjectReadFault(offsets[2]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.ScanStored(offsets); err == nil {
-		t.Error("faulty scan: expected error")
+	partial, err := eng.ScanStored(context.Background(), offsets)
+	if err == nil {
+		t.Fatal("faulty scan: expected error")
+	}
+	if !errors.Is(err, ssd.ErrMediaFault) {
+		t.Fatalf("scan error = %v, want wrapped ErrMediaFault", err)
+	}
+	var offErr *OffsetError
+	if !errors.As(err, &offErr) {
+		t.Fatalf("scan error = %T, want *OffsetError", err)
+	}
+	if offErr.Offset != offsets[2] || offErr.Index != 2 {
+		t.Fatalf("OffsetError = %+v, want offset %d index 2", offErr, offsets[2])
+	}
+	if partial == nil || len(partial.Results) != 2 {
+		t.Fatalf("partial results = %v, want the 2 completed classifications", partial)
+	}
+}
+
+func TestPredictValidatesLengthBeforeEncode(t *testing.T) {
+	_, eng := testSetup(t, kernels.LevelFixedPoint, 5)
+	// Wrong length AND an item the encoder would reject: the length check
+	// must win, proving the oversized sequence never pays the encode.
+	_, _, err := eng.Predict(context.Background(), []int{-1, 2, 3})
+	if err == nil {
+		t.Fatal("short sequence accepted")
+	}
+	if !strings.Contains(err.Error(), "length") {
+		t.Fatalf("error = %v, want the length validation, not the encode failure", err)
+	}
+}
+
+func TestPredictHonorsCanceledContext(t *testing.T) {
+	dev, eng := testSetup(t, kernels.LevelFixedPoint, 10)
+	seq := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if _, err := dev.StoreSequence(0, seq); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := eng.Predict(ctx, seq); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Predict error = %v, want context.Canceled", err)
+	}
+	if _, _, err := eng.PredictStored(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PredictStored error = %v, want context.Canceled", err)
+	}
+	if _, _, err := eng.PredictStoredViaHost(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PredictStoredViaHost error = %v, want context.Canceled", err)
+	}
+	partial, err := eng.ScanStored(ctx, []int64{0})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanStored error = %v, want context.Canceled", err)
+	}
+	if partial == nil || len(partial.Results) != 0 {
+		t.Fatalf("canceled scan results = %v, want empty partial", partial)
 	}
 }

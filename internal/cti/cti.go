@@ -15,14 +15,16 @@
 package cti
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/kfrida1/csdinf/internal/core"
 	"github.com/kfrida1/csdinf/internal/csd"
 	"github.com/kfrida1/csdinf/internal/dataset"
-	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/metrics"
@@ -30,58 +32,68 @@ import (
 	"github.com/kfrida1/csdinf/internal/train"
 )
 
-// HotSwapEngine is a detect.Predictor whose underlying CSD engine can be
-// replaced atomically while a detection stream is live.
+// HotSwapEngine is an infer.Inferencer whose underlying inferencer can be
+// replaced atomically while a detection stream is live. Reads are lock-free
+// (an atomic pointer load); a swap becomes visible to the next request
+// without stalling in-flight ones.
 type HotSwapEngine struct {
-	mu  sync.RWMutex
-	eng *core.Engine
+	cur atomic.Pointer[holder]
+	// swapMu serializes Swap calls so the SeqLen check and pointer store
+	// are atomic with respect to other swappers (readers never take it).
+	swapMu sync.Mutex
 }
 
-var _ detect.Predictor = (*HotSwapEngine)(nil)
+// holder wraps the interface value so it can live behind atomic.Pointer.
+type holder struct{ inf infer.Inferencer }
 
-// NewHotSwapEngine wraps an initial engine.
-func NewHotSwapEngine(eng *core.Engine) (*HotSwapEngine, error) {
-	if eng == nil {
+var _ infer.Inferencer = (*HotSwapEngine)(nil)
+
+// NewHotSwapEngine wraps an initial inferencer.
+func NewHotSwapEngine(inf infer.Inferencer) (*HotSwapEngine, error) {
+	if inf == nil {
 		return nil, errors.New("cti: nil engine")
 	}
-	return &HotSwapEngine{eng: eng}, nil
+	h := &HotSwapEngine{}
+	h.cur.Store(&holder{inf: inf})
+	return h, nil
 }
 
-// Predict delegates to the current engine.
-func (h *HotSwapEngine) Predict(seq []int) (kernels.Result, core.Timing, error) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return h.eng.Predict(seq)
+// Predict delegates to the current inferencer.
+func (h *HotSwapEngine) Predict(ctx context.Context, seq []int) (kernels.Result, infer.Timing, error) {
+	return h.cur.Load().inf.Predict(ctx, seq)
 }
 
-// SeqLen returns the current engine's window length.
+// PredictStored delegates to the current inferencer.
+func (h *HotSwapEngine) PredictStored(ctx context.Context, ssdOff int64) (kernels.Result, infer.Timing, error) {
+	return h.cur.Load().inf.PredictStored(ctx, ssdOff)
+}
+
+// SeqLen returns the current inferencer's window length.
 func (h *HotSwapEngine) SeqLen() int {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return h.eng.SeqLen()
+	return h.cur.Load().inf.SeqLen()
 }
 
-// Swap replaces the engine. The new engine must use the same window length
-// (the hardware counter is fixed at synthesis time).
-func (h *HotSwapEngine) Swap(eng *core.Engine) error {
-	if eng == nil {
+// Swap replaces the inferencer. The replacement must use the same window
+// length (the hardware counter is fixed at synthesis time). In-flight
+// requests finish on whichever engine they loaded; subsequent requests see
+// the replacement.
+func (h *HotSwapEngine) Swap(inf infer.Inferencer) error {
+	if inf == nil {
 		return errors.New("cti: nil engine")
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if eng.SeqLen() != h.eng.SeqLen() {
+	h.swapMu.Lock()
+	defer h.swapMu.Unlock()
+	if cur := h.cur.Load().inf; inf.SeqLen() != cur.SeqLen() {
 		return fmt.Errorf("cti: window length %d does not match deployed %d (fixed at synthesis)",
-			eng.SeqLen(), h.eng.SeqLen())
+			inf.SeqLen(), cur.SeqLen())
 	}
-	h.eng = eng
+	h.cur.Store(&holder{inf: inf})
 	return nil
 }
 
-// Engine returns the current engine (for inspection).
-func (h *HotSwapEngine) Engine() *core.Engine {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return h.eng
+// Engine returns the current inferencer (for inspection).
+func (h *HotSwapEngine) Engine() infer.Inferencer {
+	return h.cur.Load().inf
 }
 
 // Config controls the updater.

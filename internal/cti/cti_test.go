@@ -1,6 +1,7 @@
 package cti
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -191,7 +192,7 @@ func TestLiveDetectorSurvivesSwap(t *testing.T) {
 		}
 	}()
 	for _, call := range trace {
-		if _, err := det.Observe(call); err != nil {
+		if _, err := det.Observe(context.Background(), call); err != nil {
 			t.Fatal(err)
 		}
 	}

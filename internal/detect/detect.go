@@ -6,23 +6,19 @@
 package detect
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
-	"github.com/kfrida1/csdinf/internal/core"
-	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/infer"
 )
 
-// Predictor classifies a fully-formed window. *core.Engine satisfies it;
+// Predictor classifies a fully-formed window. It is the stack-wide
+// inference contract: a single CSD engine (core.Engine), a multi-device
+// node (node.Node), the concurrent serving layer (serve.Server), and the
+// hot-swappable maintenance engine (cti.HotSwapEngine) all satisfy it;
 // tests may substitute fakes.
-type Predictor interface {
-	// Predict classifies one window of API-call IDs.
-	Predict(seq []int) (kernels.Result, core.Timing, error)
-	// SeqLen returns the window length the predictor expects.
-	SeqLen() int
-}
-
-var _ Predictor = (*core.Engine)(nil)
+type Predictor = infer.Inferencer
 
 // Action is the detector's response to a classified window.
 type Action int
@@ -136,7 +132,9 @@ var ErrBlocked = errors.New("detect: mitigation active, stream blocked")
 // Observe feeds one API call into the detector. When the call completes a
 // classification window (every Stride calls once the window is full), the
 // window is classified and an Event returned; otherwise the event is nil.
-func (d *Detector) Observe(apiCallID int) (*Event, error) {
+// ctx bounds the classification; a canceled ctx aborts it before the
+// predictor is touched.
+func (d *Detector) Observe(ctx context.Context, apiCallID int) (*Event, error) {
 	if d.blocked {
 		return nil, ErrBlocked
 	}
@@ -148,7 +146,7 @@ func (d *Detector) Observe(apiCallID int) (*Event, error) {
 			return nil, nil
 		}
 		// First full window: classify immediately.
-		return d.classify()
+		return d.classify(ctx)
 	}
 	// Slide: drop the oldest call.
 	copy(d.window, d.window[1:])
@@ -157,12 +155,12 @@ func (d *Detector) Observe(apiCallID int) (*Event, error) {
 	if d.sinceEval < d.cfg.Stride {
 		return nil, nil
 	}
-	return d.classify()
+	return d.classify(ctx)
 }
 
-func (d *Detector) classify() (*Event, error) {
+func (d *Detector) classify(ctx context.Context) (*Event, error) {
 	d.sinceEval = 0
-	res, _, err := d.pred.Predict(d.window)
+	res, _, err := d.pred.Predict(ctx, d.window)
 	if err != nil {
 		return nil, fmt.Errorf("detect: classify window at call %d: %w", d.calls, err)
 	}

@@ -1,10 +1,11 @@
 package detect
 
 import (
+	"context"
 	"errors"
 	"testing"
 
-	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 )
 
@@ -16,17 +17,24 @@ type fakePredictor struct {
 	err    error
 }
 
-func (f *fakePredictor) Predict(seq []int) (kernels.Result, core.Timing, error) {
+func (f *fakePredictor) Predict(ctx context.Context, seq []int) (kernels.Result, infer.Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return kernels.Result{}, infer.Timing{}, err
+	}
 	f.calls++
 	if f.err != nil {
-		return kernels.Result{}, core.Timing{}, f.err
+		return kernels.Result{}, infer.Timing{}, f.err
 	}
 	for _, it := range seq {
 		if it == f.marker {
-			return kernels.Result{Ransomware: true, Probability: 0.95}, core.Timing{}, nil
+			return kernels.Result{Ransomware: true, Probability: 0.95}, infer.Timing{}, nil
 		}
 	}
-	return kernels.Result{Probability: 0.05}, core.Timing{}, nil
+	return kernels.Result{Probability: 0.05}, infer.Timing{}, nil
+}
+
+func (f *fakePredictor) PredictStored(ctx context.Context, ssdOff int64) (kernels.Result, infer.Timing, error) {
+	return kernels.Result{}, infer.Timing{}, infer.ErrNoStoredData
 }
 
 func (f *fakePredictor) SeqLen() int { return f.window }
@@ -66,7 +74,7 @@ func TestFirstWindowClassifiedWhenFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		ev, err := d.Observe(1)
+		ev, err := d.Observe(context.Background(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +82,7 @@ func TestFirstWindowClassifiedWhenFull(t *testing.T) {
 			t.Fatalf("event before window full at call %d", i)
 		}
 	}
-	ev, err := d.Observe(1)
+	ev, err := d.Observe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +104,7 @@ func TestStrideBetweenEvaluations(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := d.Observe(1); err != nil {
+		if _, err := d.Observe(context.Background(), 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -105,7 +113,7 @@ func TestStrideBetweenEvaluations(t *testing.T) {
 	}
 	// Next evaluation exactly Stride calls later.
 	for i := 0; i < 2; i++ {
-		ev, err := d.Observe(1)
+		ev, err := d.Observe(context.Background(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +121,7 @@ func TestStrideBetweenEvaluations(t *testing.T) {
 			t.Fatalf("early evaluation at slide %d", i)
 		}
 	}
-	ev, err := d.Observe(1)
+	ev, err := d.Observe(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +146,7 @@ func TestAlertEscalatesToBlock(t *testing.T) {
 	feed := func(n int) {
 		t.Helper()
 		for i := 0; i < n; i++ {
-			ev, err := d.Observe(7)
+			ev, err := d.Observe(context.Background(), 7)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -161,7 +169,7 @@ func TestAlertEscalatesToBlock(t *testing.T) {
 	if len(blocked) != 1 {
 		t.Fatalf("OnBlock fired %d times, want 1", len(blocked))
 	}
-	if _, err := d.Observe(7); !errors.Is(err, ErrBlocked) {
+	if _, err := d.Observe(context.Background(), 7); !errors.Is(err, ErrBlocked) {
 		t.Fatalf("post-block Observe error = %v, want ErrBlocked", err)
 	}
 }
@@ -175,7 +183,7 @@ func TestConsecutiveCounterResetsOnBenign(t *testing.T) {
 	// alert, benign, alert, benign... must never block.
 	items := []int{7, 1, 7, 1, 7, 1, 7, 1}
 	for _, it := range items {
-		if _, err := d.Observe(it); err != nil {
+		if _, err := d.Observe(context.Background(), it); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -190,10 +198,10 @@ func TestPredictorErrorPropagates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Observe(1); err != nil {
+	if _, err := d.Observe(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Observe(1); err == nil {
+	if _, err := d.Observe(context.Background(), 1); err == nil {
 		t.Fatal("predictor error swallowed")
 	}
 }
@@ -205,7 +213,7 @@ func TestStatsAndReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, it := range []int{1, 1, 7} {
-		if _, err := d.Observe(it); err != nil {
+		if _, err := d.Observe(context.Background(), it); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -218,7 +226,7 @@ func TestStatsAndReset(t *testing.T) {
 	if s.CallsObserved != 0 || s.Blocked {
 		t.Fatalf("post-reset stats = %+v", s)
 	}
-	if _, err := d.Observe(1); err != nil {
+	if _, err := d.Observe(context.Background(), 1); err != nil {
 		t.Fatalf("Observe after Reset: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -72,7 +73,7 @@ type ProcessEvent struct {
 // Observe routes one API call of the given process. When mitigation fires
 // for any process, the whole mux latches blocked (the device-level write
 // quarantine is global).
-func (m *Mux) Observe(pid, apiCallID int) (*ProcessEvent, error) {
+func (m *Mux) Observe(ctx context.Context, pid, apiCallID int) (*ProcessEvent, error) {
 	if m.blocked {
 		return nil, ErrBlocked
 	}
@@ -91,7 +92,7 @@ func (m *Mux) Observe(pid, apiCallID int) (*ProcessEvent, error) {
 	}
 	m.lastSeen[pid] = m.clock
 
-	ev, err := det.Observe(apiCallID)
+	ev, err := det.Observe(ctx, apiCallID)
 	if err != nil {
 		return nil, fmt.Errorf("detect: process %d: %w", pid, err)
 	}

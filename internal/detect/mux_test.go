@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -29,12 +30,12 @@ func TestMuxIsolatesProcesses(t *testing.T) {
 	// window below detectability... here pid 1 must fire on its own.
 	var blockedEv *ProcessEvent
 	for i := 0; i < 8 && blockedEv == nil; i++ {
-		if ev, err := m.Observe(2, 1); err != nil {
+		if ev, err := m.Observe(context.Background(), 2, 1); err != nil {
 			t.Fatal(err)
 		} else if ev != nil && ev.Action == ActionBlock {
 			t.Fatalf("benign process blocked: %+v", ev)
 		}
-		ev, err := m.Observe(1, 7)
+		ev, err := m.Observe(context.Background(), 1, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func TestMuxIsolatesProcesses(t *testing.T) {
 		t.Fatalf("Blocked() = %v, %d", blocked, pid)
 	}
 	// The mux latches globally (device-level quarantine).
-	if _, err := m.Observe(2, 1); !errors.Is(err, ErrBlocked) {
+	if _, err := m.Observe(context.Background(), 2, 1); !errors.Is(err, ErrBlocked) {
 		t.Fatalf("post-block observe error = %v", err)
 	}
 }
@@ -68,7 +69,7 @@ func TestMuxEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	for pid := 1; pid <= 5; pid++ {
-		if _, err := m.Observe(pid, 1); err != nil {
+		if _, err := m.Observe(context.Background(), pid, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -91,12 +92,64 @@ func TestMuxStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := m.Observe(10, 1); err != nil {
+		if _, err := m.Observe(context.Background(), 10, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
 	stats := m.ProcessStats()
 	if s, ok := stats[10]; !ok || s.CallsObserved != 4 {
 		t.Fatalf("stats[10] = %+v", stats[10])
+	}
+}
+
+func TestMuxEvictionUnderChurn(t *testing.T) {
+	p := &fakePredictor{window: 4, marker: 7}
+	m, err := NewMux(p, MuxConfig{
+		Detector:     Config{Stride: 1, Threshold: 0.99},
+		MaxProcesses: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// A small hot set keeps streaming while a churn of one-shot PIDs
+	// arrives. The hot set must survive every eviction round with its
+	// accumulated state intact; the one-shot strangers are the idlest and
+	// must be the ones evicted.
+	hot := []int{100, 101, 102}
+	const rounds = 20
+	for r := 0; r < rounds; r++ {
+		for _, pid := range hot {
+			if _, err := m.Observe(ctx, pid, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A fresh stranger each round forces an eviction once full.
+		if _, err := m.Observe(ctx, 1000+r, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Processes(); got != 4 {
+		t.Fatalf("tracked processes = %d, want 4 (bounded)", got)
+	}
+	stats := m.ProcessStats()
+	for _, pid := range hot {
+		s, ok := stats[pid]
+		if !ok {
+			t.Fatalf("hot pid %d evicted; stranger should have been idlest", pid)
+		}
+		if s.CallsObserved != rounds {
+			t.Fatalf("hot pid %d calls = %d, want %d (state lost across churn)",
+				pid, s.CallsObserved, rounds)
+		}
+	}
+	// Only the newest stranger can still be resident.
+	for r := 0; r < rounds-1; r++ {
+		if _, ok := stats[1000+r]; ok {
+			t.Fatalf("stale stranger pid %d survived churn", 1000+r)
+		}
+	}
+	if _, ok := stats[1000+rounds-1]; !ok {
+		t.Fatal("newest stranger evicted despite being most recent")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -126,7 +127,7 @@ func replayVariantWindow(cfg LatencyConfig, family string, variant, window int) 
 	}
 
 	for _, call := range benign {
-		if _, err := det.Observe(call); err != nil {
+		if _, err := det.Observe(context.Background(), call); err != nil {
 			return 0, false, err
 		}
 	}
@@ -136,7 +137,7 @@ func replayVariantWindow(cfg LatencyConfig, family string, variant, window int) 
 		return 0, false, nil
 	}
 	for i, call := range infected {
-		ev, err := det.Observe(call)
+		ev, err := det.Observe(context.Background(), call)
 		if err != nil {
 			return 0, false, err
 		}

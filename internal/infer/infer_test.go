@@ -1,0 +1,16 @@
+package infer
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimingTotal(t *testing.T) {
+	tm := Timing{Transfer: 3 * time.Microsecond, Compute: 5 * time.Microsecond}
+	if tm.Total() != 8*time.Microsecond {
+		t.Fatalf("Total() = %v", tm.Total())
+	}
+	if (Timing{}).Total() != 0 {
+		t.Fatal("zero timing has nonzero total")
+	}
+}

@@ -8,6 +8,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"github.com/kfrida1/csdinf/internal/core"
 	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
 )
@@ -30,12 +32,16 @@ type Config struct {
 }
 
 // Node is a host with several CSD inference engines. Its methods are safe
-// for concurrent use.
+// for concurrent use. Node implements infer.Inferencer with a round-robin
+// placement policy; internal/serve layers bounded queues and least-busy
+// placement on top for sustained request load.
 type Node struct {
 	engines []*engineSlot
 	next    int
 	nextMu  sync.Mutex
 }
+
+var _ infer.Inferencer = (*Node)(nil)
 
 // engineSlot serializes access to one engine (a single hardware pipeline
 // per device).
@@ -76,16 +82,44 @@ func New(m *lstm.Model, cfg Config) (*Node, error) {
 // Devices returns the number of installed CSDs.
 func (n *Node) Devices() int { return len(n.engines) }
 
-// Predict classifies one sequence on the next device (round-robin).
-func (n *Node) Predict(seq []int) (kernels.Result, core.Timing, error) {
+// Device returns the i-th CSD (e.g. to store sequences for stored scans).
+func (n *Node) Device(i int) *csd.SmartSSD { return n.engines[i].dev }
+
+// SeqLen returns the classification window length of the deployed model.
+func (n *Node) SeqLen() int { return n.engines[0].eng.SeqLen() }
+
+// pick returns the next slot under the round-robin policy.
+func (n *Node) pick() *engineSlot {
 	n.nextMu.Lock()
 	slot := n.engines[n.next%len(n.engines)]
 	n.next++
 	n.nextMu.Unlock()
+	return slot
+}
 
+// Predict classifies one sequence on the next device (round-robin).
+func (n *Node) Predict(ctx context.Context, seq []int) (kernels.Result, core.Timing, error) {
+	slot := n.pick()
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
-	res, timing, err := slot.eng.Predict(seq)
+	res, timing, err := slot.eng.Predict(ctx, seq)
+	if err != nil {
+		return kernels.Result{}, core.Timing{}, err
+	}
+	slot.busy += timing.Total()
+	slot.jobs++
+	return res, timing, nil
+}
+
+// PredictStored classifies the sequence at the given SSD byte offset on the
+// next device (round-robin). Offsets address the selected device's SSD, so
+// this is meaningful when scan targets are mirrored across the node's
+// drives (the background-scan replication deployment).
+func (n *Node) PredictStored(ctx context.Context, ssdOff int64) (kernels.Result, core.Timing, error) {
+	slot := n.pick()
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	res, timing, err := slot.eng.PredictStored(ctx, ssdOff)
 	if err != nil {
 		return kernels.Result{}, core.Timing{}, err
 	}
@@ -107,7 +141,8 @@ type BatchResult struct {
 
 // PredictBatch fans a batch out across all devices (striped assignment)
 // and reports the simulated makespan — the node-level throughput figure.
-func (n *Node) PredictBatch(seqs [][]int) (*BatchResult, error) {
+// Cancelling ctx aborts each device's remaining share of the batch.
+func (n *Node) PredictBatch(ctx context.Context, seqs [][]int) (*BatchResult, error) {
 	if len(seqs) == 0 {
 		return nil, errors.New("node: empty batch")
 	}
@@ -124,7 +159,7 @@ func (n *Node) PredictBatch(seqs [][]int) (*BatchResult, error) {
 			slot.mu.Lock()
 			defer slot.mu.Unlock()
 			for i := d; i < len(seqs); i += len(n.engines) {
-				res, timing, err := slot.eng.Predict(seqs[i])
+				res, timing, err := slot.eng.Predict(ctx, seqs[i])
 				if err != nil {
 					errs[d] = fmt.Errorf("node: device %d sequence %d: %w", d, i, err)
 					return

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"github.com/kfrida1/csdinf/internal/activation"
@@ -56,7 +58,7 @@ func TestNewValidation(t *testing.T) {
 func TestPredictRoundRobin(t *testing.T) {
 	n := testNode(t, 3)
 	for i := 0; i < 6; i++ {
-		if _, _, err := n.Predict(testSeq()); err != nil {
+		if _, _, err := n.Predict(context.Background(), testSeq()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -76,7 +78,7 @@ func TestPredictBatchStriping(t *testing.T) {
 	for i := range batch {
 		batch[i] = testSeq()
 	}
-	res, err := n.PredictBatch(batch)
+	res, err := n.PredictBatch(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,10 +96,10 @@ func TestPredictBatchStriping(t *testing.T) {
 
 func TestPredictBatchErrors(t *testing.T) {
 	n := testNode(t, 2)
-	if _, err := n.PredictBatch(nil); err == nil {
+	if _, err := n.PredictBatch(context.Background(), nil); err == nil {
 		t.Error("empty batch: expected error")
 	}
-	if _, err := n.PredictBatch([][]int{{99}}); err == nil {
+	if _, err := n.PredictBatch(context.Background(), [][]int{{99}}); err == nil {
 		t.Error("bad sequence: expected error")
 	}
 }
@@ -109,11 +111,11 @@ func TestMoreDevicesReduceMakespan(t *testing.T) {
 	}
 	n1 := testNode(t, 1)
 	n4 := testNode(t, 4)
-	r1, err := n1.PredictBatch(batch)
+	r1, err := n1.PredictBatch(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r4, err := n4.PredictBatch(batch)
+	r4, err := n4.PredictBatch(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,13 +135,47 @@ func TestThroughputScalesWithDevices(t *testing.T) {
 	}
 }
 
+func TestPredictStoredRoundRobin(t *testing.T) {
+	n := testNode(t, 2)
+	// Mirror the same stored sequence on every device's SSD, as the
+	// background-scan replication deployment would.
+	for d := 0; d < n.Devices(); d++ {
+		if _, err := n.Device(d).StoreSequence(0, testSeq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := n.PredictStored(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range n.Stats() {
+		if s.Jobs != 2 {
+			t.Fatalf("device %d jobs = %d, want 2", i, s.Jobs)
+		}
+	}
+}
+
+func TestPredictHonorsCanceledContext(t *testing.T) {
+	n := testNode(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := n.Predict(ctx, testSeq()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Predict error = %v, want context.Canceled", err)
+	}
+	batch := [][]int{testSeq(), testSeq()}
+	if _, err := n.PredictBatch(ctx, batch); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PredictBatch error = %v, want context.Canceled", err)
+	}
+}
+
 func TestConcurrentPredict(t *testing.T) {
 	n := testNode(t, 2)
 	done := make(chan error, 8)
 	for g := 0; g < 8; g++ {
 		go func() {
 			for i := 0; i < 10; i++ {
-				if _, _, err := n.Predict(testSeq()); err != nil {
+				if _, _, err := n.Predict(context.Background(), testSeq()); err != nil {
 					done <- err
 					return
 				}

@@ -1,0 +1,354 @@
+// Package serve is the node-level request scheduler: the layer that turns a
+// rack of single-stream CSD engines into a concurrent inference service.
+//
+// The paper's scalability argument (§II) is that SmartSSDs scale by
+// "allowing for the installation of multiple devices within a single node";
+// this package supplies the serving discipline that argument presumes. Each
+// device's engine owns one hardware pipeline and is not safe for concurrent
+// use, so the server gives every device a single worker goroutine fed by a
+// bounded queue. Incoming requests are placed on the device with the least
+// simulated outstanding work (accumulated busy time plus an estimate of its
+// queued backlog), a policy that beats round-robin when request costs or
+// device loads are uneven. A full queue pushes back — immediately with
+// ErrQueueFull, or by blocking until space frees, per Config.Block. Workers
+// coalesce adjacent stored-scan requests into one dispatch, the background
+// scanning pattern the paper's introduction motivates. Context cancellation
+// is honored end-to-end: a canceled request still in a queue is abandoned
+// before it ever touches the device.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/infer"
+	"github.com/kfrida1/csdinf/internal/kernels"
+)
+
+// ErrQueueFull is returned (when Config.Block is false) if the chosen
+// device's queue has no room — the service is saturated and the caller
+// should shed or retry.
+var ErrQueueFull = errors.New("serve: device queue full")
+
+// ErrClosed is returned for requests submitted after Close, and for
+// requests still queued when Close ran.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config controls the scheduler.
+type Config struct {
+	// QueueDepth bounds each device's request queue; 0 defaults to 64.
+	QueueDepth int
+	// Block makes a full queue block the caller (until space, cancellation,
+	// or close) instead of failing fast with ErrQueueFull.
+	Block bool
+	// BatchMax bounds how many adjacent queued stored-scan requests a
+	// device worker coalesces into one dispatch; 0 defaults to 8, 1
+	// disables batching.
+	BatchMax int
+}
+
+func (c *Config) defaults() error {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("serve: QueueDepth must be positive, got %d", c.QueueDepth)
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 8
+	}
+	if c.BatchMax < 0 {
+		return fmt.Errorf("serve: BatchMax must be positive, got %d", c.BatchMax)
+	}
+	return nil
+}
+
+// response carries a completed classification back to its caller.
+type response struct {
+	res    kernels.Result
+	timing infer.Timing
+	err    error
+}
+
+// request is one queued classification. done is buffered (capacity 1) so a
+// worker can always complete a request whose caller has already abandoned
+// it.
+type request struct {
+	ctx    context.Context
+	seq    []int // live window; nil for stored requests
+	off    int64 // SSD offset; meaningful when stored
+	stored bool
+	done   chan response
+}
+
+// device is one engine plus its serving state.
+type device struct {
+	inf   infer.Inferencer
+	queue chan *request
+
+	busy       atomic.Int64 // accumulated simulated device time, ns
+	pending    atomic.Int64 // requests queued or executing
+	est        atomic.Int64 // EWMA per-request simulated cost, ns
+	jobs       atomic.Int64 // requests executed successfully
+	dispatches atomic.Int64 // worker wake-ups (batches count once)
+}
+
+// estFloor is the backlog cost assumed for a device whose EWMA has no
+// samples yet, so queued requests count against placement from the start.
+const estFloor = int64(time.Microsecond)
+
+// score is the device's simulated outstanding work: accumulated busy time
+// plus the estimated cost of its backlog.
+func (d *device) score() int64 {
+	est := d.est.Load()
+	if est < estFloor {
+		est = estFloor
+	}
+	return d.busy.Load() + d.pending.Load()*est
+}
+
+// Server schedules classification requests over a set of single-stream
+// inference engines. It implements infer.Inferencer, so a detector, mux, or
+// hot-swap wrapper can sit directly on top of a whole rack of devices. Its
+// methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	devices []*device
+
+	quit   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+var _ infer.Inferencer = (*Server)(nil)
+
+// New starts a server over the given engines — one worker goroutine per
+// engine. Engines must all use the same window length. The server takes
+// ownership of serializing access to them; callers must not use the engines
+// directly while the server is running.
+func New(engines []infer.Inferencer, cfg Config) (*Server, error) {
+	if len(engines) == 0 {
+		return nil, errors.New("serve: no engines")
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("serve: engine %d is nil", i)
+		}
+		if e.SeqLen() != engines[0].SeqLen() {
+			return nil, fmt.Errorf("serve: engine %d window %d differs from engine 0 window %d",
+				i, e.SeqLen(), engines[0].SeqLen())
+		}
+	}
+	s := &Server{cfg: cfg, quit: make(chan struct{})}
+	for _, e := range engines {
+		d := &device{inf: e, queue: make(chan *request, cfg.QueueDepth)}
+		s.devices = append(s.devices, d)
+		s.wg.Add(1)
+		go s.run(d)
+	}
+	return s, nil
+}
+
+// Devices returns the number of devices being served.
+func (s *Server) Devices() int { return len(s.devices) }
+
+// SeqLen returns the classification window length of the deployed engines.
+func (s *Server) SeqLen() int { return s.devices[0].inf.SeqLen() }
+
+// Predict classifies a live window, scheduling it on the device with the
+// least simulated outstanding work. The window is copied, so the caller may
+// reuse its slice (detectors slide theirs) as soon as Predict returns.
+func (s *Server) Predict(ctx context.Context, seq []int) (kernels.Result, infer.Timing, error) {
+	req := &request{ctx: ctx, seq: append([]int(nil), seq...), done: make(chan response, 1)}
+	return s.submit(ctx, req)
+}
+
+// PredictStored classifies the sequence at the given SSD byte offset on the
+// least-loaded device. Offsets address the chosen device's SSD, so stored
+// serving presumes scan targets are mirrored across the rack (as the
+// background-scan replication deployment does). Adjacent queued stored
+// requests are coalesced into one device dispatch.
+func (s *Server) PredictStored(ctx context.Context, ssdOff int64) (kernels.Result, infer.Timing, error) {
+	req := &request{ctx: ctx, off: ssdOff, stored: true, done: make(chan response, 1)}
+	return s.submit(ctx, req)
+}
+
+// pick returns the device with the least simulated outstanding work.
+func (s *Server) pick() *device {
+	best := s.devices[0]
+	bestScore := best.score()
+	for _, d := range s.devices[1:] {
+		if sc := d.score(); sc < bestScore {
+			best, bestScore = d, sc
+		}
+	}
+	return best
+}
+
+func (s *Server) submit(ctx context.Context, req *request) (kernels.Result, infer.Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return kernels.Result{}, infer.Timing{}, err
+	}
+	if s.closed.Load() {
+		return kernels.Result{}, infer.Timing{}, ErrClosed
+	}
+	d := s.pick()
+	d.pending.Add(1)
+	if s.cfg.Block {
+		select {
+		case d.queue <- req:
+		case <-ctx.Done():
+			d.pending.Add(-1)
+			return kernels.Result{}, infer.Timing{}, ctx.Err()
+		case <-s.quit:
+			d.pending.Add(-1)
+			return kernels.Result{}, infer.Timing{}, ErrClosed
+		}
+	} else {
+		select {
+		case d.queue <- req:
+		default:
+			d.pending.Add(-1)
+			return kernels.Result{}, infer.Timing{}, ErrQueueFull
+		}
+	}
+	select {
+	case resp := <-req.done:
+		return resp.res, resp.timing, resp.err
+	case <-ctx.Done():
+		// Abandon: the worker will observe the canceled ctx before
+		// touching the device and complete the buffered done channel.
+		return kernels.Result{}, infer.Timing{}, ctx.Err()
+	case <-s.quit:
+		// The worker may have finished this request just before closing.
+		select {
+		case resp := <-req.done:
+			return resp.res, resp.timing, resp.err
+		default:
+			return kernels.Result{}, infer.Timing{}, ErrClosed
+		}
+	}
+}
+
+// run is the device worker: the single goroutine with access to the engine.
+func (s *Server) run(d *device) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			// Fail whatever is still queued.
+			for {
+				select {
+				case req := <-d.queue:
+					d.pending.Add(-1)
+					req.done <- response{err: ErrClosed}
+				default:
+					return
+				}
+			}
+		case req := <-d.queue:
+			batch := s.collect(d, req)
+			d.dispatches.Add(1)
+			for _, r := range batch {
+				s.execute(d, r)
+			}
+		}
+	}
+}
+
+// collect coalesces adjacent queued stored-scan requests behind the first
+// into one dispatch, stopping at a live request, an empty queue, or
+// BatchMax.
+func (s *Server) collect(d *device, first *request) []*request {
+	batch := []*request{first}
+	if !first.stored || s.cfg.BatchMax <= 1 {
+		return batch
+	}
+	for len(batch) < s.cfg.BatchMax {
+		select {
+		case next := <-d.queue:
+			batch = append(batch, next)
+			if !next.stored {
+				return batch
+			}
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// execute runs one request on the device's engine and completes it. A
+// request whose context is already done never touches the engine.
+func (s *Server) execute(d *device, req *request) {
+	if err := req.ctx.Err(); err != nil {
+		d.pending.Add(-1)
+		req.done <- response{err: err}
+		return
+	}
+	var resp response
+	if req.stored {
+		resp.res, resp.timing, resp.err = d.inf.PredictStored(req.ctx, req.off)
+	} else {
+		resp.res, resp.timing, resp.err = d.inf.Predict(req.ctx, req.seq)
+	}
+	if total := int64(resp.timing.Total()); total > 0 {
+		d.busy.Add(total)
+		if old := d.est.Load(); old == 0 {
+			d.est.Store(total)
+		} else {
+			d.est.Store((3*old + total) / 4)
+		}
+	}
+	if resp.err == nil {
+		d.jobs.Add(1)
+	}
+	// Drop the backlog count before releasing the caller, so a caller
+	// submitting its next request sees this device's true score.
+	d.pending.Add(-1)
+	req.done <- resp
+}
+
+// DeviceStats describes one device's serving activity.
+type DeviceStats struct {
+	// Jobs counts successfully executed requests.
+	Jobs int64
+	// Dispatches counts worker wake-ups; a coalesced stored batch counts
+	// once, so Dispatches < Jobs indicates batching is occurring.
+	Dispatches int64
+	// BusyTime is the accumulated simulated device time.
+	BusyTime time.Duration
+	// Queued is the current backlog (queued or executing requests).
+	Queued int64
+}
+
+// Stats returns a snapshot of per-device serving activity.
+func (s *Server) Stats() []DeviceStats {
+	out := make([]DeviceStats, len(s.devices))
+	for i, d := range s.devices {
+		out[i] = DeviceStats{
+			Jobs:       d.jobs.Load(),
+			Dispatches: d.dispatches.Load(),
+			BusyTime:   time.Duration(d.busy.Load()),
+			Queued:     d.pending.Load(),
+		}
+	}
+	return out
+}
+
+// Close stops the workers, fails queued requests with ErrClosed, and waits
+// for the workers to exit. Close is idempotent.
+func (s *Server) Close() error {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.quit)
+	}
+	s.wg.Wait()
+	return nil
+}
