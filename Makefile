@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_JSON_DIR ?= bench-results
 
-.PHONY: build test bench verify fmt
+.PHONY: build test bench bench-json verify fmt
 
 build:
 	$(GO) build ./...
@@ -10,6 +11,14 @@ test:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# bench-json runs the fast (non-training) experiments and writes their
+# structured results to $(BENCH_JSON_DIR)/BENCH_<experiment>.json.
+bench-json:
+	$(GO) run ./cmd/csdbench -experiment fig3 -json $(BENCH_JSON_DIR)
+	$(GO) run ./cmd/csdbench -experiment table1 -measure-go=false -json $(BENCH_JSON_DIR)
+	$(GO) run ./cmd/csdbench -experiment table2 -json $(BENCH_JSON_DIR)
+	$(GO) run ./cmd/csdbench -experiment energy -json $(BENCH_JSON_DIR)
 
 # verify is the pre-merge gate: static checks, a full build, and the whole
 # test suite under the race detector (the serving layer is concurrent).

@@ -19,9 +19,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/experiments"
@@ -42,20 +44,21 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for all randomized stages")
 	full := fs.Bool("full", false, "use the paper-sized 29K corpus for fig4/metrics (slow)")
 	measureGo := fs.Bool("measure-go", true, "include the plain-Go CPU measurement in table1")
+	jsonDir := fs.String("json", "", "directory to also write results as BENCH_<experiment>.json (empty: off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	runs := map[string]func() error{
-		"fig3":    func() error { return runFig3() },
-		"table1":  func() error { return runTableI(*trials, *seed, *measureGo) },
-		"fig4":    func() error { return runTraining(*epochs, *seed, *full, true, false) },
-		"metrics": func() error { return runTraining(*epochs, *seed, *full, false, true) },
-		"table2":  func() error { return runTableII(*seed) },
-		"energy":  func() error { return runEnergy() },
-		"latency": func() error { return runLatency(*epochs, *seed) },
-		"models":  func() error { return runModels(*epochs, *seed) },
-		"window":  func() error { return runWindowSweep(*seed) },
+		"fig3":    func() error { return runFig3(*jsonDir) },
+		"table1":  func() error { return runTableI(*jsonDir, *trials, *seed, *measureGo) },
+		"fig4":    func() error { return runTraining(*jsonDir, *epochs, *seed, *full, true, false) },
+		"metrics": func() error { return runTraining(*jsonDir, *epochs, *seed, *full, false, true) },
+		"table2":  func() error { return runTableII(*jsonDir, *seed) },
+		"energy":  func() error { return runEnergy(*jsonDir) },
+		"latency": func() error { return runLatency(*jsonDir, *epochs, *seed) },
+		"models":  func() error { return runModels(*jsonDir, *epochs, *seed) },
+		"window":  func() error { return runWindowSweep(*jsonDir, *seed) },
 	}
 	if *experiment == "all" {
 		for _, name := range []string{"fig3", "table1", "table2", "energy"} {
@@ -64,7 +67,7 @@ func run(args []string) error {
 			}
 		}
 		// One training run serves both fig4 and metrics.
-		return runTraining(*epochs, *seed, *full, true, true)
+		return runTraining(*jsonDir, *epochs, *seed, *full, true, true)
 	}
 	r, ok := runs[*experiment]
 	if !ok {
@@ -73,7 +76,38 @@ func run(args []string) error {
 	return r()
 }
 
-func runFig3() error {
+// writeBench writes an experiment's structured result to
+// dir/BENCH_<experiment>.json (no-op when dir is empty).
+func writeBench(dir, experiment string, result any) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+experiment+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	doc := struct {
+		Experiment string `json:"experiment"`
+		Result     any    `json:"result"`
+	}{experiment, result}
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n\n", path)
+	return nil
+}
+
+func runFig3(jsonDir string) error {
 	fmt.Println("=== Fig. 3: FPGA-based LSTM inference time per optimization level ===")
 	rows, err := experiments.Fig3()
 	if err != nil {
@@ -81,10 +115,10 @@ func runFig3() error {
 	}
 	fmt.Print(experiments.FormatFig3(rows))
 	fmt.Println()
-	return nil
+	return writeBench(jsonDir, "fig3", rows)
 }
 
-func runTableI(trials int, seed int64, measureGo bool) error {
+func runTableI(jsonDir string, trials int, seed int64, measureGo bool) error {
 	fmt.Println("=== Table I: traditional DL hardware comparison ===")
 	res, err := experiments.TableI(experiments.TableIConfig{
 		Trials: trials, Seed: seed, MeasureGo: measureGo,
@@ -94,10 +128,21 @@ func runTableI(trials int, seed int64, measureGo bool) error {
 	}
 	fmt.Print(experiments.FormatTableI(res))
 	fmt.Println()
-	return nil
+	// Per-item latencies convert to classification throughput; include the
+	// FPGA figure so downstream dashboards need no recomputation.
+	doc := struct {
+		*experiments.TableIResult
+		FPGAItemsPerSecond float64 `json:"fpga_items_per_second"`
+	}{TableIResult: res}
+	for _, row := range res.Rows {
+		if row.Platform == "FPGA (CSD)" && row.MeanUS > 0 {
+			doc.FPGAItemsPerSecond = 1e6 / row.MeanUS
+		}
+	}
+	return writeBench(jsonDir, "table1", doc)
 }
 
-func runTraining(epochs int, seed int64, full, wantFig4, wantMetrics bool) error {
+func runTraining(jsonDir string, epochs int, seed int64, full, wantFig4, wantMetrics bool) error {
 	cfg := experiments.TrainRunConfig{Epochs: epochs, Seed: seed}
 	if full {
 		cfg.RansomwareCount = dataset.PaperRansomwareCount
@@ -122,10 +167,20 @@ func runTraining(epochs int, seed int64, full, wantFig4, wantMetrics bool) error
 		fmt.Print(experiments.FormatMetrics(run))
 		fmt.Println()
 	}
+	if wantFig4 {
+		if err := writeBench(jsonDir, "fig4", run.History); err != nil {
+			return err
+		}
+	}
+	if wantMetrics {
+		if err := writeBench(jsonDir, "metrics", run.Final); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-func runLatency(epochs int, seed int64) error {
+func runLatency(jsonDir string, epochs int, seed int64) error {
 	fmt.Println("=== Detection latency: API calls from infection start to mitigation ===")
 	fmt.Printf("(training a detector model first, %d epochs on the 1/10-scale corpus...)\n", epochs)
 	run, err := experiments.RunTraining(experiments.TrainRunConfig{
@@ -143,10 +198,10 @@ func runLatency(epochs int, seed int64) error {
 	}
 	fmt.Print(experiments.FormatDetectionLatency(rows, traceLen))
 	fmt.Println()
-	return nil
+	return writeBench(jsonDir, "latency", rows)
 }
 
-func runWindowSweep(seed int64) error {
+func runWindowSweep(jsonDir string, seed int64) error {
 	fmt.Println("=== Window-length sweep: accuracy vs detection latency (extension) ===")
 	fmt.Println("(training one classifier per window length on a 1/20-scale corpus...)")
 	points, err := experiments.WindowSweep(experiments.WindowSweepConfig{Seed: seed})
@@ -155,10 +210,10 @@ func runWindowSweep(seed int64) error {
 	}
 	fmt.Print(experiments.FormatWindowSweep(points))
 	fmt.Println()
-	return nil
+	return writeBench(jsonDir, "window", points)
 }
 
-func runModels(epochs int, seed int64) error {
+func runModels(jsonDir string, epochs int, seed int64) error {
 	fmt.Println("=== Model selection: LSTM vs non-sequential snapshot baseline (§III-A) ===")
 	fmt.Printf("(training the LSTM first, up to %d epochs on the 1/10-scale corpus...)\n", epochs)
 	run, err := experiments.RunTraining(experiments.TrainRunConfig{
@@ -173,10 +228,10 @@ func runModels(epochs int, seed int64) error {
 	}
 	fmt.Print(experiments.FormatModelSelection(res))
 	fmt.Println()
-	return nil
+	return writeBench(jsonDir, "models", res)
 }
 
-func runEnergy() error {
+func runEnergy(jsonDir string) error {
 	fmt.Println("=== Energy per inference item (paper §I/§VII efficiency claims) ===")
 	res, err := experiments.Energy()
 	if err != nil {
@@ -184,10 +239,10 @@ func runEnergy() error {
 	}
 	fmt.Print(experiments.FormatEnergy(res))
 	fmt.Println()
-	return nil
+	return writeBench(jsonDir, "energy", res)
 }
 
-func runTableII(seed int64) error {
+func runTableII(jsonDir string, seed int64) error {
 	fmt.Println("=== Table II: ransomware dataset overview ===")
 	// Generate the extraction corpus at 1/10 scale for window counts.
 	ds, err := dataset.Build(dataset.BuildConfig{
@@ -200,5 +255,5 @@ func runTableII(seed int64) error {
 	}
 	fmt.Print(experiments.FormatTableII(experiments.TableII(ds), ds))
 	fmt.Println()
-	return nil
+	return writeBench(jsonDir, "table2", experiments.TableII(ds))
 }

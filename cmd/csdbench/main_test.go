@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunFastExperiments(t *testing.T) {
 	// The training-based experiments (fig4/metrics/latency) are exercised by
@@ -14,6 +19,30 @@ func TestRunFastExperiments(t *testing.T) {
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	for _, exp := range []string{"fig3", "energy"} {
+		if err := run([]string{"-experiment", exp, "-json", dir}); err != nil {
+			t.Fatalf("run(%s): %v", exp, err)
+		}
+		path := filepath.Join(dir, "BENCH_"+exp+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", path, err)
+		}
+		var doc struct {
+			Experiment string          `json:"experiment"`
+			Result     json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s invalid JSON: %v", path, err)
+		}
+		if doc.Experiment != exp || len(doc.Result) == 0 {
+			t.Fatalf("%s: experiment=%q, %d result bytes", path, doc.Experiment, len(doc.Result))
 		}
 	}
 }

@@ -4,6 +4,13 @@
 // ransomware variant partway through — and shows the in-storage detector
 // alerting and triggering mitigation.
 //
+// The full pipeline is instrumented: engine transfer/compute histograms,
+// scheduler queue waits, and verdict counters all report into one telemetry
+// registry, summarized on stdout at exit and optionally served over HTTP:
+//
+//	csddetect -metrics-addr 127.0.0.1:9100         # /metrics, /metrics.json, /healthz
+//	csddetect -metrics-addr 127.0.0.1:9100 -hold 1m
+//
 // Usage:
 //
 //	csddetect -weights weights.txt                 # use exported weights
@@ -16,14 +23,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"github.com/kfrida1/csdinf/internal/core"
 	"github.com/kfrida1/csdinf/internal/csd"
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/sandbox"
+	"github.com/kfrida1/csdinf/internal/serve"
+	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/train"
 	"github.com/kfrida1/csdinf/internal/winapi"
 )
@@ -46,6 +59,8 @@ func run(args []string) error {
 	threshold := fs.Float64("threshold", 0.5, "alert probability threshold")
 	trainEpochs := fs.Int("train-epochs", 15, "epochs for the quick-train fallback")
 	trainScale := fs.Int("train-scale", 20, "1/N corpus scale for the quick-train fallback")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz on this address (empty: off)")
+	hold := fs.Duration("hold", 0, "keep the metrics endpoint up this long after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,11 +70,27 @@ func run(args []string) error {
 		return err
 	}
 
+	// One registry and span ring for the whole stack: the engine, the
+	// scheduler, and the detector all report into it.
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanLog(32)
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("metrics at http://%s/metrics\n", ln.Addr())
+		go func() {
+			_ = http.Serve(ln, telemetry.NewHTTPHandler(reg, spans))
+		}()
+	}
+
 	dev, err := csd.New(csd.Config{})
 	if err != nil {
 		return err
 	}
-	eng, err := core.Deploy(dev, model, core.DeployConfig{})
+	eng, err := core.Deploy(dev, model, core.DeployConfig{Telemetry: reg})
 	if err != nil {
 		return err
 	}
@@ -67,8 +98,18 @@ func run(args []string) error {
 	_, _, _, tot := eng.PerItemMicros()
 	fmt.Printf("%.3f µs\n", tot)
 
-	det, err := detect.New(eng, detect.Config{
+	// Serve the single engine through the scheduler so queue-wait metrics
+	// cover the request path even in this one-device demo.
+	srv, err := serve.New([]infer.Inferencer{eng}, serve.Config{Telemetry: reg, Spans: spans})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	det, err := detect.New(srv, detect.Config{
 		Threshold: *threshold,
+		Telemetry: reg,
+		Spans:     spans,
 		OnBlock: func(e detect.Event) {
 			dev.SSD().Quarantine(true) // block all writes at the device level
 			fmt.Printf("[call %6d] *** MITIGATION: write quarantine engaged (p=%.3f) ***\n",
@@ -107,6 +148,7 @@ func run(args []string) error {
 	s := det.Stats()
 	fmt.Printf("\nsummary: %d calls observed, %d windows classified, %d alerts, blocked=%v\n",
 		s.CallsObserved, s.WindowsEvaluated, s.Alerts, s.Blocked)
+	printTelemetry(reg, spans)
 	if !s.Blocked {
 		return fmt.Errorf("infection ran to completion without mitigation")
 	}
@@ -116,7 +158,32 @@ func run(args []string) error {
 	if _, err := dev.SSD().Write(0, []byte("ciphertext")); err != nil {
 		fmt.Printf("subsequent encryption write rejected by the drive: %v\n", err)
 	}
+	if *metricsAddr != "" && *hold > 0 {
+		fmt.Printf("holding metrics endpoint for %v...\n", *hold)
+		time.Sleep(*hold)
+	}
 	return nil
+}
+
+// printTelemetry renders the registry's summary tables and the most recent
+// pipeline spans on stdout.
+func printTelemetry(reg *telemetry.Registry, spans *telemetry.SpanLog) {
+	fmt.Println("\ntelemetry:")
+	if err := reg.WriteSummary(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "csddetect: telemetry summary:", err)
+	}
+	recent := spans.Snapshot()
+	if len(recent) == 0 {
+		return
+	}
+	show := recent
+	if len(show) > 3 {
+		show = show[len(show)-3:]
+	}
+	fmt.Printf("last %d pipeline spans (of %d retained):\n", len(show), len(recent))
+	for _, sp := range show {
+		fmt.Printf("  %s\n", sp.String())
+	}
 }
 
 func replay(det *detect.Detector, trace []int, verbose bool) error {

@@ -52,6 +52,19 @@ func TestDetectEndToEnd(t *testing.T) {
 	}
 }
 
+func TestDetectWithMetricsEndpoint(t *testing.T) {
+	weights := trainedWeights(t)
+	err := run([]string{
+		"-weights", weights,
+		"-family", "Lockbit", "-variant", "1",
+		"-benign-calls", "300", "-infected-calls", "1500",
+		"-metrics-addr", "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("detection run with metrics endpoint failed: %v", err)
+	}
+}
+
 func TestDetectErrors(t *testing.T) {
 	weights := trainedWeights(t)
 	if err := run([]string{"-weights", "/nonexistent.txt"}); err == nil {

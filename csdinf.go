@@ -42,6 +42,7 @@ package csdinf
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"github.com/kfrida1/csdinf/internal/core"
 	"github.com/kfrida1/csdinf/internal/csd"
@@ -57,6 +58,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/report"
 	"github.com/kfrida1/csdinf/internal/sandbox"
 	"github.com/kfrida1/csdinf/internal/serve"
+	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/train"
 	"github.com/kfrida1/csdinf/internal/vitis"
 	"github.com/kfrida1/csdinf/internal/winapi"
@@ -300,7 +302,10 @@ var (
 
 // NewServer deploys the model to nodeCfg.Devices fresh CSDs and starts the
 // concurrent request scheduler over them. Close the server to stop its
-// device workers.
+// device workers. When serveCfg.Telemetry is set it is threaded into each
+// engine deployment (unless nodeCfg.Deploy.Telemetry is already set), so the
+// engines' transfer/compute histograms land in the same registry as the
+// scheduler's queue metrics.
 func NewServer(m *Model, nodeCfg NodeConfig, serveCfg ServeConfig) (*Server, error) {
 	devices := nodeCfg.Devices
 	if devices == 0 {
@@ -309,13 +314,17 @@ func NewServer(m *Model, nodeCfg NodeConfig, serveCfg ServeConfig) (*Server, err
 	if devices < 0 {
 		return nil, fmt.Errorf("csdinf: device count must be positive, got %d", devices)
 	}
+	deploy := nodeCfg.Deploy
+	if deploy.Telemetry == nil {
+		deploy.Telemetry = serveCfg.Telemetry
+	}
 	engines := make([]Inferencer, devices)
 	for i := range engines {
 		dev, err := csd.New(nodeCfg.CSD)
 		if err != nil {
 			return nil, fmt.Errorf("csdinf: device %d: %w", i, err)
 		}
-		eng, err := core.Deploy(dev, m, nodeCfg.Deploy)
+		eng, err := core.Deploy(dev, m, deploy)
 		if err != nil {
 			return nil, fmt.Errorf("csdinf: deploy to device %d: %w", i, err)
 		}
@@ -408,6 +417,43 @@ func NewDetectorMux(pred detect.Predictor, cfg DetectorMuxConfig) (*DetectorMux,
 // Score runs the model over a dataset and returns per-sequence scored
 // predictions for threshold-independent evaluation.
 func Score(m *Model, ds *Dataset) ([]ScoredPrediction, error) { return train.Score(m, ds) }
+
+// Telemetry types (the zero-dependency metrics and tracing core). A single
+// Telemetry registry can be threaded through ServeConfig, NodeConfig,
+// DeployConfig, DetectorConfig, and UpdaterConfig so the whole stack reports
+// into one exposition surface.
+type (
+	// Telemetry is a registry of named counters, gauges, and latency
+	// histograms with Prometheus text, JSON, and summary-table exposition.
+	Telemetry = telemetry.Registry
+	// TelemetryCounter is a monotonically increasing metric.
+	TelemetryCounter = telemetry.Counter
+	// TelemetryGauge is a set/add instantaneous metric.
+	TelemetryGauge = telemetry.Gauge
+	// TelemetryHistogram is a lock-free fixed-bucket latency histogram.
+	TelemetryHistogram = telemetry.Histogram
+	// TelemetrySnapshot summarizes a histogram: count, mean ± 95% CI, and
+	// p50/p90/p99 estimates (the shape of the paper's Table I).
+	TelemetrySnapshot = telemetry.HistogramSnapshot
+	// Span records the phases of one request's trip through the pipeline:
+	// queue wait → SSD transfer → FPGA compute → verdict.
+	Span = telemetry.Span
+	// SpanLog is a fixed-capacity ring of recently completed spans.
+	SpanLog = telemetry.SpanLog
+)
+
+// NewTelemetry builds an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// NewSpanLog builds a ring that retains the last capacity completed spans.
+func NewSpanLog(capacity int) *SpanLog { return telemetry.NewSpanLog(capacity) }
+
+// NewTelemetryHandler returns an http.Handler serving the registry at
+// /metrics (Prometheus text format), /metrics.json (JSON snapshot plus
+// recent spans), and /healthz. spans may be nil.
+func NewTelemetryHandler(r *Telemetry, spans *SpanLog) http.Handler {
+	return telemetry.NewHTTPHandler(r, spans)
+}
 
 // AUC computes the area under the ROC curve of scored predictions.
 func AUC(preds []ScoredPrediction) (float64, error) { return metrics.AUC(preds) }

@@ -23,6 +23,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/telemetry"
 )
 
 // DeployConfig controls engine deployment.
@@ -36,6 +37,12 @@ type DeployConfig struct {
 	SeqLen int
 	// Scale is the fixed-point scale; zero defaults to 10⁶.
 	Scale int64
+	// Telemetry, when non-nil, receives the engine's per-classification
+	// transfer and compute histograms (engine_transfer_seconds,
+	// engine_compute_seconds). Engines deployed against the same registry
+	// share the series, aggregating across devices; per-device breakdowns
+	// live one layer up in internal/serve.
+	Telemetry *telemetry.Registry
 }
 
 // Engine is a deployed CSD inference engine. It is not safe for concurrent
@@ -50,6 +57,12 @@ type Engine struct {
 
 	seqBuf   *csd.Buffer
 	initTime time.Duration
+
+	// Simulated-time latency histograms (see DESIGN.md "Telemetry": the
+	// histograms record the calibrated device timing model, not wall time).
+	xferHist    *telemetry.Histogram
+	computeHist *telemetry.Histogram
+	predictions *telemetry.Counter
 }
 
 // Deploy initializes the FPGA of the given CSD with the trained model.
@@ -98,7 +111,16 @@ func Deploy(dev *csd.SmartSSD, m *lstm.Model, cfg DeployConfig) (*Engine, error)
 		return nil, fmt.Errorf("core: allocate sequence buffer: %w", err)
 	}
 
-	return &Engine{dev: dev, pipe: pipe, seqBuf: seqBuf, initTime: initTime}, nil
+	reg := cfg.Telemetry
+	return &Engine{
+		dev: dev, pipe: pipe, seqBuf: seqBuf, initTime: initTime,
+		xferHist: reg.Histogram("engine_transfer_seconds",
+			"Simulated SSD-to-FPGA data movement time per classification.", telemetry.Buckets{}),
+		computeHist: reg.Histogram("engine_compute_seconds",
+			"Simulated FPGA kernel time per classification.", telemetry.Buckets{}),
+		predictions: reg.Counter("engine_predictions_total",
+			"Classifications completed by deployed engines."),
+	}, nil
 }
 
 // Timing breaks a classification's simulated latency into data movement and
@@ -120,7 +142,7 @@ func (e *Engine) PredictStored(ctx context.Context, ssdOff int64) (kernels.Resul
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: fetch sequence: %w", err)
 	}
-	return e.classifyBuffer(Timing{Transfer: xfer})
+	return e.classifyBuffer(ctx, Timing{Transfer: xfer})
 }
 
 // PredictStoredViaHost classifies the stored sequence but stages it through
@@ -133,7 +155,7 @@ func (e *Engine) PredictStoredViaHost(ctx context.Context, ssdOff int64) (kernel
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: fetch sequence via host: %w", err)
 	}
-	return e.classifyBuffer(Timing{Transfer: xfer})
+	return e.classifyBuffer(ctx, Timing{Transfer: xfer})
 }
 
 // Predict classifies a host-provided sequence (e.g. a live window from the
@@ -156,10 +178,10 @@ func (e *Engine) Predict(ctx context.Context, seq []int) (kernels.Result, Timing
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: stage sequence: %w", err)
 	}
-	return e.classifyBuffer(Timing{Transfer: xfer})
+	return e.classifyBuffer(ctx, Timing{Transfer: xfer})
 }
 
-func (e *Engine) classifyBuffer(t Timing) (kernels.Result, Timing, error) {
+func (e *Engine) classifyBuffer(ctx context.Context, t Timing) (kernels.Result, Timing, error) {
 	seq, err := csd.DecodeItems(e.seqBuf.Bytes())
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: decode sequence: %w", err)
@@ -169,6 +191,13 @@ func (e *Engine) classifyBuffer(t Timing) (kernels.Result, Timing, error) {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: classify: %w", err)
 	}
 	t.Compute = e.pipe.Device().Duration(cycles)
+	e.xferHist.ObserveDuration(t.Transfer)
+	e.computeHist.ObserveDuration(t.Compute)
+	e.predictions.Inc()
+	if sp := telemetry.SpanFrom(ctx); sp != nil {
+		sp.Record(telemetry.PhaseTransfer, t.Transfer)
+		sp.Record(telemetry.PhaseCompute, t.Compute)
+	}
 	return res, t, nil
 }
 

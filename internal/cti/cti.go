@@ -29,6 +29,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/metrics"
 	"github.com/kfrida1/csdinf/internal/report"
+	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/train"
 )
 
@@ -41,6 +42,15 @@ type HotSwapEngine struct {
 	// swapMu serializes Swap calls so the SeqLen check and pointer store
 	// are atomic with respect to other swappers (readers never take it).
 	swapMu sync.Mutex
+
+	// generation counts deployments (initial = 1); atomic so Generation()
+	// stays lock-free for concurrent readers.
+	generation atomic.Int64
+
+	// swapsC and generationG start detached and are re-pointed at
+	// registered instruments by Instrument; both guarded by swapMu.
+	swapsC      *telemetry.Counter
+	generationG *telemetry.Gauge
 }
 
 // holder wraps the interface value so it can live behind atomic.Pointer.
@@ -55,8 +65,33 @@ func NewHotSwapEngine(inf infer.Inferencer) (*HotSwapEngine, error) {
 	}
 	h := &HotSwapEngine{}
 	h.cur.Store(&holder{inf: inf})
+	h.generation.Store(1)
+	var noReg *telemetry.Registry
+	h.swapsC = noReg.Counter("cti_swaps_total", "Model hot-swaps performed.")
+	h.generationG = noReg.Gauge("cti_model_generation",
+		"Generation of the live model (1 = initial deployment).")
+	h.generationG.Set(1)
 	return h, nil
 }
+
+// Instrument re-registers the engine's swap counter and model-generation
+// gauge with reg, carrying over values accumulated while detached. It is
+// safe against concurrent Swap calls and concurrent readers.
+func (h *HotSwapEngine) Instrument(reg *telemetry.Registry) {
+	h.swapMu.Lock()
+	defer h.swapMu.Unlock()
+	swaps := reg.Counter("cti_swaps_total", "Model hot-swaps performed.")
+	gen := reg.Gauge("cti_model_generation",
+		"Generation of the live model (1 = initial deployment).")
+	swaps.Add(h.swapsC.Value())
+	gen.Set(h.generation.Load())
+	h.swapsC = swaps
+	h.generationG = gen
+}
+
+// Generation returns the deployment generation of the live model (initial
+// deployment = 1, incremented on every Swap). Lock-free.
+func (h *HotSwapEngine) Generation() int64 { return h.generation.Load() }
 
 // Predict delegates to the current inferencer.
 func (h *HotSwapEngine) Predict(ctx context.Context, seq []int) (kernels.Result, infer.Timing, error) {
@@ -88,6 +123,8 @@ func (h *HotSwapEngine) Swap(inf infer.Inferencer) error {
 			inf.SeqLen(), cur.SeqLen())
 	}
 	h.cur.Store(&holder{inf: inf})
+	h.swapsC.Inc()
+	h.generationG.Set(h.generation.Add(1))
 	return nil
 }
 
@@ -111,6 +148,10 @@ type Config struct {
 	TestFraction float64
 	// Seed drives splits and shuffles.
 	Seed int64
+	// Telemetry, when non-nil, registers the hot-swap engine's
+	// cti_swaps_total counter and cti_model_generation gauge, and is
+	// threaded into each deployment unless Deploy.Telemetry is set.
+	Telemetry *telemetry.Registry
 }
 
 // Updater maintains the corpus, retrains on new CTI samples, and hot-swaps
@@ -147,6 +188,9 @@ func NewUpdater(base *dataset.Dataset, cfg Config) (*Updater, *UpdateResult, err
 	}
 	if cfg.TestFraction == 0 {
 		cfg.TestFraction = 0.2
+	}
+	if cfg.Deploy.Telemetry == nil {
+		cfg.Deploy.Telemetry = cfg.Telemetry
 	}
 	u := &Updater{cfg: cfg, corpus: base}
 	res, err := u.retrainAndDeploy(0)
@@ -215,6 +259,9 @@ func (u *Updater) retrainAndDeploy(newSeqs int) (*UpdateResult, error) {
 		hot, err := NewHotSwapEngine(eng)
 		if err != nil {
 			return nil, err
+		}
+		if u.cfg.Telemetry != nil {
+			hot.Instrument(u.cfg.Telemetry)
 		}
 		u.hot = hot
 	} else if err := u.hot.Swap(eng); err != nil {

@@ -1,0 +1,172 @@
+package cti
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/core"
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/infer"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/ssd"
+	"github.com/kfrida1/csdinf/internal/telemetry"
+	"github.com/kfrida1/csdinf/internal/train"
+)
+
+// stubInf is a minimal Inferencer for exercising the hot-swap machinery
+// without deploying a real engine.
+type stubInf struct{ id int }
+
+func (s *stubInf) Predict(ctx context.Context, seq []int) (kernels.Result, infer.Timing, error) {
+	return kernels.Result{Probability: float64(s.id)}, infer.Timing{}, nil
+}
+
+func (s *stubInf) PredictStored(ctx context.Context, off int64) (kernels.Result, infer.Timing, error) {
+	return kernels.Result{Probability: float64(s.id)}, infer.Timing{}, nil
+}
+
+func (s *stubInf) SeqLen() int { return 10 }
+
+func registryGauge(t *testing.T, reg *telemetry.Registry, name string) int64 {
+	t.Helper()
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("gauge %s not in registry", name)
+	return 0
+}
+
+// TestGenerationGaugeAdvancesUnderConcurrentReaders swaps models while
+// reader goroutines hammer Predict, Generation, and registry snapshots:
+// the generation gauge must advance monotonically through every swap and
+// the swap counter must account each one (run with -race).
+func TestGenerationGaugeAdvancesUnderConcurrentReaders(t *testing.T) {
+	hot, err := NewHotSwapEngine(&stubInf{id: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	hot.Instrument(reg)
+	if g := hot.Generation(); g != 1 {
+		t.Fatalf("initial generation = %d, want 1", g)
+	}
+	if g := registryGauge(t, reg, "cti_model_generation"); g != 1 {
+		t.Fatalf("initial gauge = %d, want 1", g)
+	}
+
+	const swaps = 50
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for !stop.Load() {
+				if _, _, err := hot.Predict(context.Background(), nil); err != nil {
+					t.Error(err)
+					return
+				}
+				g := hot.Generation()
+				if g < last {
+					t.Errorf("generation went backwards: %d after %d", g, last)
+					return
+				}
+				last = g
+				reg.Snapshot() // concurrent exposition reader
+			}
+		}()
+	}
+
+	for i := 1; i <= swaps; i++ {
+		if err := hot.Swap(&stubInf{id: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if g := hot.Generation(); g != swaps+1 {
+		t.Fatalf("final generation = %d, want %d", g, swaps+1)
+	}
+	if g := registryGauge(t, reg, "cti_model_generation"); g != swaps+1 {
+		t.Fatalf("final gauge = %d, want %d", g, swaps+1)
+	}
+	if c := registryGauge(t, reg, "cti_swaps_total"); c != swaps {
+		t.Fatalf("swap counter = %d, want %d", c, swaps)
+	}
+}
+
+// TestInstrumentCarriesDetachedCounts verifies swaps performed before
+// Instrument survive re-registration.
+func TestInstrumentCarriesDetachedCounts(t *testing.T) {
+	hot, err := NewHotSwapEngine(&stubInf{id: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := hot.Swap(&stubInf{id: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := telemetry.NewRegistry()
+	hot.Instrument(reg)
+	if c := registryGauge(t, reg, "cti_swaps_total"); c != 3 {
+		t.Fatalf("carried swap count = %d, want 3", c)
+	}
+	if g := registryGauge(t, reg, "cti_model_generation"); g != 4 {
+		t.Fatalf("carried generation = %d, want 4", g)
+	}
+}
+
+func testUpdaterWithTelemetry(t *testing.T, reg *telemetry.Registry) (*Updater, *UpdateResult) {
+	t.Helper()
+	base, err := dataset.Build(dataset.BuildConfig{
+		RansomwareCount: 152, BenignCount: 155, Window: 40, Stride: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := csd.New(csd.Config{SSD: ssd.Config{Capacity: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, res, err := NewUpdater(base, Config{
+		Device:    dev,
+		Deploy:    core.DeployConfig{SeqLen: 40},
+		Train:     train.Config{Epochs: 3, EmbedDim: 4, HiddenSize: 6, Seed: 2},
+		Seed:      3,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, res
+}
+
+// TestUpdaterRegistersTelemetry wires a registry through the updater config
+// and checks the ingest path advances the registered gauge.
+func TestUpdaterRegistersTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	u, res := testUpdaterWithTelemetry(t, reg)
+	if res.Generation != 1 {
+		t.Fatalf("generation = %d", res.Generation)
+	}
+	if g := registryGauge(t, reg, "cti_model_generation"); g != 1 {
+		t.Fatalf("gauge after deploy = %d, want 1", g)
+	}
+	if _, err := u.Ingest(newStrainReports(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if g := registryGauge(t, reg, "cti_model_generation"); g != 2 {
+		t.Fatalf("gauge after ingest = %d, want 2", g)
+	}
+	if c := registryGauge(t, reg, "cti_swaps_total"); c != 1 {
+		t.Fatalf("swaps after ingest = %d, want 1", c)
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/kfrida1/csdinf/internal/infer"
+	"github.com/kfrida1/csdinf/internal/telemetry"
 )
 
 // Predictor classifies a fully-formed window. It is the stack-wide
@@ -70,6 +72,16 @@ type Config struct {
 	AlertsToBlock int
 	// OnBlock, when non-nil, is invoked exactly once when mitigation fires.
 	OnBlock func(Event)
+	// Telemetry, when non-nil, receives the detection counters:
+	// detect_windows_total, detect_verdicts_total{verdict=...},
+	// detect_alerts_total, detect_blocks_total. Detectors sharing a
+	// registry (e.g. the per-process children of a Mux) share the series,
+	// giving system-wide verdict rates; per-detector numbers stay in
+	// Stats().
+	Telemetry *telemetry.Registry
+	// Spans, when non-nil, retains one pipeline span per classified window
+	// (queue wait → transfer → compute → verdict).
+	Spans *telemetry.SpanLog
 }
 
 func (c *Config) defaults() {
@@ -101,6 +113,12 @@ type Detector struct {
 
 	windowsEvaluated int64
 	alerts           int64
+
+	windowsC       *telemetry.Counter
+	verdictRansomC *telemetry.Counter
+	verdictBenignC *telemetry.Counter
+	alertsC        *telemetry.Counter
+	blocksC        *telemetry.Counter
 }
 
 // New builds a detector over the predictor.
@@ -122,7 +140,17 @@ func New(pred Predictor, cfg Config) (*Detector, error) {
 	if w <= 0 {
 		return nil, fmt.Errorf("detect: predictor window %d invalid", w)
 	}
-	return &Detector{pred: pred, cfg: cfg, window: make([]int, w)}, nil
+	reg := cfg.Telemetry
+	return &Detector{
+		pred: pred, cfg: cfg, window: make([]int, w),
+		windowsC: reg.Counter("detect_windows_total", "Windows classified."),
+		verdictRansomC: reg.Counter("detect_verdicts_total",
+			"Classification verdicts by outcome.", telemetry.L("verdict", "ransomware")),
+		verdictBenignC: reg.Counter("detect_verdicts_total",
+			"Classification verdicts by outcome.", telemetry.L("verdict", "benign")),
+		alertsC: reg.Counter("detect_alerts_total", "Windows crossing the alert threshold."),
+		blocksC: reg.Counter("detect_blocks_total", "Mitigation activations (write quarantine)."),
+	}, nil
 }
 
 // ErrBlocked is returned by Observe after mitigation has fired: the device
@@ -160,25 +188,50 @@ func (d *Detector) Observe(ctx context.Context, apiCallID int) (*Event, error) {
 
 func (d *Detector) classify(ctx context.Context) (*Event, error) {
 	d.sinceEval = 0
+	// Open a pipeline span unless the caller already carries one; the
+	// layers below (scheduler queue wait, engine transfer/compute) record
+	// their phases into whichever span rides the context.
+	sp := telemetry.SpanFrom(ctx)
+	ownSpan := false
+	if sp == nil && d.cfg.Spans != nil {
+		sp = &telemetry.Span{Name: "window"}
+		ctx = telemetry.WithSpan(ctx, sp)
+		ownSpan = true
+	}
 	res, _, err := d.pred.Predict(ctx, d.window)
 	if err != nil {
 		return nil, fmt.Errorf("detect: classify window at call %d: %w", d.calls, err)
 	}
+	verdictStart := time.Now()
 	d.windowsEvaluated++
+	d.windowsC.Inc()
+	if res.Ransomware {
+		d.verdictRansomC.Inc()
+	} else {
+		d.verdictBenignC.Inc()
+	}
 	ev := &Event{CallIndex: d.calls - 1, Probability: res.Probability, Action: ActionNone}
 	if res.Probability >= d.cfg.Threshold {
 		d.alerts++
+		d.alertsC.Inc()
 		d.consecutive++
 		ev.Action = ActionAlert
 		if d.consecutive >= d.cfg.AlertsToBlock {
 			ev.Action = ActionBlock
 			d.blocked = true
+			d.blocksC.Inc()
 			if d.cfg.OnBlock != nil {
 				d.cfg.OnBlock(*ev)
 			}
 		}
 	} else {
 		d.consecutive = 0
+	}
+	if sp != nil {
+		sp.Record(telemetry.PhaseVerdict, time.Since(verdictStart))
+		if ownSpan {
+			d.cfg.Spans.Add(*sp)
+		}
 	}
 	return ev, nil
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"github.com/kfrida1/csdinf/internal/telemetry"
 )
 
 // Mux demultiplexes a system-wide API-call stream into per-process
@@ -29,6 +31,9 @@ type Mux struct {
 
 	blockedPID int
 	blocked    bool
+
+	evictionsC *telemetry.Counter
+	processesG *telemetry.Gauge
 }
 
 // MuxConfig controls the demultiplexer.
@@ -55,12 +60,17 @@ func NewMux(pred Predictor, cfg MuxConfig) (*Mux, error) {
 	if _, err := New(pred, cfg.Detector); err != nil {
 		return nil, err
 	}
+	reg := cfg.Detector.Telemetry
 	return &Mux{
 		pred:         pred,
 		cfg:          cfg.Detector,
 		detectors:    make(map[int]*Detector),
 		maxProcesses: cfg.MaxProcesses,
 		lastSeen:     make(map[int]int64),
+		evictionsC: reg.Counter("mux_evictions_total",
+			"Per-process detector states evicted under the process cap."),
+		processesG: reg.Gauge("mux_processes",
+			"Processes with live detector state."),
 	}, nil
 }
 
@@ -89,6 +99,7 @@ func (m *Mux) Observe(ctx context.Context, pid, apiCallID int) (*ProcessEvent, e
 			return nil, fmt.Errorf("detect: process %d: %w", pid, err)
 		}
 		m.detectors[pid] = det
+		m.processesG.Set(int64(len(m.detectors)))
 	}
 	m.lastSeen[pid] = m.clock
 
@@ -116,6 +127,8 @@ func (m *Mux) evictIdlest() {
 	victim := pids[0]
 	delete(m.detectors, victim)
 	delete(m.lastSeen, victim)
+	m.evictionsC.Inc()
+	m.processesG.Set(int64(len(m.detectors)))
 }
 
 // Blocked reports whether mitigation has fired, and for which process.

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/telemetry"
 )
 
 // Config describes a node.
@@ -29,6 +31,11 @@ type Config struct {
 	CSD csd.Config
 	// Deploy configures each engine (zero value = paper defaults).
 	Deploy core.DeployConfig
+	// Telemetry, when non-nil, receives per-device node metrics
+	// (node_jobs_total, node_busy_nanoseconds_total, labeled
+	// device="<index>") and is threaded into each engine deployment unless
+	// Deploy.Telemetry is already set.
+	Telemetry *telemetry.Registry
 }
 
 // Node is a host with several CSD inference engines. Its methods are safe
@@ -44,13 +51,14 @@ type Node struct {
 var _ infer.Inferencer = (*Node)(nil)
 
 // engineSlot serializes access to one engine (a single hardware pipeline
-// per device).
+// per device). Work accounting lives in telemetry instruments so Stats()
+// and /metrics read the same counters.
 type engineSlot struct {
 	mu   sync.Mutex
 	eng  *core.Engine
 	dev  *csd.SmartSSD
-	busy time.Duration // accumulated simulated device time
-	jobs int64
+	busy *telemetry.Counter // accumulated simulated device time, ns
+	jobs *telemetry.Counter
 }
 
 // New builds a node: cfg.Devices fresh CSDs, each with the model deployed.
@@ -64,17 +72,28 @@ func New(m *lstm.Model, cfg Config) (*Node, error) {
 	if cfg.Devices < 0 {
 		return nil, fmt.Errorf("node: device count must be positive, got %d", cfg.Devices)
 	}
+	deploy := cfg.Deploy
+	if deploy.Telemetry == nil {
+		deploy.Telemetry = cfg.Telemetry
+	}
 	n := &Node{}
 	for i := 0; i < cfg.Devices; i++ {
 		dev, err := csd.New(cfg.CSD)
 		if err != nil {
 			return nil, fmt.Errorf("node: device %d: %w", i, err)
 		}
-		eng, err := core.Deploy(dev, m, cfg.Deploy)
+		eng, err := core.Deploy(dev, m, deploy)
 		if err != nil {
 			return nil, fmt.Errorf("node: deploy to device %d: %w", i, err)
 		}
-		n.engines = append(n.engines, &engineSlot{eng: eng, dev: dev})
+		dl := telemetry.L("device", strconv.Itoa(i))
+		n.engines = append(n.engines, &engineSlot{
+			eng: eng, dev: dev,
+			busy: cfg.Telemetry.Counter("node_busy_nanoseconds_total",
+				"Accumulated simulated device time.", dl),
+			jobs: cfg.Telemetry.Counter("node_jobs_total",
+				"Classifications completed by the device.", dl),
+		})
 	}
 	return n, nil
 }
@@ -106,8 +125,8 @@ func (n *Node) Predict(ctx context.Context, seq []int) (kernels.Result, core.Tim
 	if err != nil {
 		return kernels.Result{}, core.Timing{}, err
 	}
-	slot.busy += timing.Total()
-	slot.jobs++
+	slot.busy.Add(int64(timing.Total()))
+	slot.jobs.Inc()
 	return res, timing, nil
 }
 
@@ -123,8 +142,8 @@ func (n *Node) PredictStored(ctx context.Context, ssdOff int64) (kernels.Result,
 	if err != nil {
 		return kernels.Result{}, core.Timing{}, err
 	}
-	slot.busy += timing.Total()
-	slot.jobs++
+	slot.busy.Add(int64(timing.Total()))
+	slot.jobs.Inc()
 	return res, timing, nil
 }
 
@@ -166,8 +185,8 @@ func (n *Node) PredictBatch(ctx context.Context, seqs [][]int) (*BatchResult, er
 				}
 				results[i] = res
 				perDevice[d] += timing.Total()
-				slot.busy += timing.Total()
-				slot.jobs++
+				slot.busy.Add(int64(timing.Total()))
+				slot.jobs.Inc()
 			}
 		}(d)
 	}
@@ -197,9 +216,7 @@ type DeviceStats struct {
 func (n *Node) Stats() []DeviceStats {
 	out := make([]DeviceStats, len(n.engines))
 	for i, s := range n.engines {
-		s.mu.Lock()
-		out[i] = DeviceStats{Jobs: s.jobs, BusyTime: s.busy}
-		s.mu.Unlock()
+		out[i] = DeviceStats{Jobs: s.jobs.Value(), BusyTime: time.Duration(s.busy.Value())}
 	}
 	return out
 }

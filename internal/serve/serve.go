@@ -21,12 +21,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/telemetry"
 )
 
 // ErrQueueFull is returned (when Config.Block is false) if the chosen
@@ -49,6 +51,18 @@ type Config struct {
 	// device worker coalesces into one dispatch; 0 defaults to 8, 1
 	// disables batching.
 	BatchMax int
+	// Telemetry, when non-nil, receives the per-device serving metrics:
+	// serve_jobs_total, serve_dispatches_total, serve_errors_total,
+	// serve_canceled_total, serve_queue_full_total, serve_queue_depth,
+	// serve_busy_nanoseconds_total, the serve_queue_wait_seconds wall-time
+	// histogram, and the serve_batch_size histogram — all labeled
+	// device="<index>". With a nil registry the same instruments still back
+	// Stats(), just unexported.
+	Telemetry *telemetry.Registry
+	// Spans, when non-nil, retains a completed telemetry.Span per request
+	// for requests that did not already carry one in their context (e.g.
+	// direct Predict calls outside a detector).
+	Spans *telemetry.SpanLog
 }
 
 func (c *Config) defaults() error {
@@ -83,18 +97,38 @@ type request struct {
 	off    int64 // SSD offset; meaningful when stored
 	stored bool
 	done   chan response
+	// enqueuedAt stamps submission, so the dispatching worker can record
+	// the request's queue wait (wall time: queueing happens in the real
+	// host scheduler, unlike the simulated device time in Timing).
+	enqueuedAt time.Time
+	// span, when non-nil, accumulates the request's pipeline phases. It is
+	// the context span when the caller supplied one, else a server-created
+	// span destined for Config.Spans.
+	span *telemetry.Span
+	// ownSpan marks a server-created span that should be logged on
+	// completion (caller-owned spans are the caller's to log).
+	ownSpan bool
 }
 
-// device is one engine plus its serving state.
+// device is one engine plus its serving state. The scalar serving state
+// lives directly in telemetry instruments (created against Config.Telemetry
+// or detached when telemetry is off), so Stats() and /metrics read the same
+// source of truth.
 type device struct {
 	inf   infer.Inferencer
 	queue chan *request
 
-	busy       atomic.Int64 // accumulated simulated device time, ns
-	pending    atomic.Int64 // requests queued or executing
-	est        atomic.Int64 // EWMA per-request simulated cost, ns
-	jobs       atomic.Int64 // requests executed successfully
-	dispatches atomic.Int64 // worker wake-ups (batches count once)
+	est atomic.Int64 // EWMA per-request simulated cost, ns
+
+	busy       *telemetry.Counter // accumulated simulated device time, ns
+	pending    *telemetry.Gauge   // requests queued or executing
+	jobs       *telemetry.Counter // requests executed successfully
+	dispatches *telemetry.Counter // worker wake-ups (batches count once)
+	errors     *telemetry.Counter // failed executions (cancellations excluded)
+	canceled   *telemetry.Counter // requests abandoned before touching the device
+	queueFull  *telemetry.Counter // ErrQueueFull rejections
+	queueWait  *telemetry.Histogram
+	batchSize  *telemetry.Histogram
 }
 
 // estFloor is the backlog cost assumed for a device whose EWMA has no
@@ -108,7 +142,7 @@ func (d *device) score() int64 {
 	if est < estFloor {
 		est = estFloor
 	}
-	return d.busy.Load() + d.pending.Load()*est
+	return d.busy.Value() + d.pending.Value()*est
 }
 
 // Server schedules classification requests over a set of single-stream
@@ -147,8 +181,31 @@ func New(engines []infer.Inferencer, cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{cfg: cfg, quit: make(chan struct{})}
-	for _, e := range engines {
-		d := &device{inf: e, queue: make(chan *request, cfg.QueueDepth)}
+	reg := cfg.Telemetry
+	for i, e := range engines {
+		dl := telemetry.L("device", strconv.Itoa(i))
+		d := &device{
+			inf:   e,
+			queue: make(chan *request, cfg.QueueDepth),
+			busy: reg.Counter("serve_busy_nanoseconds_total",
+				"Accumulated simulated device time.", dl),
+			pending: reg.Gauge("serve_queue_depth",
+				"Requests queued or executing on the device.", dl),
+			jobs: reg.Counter("serve_jobs_total",
+				"Requests executed successfully.", dl),
+			dispatches: reg.Counter("serve_dispatches_total",
+				"Worker wake-ups; a coalesced stored batch counts once.", dl),
+			errors: reg.Counter("serve_errors_total",
+				"Requests that failed on the device (cancellations excluded).", dl),
+			canceled: reg.Counter("serve_canceled_total",
+				"Requests abandoned by context cancellation before touching the device.", dl),
+			queueFull: reg.Counter("serve_queue_full_total",
+				"Requests rejected with ErrQueueFull.", dl),
+			queueWait: reg.Histogram("serve_queue_wait_seconds",
+				"Wall time between enqueue and worker dispatch.", telemetry.Buckets{}, dl),
+			batchSize: reg.Histogram("serve_batch_size",
+				"Stored-scan requests coalesced per dispatch.", telemetry.DefaultCountBuckets(), dl),
+		}
 		s.devices = append(s.devices, d)
 		s.wg.Add(1)
 		go s.run(d)
@@ -199,23 +256,34 @@ func (s *Server) submit(ctx context.Context, req *request) (kernels.Result, infe
 	if s.closed.Load() {
 		return kernels.Result{}, infer.Timing{}, ErrClosed
 	}
+	if req.span = telemetry.SpanFrom(ctx); req.span == nil && s.cfg.Spans != nil {
+		name := "predict"
+		if req.stored {
+			name = "predict-stored"
+		}
+		req.span = &telemetry.Span{Name: name}
+		req.ownSpan = true
+	}
 	d := s.pick()
-	d.pending.Add(1)
+	d.pending.Inc()
+	req.enqueuedAt = time.Now()
 	if s.cfg.Block {
 		select {
 		case d.queue <- req:
 		case <-ctx.Done():
-			d.pending.Add(-1)
+			d.pending.Dec()
+			d.canceled.Inc()
 			return kernels.Result{}, infer.Timing{}, ctx.Err()
 		case <-s.quit:
-			d.pending.Add(-1)
+			d.pending.Dec()
 			return kernels.Result{}, infer.Timing{}, ErrClosed
 		}
 	} else {
 		select {
 		case d.queue <- req:
 		default:
-			d.pending.Add(-1)
+			d.pending.Dec()
+			d.queueFull.Inc()
 			return kernels.Result{}, infer.Timing{}, ErrQueueFull
 		}
 	}
@@ -247,7 +315,7 @@ func (s *Server) run(d *device) {
 			for {
 				select {
 				case req := <-d.queue:
-					d.pending.Add(-1)
+					d.pending.Dec()
 					req.done <- response{err: ErrClosed}
 				default:
 					return
@@ -255,7 +323,8 @@ func (s *Server) run(d *device) {
 			}
 		case req := <-d.queue:
 			batch := s.collect(d, req)
-			d.dispatches.Add(1)
+			d.dispatches.Inc()
+			d.batchSize.Observe(int64(len(batch)))
 			for _, r := range batch {
 				s.execute(d, r)
 			}
@@ -288,16 +357,31 @@ func (s *Server) collect(d *device, first *request) []*request {
 // execute runs one request on the device's engine and completes it. A
 // request whose context is already done never touches the engine.
 func (s *Server) execute(d *device, req *request) {
+	// Queue wait ends here, whether the request proceeds or was abandoned:
+	// the scheduling delay was paid either way.
+	wait := time.Since(req.enqueuedAt)
+	d.queueWait.ObserveDuration(wait)
+	if req.span != nil {
+		req.span.Record(telemetry.PhaseQueue, wait)
+	}
 	if err := req.ctx.Err(); err != nil {
-		d.pending.Add(-1)
+		d.pending.Dec()
+		d.canceled.Inc()
 		req.done <- response{err: err}
 		return
 	}
+	// The engine records transfer/compute phases into the span it finds in
+	// the context; thread the request's span down even when the server
+	// created it.
+	ctx := req.ctx
+	if req.ownSpan {
+		ctx = telemetry.WithSpan(ctx, req.span)
+	}
 	var resp response
 	if req.stored {
-		resp.res, resp.timing, resp.err = d.inf.PredictStored(req.ctx, req.off)
+		resp.res, resp.timing, resp.err = d.inf.PredictStored(ctx, req.off)
 	} else {
-		resp.res, resp.timing, resp.err = d.inf.Predict(req.ctx, req.seq)
+		resp.res, resp.timing, resp.err = d.inf.Predict(ctx, req.seq)
 	}
 	if total := int64(resp.timing.Total()); total > 0 {
 		d.busy.Add(total)
@@ -308,15 +392,21 @@ func (s *Server) execute(d *device, req *request) {
 		}
 	}
 	if resp.err == nil {
-		d.jobs.Add(1)
+		d.jobs.Inc()
+	} else {
+		d.errors.Inc()
+	}
+	if req.ownSpan {
+		s.cfg.Spans.Add(*req.span)
 	}
 	// Drop the backlog count before releasing the caller, so a caller
 	// submitting its next request sees this device's true score.
-	d.pending.Add(-1)
+	d.pending.Dec()
 	req.done <- resp
 }
 
-// DeviceStats describes one device's serving activity.
+// DeviceStats describes one device's serving activity. It is a read of the
+// same telemetry instruments exposed at /metrics.
 type DeviceStats struct {
 	// Jobs counts successfully executed requests.
 	Jobs int64
@@ -327,17 +417,36 @@ type DeviceStats struct {
 	BusyTime time.Duration
 	// Queued is the current backlog (queued or executing requests).
 	Queued int64
+	// Errors counts failed executions (cancellations excluded).
+	Errors int64
+	// Canceled counts requests abandoned before touching the device.
+	Canceled int64
+	// QueueFull counts ErrQueueFull rejections.
+	QueueFull int64
+	// QueueWaits counts dispatches with a recorded queue wait.
+	QueueWaits int64
+	// QueueWaitMean and QueueWaitP90 summarize the wall-time queue-wait
+	// distribution (zero until the first dispatch).
+	QueueWaitMean time.Duration
+	QueueWaitP90  time.Duration
 }
 
 // Stats returns a snapshot of per-device serving activity.
 func (s *Server) Stats() []DeviceStats {
 	out := make([]DeviceStats, len(s.devices))
 	for i, d := range s.devices {
+		wait := d.queueWait.Snapshot()
 		out[i] = DeviceStats{
-			Jobs:       d.jobs.Load(),
-			Dispatches: d.dispatches.Load(),
-			BusyTime:   time.Duration(d.busy.Load()),
-			Queued:     d.pending.Load(),
+			Jobs:          d.jobs.Value(),
+			Dispatches:    d.dispatches.Value(),
+			BusyTime:      time.Duration(d.busy.Value()),
+			Queued:        d.pending.Value(),
+			Errors:        d.errors.Value(),
+			Canceled:      d.canceled.Value(),
+			QueueFull:     d.queueFull.Value(),
+			QueueWaits:    wait.Count,
+			QueueWaitMean: time.Duration(wait.Mean),
+			QueueWaitP90:  time.Duration(wait.P90),
 		}
 	}
 	return out

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantilesKnownDistribution(t *testing.T) {
+	// Uniform over (0, 1ms] against 100 evenly spaced 10µs buckets: every
+	// quantile estimate should land within one bucket width of the truth.
+	var bounds []time.Duration
+	for us := 10; us <= 1000; us += 10 {
+		bounds = append(bounds, time.Duration(us)*time.Microsecond)
+	}
+	h := NewHistogram(DurationBuckets(bounds...))
+	rng := rand.New(rand.NewSource(1))
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		h.ObserveDuration(time.Duration(rng.Int63n(int64(time.Millisecond))) + 1)
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	tol := float64(10 * time.Microsecond)
+	for _, tc := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", s.P50, float64(500 * time.Microsecond)},
+		{"p90", s.P90, float64(900 * time.Microsecond)},
+		{"p99", s.P99, float64(990 * time.Microsecond)},
+	} {
+		if math.Abs(tc.got-tc.want) > tol {
+			t.Errorf("%s = %v, want %v ± %v",
+				tc.name, time.Duration(tc.got), time.Duration(tc.want), time.Duration(tol))
+		}
+	}
+	// Mean of U(0, 1ms) is 0.5ms; with 200k samples the CI is very tight.
+	wantMean := float64(500 * time.Microsecond)
+	if math.Abs(s.Mean-wantMean) > float64(5*time.Microsecond) {
+		t.Errorf("mean = %v, want ≈ %v", time.Duration(s.Mean), time.Duration(wantMean))
+	}
+	if !(s.CILow < s.Mean && s.Mean < s.CIHigh) {
+		t.Errorf("CI [%v, %v] does not bracket mean %v", s.CILow, s.CIHigh, s.Mean)
+	}
+	// 95% CI half-width for U(0,1ms): 1.96 * (1ms/√12) / √200000 ≈ 1.27µs.
+	half := (s.CIHigh - s.CILow) / 2
+	if half <= 0 || half > float64(3*time.Microsecond) {
+		t.Errorf("CI half-width = %v, want ≈ 1.3µs", time.Duration(half))
+	}
+}
+
+func TestHistogramMomentsExact(t *testing.T) {
+	h := NewHistogram(CountBuckets(1, 2, 4, 8))
+	for _, v := range []int64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Sum != 15 || s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("moments = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v, want 3", s.Mean)
+	}
+	// Sample stddev of 1..5 is sqrt(2.5); CI uses t(4) = 2.776.
+	wantSD := math.Sqrt(2.5)
+	if math.Abs(s.StdDev-wantSD) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, wantSD)
+	}
+	wantHalf := 2.776 * wantSD / math.Sqrt(5)
+	if math.Abs((s.CIHigh-s.CILow)/2-wantHalf) > 1e-9 {
+		t.Fatalf("CI half-width = %v, want %v", (s.CIHigh-s.CILow)/2, wantHalf)
+	}
+}
+
+func TestHistogramEmptyAndSingle(t *testing.T) {
+	h := NewHistogram(Buckets{})
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	h.ObserveDuration(42 * time.Microsecond)
+	s = h.Snapshot()
+	if s.Count != 1 || s.CILow != s.Mean || s.CIHigh != s.Mean {
+		t.Fatalf("single-sample snapshot = %+v", s)
+	}
+	if s.Min != int64(42*time.Microsecond) || s.Max != s.Min {
+		t.Fatalf("single-sample extremes = %+v", s)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(DurationBuckets(time.Microsecond))
+	h.ObserveDuration(10 * time.Second) // beyond every bound
+	s := h.Snapshot()
+	if got := s.Buckets[len(s.Buckets)-1].Count; got != 1 {
+		t.Fatalf("overflow bucket count = %d, want 1", got)
+	}
+	if s.P99 != float64(10*time.Second) {
+		t.Fatalf("overflow p99 = %v, want observed max", time.Duration(s.P99))
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram(Buckets{})
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Min != 0 || s.Sum != 0 || s.Count != 1 {
+		t.Fatalf("negative observation snapshot = %+v", s)
+	}
+}
+
+func TestHistogramConcurrentWriters(t *testing.T) {
+	h := NewHistogram(Buckets{})
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.ObserveDuration(time.Duration(rng.Int63n(int64(time.Millisecond))))
+			}
+		}(int64(w))
+	}
+	// Concurrent snapshots must not trip the race detector or corrupt state.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, workers*per)
+	}
+}

@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// NewHTTPHandler returns the metrics endpoint served by cmd/csddetect's
+// -metrics-addr flag:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot (plus recent spans when a log is given)
+//	/healthz       liveness probe, {"status":"ok"}
+//
+// spans may be nil. The handler is safe for concurrent use alongside live
+// instrumentation — that is the point of it.
+func NewHTTPHandler(r *Registry, spans *SpanLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Metrics []Metric `json:"metrics"`
+			Spans   []Span   `json:"recent_spans,omitempty"`
+		}{Metrics: r.Snapshot(), Spans: spans.Snapshot()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	return mux
+}

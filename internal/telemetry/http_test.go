@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHTTPHandlerEndpoints(t *testing.T) {
+	r := goldenRegistry()
+	spans := NewSpanLog(4)
+	spans.Add(Span{Name: "window", Phases: []Phase{{Name: PhaseCompute, Duration: time.Microsecond}}})
+	srv := httptest.NewServer(NewHTTPHandler(r, spans))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		`jobs_total{device="0"} 3`,
+		`wait_seconds_bucket{le="+Inf"} 2`,
+		"wait_seconds_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, body = get("/metrics.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Metrics []Metric `json:"metrics"`
+		Spans   []Span   `json:"recent_spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	if len(doc.Metrics) == 0 || len(doc.Spans) != 1 {
+		t.Fatalf("/metrics.json: %d metrics, %d spans", len(doc.Metrics), len(doc.Spans))
+	}
+
+	resp, body = get("/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension (e.g. device="2").
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates the metric types a Registry holds.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels  []Label // sorted by key
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name, help string
+	kind       Kind
+	series     map[string]*series // by canonical label key
+}
+
+// Registry is a labeled metric namespace. Metric accessors are
+// get-or-create: the same (name, labels) always returns the same instance,
+// so instrumentation sites need no registration ceremony. A nil *Registry
+// is valid everywhere and hands out live, unregistered metrics — the
+// disabled-telemetry path costs one allocation at construction time and
+// nothing per observation.
+//
+// Registry methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter with the given name and labels, creating it
+// on first use. It panics on a name/label syntax error or if the name is
+// already registered as a different kind — both are programming errors at
+// instrumentation sites, not runtime conditions.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.lookup(name, help, KindCounter, nil, labels).counter
+}
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first use (see Counter for the conflict rules).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.lookup(name, help, KindGauge, nil, labels).gauge
+}
+
+// Histogram returns the histogram with the given name and labels, creating
+// it on first use with the given bucket layout (zero Buckets: default
+// latency buckets). The layout of an existing series wins; a second caller
+// cannot re-bucket a live histogram.
+func (r *Registry) Histogram(name, help string, buckets Buckets, labels ...Label) *Histogram {
+	if r == nil {
+		return NewHistogram(buckets)
+	}
+	return r.lookup(name, help, KindHistogram, &buckets, labels).hist
+}
+
+func (r *Registry) lookup(name, help string, kind Kind, buckets *Buckets, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for i, l := range sorted {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("telemetry: metric %s: invalid label key %q", name, l.Key))
+		}
+		if i > 0 && sorted[i-1].Key == l.Key {
+			panic(fmt.Sprintf("telemetry: metric %s: duplicate label key %q", name, l.Key))
+		}
+	}
+	key := labelKey(sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %s already registered as %s, requested %s",
+			name, f.kind, kind))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: sorted}
+		switch kind {
+		case KindCounter:
+			s.counter = &Counter{}
+		case KindGauge:
+			s.gauge = &Gauge{}
+		case KindHistogram:
+			s.hist = NewHistogram(*buckets)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// validName reports whether s is a legal Prometheus metric or label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey canonicalizes sorted labels into a map key.
+func labelKey(sorted []Label) string {
+	if len(sorted) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range sorted {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Metric is one series in a registry snapshot.
+type Metric struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Help   string  `json:"help,omitempty"`
+	Labels []Label `json:"labels,omitempty"`
+	// Value is the counter or gauge value; zero for histograms.
+	Value int64 `json:"value,omitempty"`
+	// Histogram is set for histogram series.
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot reads every series, sorted by name then label set — the stable
+// order shared by all exposition formats.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type flat struct {
+		f *family
+		s []*series
+	}
+	flats := make([]flat, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ss := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			ss = append(ss, f.series[k])
+		}
+		flats = append(flats, flat{f: f, s: ss})
+	}
+	r.mu.Unlock()
+
+	// Read metric values outside the registry lock: value reads are atomic
+	// and histogram snapshots can be comparatively slow.
+	var out []Metric
+	for _, fl := range flats {
+		for _, s := range fl.s {
+			m := Metric{Name: fl.f.name, Kind: fl.f.kind.String(), Help: fl.f.help, Labels: s.labels}
+			switch fl.f.kind {
+			case KindCounter:
+				m.Value = s.counter.Value()
+			case KindGauge:
+				m.Value = s.gauge.Value()
+			case KindHistogram:
+				snap := s.hist.Snapshot()
+				m.Histogram = &snap
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}

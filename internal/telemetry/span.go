@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Canonical pipeline phase names, in request order: time waiting in a
+// device queue, SSD→FPGA data movement, FPGA kernel execution, and the
+// detector's verdict logic.
+const (
+	PhaseQueue    = "queue"
+	PhaseTransfer = "transfer"
+	PhaseCompute  = "compute"
+	PhaseVerdict  = "verdict"
+)
+
+// Phase is one recorded stage of a request's pipeline.
+type Phase struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Span records the pipeline phases of one request as it descends the stack:
+// the detector (or caller) creates it and stashes it in the context, the
+// scheduler records queue wait, the engine records transfer and compute,
+// and the detector closes it with the verdict. Each stage hands the request
+// to the next through a channel or call, so Span needs no lock — it is NOT
+// safe for truly concurrent writers, matching the one-stage-at-a-time life
+// of a request.
+type Span struct {
+	// Name identifies the request kind (e.g. "window", "stored-scan").
+	Name string `json:"name"`
+	// Phases are the recorded stages in arrival order. Queue wait is wall
+	// time; transfer and compute are simulated device time (see the package
+	// comment).
+	Phases []Phase `json:"phases"`
+}
+
+// Record appends one phase.
+func (s *Span) Record(phase string, d time.Duration) {
+	s.Phases = append(s.Phases, Phase{Name: phase, Duration: d})
+}
+
+// Total sums all recorded phases.
+func (s *Span) Total() time.Duration {
+	var t time.Duration
+	for _, p := range s.Phases {
+		t += p.Duration
+	}
+	return t
+}
+
+// String renders the span on one line: "window: queue=1.2µs transfer=39µs
+// compute=215µs verdict=90ns (total 255µs)".
+func (s *Span) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteString(":")
+	for _, p := range s.Phases {
+		fmt.Fprintf(&b, " %s=%s", p.Name, p.Duration)
+	}
+	fmt.Fprintf(&b, " (total %s)", s.Total())
+	return b.String()
+}
+
+type spanCtxKey struct{}
+
+// WithSpan returns a context carrying the span, so lower layers (scheduler,
+// engine) can record their phases into it without the Inferencer interface
+// knowing about telemetry.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// SpanLog retains the most recent completed spans in a fixed ring — enough
+// to answer "what did the last requests spend their time on" without
+// unbounded memory. A nil *SpanLog ignores Add, so callers can thread an
+// optional log without branching.
+type SpanLog struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total int64
+}
+
+// NewSpanLog builds a log retaining the last capacity spans (<=0: 128).
+func NewSpanLog(capacity int) *SpanLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SpanLog{buf: make([]Span, 0, capacity)}
+}
+
+// Add appends a completed span, evicting the oldest when full.
+func (l *SpanLog) Add(s Span) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, s)
+		return
+	}
+	l.buf[l.next] = s
+	l.next = (l.next + 1) % len(l.buf)
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (l *SpanLog) Snapshot() []Span {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Span, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Total counts all spans ever added, including evicted ones.
+func (l *SpanLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
