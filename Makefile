@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_JSON_DIR ?= bench-results
 
-.PHONY: build test bench bench-json verify fmt
+.PHONY: build test bench bench-json trace verify fmt
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ bench-json:
 	$(GO) run ./cmd/csdbench -experiment table1 -measure-go=false -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdbench -experiment table2 -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdbench -experiment energy -json $(BENCH_JSON_DIR)
+
+# trace runs the table1 configuration with the device timeline tracer on,
+# writing a Perfetto-loadable Chrome trace (open at https://ui.perfetto.dev)
+# next to the BENCH_*.json results and printing the cycle/occupancy profile.
+trace:
+	$(GO) run ./cmd/csdbench -experiment table1 -measure-go=false \
+		-trace $(BENCH_JSON_DIR)/trace.json -json $(BENCH_JSON_DIR)
 
 # verify is the pre-merge gate: static checks, a full build, and the whole
 # test suite under the race detector (the serving layer is concurrent).

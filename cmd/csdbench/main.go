@@ -6,6 +6,7 @@
 //	csdbench -experiment all                  # everything (default)
 //	csdbench -experiment fig3                 # kernel optimization study
 //	csdbench -experiment table1 -trials 1000  # FPGA vs CPU vs GPU
+//	csdbench -experiment table1 -trace out.json  # + device timeline trace
 //	csdbench -experiment fig4 -epochs 40      # training convergence
 //	csdbench -experiment metrics              # detection accuracy/P/R/F1
 //	csdbench -experiment table2               # dataset overview
@@ -45,13 +46,14 @@ func run(args []string) error {
 	full := fs.Bool("full", false, "use the paper-sized 29K corpus for fig4/metrics (slow)")
 	measureGo := fs.Bool("measure-go", true, "include the plain-Go CPU measurement in table1")
 	jsonDir := fs.String("json", "", "directory to also write results as BENCH_<experiment>.json (empty: off)")
+	tracePath := fs.String("trace", "", "with table1: run the traced serving demo and write a Chrome trace (Perfetto-loadable) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	runs := map[string]func() error{
 		"fig3":    func() error { return runFig3(*jsonDir) },
-		"table1":  func() error { return runTableI(*jsonDir, *trials, *seed, *measureGo) },
+		"table1":  func() error { return runTableI(*jsonDir, *trials, *seed, *measureGo, *tracePath) },
 		"fig4":    func() error { return runTraining(*jsonDir, *epochs, *seed, *full, true, false) },
 		"metrics": func() error { return runTraining(*jsonDir, *epochs, *seed, *full, false, true) },
 		"table2":  func() error { return runTableII(*jsonDir, *seed) },
@@ -118,7 +120,7 @@ func runFig3(jsonDir string) error {
 	return writeBench(jsonDir, "fig3", rows)
 }
 
-func runTableI(jsonDir string, trials int, seed int64, measureGo bool) error {
+func runTableI(jsonDir string, trials int, seed int64, measureGo bool, tracePath string) error {
 	fmt.Println("=== Table I: traditional DL hardware comparison ===")
 	res, err := experiments.TableI(experiments.TableIConfig{
 		Trials: trials, Seed: seed, MeasureGo: measureGo,
@@ -132,14 +134,53 @@ func runTableI(jsonDir string, trials int, seed int64, measureGo bool) error {
 	// FPGA figure so downstream dashboards need no recomputation.
 	doc := struct {
 		*experiments.TableIResult
-		FPGAItemsPerSecond float64 `json:"fpga_items_per_second"`
+		FPGAItemsPerSecond float64                  `json:"fpga_items_per_second"`
+		TraceProfile       *experiments.TraceResult `json:"trace_profile,omitempty"`
 	}{TableIResult: res}
 	for _, row := range res.Rows {
 		if row.Platform == "FPGA (CSD)" && row.MeanUS > 0 {
 			doc.FPGAItemsPerSecond = 1e6 / row.MeanUS
 		}
 	}
+	if tracePath != "" {
+		tr, err := runTrace(tracePath, seed)
+		if err != nil {
+			return err
+		}
+		doc.TraceProfile = tr
+	}
 	return writeBench(jsonDir, "table1", doc)
+}
+
+// runTrace executes the traced serving demo of the table1 configuration,
+// writes the Chrome trace to path, and prints the text profile report.
+func runTrace(path string, seed int64) (*experiments.TraceResult, error) {
+	run, err := experiments.TraceRun(experiments.TraceRunConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := run.Tracer.WriteChrome(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("write trace %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	fmt.Printf("--- device timeline: %d jobs traced, Chrome trace written to %s ---\n", run.Jobs, path)
+	fmt.Println("    (open at https://ui.perfetto.dev or chrome://tracing)")
+	fmt.Println()
+	fmt.Print(run.Profile.Format())
+	fmt.Println()
+	return &experiments.TraceResult{Jobs: run.Jobs, Profile: run.Profile}, nil
 }
 
 func runTraining(jsonDir string, epochs int, seed int64, full, wantFig4, wantMetrics bool) error {

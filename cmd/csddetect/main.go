@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/sandbox"
 	"github.com/kfrida1/csdinf/internal/serve"
 	"github.com/kfrida1/csdinf/internal/telemetry"
+	"github.com/kfrida1/csdinf/internal/trace"
 	"github.com/kfrida1/csdinf/internal/train"
 	"github.com/kfrida1/csdinf/internal/winapi"
 )
@@ -59,10 +61,15 @@ func run(args []string) error {
 	threshold := fs.Float64("threshold", 0.5, "alert probability threshold")
 	trainEpochs := fs.Int("train-epochs", 15, "epochs for the quick-train fallback")
 	trainScale := fs.Int("train-scale", 20, "1/N corpus scale for the quick-train fallback")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz on this address (empty: off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /spans.json, /healthz on this address (empty: off)")
 	hold := fs.Duration("hold", 0, "keep the metrics endpoint up this long after the run")
+	pprofOn := fs.Bool("pprof", false, "additionally mount net/http/pprof at /debug/pprof/ on the metrics address")
+	tracePath := fs.String("trace", "", "write a Chrome trace (Perfetto-loadable) of the device timeline to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofOn && *metricsAddr == "" {
+		return errors.New("-pprof requires -metrics-addr")
 	}
 
 	model, err := loadOrTrain(*weights, *seed, *trainEpochs, *trainScale)
@@ -81,16 +88,33 @@ func run(args []string) error {
 		}
 		defer ln.Close()
 		fmt.Printf("metrics at http://%s/metrics\n", ln.Addr())
+		mux := http.NewServeMux()
+		mux.Handle("/", telemetry.NewHTTPHandler(reg, spans))
+		if *pprofOn {
+			// Mount explicitly rather than blank-importing, so the Go
+			// profiling surface exists only when asked for.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			fmt.Printf("pprof at http://%s/debug/pprof/\n", ln.Addr())
+		}
 		go func() {
-			_ = http.Serve(ln, telemetry.NewHTTPHandler(reg, spans))
+			_ = http.Serve(ln, mux)
 		}()
+	}
+
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New()
 	}
 
 	dev, err := csd.New(csd.Config{})
 	if err != nil {
 		return err
 	}
-	eng, err := core.Deploy(dev, model, core.DeployConfig{Telemetry: reg})
+	eng, err := core.Deploy(dev, model, core.DeployConfig{Telemetry: reg, Trace: tracer})
 	if err != nil {
 		return err
 	}
@@ -100,7 +124,7 @@ func run(args []string) error {
 
 	// Serve the single engine through the scheduler so queue-wait metrics
 	// cover the request path even in this one-device demo.
-	srv, err := serve.New([]infer.Inferencer{eng}, serve.Config{Telemetry: reg, Spans: spans})
+	srv, err := serve.New([]infer.Inferencer{eng}, serve.Config{Telemetry: reg, Spans: spans, Trace: tracer})
 	if err != nil {
 		return err
 	}
@@ -149,6 +173,11 @@ func run(args []string) error {
 	fmt.Printf("\nsummary: %d calls observed, %d windows classified, %d alerts, blocked=%v\n",
 		s.CallsObserved, s.WindowsEvaluated, s.Alerts, s.Blocked)
 	printTelemetry(reg, spans)
+	if tracer != nil {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			return err
+		}
+	}
 	if !s.Blocked {
 		return fmt.Errorf("infection ran to completion without mitigation")
 	}
@@ -162,6 +191,25 @@ func run(args []string) error {
 		fmt.Printf("holding metrics endpoint for %v...\n", *hold)
 		time.Sleep(*hold)
 	}
+	return nil
+}
+
+// writeTrace exports the device timeline as Chrome trace JSON and prints
+// the aggregated cycle/occupancy profile.
+func writeTrace(path string, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\ndevice timeline written to %s (open at https://ui.perfetto.dev)\n\n", path)
+	fmt.Print(tracer.Profile().Format())
 	return nil
 }
 

@@ -59,6 +59,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/sandbox"
 	"github.com/kfrida1/csdinf/internal/serve"
 	"github.com/kfrida1/csdinf/internal/telemetry"
+	"github.com/kfrida1/csdinf/internal/trace"
 	"github.com/kfrida1/csdinf/internal/train"
 	"github.com/kfrida1/csdinf/internal/vitis"
 	"github.com/kfrida1/csdinf/internal/winapi"
@@ -305,7 +306,10 @@ var (
 // device workers. When serveCfg.Telemetry is set it is threaded into each
 // engine deployment (unless nodeCfg.Deploy.Telemetry is already set), so the
 // engines' transfer/compute histograms land in the same registry as the
-// scheduler's queue metrics.
+// scheduler's queue metrics. Likewise a serveCfg.Trace tracer is threaded
+// into each deployment under a per-device track group ("csd0", "csd1", ...),
+// so one timeline covers the scheduler's queues and every device's
+// SSD/PCIe/DDR/CU tracks.
 func NewServer(m *Model, nodeCfg NodeConfig, serveCfg ServeConfig) (*Server, error) {
 	devices := nodeCfg.Devices
 	if devices == 0 {
@@ -318,13 +322,20 @@ func NewServer(m *Model, nodeCfg NodeConfig, serveCfg ServeConfig) (*Server, err
 	if deploy.Telemetry == nil {
 		deploy.Telemetry = serveCfg.Telemetry
 	}
+	if deploy.Trace == nil {
+		deploy.Trace = serveCfg.Trace
+	}
 	engines := make([]Inferencer, devices)
 	for i := range engines {
 		dev, err := csd.New(nodeCfg.CSD)
 		if err != nil {
 			return nil, fmt.Errorf("csdinf: device %d: %w", i, err)
 		}
-		eng, err := core.Deploy(dev, m, deploy)
+		devDeploy := deploy
+		if devDeploy.Trace != nil && devDeploy.TraceName == "" {
+			devDeploy.TraceName = fmt.Sprintf("csd%d", i)
+		}
+		eng, err := core.Deploy(dev, m, devDeploy)
 		if err != nil {
 			return nil, fmt.Errorf("csdinf: deploy to device %d: %w", i, err)
 		}
@@ -441,6 +452,24 @@ type (
 	// SpanLog is a fixed-capacity ring of recently completed spans.
 	SpanLog = telemetry.SpanLog
 )
+
+// Trace types (the device-level timeline tracer and cycle profiler, the
+// reproduction's Vitis Analyzer analogue — see internal/trace).
+type (
+	// Tracer records timestamped begin/end events on per-CU / DDR / PCIe /
+	// SSD / queue tracks; export with WriteChrome (Perfetto-loadable) or
+	// aggregate with Profile.
+	Tracer = trace.Tracer
+	// TraceEvent is one completed interval on a track.
+	TraceEvent = trace.Event
+	// TraceProfile is the aggregated cycle/occupancy/overlap report.
+	TraceProfile = trace.Profile
+)
+
+// NewTracer builds an empty timeline tracer. Thread it through
+// ServeConfig.Trace (or DeployConfig.Trace for a single engine) and export
+// with WriteChrome or Profile after the run.
+func NewTracer() *Tracer { return trace.New() }
 
 // NewTelemetry builds an empty metrics registry.
 func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }

@@ -24,6 +24,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/telemetry"
+	"github.com/kfrida1/csdinf/internal/trace"
 )
 
 // DeployConfig controls engine deployment.
@@ -43,6 +44,14 @@ type DeployConfig struct {
 	// share the series, aggregating across devices; per-device breakdowns
 	// live one layer up in internal/serve.
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives the engine's device-level timeline
+	// events: SSD/PCIe/DDR transfer stages (emitted by the CSD itself,
+	// which Deploy attaches to the tracer) and per-CU kernel events with
+	// loop-nest cycle attributions.
+	Trace *trace.Tracer
+	// TraceName is the trace track group naming this device (one group per
+	// physical device); empty defaults to "csd0".
+	TraceName string
 }
 
 // Engine is a deployed CSD inference engine. It is not safe for concurrent
@@ -63,6 +72,25 @@ type Engine struct {
 	xferHist    *telemetry.Histogram
 	computeHist *telemetry.Histogram
 	predictions *telemetry.Counter
+
+	// Timeline tracing (nil when DeployConfig.Trace is unset). stages is
+	// the fixed per-classification compute timeline — one entry per kernel
+	// stage (gate CUs share a stage and overlap) — precomputed at Deploy so
+	// the per-classification cost of tracing is a handful of Emit calls.
+	tracer     *trace.Tracer
+	traceGroup string
+	stages     []computeStage
+}
+
+// computeStage is one serial stage of the per-classification compute
+// timeline: all tracks of a stage run the same interval in parallel (the
+// four kernel_gates CUs), and stages execute back to back.
+type computeStage struct {
+	name   string
+	tracks []trace.Track
+	dur    time.Duration
+	cycles int64 // per track
+	loops  []trace.LoopCycles
 }
 
 // Deploy initializes the FPGA of the given CSD with the trained model.
@@ -112,7 +140,7 @@ func Deploy(dev *csd.SmartSSD, m *lstm.Model, cfg DeployConfig) (*Engine, error)
 	}
 
 	reg := cfg.Telemetry
-	return &Engine{
+	e := &Engine{
 		dev: dev, pipe: pipe, seqBuf: seqBuf, initTime: initTime,
 		xferHist: reg.Histogram("engine_transfer_seconds",
 			"Simulated SSD-to-FPGA data movement time per classification.", telemetry.Buckets{}),
@@ -120,7 +148,54 @@ func Deploy(dev *csd.SmartSSD, m *lstm.Model, cfg DeployConfig) (*Engine, error)
 			"Simulated FPGA kernel time per classification.", telemetry.Buckets{}),
 		predictions: reg.Counter("engine_predictions_total",
 			"Classifications completed by deployed engines."),
-	}, nil
+	}
+	if cfg.Trace.Enabled() {
+		group := cfg.TraceName
+		if group == "" {
+			group = "csd0"
+		}
+		dev.SetTracer(cfg.Trace, group)
+		e.tracer = cfg.Trace
+		e.traceGroup = group
+		e.stages = computeStages(pipe)
+	}
+	return e, nil
+}
+
+// computeStages precomputes the per-classification compute timeline from
+// the pipeline's placed kernels: preprocess → four parallel gate CUs →
+// hidden state, each stage's cycles scaled by the window length (and, for
+// gates, by the serialization rounds when fewer than four CUs are placed).
+// The loop attributions come from the HLS schedules, so they sum exactly to
+// each stage's cycle count.
+func computeStages(pipe *kernels.Pipeline) []computeStage {
+	dev := pipe.Device()
+	seq := int64(pipe.SeqLen())
+	stage := func(kernel string, mult int64, tracks ...trace.Track) computeStage {
+		pk := pipe.Placed(kernel)
+		st := computeStage{
+			name:   kernel,
+			tracks: tracks,
+			cycles: pk.CyclesPerInvocation * mult,
+			dur:    dev.Duration(pk.CyclesPerInvocation * mult),
+		}
+		for i, l := range pk.Spec.Loops {
+			st.loops = append(st.loops, trace.LoopCycles{
+				Name: l.Name, Cycles: pk.Schedules[i].Cycles * mult,
+			})
+		}
+		return st
+	}
+	gateTracks := make([]trace.Track, pipe.GateCUs())
+	for i := range gateTracks {
+		gateTracks[i] = trace.Track{Name: fmt.Sprintf("cu-%s-%d", kernels.KernelGates, i)}
+	}
+	rounds := int64(kernels.GateCUs / pipe.GateCUs())
+	return []computeStage{
+		stage(kernels.KernelPreprocess, seq, trace.Track{Name: "cu-" + kernels.KernelPreprocess}),
+		stage(kernels.KernelGates, rounds*seq, gateTracks...),
+		stage(kernels.KernelHiddenState, seq, trace.Track{Name: "cu-" + kernels.KernelHiddenState}),
+	}
 }
 
 // Timing breaks a classification's simulated latency into data movement and
@@ -138,6 +213,7 @@ func (e *Engine) PredictStored(ctx context.Context, ssdOff int64) (kernels.Resul
 	if err := ctx.Err(); err != nil {
 		return kernels.Result{}, Timing{}, err
 	}
+	e.stampJob(ctx)
 	xfer, err := e.dev.TransferP2P(ssdOff, e.seqBuf)
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: fetch sequence: %w", err)
@@ -151,6 +227,7 @@ func (e *Engine) PredictStoredViaHost(ctx context.Context, ssdOff int64) (kernel
 	if err := ctx.Err(); err != nil {
 		return kernels.Result{}, Timing{}, err
 	}
+	e.stampJob(ctx)
 	xfer, err := e.dev.TransferViaHost(ssdOff, e.seqBuf)
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: fetch sequence via host: %w", err)
@@ -174,6 +251,7 @@ func (e *Engine) Predict(ctx context.Context, seq []int) (kernels.Result, Timing
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: encode sequence: %w", err)
 	}
+	e.stampJob(ctx)
 	xfer, err := e.dev.WriteBuffer(e.seqBuf, data)
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: stage sequence: %w", err)
@@ -191,6 +269,7 @@ func (e *Engine) classifyBuffer(ctx context.Context, t Timing) (kernels.Result, 
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: classify: %w", err)
 	}
 	t.Compute = e.pipe.Device().Duration(cycles)
+	e.emitCompute(ctx, t)
 	e.xferHist.ObserveDuration(t.Transfer)
 	e.computeHist.ObserveDuration(t.Compute)
 	e.predictions.Inc()
@@ -199,6 +278,46 @@ func (e *Engine) classifyBuffer(ctx context.Context, t Timing) (kernels.Result, 
 		sp.Record(telemetry.PhaseCompute, t.Compute)
 	}
 	return res, t, nil
+}
+
+// stampJob forwards the context's trace correlation ID to the device, so
+// the transfer events the CSD emits carry the same job as the scheduler's
+// queue event and the engine's kernel events (the raw transfer APIs model
+// DMA and take no context of their own).
+func (e *Engine) stampJob(ctx context.Context) {
+	if e.tracer.Enabled() {
+		e.dev.TraceJob(trace.JobFrom(ctx))
+	}
+}
+
+// emitCompute places the classification's kernel stages on the timeline.
+// The transfer that fed this classification has just advanced the group
+// cursor to its end; compute is modeled as starting once the *first* item
+// has landed (the kernels stream items as they arrive), so the tail of the
+// transfer overlaps kernel execution on the trace exactly as the dataflow
+// hardware behaves. The engine's reported Timing stays the conservative
+// serial transfer+compute sum.
+func (e *Engine) emitCompute(ctx context.Context, t Timing) {
+	if e.tracer == nil || len(e.stages) == 0 {
+		return
+	}
+	job := trace.JobFrom(ctx)
+	end := e.tracer.Cursor(e.traceGroup)
+	at := end - t.Transfer + t.Transfer/time.Duration(e.pipe.SeqLen())
+	if at < 0 {
+		at = 0
+	}
+	for _, st := range e.stages {
+		for _, trk := range st.tracks {
+			trk.Group = e.traceGroup
+			e.tracer.Emit(trace.Event{
+				Track: trk, Name: st.name, Cat: trace.CatKernel,
+				Start: at, Dur: st.dur, Job: job, Cycles: st.cycles, Loops: st.loops,
+			})
+		}
+		at += st.dur
+	}
+	e.tracer.Advance(e.traceGroup, at)
 }
 
 // PerItemMicros returns the per-item kernel latencies in microseconds

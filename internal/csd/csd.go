@@ -26,10 +26,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/kfrida1/csdinf/internal/pcie"
 	"github.com/kfrida1/csdinf/internal/ssd"
+	"github.com/kfrida1/csdinf/internal/trace"
 )
 
 // Config describes a SmartSSD device.
@@ -83,6 +85,60 @@ type SmartSSD struct {
 	bankSize  int64
 	p2pBytes  int64 // cumulative bytes moved SSD→FPGA via the switch
 	hostBytes int64 // cumulative bytes crossing the host root complex
+
+	// Timeline tracing (optional; see internal/trace). traceJob is atomic
+	// because the transfer APIs predate context plumbing: the caller that
+	// owns the device stream stamps the current job before transferring.
+	tracer     *trace.Tracer
+	traceGroup string
+	traceJob   atomic.Int64
+}
+
+// SetTracer attaches a timeline tracer; subsequent transfers emit events on
+// the device's SSD / PCIe / DDR tracks under the given track group (one
+// group per physical device, e.g. "csd0"). A nil tracer detaches.
+func (s *SmartSSD) SetTracer(t *trace.Tracer, group string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+	s.traceGroup = group
+}
+
+// TraceJob stamps the trace correlation ID attributed to subsequent
+// transfer events. The transfer APIs take no context (they model raw device
+// DMA), so the single-stream owner of the device sets the job up front.
+func (s *SmartSSD) TraceJob(id int64) { s.traceJob.Store(id) }
+
+// traceTransfer places a serial chain of transfer stages on the device's
+// timeline: each stage occupies its track for its duration, back to back
+// from the group anchor, and the destination DDR bank is busy for the final
+// link hop's interval (the bank fills as the link delivers; the shared
+// interval merges rather than double-counts in the profiler). Advances the
+// group cursor to the chain's end.
+func (s *SmartSSD) traceTransfer(bank int, stages []trace.Event) {
+	s.mu.Lock()
+	tr, group := s.tracer, s.traceGroup
+	s.mu.Unlock()
+	if !tr.Enabled() || len(stages) == 0 {
+		return
+	}
+	job := s.traceJob.Load()
+	at := tr.Anchor(group)
+	for i := range stages {
+		stages[i].Track.Group = group
+		stages[i].Cat = trace.CatTransfer
+		stages[i].Job = job
+		stages[i].Start = at
+		at += stages[i].Dur
+		tr.Emit(stages[i])
+	}
+	tr.Advance(group, at)
+	last := stages[len(stages)-1]
+	tr.Emit(trace.Event{
+		Track: trace.Track{Group: group, Name: fmt.Sprintf("ddr-bank%d", bank)},
+		Name:  "ddr:" + last.Name, Cat: trace.CatTransfer,
+		Start: last.Start, Dur: last.Dur, Job: job,
+	})
 }
 
 type bank struct {
@@ -195,6 +251,10 @@ func (s *SmartSSD) TransferP2P(ssdOff int64, buf *Buffer) (time.Duration, error)
 	s.mu.Lock()
 	s.p2pBytes += buf.Size
 	s.mu.Unlock()
+	s.traceTransfer(buf.Bank, []trace.Event{
+		{Track: trace.Track{Name: "ssd"}, Name: "ssd-read", Dur: readTime},
+		{Track: trace.Track{Name: "pcie-internal"}, Name: "p2p", Dur: linkTime},
+	})
 	return readTime + linkTime, nil
 }
 
@@ -221,6 +281,12 @@ func (s *SmartSSD) TransferViaHost(ssdOff int64, buf *Buffer) (time.Duration, er
 	s.mu.Lock()
 	s.hostBytes += 2 * buf.Size
 	s.mu.Unlock()
+	s.traceTransfer(buf.Bank, []trace.Event{
+		{Track: trace.Track{Name: "ssd"}, Name: "ssd-read", Dur: readTime},
+		{Track: trace.Track{Name: "pcie-host"}, Name: "host-up", Dur: up},
+		{Track: trace.Track{Name: "host-dram"}, Name: "host-stage", Dur: stage},
+		{Track: trace.Track{Name: "pcie-host"}, Name: "host-down", Dur: down},
+	})
 	return readTime + up + stage + down, nil
 }
 
@@ -243,6 +309,9 @@ func (s *SmartSSD) WriteBuffer(buf *Buffer, data []byte) (time.Duration, error) 
 	s.mu.Lock()
 	s.hostBytes += int64(len(data))
 	s.mu.Unlock()
+	s.traceTransfer(buf.Bank, []trace.Event{
+		{Track: trace.Track{Name: "pcie-host"}, Name: "h2d", Dur: t},
+	})
 	return t, nil
 }
 
@@ -260,6 +329,9 @@ func (s *SmartSSD) ReadBuffer(buf *Buffer, dst []byte) (time.Duration, error) {
 	s.mu.Lock()
 	s.hostBytes += int64(n)
 	s.mu.Unlock()
+	s.traceTransfer(buf.Bank, []trace.Event{
+		{Track: trace.Track{Name: "pcie-host"}, Name: "d2h", Dur: t},
+	})
 	return t, nil
 }
 

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/trace"
+)
+
+// traceRunForTest runs a small traced workload once and shares it across the
+// assertions below (a TraceRun deploys real engines, so it is the expensive
+// part).
+func traceRunForTest(t *testing.T) *TraceRunResult {
+	t.Helper()
+	run, err := TraceRun(TraceRunConfig{Devices: 2, Stored: 4, Live: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestTraceRunCorrelatesJobsAcrossLayers(t *testing.T) {
+	run := traceRunForTest(t)
+	if run.Jobs != 6 {
+		t.Fatalf("jobs = %d, want 6", run.Jobs)
+	}
+
+	// Index the timeline by job: every request's queue event must share its
+	// ID with kernel and transfer events from the device layers below.
+	type jobEvents struct{ queue, kernel, transfer int }
+	jobs := map[int64]*jobEvents{}
+	for _, ev := range run.Tracer.Events() {
+		if ev.Job == 0 {
+			continue
+		}
+		je := jobs[ev.Job]
+		if je == nil {
+			je = &jobEvents{}
+			jobs[ev.Job] = je
+		}
+		switch ev.Cat {
+		case trace.CatQueue:
+			je.queue++
+		case trace.CatKernel:
+			je.kernel++
+		case trace.CatTransfer:
+			je.transfer++
+		}
+	}
+	if len(jobs) != run.Jobs {
+		t.Fatalf("timeline carries %d distinct jobs, want %d", len(jobs), run.Jobs)
+	}
+	for id, je := range jobs {
+		if je.queue != 1 {
+			t.Errorf("job %d: %d queue events, want exactly 1", id, je.queue)
+		}
+		if je.kernel == 0 {
+			t.Errorf("job %d: queue event has no correlated kernel events", id)
+		}
+		if je.transfer == 0 {
+			t.Errorf("job %d: queue event has no correlated transfer events", id)
+		}
+	}
+}
+
+func TestTraceRunMeetsAcceptanceBars(t *testing.T) {
+	run := traceRunForTest(t)
+	p := run.Profile
+
+	// >= 95% of simulated kernel cycles attributed to named loop nests.
+	if p.AttributedShare < 0.95 {
+		t.Errorf("attributed share = %.3f, want >= 0.95", p.AttributedShare)
+	}
+	// Nonzero transfer/compute overlap from the streaming model.
+	if p.Overlap <= 0 {
+		t.Errorf("transfer/compute overlap = %v, want > 0", p.Overlap)
+	}
+	// kernel_gates spreads across >= 4 distinct CU tracks per device.
+	gateCUs := map[trace.Track]bool{}
+	for _, ev := range run.Tracer.Events() {
+		if ev.Cat == trace.CatKernel && strings.HasPrefix(ev.Track.Name, "cu-kernel_gates-") {
+			gateCUs[ev.Track] = true
+		}
+	}
+	perGroup := map[string]int{}
+	for tr := range gateCUs {
+		perGroup[tr.Group]++
+	}
+	if len(perGroup) != 2 {
+		t.Fatalf("gate CU tracks on %d device groups, want 2", len(perGroup))
+	}
+	for g, n := range perGroup {
+		if n < 4 {
+			t.Errorf("device %s exposes %d gate CU tracks, want >= 4", g, n)
+		}
+	}
+	if p.QueueJobs != run.Jobs {
+		t.Errorf("profile queue jobs = %d, want %d", p.QueueJobs, run.Jobs)
+	}
+}
+
+func TestTraceRunChromeExportLoads(t *testing.T) {
+	run := traceRunForTest(t)
+	var buf bytes.Buffer
+	if err := run.Tracer.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("export = unit %q with %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+}

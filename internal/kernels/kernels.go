@@ -273,6 +273,15 @@ func (p *Pipeline) Level() OptLevel { return p.level }
 // Device returns the FPGA device the pipeline is placed on.
 func (p *Pipeline) Device() *fpga.Device { return p.dev }
 
+// Placed returns the placed kernel by name (nil if not placed), giving
+// profilers access to the loop schedules behind the latency figures.
+func (p *Pipeline) Placed(name string) *fpga.PlacedKernel { return p.placed[name] }
+
+// GateCUs returns the number of kernel_gates compute units in this
+// deployment (4 in the paper's configuration; fewer under the gate-CU
+// ablation).
+func (p *Pipeline) GateCUs() int { return p.gateCUs }
+
 // SeqLen returns the pre-established sequence length.
 func (p *Pipeline) SeqLen() int { return p.seqLen }
 

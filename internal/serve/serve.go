@@ -29,6 +29,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/telemetry"
+	"github.com/kfrida1/csdinf/internal/trace"
 )
 
 // ErrQueueFull is returned (when Config.Block is false) if the chosen
@@ -63,6 +64,12 @@ type Config struct {
 	// for requests that did not already carry one in their context (e.g.
 	// direct Predict calls outside a detector).
 	Spans *telemetry.SpanLog
+	// Trace, when non-nil, records each request's queue residency on the
+	// scheduler's per-device tracks and assigns the request a trace job ID
+	// that rides its context — the correlation key tying the queue event to
+	// the transfer and kernel events the device emits for the same request
+	// (and mirrored onto the request's telemetry.Span as Span.ID).
+	Trace *trace.Tracer
 }
 
 func (c *Config) defaults() error {
@@ -108,6 +115,8 @@ type request struct {
 	// ownSpan marks a server-created span that should be logged on
 	// completion (caller-owned spans are the caller's to log).
 	ownSpan bool
+	// job is the trace correlation ID (0 when tracing is off).
+	job int64
 }
 
 // device is one engine plus its serving state. The scalar serving state
@@ -115,6 +124,7 @@ type request struct {
 // or detached when telemetry is off), so Stats() and /metrics read the same
 // source of truth.
 type device struct {
+	idx   int
 	inf   infer.Inferencer
 	queue chan *request
 
@@ -185,6 +195,7 @@ func New(engines []infer.Inferencer, cfg Config) (*Server, error) {
 	for i, e := range engines {
 		dl := telemetry.L("device", strconv.Itoa(i))
 		d := &device{
+			idx:   i,
 			inf:   e,
 			queue: make(chan *request, cfg.QueueDepth),
 			busy: reg.Counter("serve_busy_nanoseconds_total",
@@ -263,6 +274,13 @@ func (s *Server) submit(ctx context.Context, req *request) (kernels.Result, infe
 		}
 		req.span = &telemetry.Span{Name: name}
 		req.ownSpan = true
+	}
+	if s.cfg.Trace.Enabled() {
+		req.job = s.cfg.Trace.NewJob()
+		req.ctx = trace.WithJob(req.ctx, req.job)
+		if req.span != nil {
+			req.span.ID = req.job
+		}
 	}
 	d := s.pick()
 	d.pending.Inc()
@@ -363,6 +381,22 @@ func (s *Server) execute(d *device, req *request) {
 	d.queueWait.ObserveDuration(wait)
 	if req.span != nil {
 		req.span.Record(telemetry.PhaseQueue, wait)
+	}
+	if tr := s.cfg.Trace; tr.Enabled() {
+		// Pure wall-clock domain: the wait really elapsed on the host.
+		name := "queue:predict"
+		if req.stored {
+			name = "queue:predict-stored"
+		}
+		start := tr.Elapsed() - wait
+		if start < 0 {
+			start = 0
+		}
+		tr.Emit(trace.Event{
+			Track: trace.Track{Group: "serve", Name: "device" + strconv.Itoa(d.idx)},
+			Name:  name, Cat: trace.CatQueue,
+			Start: start, Dur: wait, Job: req.job,
+		})
 	}
 	if err := req.ctx.Err(); err != nil {
 		d.pending.Dec()

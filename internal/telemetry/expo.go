@@ -51,7 +51,11 @@ func writePromHistogram(b *strings.Builder, m Metric) {
 		fmt.Fprintf(b, "%s_bucket%s %d\n", m.Name, promLabelsLE(m.Labels, le), cum)
 	}
 	fmt.Fprintf(b, "%s_sum%s %s\n", m.Name, promLabels(m.Labels), promValue(h.Sum, seconds))
-	fmt.Fprintf(b, "%s_count%s %d\n", m.Name, promLabels(m.Labels), h.Count)
+	// The spec requires _count == the +Inf bucket. Render the cumulative
+	// bucket sum rather than the separately-read Count atomic: under
+	// concurrent writers the two reads can straddle an observation, and the
+	// buckets are what the exposition just claimed.
+	fmt.Fprintf(b, "%s_count%s %d\n", m.Name, promLabels(m.Labels), cum)
 }
 
 // promValue renders a raw int64 observation, converting nanoseconds to
@@ -63,14 +67,16 @@ func promValue(v int64, seconds bool) string {
 	return strconv.FormatFloat(float64(v)/1e9, 'g', -1, 64)
 }
 
-// promLabels renders a label set.
+// promLabels renders a label set. %q already produces the exposition
+// format's escaping for label values (backslash, double quote, newline);
+// pre-escaping as well would double every backslash.
 func promLabels(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
 	}
 	parts := make([]string, len(labels))
 	for i, l := range labels {
-		parts[i] = fmt.Sprintf("%s=%q", l.Key, escapeLabel(l.Value))
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
@@ -79,16 +85,10 @@ func promLabels(labels []Label) string {
 func promLabelsLE(labels []Label, le string) string {
 	parts := make([]string, 0, len(labels)+1)
 	for _, l := range labels {
-		parts = append(parts, fmt.Sprintf("%s=%q", l.Key, escapeLabel(l.Value)))
+		parts = append(parts, fmt.Sprintf("%s=%q", l.Key, l.Value))
 	}
 	parts = append(parts, fmt.Sprintf("le=%q", le))
 	return "{" + strings.Join(parts, ",") + "}"
-}
-
-func escapeLabel(v string) string {
-	v = strings.ReplaceAll(v, `\`, `\\`)
-	v = strings.ReplaceAll(v, "\n", `\n`)
-	return v
 }
 
 func escapeHelp(v string) string {

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPromLabelEscaping pins the exposition escaping rules: %q alone must
+// produce single-escaped backslashes, quotes, and newlines in label values
+// (a previous revision pre-escaped and then %q-escaped, doubling every
+// backslash).
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("files_total", "", L("path", `C:\tmp\"x"`+"\n")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `files_total{path="C:\\tmp\\\"x\"\n"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition escaping:\n got: %s want line: %s", buf.String(), want)
+	}
+}
+
+// TestPromHistogramCountMatchesInfBucket pins the exposition invariant the
+// spec requires: _count equals the cumulative +Inf bucket (a previous
+// revision rendered a separately-read atomic that could disagree under
+// concurrent observers).
+func TestPromHistogramCountMatchesInfBucket(t *testing.T) {
+	r := goldenRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	inf := map[string]int64{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, `_bucket{le="+Inf"} `); i >= 0 {
+			name := line[:strings.Index(line, "_bucket")]
+			v, err := strconv.ParseInt(line[i+len(`_bucket{le="+Inf"} `):], 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			inf[name] = v
+			continue
+		}
+		for name, v := range inf {
+			if rest, ok := strings.CutPrefix(line, name+"_count "); ok {
+				c, err := strconv.ParseInt(rest, 10, 64)
+				if err != nil {
+					t.Fatalf("parse %q: %v", line, err)
+				}
+				if c != v {
+					t.Errorf("%s_count = %d, +Inf bucket = %d", name, c, v)
+				}
+			}
+		}
+	}
+	if len(inf) != 2 {
+		t.Fatalf("found %d +Inf buckets, want 2", len(inf))
+	}
+}

@@ -10,10 +10,12 @@ import (
 //
 //	/metrics       Prometheus text exposition
 //	/metrics.json  JSON snapshot (plus recent spans when a log is given)
+//	/spans.json    the SpanLog ring: recent per-request pipeline spans
 //	/healthz       liveness probe, {"status":"ok"}
 //
-// spans may be nil. The handler is safe for concurrent use alongside live
-// instrumentation — that is the point of it.
+// spans may be nil (then /spans.json reports an empty ring). The handler is
+// safe for concurrent use alongside live instrumentation — that is the
+// point of it.
 func NewHTTPHandler(r *Registry, spans *SpanLog) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -28,6 +30,17 @@ func NewHTTPHandler(r *Registry, spans *SpanLog) http.Handler {
 			Metrics []Metric `json:"metrics"`
 			Spans   []Span   `json:"recent_spans,omitempty"`
 		}{Metrics: r.Snapshot(), Spans: spans.Snapshot()})
+	})
+	mux.HandleFunc("/spans.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		snap := spans.Snapshot()
+		_ = enc.Encode(struct {
+			Total    int64  `json:"total"`
+			Retained int    `json:"retained"`
+			Spans    []Span `json:"spans"`
+		}{Total: spans.Total(), Retained: len(snap), Spans: snap})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -64,6 +64,26 @@ func TestHTTPHandlerEndpoints(t *testing.T) {
 		t.Fatalf("/metrics.json: %d metrics, %d spans", len(doc.Metrics), len(doc.Spans))
 	}
 
+	resp, body = get("/spans.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/spans.json status %d", resp.StatusCode)
+	}
+	var spansDoc struct {
+		Total    int64  `json:"total"`
+		Retained int    `json:"retained"`
+		Spans    []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &spansDoc); err != nil {
+		t.Fatalf("/spans.json invalid: %v", err)
+	}
+	if spansDoc.Total != 1 || spansDoc.Retained != 1 || len(spansDoc.Spans) != 1 {
+		t.Fatalf("/spans.json: total %d retained %d spans %d",
+			spansDoc.Total, spansDoc.Retained, len(spansDoc.Spans))
+	}
+	if spansDoc.Spans[0].Name != "window" {
+		t.Errorf("/spans.json span = %+v", spansDoc.Spans[0])
+	}
+
 	resp, body = get("/healthz")
 	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
 		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)

@@ -34,6 +34,9 @@ type Phase struct {
 type Span struct {
 	// Name identifies the request kind (e.g. "window", "stored-scan").
 	Name string `json:"name"`
+	// ID is the trace correlation ID shared with the request's timeline
+	// events when tracing is on (internal/trace job ID); 0 otherwise.
+	ID int64 `json:"id,omitempty"`
 	// Phases are the recorded stages in arrival order. Queue wait is wall
 	// time; transfer and compute are simulated device time (see the package
 	// comment).
@@ -59,6 +62,9 @@ func (s *Span) Total() time.Duration {
 func (s *Span) String() string {
 	var b strings.Builder
 	b.WriteString(s.Name)
+	if s.ID != 0 {
+		fmt.Fprintf(&b, "#%d", s.ID)
+	}
 	b.WriteString(":")
 	for _, p := range s.Phases {
 		fmt.Fprintf(&b, " %s=%s", p.Name, p.Duration)

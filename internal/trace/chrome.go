@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format's traceEvents
+// array. Only the fields the viewers read are emitted; ts/dur are
+// microseconds (fractional), per the format spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports the recorded timeline as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each track
+// group becomes a named process and each track a named thread, so the
+// viewer renders one swimlane per CU / DDR bank / PCIe link / SSD channel
+// / device queue. Output is deterministic for a fixed event set: events
+// are sorted, process/thread IDs are assigned in sorted track order, and
+// JSON object keys are emitted in struct order.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+
+	// Assign stable pids per group and tids per track, in sorted order.
+	type trackID struct{ pid, tid int }
+	groups := map[string][]string{}
+	for _, ev := range events {
+		names := groups[ev.Track.Group]
+		found := false
+		for _, n := range names {
+			if n == ev.Track.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups[ev.Track.Group] = append(names, ev.Track.Name)
+		}
+	}
+	groupNames := make([]string, 0, len(groups))
+	for g := range groups {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+
+	ids := map[Track]trackID{}
+	var out []chromeEvent
+	for pi, g := range groupNames {
+		pid := pi + 1
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": g},
+		})
+		names := groups[g]
+		sort.Strings(names)
+		for ti, n := range names {
+			tid := ti + 1
+			ids[Track{Group: g, Name: n}] = trackID{pid, tid}
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": n},
+			})
+		}
+	}
+
+	for _, ev := range events {
+		id := ids[ev.Track]
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   "X",
+			TS:   float64(ev.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(ev.Dur.Nanoseconds()) / 1e3,
+			PID:  id.pid,
+			TID:  id.tid,
+		}
+		args := map[string]any{}
+		if ev.Job != 0 {
+			args["job"] = ev.Job
+		}
+		if ev.Cycles != 0 {
+			args["cycles"] = ev.Cycles
+		}
+		if len(ev.Loops) > 0 {
+			loops := map[string]any{}
+			for _, l := range ev.Loops {
+				loops[l.Name] = l.Cycles
+			}
+			args["loops"] = loops
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		out = append(out, ce)
+	}
+
+	doc := struct {
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+	}{"ns", out}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("trace: write chrome json: %w", err)
+	}
+	return nil
+}

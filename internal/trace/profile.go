@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// KernelProfile aggregates every invocation of one kernel across all CUs:
+// total simulated cycles and their breakdown by named loop nest (from the
+// kernel's hls.Schedule).
+type KernelProfile struct {
+	Kernel string       `json:"kernel"`
+	CUs    int          `json:"cus"`
+	Events int          `json:"events"`
+	Cycles int64        `json:"cycles"`
+	Share  float64      `json:"share"`
+	Loops  []LoopCycles `json:"loops,omitempty"`
+}
+
+// TrackProfile reports one track's busy time (merged, so overlapping
+// events do not double-count) and its occupancy over the trace span.
+type TrackProfile struct {
+	Track     Track         `json:"track"`
+	Cat       string        `json:"cat"`
+	Events    int           `json:"events"`
+	Busy      time.Duration `json:"busy_ns"`
+	Occupancy float64       `json:"occupancy"`
+}
+
+// Profile is the text-report counterpart of the Chrome timeline: the same
+// events aggregated into per-kernel cycle attributions, per-track
+// occupancy, transfer/compute overlap, and queue-wait totals. It is the
+// reproduction's stand-in for the Vitis Analyzer profile summary.
+type Profile struct {
+	Events  int   `json:"events"`
+	Dropped int64 `json:"dropped,omitempty"`
+	// Span is the timeline extent: first event start to last event end.
+	Span time.Duration `json:"span_ns"`
+
+	// Cycle attribution. TotalKernelCycles sums the cycle counts of every
+	// kernel event; AttributedCycles is the part carried by named loop
+	// nests. AttributedShare >= 0.95 is the acceptance bar — in practice
+	// it is 1.0 because every schedule's loop cycles sum exactly to the
+	// kernel's cycles-per-invocation.
+	TotalKernelCycles int64   `json:"total_kernel_cycles"`
+	AttributedCycles  int64   `json:"attributed_cycles"`
+	AttributedShare   float64 `json:"attributed_share"`
+
+	Kernels []KernelProfile `json:"kernels,omitempty"`
+	Tracks  []TrackProfile  `json:"tracks,omitempty"`
+
+	// Transfer/compute overlap, summed per group then across groups:
+	// Overlap is the total time during which a group had both a transfer
+	// and a kernel event in flight. OverlapShare is Overlap/TransferBusy.
+	TransferBusy time.Duration `json:"transfer_busy_ns"`
+	ComputeBusy  time.Duration `json:"compute_busy_ns"`
+	Overlap      time.Duration `json:"overlap_ns"`
+	OverlapShare float64       `json:"overlap_share"`
+
+	// Queue-wait attribution from the serve layer's queue events.
+	QueueJobs int           `json:"queue_jobs"`
+	QueueWait time.Duration `json:"queue_wait_ns"`
+}
+
+type interval struct{ start, end time.Duration }
+
+// mergeIntervals coalesces overlapping/adjacent intervals and returns the
+// merged set plus its total length.
+func mergeIntervals(in []interval) ([]interval, time.Duration) {
+	if len(in) == 0 {
+		return nil, 0
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].start < in[j].start })
+	out := in[:1:1]
+	for _, iv := range in[1:] {
+		last := &out[len(out)-1]
+		if iv.start <= last.end {
+			if iv.end > last.end {
+				last.end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	var total time.Duration
+	for _, iv := range out {
+		total += iv.end - iv.start
+	}
+	return out, total
+}
+
+// intersect returns the total length of the intersection of two merged
+// interval sets.
+func intersect(a, b []interval) time.Duration {
+	var total time.Duration
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].start
+		if b[j].start > lo {
+			lo = b[j].start
+		}
+		hi := a[i].end
+		if b[j].end < hi {
+			hi = b[j].end
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i].end < b[j].end {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// Profile aggregates the recorded events into a Profile.
+func (t *Tracer) Profile() *Profile {
+	events := t.Events()
+	p := &Profile{Events: len(events), Dropped: t.Dropped()}
+	if len(events) == 0 {
+		return p
+	}
+
+	var first, last time.Duration = events[0].Start, 0
+	for _, ev := range events {
+		if ev.Start < first {
+			first = ev.Start
+		}
+		if ev.End() > last {
+			last = ev.End()
+		}
+	}
+	p.Span = last - first
+
+	// Per-kernel cycle attribution.
+	type kacc struct {
+		cus    map[string]bool
+		events int
+		cycles int64
+		loops  map[string]int64
+	}
+	kernels := map[string]*kacc{}
+	// Per-track busy intervals, and per-group transfer/compute intervals.
+	trackIvs := map[Track][]interval{}
+	trackCat := map[Track]string{}
+	trackEvents := map[Track]int{}
+	groupXfer := map[string][]interval{}
+	groupComp := map[string][]interval{}
+
+	for _, ev := range events {
+		iv := interval{ev.Start, ev.End()}
+		trackIvs[ev.Track] = append(trackIvs[ev.Track], iv)
+		trackCat[ev.Track] = ev.Cat
+		trackEvents[ev.Track]++
+		switch ev.Cat {
+		case CatKernel:
+			k := kernels[ev.Name]
+			if k == nil {
+				k = &kacc{cus: map[string]bool{}, loops: map[string]int64{}}
+				kernels[ev.Name] = k
+			}
+			k.cus[ev.Track.Name] = true
+			k.events++
+			k.cycles += ev.Cycles
+			p.TotalKernelCycles += ev.Cycles
+			for _, l := range ev.Loops {
+				k.loops[l.Name] += l.Cycles
+				p.AttributedCycles += l.Cycles
+			}
+			groupComp[ev.Track.Group] = append(groupComp[ev.Track.Group], iv)
+		case CatTransfer:
+			groupXfer[ev.Track.Group] = append(groupXfer[ev.Track.Group], iv)
+		case CatQueue:
+			p.QueueJobs++
+			p.QueueWait += ev.Dur
+		}
+	}
+	if p.TotalKernelCycles > 0 {
+		p.AttributedShare = float64(p.AttributedCycles) / float64(p.TotalKernelCycles)
+	}
+
+	names := make([]string, 0, len(kernels))
+	for n := range kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		k := kernels[n]
+		kp := KernelProfile{Kernel: n, CUs: len(k.cus), Events: k.events, Cycles: k.cycles}
+		if p.TotalKernelCycles > 0 {
+			kp.Share = float64(k.cycles) / float64(p.TotalKernelCycles)
+		}
+		loopNames := make([]string, 0, len(k.loops))
+		for ln := range k.loops {
+			loopNames = append(loopNames, ln)
+		}
+		sort.Strings(loopNames)
+		for _, ln := range loopNames {
+			kp.Loops = append(kp.Loops, LoopCycles{Name: ln, Cycles: k.loops[ln]})
+		}
+		// Largest loop first, name as tiebreak, for a Vitis-style report.
+		sort.SliceStable(kp.Loops, func(i, j int) bool {
+			return kp.Loops[i].Cycles > kp.Loops[j].Cycles
+		})
+		p.Kernels = append(p.Kernels, kp)
+	}
+	sort.SliceStable(p.Kernels, func(i, j int) bool {
+		return p.Kernels[i].Cycles > p.Kernels[j].Cycles
+	})
+
+	tracks := make([]Track, 0, len(trackIvs))
+	for tr := range trackIvs {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].Group != tracks[j].Group {
+			return tracks[i].Group < tracks[j].Group
+		}
+		return tracks[i].Name < tracks[j].Name
+	})
+	for _, tr := range tracks {
+		_, busy := mergeIntervals(trackIvs[tr])
+		tp := TrackProfile{Track: tr, Cat: trackCat[tr], Events: trackEvents[tr], Busy: busy}
+		if p.Span > 0 {
+			tp.Occupancy = float64(busy) / float64(p.Span)
+		}
+		p.Tracks = append(p.Tracks, tp)
+	}
+
+	// Overlap is computed per device group — a transfer on csd0 overlapping
+	// a kernel on csd1 is concurrency, not streaming overlap.
+	for g, xi := range groupXfer {
+		xm, xb := mergeIntervals(xi)
+		p.TransferBusy += xb
+		if ci := groupComp[g]; len(ci) > 0 {
+			cm, _ := mergeIntervals(ci)
+			p.Overlap += intersect(xm, cm)
+		}
+	}
+	for _, ci := range groupComp {
+		_, cb := mergeIntervals(ci)
+		p.ComputeBusy += cb
+	}
+	if p.TransferBusy > 0 {
+		p.OverlapShare = float64(p.Overlap) / float64(p.TransferBusy)
+	}
+	return p
+}
+
+// Format renders the profile as the text report: per-kernel cycle tables
+// with loop-nest breakdowns, track occupancy, overlap, and queue waits.
+func (p *Profile) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace profile: %d events over %v", p.Events, p.Span)
+	if p.Dropped > 0 {
+		fmt.Fprintf(&b, " (%d dropped)", p.Dropped)
+	}
+	b.WriteString("\n\n")
+
+	fmt.Fprintf(&b, "kernel cycles (%.1f%% attributed to named loops):\n", 100*p.AttributedShare)
+	fmt.Fprintf(&b, "  %-22s %4s %7s %14s %7s\n", "kernel", "cus", "events", "cycles", "share")
+	for _, k := range p.Kernels {
+		fmt.Fprintf(&b, "  %-22s %4d %7d %14d %6.1f%%\n", k.Kernel, k.CUs, k.Events, k.Cycles, 100*k.Share)
+		for _, l := range k.Loops {
+			var share float64
+			if k.Cycles > 0 {
+				share = float64(l.Cycles) / float64(k.Cycles)
+			}
+			fmt.Fprintf(&b, "    %-20s %27d %6.1f%%\n", l.Name, l.Cycles, 100*share)
+		}
+	}
+	b.WriteString("\n")
+
+	b.WriteString("track occupancy:\n")
+	fmt.Fprintf(&b, "  %-28s %-10s %7s %14s %7s\n", "track", "cat", "events", "busy", "occ")
+	for _, t := range p.Tracks {
+		fmt.Fprintf(&b, "  %-28s %-10s %7d %14v %6.1f%%\n",
+			t.Track.Group+"/"+t.Track.Name, t.Cat, t.Events, t.Busy, 100*t.Occupancy)
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "transfer/compute overlap: transfer busy %v, compute busy %v, overlap %v (%.1f%% of transfer)\n",
+		p.TransferBusy, p.ComputeBusy, p.Overlap, 100*p.OverlapShare)
+	if p.QueueJobs > 0 {
+		fmt.Fprintf(&b, "queue wait: %d jobs, %v total, %v mean\n",
+			p.QueueJobs, p.QueueWait, p.QueueWait/time.Duration(p.QueueJobs))
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package xrt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/trace"
+)
+
+// TestTraceInstrumentation drives the raw runtime with a tracer attached
+// and checks that the XRT layer emits what the timeline viewer expects:
+// per-CU kernel events carrying cycle counts and loop attributions, runtime
+// wrapper events for the BO syncs, and the stamped job ID on all of them.
+func TestTraceInstrumentation(t *testing.T) {
+	card, dev := testDevice(t)
+	tr := trace.New()
+	dev.SetTracer(tr, "dev0")
+	dev.TraceJob(7)
+	if err := dev.LoadXclbin(testBinary(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	seq := []int{1, 2, 3, 4}
+	if _, err := card.StoreSequence(0, seq); err != nil {
+		t.Fatal(err)
+	}
+	bo, err := dev.AllocBO(int64(len(seq)*csd.ItemBytes), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bo.SyncFromSSD(0); err != nil {
+		t.Fatal(err)
+	}
+	gates, err := dev.Kernel("kernel_gates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gates.Start(4).Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	cuTracks := map[string]bool{}
+	runtimeEvents := 0
+	for _, ev := range tr.Events() {
+		if ev.Track.Group != "dev0" {
+			t.Fatalf("event %q on group %q, want dev0", ev.Name, ev.Track.Group)
+		}
+		if ev.Job != 7 {
+			t.Errorf("event %q carries job %d, want stamped job 7", ev.Name, ev.Job)
+		}
+		switch ev.Cat {
+		case trace.CatKernel:
+			cuTracks[ev.Track.Name] = true
+			if ev.Cycles <= 0 || len(ev.Loops) == 0 {
+				t.Errorf("kernel event on %s lacks cycles/loops: %+v", ev.Track.Name, ev)
+			}
+			var sum int64
+			for _, l := range ev.Loops {
+				sum += l.Cycles
+			}
+			if sum != ev.Cycles {
+				t.Errorf("loop cycles sum %d != event cycles %d", sum, ev.Cycles)
+			}
+		case trace.CatRuntime:
+			if ev.Name == "SyncFromSSD" {
+				runtimeEvents++
+			}
+		}
+	}
+	// 4 invocations on the 4-CU kernel: one event per CU lane.
+	if len(cuTracks) != 4 {
+		t.Fatalf("kernel events on %d CU tracks, want 4: %v", len(cuTracks), cuTracks)
+	}
+	for name := range cuTracks {
+		if !strings.HasPrefix(name, "cu-kernel_gates-") {
+			t.Errorf("unexpected CU track name %q", name)
+		}
+	}
+	if runtimeEvents != 1 {
+		t.Fatalf("SyncFromSSD runtime events = %d, want 1", runtimeEvents)
+	}
+}

@@ -17,9 +17,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/trace"
 	"github.com/kfrida1/csdinf/internal/vitis"
 )
 
@@ -30,6 +32,64 @@ type Device struct {
 	mu         sync.Mutex
 	program    *vitis.Binary
 	kernelTime time.Duration // cumulative simulated kernel execution time
+
+	tracer     *trace.Tracer
+	traceGroup string
+	traceJob   atomic.Int64
+}
+
+// SetTracer attaches a timeline tracer under the given track group and
+// forwards it to the underlying card, so BO syncs land on the SSD/PCIe/DDR
+// tracks and kernel runs land on per-CU tracks of the same group. The sync
+// APIs additionally wrap each call in a runtime-category event, the
+// analogue of the XRT API trace in Vitis Analyzer.
+func (d *Device) SetTracer(t *trace.Tracer, group string) {
+	d.mu.Lock()
+	d.tracer = t
+	d.traceGroup = group
+	d.mu.Unlock()
+	d.card.SetTracer(t, group)
+}
+
+// TraceJob stamps the trace correlation ID attributed to subsequent syncs
+// and kernel runs (the XRT API predates context plumbing, as the real one
+// does; the host thread owning the device stream sets the job up front).
+func (d *Device) TraceJob(id int64) {
+	d.traceJob.Store(id)
+	d.card.TraceJob(id)
+}
+
+// tracerState snapshots the tracer attachment.
+func (d *Device) tracerState() (*trace.Tracer, string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tracer, d.traceGroup
+}
+
+// traceCall wraps one runtime API call: begin marks the device-time anchor
+// before the call, and traceCall emits a runtime-category event on the
+// group's "xrt" track spanning whatever device work the call recorded.
+func (d *Device) traceCall(name string, begin time.Duration) {
+	tr, group := d.tracerState()
+	if !tr.Enabled() {
+		return
+	}
+	end := tr.Cursor(group)
+	if end < begin {
+		end = begin
+	}
+	tr.Emit(trace.Event{
+		Track: trace.Track{Group: group, Name: "xrt"},
+		Name:  name, Cat: trace.CatRuntime,
+		Start: begin, Dur: end - begin, Job: d.traceJob.Load(),
+	})
+}
+
+// traceBegin returns the device-time anchor a runtime call would start at
+// (zero when tracing is off).
+func (d *Device) traceBegin() time.Duration {
+	tr, group := d.tracerState()
+	return tr.Anchor(group)
 }
 
 // Open attaches the runtime to a CSD.
@@ -95,30 +155,36 @@ func (bo *BO) Bytes() []byte { return bo.buf.Bytes() }
 // SyncToDevice moves host data into the buffer over the host PCIe link
 // (XCL_BO_SYNC_BO_TO_DEVICE).
 func (bo *BO) SyncToDevice(data []byte) (time.Duration, error) {
+	begin := bo.dev.traceBegin()
 	t, err := bo.dev.card.WriteBuffer(bo.buf, data)
 	if err != nil {
 		return 0, fmt.Errorf("xrt: sync to device: %w", err)
 	}
+	bo.dev.traceCall("SyncToDevice", begin)
 	return t, nil
 }
 
 // SyncFromDevice copies the buffer back to host memory
 // (XCL_BO_SYNC_BO_FROM_DEVICE).
 func (bo *BO) SyncFromDevice(dst []byte) (time.Duration, error) {
+	begin := bo.dev.traceBegin()
 	t, err := bo.dev.card.ReadBuffer(bo.buf, dst)
 	if err != nil {
 		return 0, fmt.Errorf("xrt: sync from device: %w", err)
 	}
+	bo.dev.traceCall("SyncFromDevice", begin)
 	return t, nil
 }
 
 // SyncFromSSD fills the buffer straight from the drive over the on-board
 // P2P path — the SmartSSD-specific extension that bypasses the host.
 func (bo *BO) SyncFromSSD(ssdOff int64) (time.Duration, error) {
+	begin := bo.dev.traceBegin()
 	t, err := bo.dev.card.TransferP2P(ssdOff, bo.buf)
 	if err != nil {
 		return 0, fmt.Errorf("xrt: sync from ssd: %w", err)
 	}
+	bo.dev.traceCall("SyncFromSSD", begin)
 	return t, nil
 }
 
@@ -129,6 +195,9 @@ type Kernel struct {
 	// latency is one CU's per-invocation latency.
 	latency time.Duration
 	cus     int
+	// cycles and loops describe one CU invocation, for trace attribution.
+	cycles int64
+	loops  []trace.LoopCycles
 }
 
 // Kernel resolves a kernel by name from the loaded program.
@@ -141,12 +210,19 @@ func (d *Device) Kernel(name string) (*Kernel, error) {
 	}
 	for _, obj := range program.Objects {
 		if obj.Name == name {
-			return &Kernel{
+			k := &Kernel{
 				dev:     d,
 				name:    name,
 				latency: program.Device().Duration(obj.CyclesPerInvocation),
 				cus:     obj.Spec.CUs,
-			}, nil
+				cycles:  obj.CyclesPerInvocation,
+			}
+			for i, l := range obj.Spec.Loops {
+				k.loops = append(k.loops, trace.LoopCycles{
+					Name: l.Name, Cycles: obj.Schedules[i].Cycles,
+				})
+			}
+			return k, nil
 		}
 	}
 	return nil, fmt.Errorf("xrt: kernel %q not in loaded xclbin", name)
@@ -176,7 +252,45 @@ func (k *Kernel) Start(n int) *Run {
 	k.dev.mu.Lock()
 	k.dev.kernelTime += d
 	k.dev.mu.Unlock()
+	k.traceStart(n, rounds, d)
 	return &Run{duration: d}
+}
+
+// traceStart places the launch on the timeline: one event per engaged CU,
+// all spanning the same interval (CUs run in parallel; excess invocations
+// serialize into rounds within each CU's event). Cycle counts and loop
+// attributions scale by the CU's round count.
+func (k *Kernel) traceStart(n, rounds int, d time.Duration) {
+	tr, group := k.dev.tracerState()
+	if !tr.Enabled() {
+		return
+	}
+	job := k.dev.traceJob.Load()
+	loops := k.loops
+	if rounds > 1 {
+		loops = make([]trace.LoopCycles, len(k.loops))
+		for i, l := range k.loops {
+			loops[i] = trace.LoopCycles{Name: l.Name, Cycles: l.Cycles * int64(rounds)}
+		}
+	}
+	at := tr.Anchor(group)
+	used := n
+	if used > k.cus {
+		used = k.cus
+	}
+	for cu := 0; cu < used; cu++ {
+		lane := "cu-" + k.name
+		if k.cus > 1 {
+			lane = fmt.Sprintf("cu-%s-%d", k.name, cu)
+		}
+		tr.Emit(trace.Event{
+			Track: trace.Track{Group: group, Name: lane},
+			Name:  k.name, Cat: trace.CatKernel,
+			Start: at, Dur: d, Job: job,
+			Cycles: k.cycles * int64(rounds), Loops: loops,
+		})
+	}
+	tr.Advance(group, at+d)
 }
 
 // Wait blocks until the run completes (instantaneous in simulation) and
