@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_JSON_DIR ?= bench-results
 
-.PHONY: build test bench bench-json trace verify fmt
+.PHONY: build test bench bench-json bench-gate smoke trace verify fmt
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,22 @@ bench-json:
 	$(GO) run ./cmd/csdbench -experiment table1 -measure-go=false -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdbench -experiment table2 -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdbench -experiment energy -json $(BENCH_JSON_DIR)
+
+# bench-gate regenerates the table1 result and fails (nonzero exit) when
+# classification throughput or any platform's per-item latency regressed
+# more than ±15% against the checked-in baseline. Refresh the baseline
+# deliberately by copying a trusted BENCH_table1.json over
+# bench-results/baseline.json.
+bench-gate:
+	$(GO) run ./cmd/csdbench -experiment table1 -measure-go=false -json $(BENCH_JSON_DIR)
+	$(GO) run ./cmd/benchdiff -fresh $(BENCH_JSON_DIR)/BENCH_table1.json
+
+# smoke replays the ransomware demo with full forensics on: the JSON-lines
+# event stream and one incident report per flagged process land next to the
+# benchmark results for artifact upload and jq-based inspection.
+smoke:
+	$(GO) run ./cmd/csddetect \
+		-events $(BENCH_JSON_DIR)/events.jsonl -incident-dir $(BENCH_JSON_DIR)/incidents
 
 # trace runs the table1 configuration with the device timeline tracer on,
 # writing a Perfetto-loadable Chrome trace (open at https://ui.perfetto.dev)

@@ -1,0 +1,141 @@
+// Command benchdiff is the benchmark regression gate: it compares a fresh
+// BENCH_table1.json (written by `make bench-json` / cmd/csdbench) against
+// the checked-in baseline and fails — with a nonzero exit — when the FPGA
+// classification throughput or any platform's per-item latency regressed
+// beyond the tolerance.
+//
+// The simulated device timings are deterministic, so the default ±15%
+// tolerance exists for the host-measured rows (CPU wall time varies with
+// the runner) while still catching real modeling or scheduling regressions.
+//
+// Usage:
+//
+//	benchdiff                                 # compare bench-results defaults
+//	benchdiff -fresh out/BENCH_table1.json -baseline bench-results/baseline.json
+//	benchdiff -tolerance 0.10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// benchDoc is the subset of cmd/csdbench's BENCH_table1.json the gate
+// compares; unknown fields (confidence intervals, trace profiles) are
+// ignored.
+type benchDoc struct {
+	Experiment string `json:"experiment"`
+	Result     struct {
+		Rows []struct {
+			Platform string  `json:"Platform"`
+			MeanUS   float64 `json:"MeanUS"`
+		} `json:"Rows"`
+		FPGAItemsPerSecond float64 `json:"fpga_items_per_second"`
+	} `json:"result"`
+}
+
+func readDoc(path string) (*benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fresh := fs.String("fresh", "bench-results/BENCH_table1.json", "freshly produced benchmark result")
+	baseline := fs.String("baseline", "bench-results/baseline.json", "checked-in baseline to compare against")
+	tolerance := fs.Float64("tolerance", 0.15, "relative regression tolerance (0.15 = ±15%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tolerance <= 0 || *tolerance >= 1 {
+		return fmt.Errorf("tolerance %v outside (0, 1)", *tolerance)
+	}
+
+	base, err := readDoc(*baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := readDoc(*fresh)
+	if err != nil {
+		return fmt.Errorf("fresh result: %w", err)
+	}
+	if base.Experiment != cur.Experiment {
+		return fmt.Errorf("experiment mismatch: baseline %q vs fresh %q", base.Experiment, cur.Experiment)
+	}
+
+	var regressions []string
+	report := func(metric string, baseVal, curVal float64, higherIsBetter bool) {
+		delta := (curVal - baseVal) / baseVal
+		status := "ok"
+		regressed := false
+		if higherIsBetter {
+			regressed = delta < -*tolerance
+		} else {
+			regressed = delta > *tolerance
+		}
+		if regressed {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: baseline %.4g, fresh %.4g (%+.1f%%)", metric, baseVal, curVal, 100*delta))
+		}
+		fmt.Fprintf(out, "%-44s baseline %12.4g  fresh %12.4g  %+7.1f%%  %s\n",
+			metric, baseVal, curVal, 100*delta, status)
+	}
+
+	// Throughput: classifications per second on the in-storage engine.
+	if base.Result.FPGAItemsPerSecond > 0 {
+		report("throughput fpga_items_per_second", base.Result.FPGAItemsPerSecond,
+			cur.Result.FPGAItemsPerSecond, true)
+	}
+
+	// Latency: per-item mean for every platform the baseline covers.
+	freshRows := make(map[string]float64, len(cur.Result.Rows))
+	for _, row := range cur.Result.Rows {
+		freshRows[row.Platform] = row.MeanUS
+	}
+	for _, row := range base.Result.Rows {
+		curUS, ok := freshRows[row.Platform]
+		if !ok || curUS <= 0 {
+			regressions = append(regressions,
+				fmt.Sprintf("latency %s: missing from fresh result", row.Platform))
+			fmt.Fprintf(out, "%-44s baseline %12.4g  fresh %12s  %8s  REGRESSION\n",
+				"latency "+row.Platform+" mean_us", row.MeanUS, "absent", "")
+			continue
+		}
+		report("latency "+row.Platform+" mean_us", row.MeanUS, curUS, false)
+	}
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s) beyond ±%.0f%%:\n  %s",
+			len(regressions), 100**tolerance, joinLines(regressions))
+	}
+	fmt.Fprintf(out, "benchdiff: all metrics within ±%.0f%% of baseline\n", 100**tolerance)
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineDoc = `{
+  "experiment": "table1",
+  "result": {
+    "Rows": [
+      {"Platform": "FPGA (CSD)", "MeanUS": 2.2},
+      {"Platform": "CPU (Intel Xeon)", "MeanUS": 10.0}
+    ],
+    "fpga_items_per_second": 454545.45
+  }
+}`
+
+func TestWithinTolerancePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	fresh := writeDoc(t, dir, "fresh.json", `{
+  "experiment": "table1",
+  "result": {
+    "Rows": [
+      {"Platform": "FPGA (CSD)", "MeanUS": 2.4},
+      {"Platform": "CPU (Intel Xeon)", "MeanUS": 11.0}
+    ],
+    "fpga_items_per_second": 416666.0
+  }
+}`)
+	if err := run([]string{"-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("within-tolerance comparison failed: %v", err)
+	}
+}
+
+func TestThroughputRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	fresh := writeDoc(t, dir, "fresh.json", `{
+  "experiment": "table1",
+  "result": {
+    "Rows": [
+      {"Platform": "FPGA (CSD)", "MeanUS": 2.2},
+      {"Platform": "CPU (Intel Xeon)", "MeanUS": 10.0}
+    ],
+    "fpga_items_per_second": 300000.0
+  }
+}`)
+	err := run([]string{"-baseline", base, "-fresh", fresh}, os.Stdout)
+	if err == nil {
+		t.Fatal("34% throughput drop passed the gate")
+	}
+	if !strings.Contains(err.Error(), "fpga_items_per_second") {
+		t.Fatalf("error does not name the regressed metric: %v", err)
+	}
+}
+
+func TestLatencyRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	fresh := writeDoc(t, dir, "fresh.json", `{
+  "experiment": "table1",
+  "result": {
+    "Rows": [
+      {"Platform": "FPGA (CSD)", "MeanUS": 3.0},
+      {"Platform": "CPU (Intel Xeon)", "MeanUS": 10.0}
+    ],
+    "fpga_items_per_second": 454545.45
+  }
+}`)
+	err := run([]string{"-baseline", base, "-fresh", fresh}, os.Stdout)
+	if err == nil {
+		t.Fatal("36% latency increase passed the gate")
+	}
+	if !strings.Contains(err.Error(), "FPGA (CSD)") {
+		t.Fatalf("error does not name the regressed platform: %v", err)
+	}
+}
+
+func TestMissingPlatformFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	fresh := writeDoc(t, dir, "fresh.json", `{
+  "experiment": "table1",
+  "result": {
+    "Rows": [{"Platform": "FPGA (CSD)", "MeanUS": 2.2}],
+    "fpga_items_per_second": 454545.45
+  }
+}`)
+	if err := run([]string{"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("dropped CPU row passed the gate")
+	}
+}
+
+func TestExperimentMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	fresh := writeDoc(t, dir, "fresh.json", `{"experiment": "table2", "result": {}}`)
+	if err := run([]string{"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("experiment mismatch passed the gate")
+	}
+}
+
+func TestBadFlagsAndFiles(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	if err := run([]string{"-baseline", base, "-fresh", filepath.Join(dir, "missing.json"), "-tolerance", "0.15"}, os.Stdout); err == nil {
+		t.Fatal("missing fresh file accepted")
+	}
+	if err := run([]string{"-baseline", base, "-fresh", base, "-tolerance", "2"}, os.Stdout); err == nil {
+		t.Fatal("tolerance 2 accepted")
+	}
+}
+
+// TestCheckedInBaselineSelfComparison pins that the repository's committed
+// baseline passes the gate against itself — i.e. the default invocation is
+// internally consistent.
+func TestCheckedInBaselineSelfComparison(t *testing.T) {
+	base := filepath.Join("..", "..", "bench-results", "baseline.json")
+	if _, err := os.Stat(base); err != nil {
+		t.Fatalf("checked-in baseline missing: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-fresh", base}, os.Stdout); err != nil {
+		t.Fatalf("baseline does not pass against itself: %v", err)
+	}
+}

@@ -1,15 +1,17 @@
 // Command csddetect demonstrates the paper's ransomware use case end to
 // end: it deploys a trained classifier onto the simulated SmartSSD, then
-// replays a live API-call stream — a benign workload that is infected by a
-// ransomware variant partway through — and shows the in-storage detector
-// alerting and triggering mitigation.
+// replays a live API-call stream — a benign desktop process running
+// alongside a process that ransomware hijacks — and shows the in-storage
+// detector alerting and triggering mitigation.
 //
 // The full pipeline is instrumented: engine transfer/compute histograms,
 // scheduler queue waits, and verdict counters all report into one telemetry
-// registry, summarized on stdout at exit and optionally served over HTTP:
+// registry, summarized on stdout at exit and optionally served over HTTP;
+// the structured event log and incident forensics ride the same stack:
 //
-//	csddetect -metrics-addr 127.0.0.1:9100         # /metrics, /metrics.json, /healthz
-//	csddetect -metrics-addr 127.0.0.1:9100 -hold 1m
+//	csddetect -metrics-addr 127.0.0.1:9100         # /metrics, /events.json, /incidents.json, ...
+//	csddetect -events events.jsonl                 # JSON-lines event stream (jq-friendly)
+//	csddetect -incident-dir incidents/             # one JSON forensic report per incident
 //
 // Usage:
 //
@@ -31,8 +33,11 @@ import (
 
 	"github.com/kfrida1/csdinf/internal/core"
 	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/cti"
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/eventlog"
+	"github.com/kfrida1/csdinf/internal/incident"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/sandbox"
@@ -43,12 +48,110 @@ import (
 	"github.com/kfrida1/csdinf/internal/winapi"
 )
 
+// The demo's two monitored processes: a benign desktop process and the
+// process the ransomware hijacks. The mux tracks each separately, so the
+// incident report attributes every window to the infected PID.
+const (
+	benignPID = 1001
+	ransomPID = 2002
+)
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "csddetect:", err)
 		os.Exit(1)
 	}
 }
+
+// pipeline is the full detection stack csddetect drives: CSD device →
+// in-storage engine → scheduler → hot-swap wrapper → per-process detector
+// mux, with the incident recorder and structured event log fed at every
+// layer. Tests build it directly to drive synthetic streams.
+type pipeline struct {
+	dev    *csd.SmartSSD
+	eng    *core.Engine
+	srv    *serve.Server
+	hot    *cti.HotSwapEngine
+	mux    *detect.Mux
+	rec    *incident.Recorder
+	events *eventlog.Logger
+}
+
+type pipelineConfig struct {
+	model     *lstm.Model
+	threshold float64
+	reg       *telemetry.Registry
+	spans     *telemetry.SpanLog
+	tracer    *trace.Tracer
+	events    *eventlog.Logger
+	// onBlock, when non-nil, observes mitigation (the pipeline always
+	// engages the device write quarantine first).
+	onBlock func(detect.Event)
+}
+
+func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
+	dev, err := csd.New(csd.Config{})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.Deploy(dev, cfg.model, core.DeployConfig{
+		Telemetry: cfg.reg, Trace: cfg.tracer, Events: cfg.events,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Serve the single engine through the scheduler so queue-wait metrics
+	// and device attribution cover the request path even in this
+	// one-device demo.
+	srv, err := serve.New([]infer.Inferencer{eng}, serve.Config{
+		Telemetry: cfg.reg, Spans: cfg.spans, Trace: cfg.tracer, Events: cfg.events,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The hot-swap wrapper is the CTI maintenance seam; its generation
+	// stamps incident reports with the model version that produced the
+	// verdicts.
+	hot, err := cti.NewHotSwapEngine(srv)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	if cfg.reg != nil {
+		hot.Instrument(cfg.reg)
+	}
+	hot.SetEvents(cfg.events)
+	rec, err := incident.NewRecorder(incident.Config{
+		Generation: hot.Generation, Events: cfg.events,
+	})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	mux, err := detect.NewMux(hot, detect.MuxConfig{
+		Detector: detect.Config{
+			Threshold: cfg.threshold,
+			Telemetry: cfg.reg,
+			Spans:     cfg.spans,
+			OnWindow:  rec.Window,
+			Events:    cfg.events,
+			OnBlock: func(e detect.Event) {
+				dev.SSD().Quarantine(true) // block all writes at the device level
+				if cfg.onBlock != nil {
+					cfg.onBlock(e)
+				}
+			},
+		},
+		OnEvict: rec.Evict,
+	})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &pipeline{dev: dev, eng: eng, srv: srv, hot: hot, mux: mux, rec: rec, events: cfg.events}, nil
+}
+
+func (p *pipeline) Close() error { return p.srv.Close() }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("csddetect", flag.ContinueOnError)
@@ -61,10 +164,12 @@ func run(args []string) error {
 	threshold := fs.Float64("threshold", 0.5, "alert probability threshold")
 	trainEpochs := fs.Int("train-epochs", 15, "epochs for the quick-train fallback")
 	trainScale := fs.Int("train-scale", 20, "1/N corpus scale for the quick-train fallback")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /spans.json, /healthz on this address (empty: off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /spans.json, /events.json, /incidents.json, /healthz on this address (empty: off)")
 	hold := fs.Duration("hold", 0, "keep the metrics endpoint up this long after the run")
 	pprofOn := fs.Bool("pprof", false, "additionally mount net/http/pprof at /debug/pprof/ on the metrics address")
 	tracePath := fs.String("trace", "", "write a Chrome trace (Perfetto-loadable) of the device timeline to this file")
+	eventsPath := fs.String("events", "", "write the structured event log as JSON lines to this file (enables debug-level events)")
+	incidentDir := fs.String("incident-dir", "", "write one JSON forensic report per incident into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,10 +182,47 @@ func run(args []string) error {
 		return err
 	}
 
-	// One registry and span ring for the whole stack: the engine, the
-	// scheduler, and the detector all report into it.
+	// One registry, span ring, and event log for the whole stack: the
+	// engine, the scheduler, and the detector all report into them.
 	reg := telemetry.NewRegistry()
 	spans := telemetry.NewSpanLog(32)
+	evCfg := eventlog.Config{}
+	if *eventsPath != "" {
+		// The file sink captures the full forensic stream, including the
+		// per-window and per-DMA debug events.
+		evCfg.MinLevel = eventlog.LevelDebug
+	}
+	events := eventlog.New(evCfg)
+	defer events.Close()
+	if *eventsPath != "" {
+		sink, err := eventlog.NewFileSink(*eventsPath)
+		if err != nil {
+			return fmt.Errorf("event log: %w", err)
+		}
+		events.Attach("file", sink, 0)
+	}
+
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New()
+	}
+
+	p, err := buildPipeline(pipelineConfig{
+		model: model, threshold: *threshold,
+		reg: reg, spans: spans, tracer: tracer, events: events,
+		onBlock: func(e detect.Event) {
+			fmt.Printf("[call %6d] *** MITIGATION: write quarantine engaged (p=%.3f) ***\n",
+				e.CallIndex, e.Probability)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	fmt.Printf("deployed classifier to CSD (host init %v); per-item FPGA time: ", p.eng.InitTime())
+	_, _, _, tot := p.eng.PerItemMicros()
+	fmt.Printf("%.3f µs\n", tot)
+
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -89,7 +231,10 @@ func run(args []string) error {
 		defer ln.Close()
 		fmt.Printf("metrics at http://%s/metrics\n", ln.Addr())
 		mux := http.NewServeMux()
-		mux.Handle("/", telemetry.NewHTTPHandler(reg, spans))
+		mux.Handle("/", telemetry.NewHTTPHandlerWith(reg, spans, map[string]http.Handler{
+			"/events.json":    events.HTTPHandler(),
+			"/incidents.json": p.rec.HTTPHandler(),
+		}))
 		if *pprofOn {
 			// Mount explicitly rather than blank-importing, so the Go
 			// profiling surface exists only when asked for.
@@ -105,57 +250,19 @@ func run(args []string) error {
 		}()
 	}
 
-	var tracer *trace.Tracer
-	if *tracePath != "" {
-		tracer = trace.New()
-	}
-
-	dev, err := csd.New(csd.Config{})
-	if err != nil {
-		return err
-	}
-	eng, err := core.Deploy(dev, model, core.DeployConfig{Telemetry: reg, Trace: tracer})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("deployed classifier to CSD (host init %v); per-item FPGA time: ", eng.InitTime())
-	_, _, _, tot := eng.PerItemMicros()
-	fmt.Printf("%.3f µs\n", tot)
-
-	// Serve the single engine through the scheduler so queue-wait metrics
-	// cover the request path even in this one-device demo.
-	srv, err := serve.New([]infer.Inferencer{eng}, serve.Config{Telemetry: reg, Spans: spans, Trace: tracer})
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-
-	det, err := detect.New(srv, detect.Config{
-		Threshold: *threshold,
-		Telemetry: reg,
-		Spans:     spans,
-		OnBlock: func(e detect.Event) {
-			dev.SSD().Quarantine(true) // block all writes at the device level
-			fmt.Printf("[call %6d] *** MITIGATION: write quarantine engaged (p=%.3f) ***\n",
-				e.CallIndex, e.Probability)
-		},
-	})
-	if err != nil {
-		return err
-	}
-
-	// Phase 1: benign desktop activity.
+	// Phase 1: benign desktop activity on its own process.
 	benign := sandbox.ManualInteractionProfile()
 	benignTrace, err := benign.Generate(*benignCalls, *seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\n--- replaying %d benign API calls (manual desktop interaction) ---\n", len(benignTrace))
-	if err := replay(det, benignTrace, false); err != nil {
+	fmt.Printf("\n--- replaying %d benign API calls (manual desktop interaction, pid %d) ---\n",
+		len(benignTrace), benignPID)
+	if err := replay(p.mux, benignPID, benignTrace, false); err != nil {
 		return err
 	}
 
-	// Phase 2: the infection begins.
+	// Phase 2: the infection begins on a second process.
 	prof, err := sandbox.RansomwareProfile(*family, *variant)
 	if err != nil {
 		return err
@@ -164,27 +271,60 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("--- %s.v%d begins executing (%d calls max) ---\n", *family, *variant, len(infected))
-	if err := replay(det, infected, true); err != nil {
+	fmt.Printf("--- %s.v%d begins executing as pid %d (%d calls max) ---\n",
+		*family, *variant, ransomPID, len(infected))
+	if err := replay(p.mux, ransomPID, infected, true); err != nil {
 		return err
 	}
 
-	s := det.Stats()
-	fmt.Printf("\nsummary: %d calls observed, %d windows classified, %d alerts, blocked=%v\n",
-		s.CallsObserved, s.WindowsEvaluated, s.Alerts, s.Blocked)
+	var calls, windows, alerts int64
+	for _, s := range p.mux.ProcessStats() {
+		calls += s.CallsObserved
+		windows += s.WindowsEvaluated
+		alerts += s.Alerts
+	}
+	blocked, blockedPID := p.mux.Blocked()
+	fmt.Printf("\nsummary: %d calls observed across %d processes, %d windows classified, %d alerts, blocked=%v\n",
+		calls, p.mux.Processes(), windows, alerts, blocked)
 	printTelemetry(reg, spans)
 	if tracer != nil {
 		if err := writeTrace(*tracePath, tracer); err != nil {
 			return err
 		}
 	}
-	if !s.Blocked {
+
+	// Close out the forensic record: flush open incidents, write reports.
+	incidents := p.rec.Flush()
+	if *incidentDir != "" {
+		n, err := p.rec.WriteReports(*incidentDir)
+		if err != nil {
+			return fmt.Errorf("incident reports: %w", err)
+		}
+		fmt.Printf("%d incident report(s) written to %s\n", n, *incidentDir)
+	}
+	for _, inc := range incidents {
+		fmt.Printf("incident #%d: pid %d %s (%s), %d windows (%d alerts), max p=%.3f, model gen %d, devices %v\n",
+			inc.ID, inc.PID, inc.State, inc.CloseReason, inc.WindowsTotal, inc.AlertsTotal,
+			inc.MaxProbability, inc.ModelGeneration, inc.Devices)
+	}
+	if *eventsPath != "" {
+		if err := events.Close(); err != nil {
+			return fmt.Errorf("event log: %w", err)
+		}
+		for _, st := range events.SinkStats() {
+			if st.Name == "file" {
+				fmt.Printf("%d event(s) written to %s (%d dropped)\n", st.Written, *eventsPath, st.Dropped)
+			}
+		}
+	}
+
+	if !blocked {
 		return fmt.Errorf("infection ran to completion without mitigation")
 	}
-	stoppedAfter := s.CallsObserved - int64(len(benignTrace))
-	fmt.Printf("ransomware stopped after %d of its API calls (%.1f%% of the trace executed)\n",
-		stoppedAfter, 100*float64(stoppedAfter)/float64(len(infected)))
-	if _, err := dev.SSD().Write(0, []byte("ciphertext")); err != nil {
+	ransomStats := p.mux.ProcessStats()[blockedPID]
+	fmt.Printf("ransomware (pid %d) stopped after %d of its API calls (%.1f%% of the trace executed)\n",
+		blockedPID, ransomStats.CallsObserved, 100*float64(ransomStats.CallsObserved)/float64(len(infected)))
+	if _, err := p.dev.SSD().Write(0, []byte("ciphertext")); err != nil {
 		fmt.Printf("subsequent encryption write rejected by the drive: %v\n", err)
 	}
 	if *metricsAddr != "" && *hold > 0 {
@@ -234,9 +374,11 @@ func printTelemetry(reg *telemetry.Registry, spans *telemetry.SpanLog) {
 	}
 }
 
-func replay(det *detect.Detector, trace []int, verbose bool) error {
-	for _, call := range trace {
-		ev, err := det.Observe(context.Background(), call)
+// replay feeds one process's API-call stream into the mux, stopping when
+// mitigation fires (for this or any process — the quarantine is global).
+func replay(mux *detect.Mux, pid int, calls []int, verbose bool) error {
+	for _, call := range calls {
+		ev, err := mux.Observe(context.Background(), pid, call)
 		if err != nil {
 			if errors.Is(err, detect.ErrBlocked) {
 				return nil
@@ -248,8 +390,8 @@ func replay(det *detect.Detector, trace []int, verbose bool) error {
 		}
 		if verbose || ev.Action != detect.ActionNone {
 			name, _ := winapi.Name(call)
-			fmt.Printf("[call %6d] window p=%.3f action=%-5s (last call: %s)\n",
-				ev.CallIndex, ev.Probability, ev.Action, name)
+			fmt.Printf("[call %6d] pid %d window p=%.3f action=%-5s (last call: %s)\n",
+				ev.CallIndex, ev.PID, ev.Probability, ev.Action, name)
 		}
 		if ev.Action == detect.ActionBlock {
 			return nil

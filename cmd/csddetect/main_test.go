@@ -1,11 +1,22 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/eventlog"
+	"github.com/kfrida1/csdinf/internal/incident"
+	"github.com/kfrida1/csdinf/internal/sandbox"
+	"github.com/kfrida1/csdinf/internal/telemetry"
+	"github.com/kfrida1/csdinf/internal/trace"
 	"github.com/kfrida1/csdinf/internal/train"
 )
 
@@ -62,6 +73,271 @@ func TestDetectWithMetricsEndpoint(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("detection run with metrics endpoint failed: %v", err)
+	}
+}
+
+// TestForensicsEndToEnd drives the CLI's full pipeline on a synthetic
+// ransomware sequence and follows one flagged process across the whole
+// observability stack: the incident report must carry the confidence
+// trajectory, the live model generation, the serving-device attribution,
+// and trace job IDs that resolve in both the Chrome trace export and
+// /spans.json.
+func TestForensicsEndToEnd(t *testing.T) {
+	model, err := loadOrTrain(trainedWeights(t), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanLog(256)
+	tracer := trace.New()
+	events := eventlog.New(eventlog.Config{MinLevel: eventlog.LevelDebug})
+	eventsPath := filepath.Join(t.TempDir(), "events.jsonl")
+	sink, err := eventlog.NewFileSink(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events.Attach("file", sink, 0)
+
+	p, err := buildPipeline(pipelineConfig{
+		model: model, threshold: 0.5,
+		reg: reg, spans: spans, tracer: tracer, events: events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	benignTrace, err := sandbox.ManualInteractionProfile().Generate(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(p.mux, benignPID, benignTrace, false); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sandbox.RansomwareProfile("Lockbit", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infected, err := prof.Generate(1500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(p.mux, ransomPID, infected, false); err != nil {
+		t.Fatal(err)
+	}
+	blocked, pid := p.mux.Blocked()
+	if !blocked || pid != ransomPID {
+		t.Fatalf("mitigation: blocked=%v pid=%d, want pid %d", blocked, pid, ransomPID)
+	}
+
+	// The incident report: the ransomware process's tracking epoch, closed
+	// by the block.
+	p.rec.Flush()
+	dir := t.TempDir()
+	if _, err := p.rec.WriteReports(dir); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := filepath.Glob(filepath.Join(dir, "incident-*-pid*.json"))
+	if err != nil || len(reports) == 0 {
+		t.Fatalf("no incident reports written: %v", err)
+	}
+	var inc incident.Incident
+	found := false
+	for _, path := range reports {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &inc); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if inc.PID == ransomPID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no incident report for pid %d in %v", ransomPID, reports)
+	}
+	if inc.State != "closed" || inc.CloseReason != "blocked" {
+		t.Fatalf("incident not closed by mitigation: %+v", inc)
+	}
+
+	// Confidence trajectory: window-by-window verdicts ending in the block,
+	// with the alerting windows above threshold.
+	if len(inc.Trajectory) == 0 {
+		t.Fatal("incident has no trajectory")
+	}
+	last := inc.Trajectory[len(inc.Trajectory)-1]
+	if last.Verdict != "block" || last.Probability < 0.5 {
+		t.Fatalf("trajectory tail = %+v", last)
+	}
+	if inc.FlaggedAt.IsZero() || inc.FirstSeen.After(inc.FlaggedAt) {
+		t.Fatalf("timestamps: first_seen=%v flagged_at=%v", inc.FirstSeen, inc.FlaggedAt)
+	}
+
+	// Model generation from the cti hot-swap wrapper (initial deployment).
+	if inc.ModelGeneration != p.hot.Generation() || inc.ModelGeneration != 1 {
+		t.Fatalf("model_generation = %d, want %d", inc.ModelGeneration, p.hot.Generation())
+	}
+
+	// Serving-device and queue-wait attribution: the one-device demo serves
+	// everything on device "0".
+	if len(inc.Devices) != 1 || inc.Devices[0] != "0" {
+		t.Fatalf("devices = %v, want [0]", inc.Devices)
+	}
+	if last.Device != "0" {
+		t.Fatalf("trajectory tail device = %q", last.Device)
+	}
+	if inc.QueueWaitTotal <= 0 {
+		t.Fatalf("queue wait attribution missing: %v", inc.QueueWaitTotal)
+	}
+
+	// Cross-layer correlation: the block window's job ID must appear in the
+	// trace export and in /spans.json.
+	job := last.Job
+	if job == 0 {
+		t.Fatal("trajectory tail has no trace job ID")
+	}
+	foundJob := false
+	for _, j := range inc.Jobs {
+		if j == job {
+			foundJob = true
+		}
+	}
+	if !foundJob {
+		t.Fatalf("job %d missing from incident jobs %v", job, inc.Jobs)
+	}
+	inTrace := false
+	for _, ev := range tracer.Events() {
+		if ev.Job == job {
+			inTrace = true
+			break
+		}
+	}
+	if !inTrace {
+		t.Fatalf("job %d has no device timeline events", job)
+	}
+	var chrome bytes.Buffer
+	if err := tracer.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), `"job": `) {
+		t.Fatal("trace export carries no job annotations")
+	}
+
+	srv := httptest.NewServer(telemetry.NewHTTPHandlerWith(reg, spans, map[string]http.Handler{
+		"/events.json":    events.HTTPHandler(),
+		"/incidents.json": p.rec.HTTPHandler(),
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/spans.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spansDoc struct {
+		Spans []telemetry.Span `json:"spans"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&spansDoc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSpans := false
+	for _, sp := range spansDoc.Spans {
+		if sp.ID == job {
+			inSpans = true
+			if sp.Device != "0" {
+				t.Fatalf("span %d device = %q", job, sp.Device)
+			}
+		}
+	}
+	if !inSpans {
+		t.Fatalf("job %d not in /spans.json (%d spans retained)", job, len(spansDoc.Spans))
+	}
+
+	// /incidents.json serves the same incident the report file holds.
+	resp, err = http.Get(srv.URL + "/incidents.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var incDoc struct {
+		Incidents []incident.Incident `json:"incidents"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&incDoc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundHTTP := false
+	for _, got := range incDoc.Incidents {
+		if got.ID == inc.ID && got.PID == ransomPID {
+			foundHTTP = true
+		}
+	}
+	if !foundHTTP {
+		t.Fatalf("incident %d missing from /incidents.json", inc.ID)
+	}
+
+	// The JSON-lines event stream records the story with the same job ID.
+	if err := events.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var sawBlock, sawOpen, sawJob bool
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("event line invalid JSON: %v", err)
+		}
+		switch m["event"] {
+		case "mitigation.block":
+			sawBlock = true
+		case "incident.open":
+			sawOpen = true
+		}
+		if j, ok := m["job"].(float64); ok && int64(j) == job {
+			sawJob = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawBlock || !sawOpen || !sawJob {
+		t.Fatalf("event stream incomplete: block=%v open=%v job=%v", sawBlock, sawOpen, sawJob)
+	}
+}
+
+func TestDetectWithEventsAndIncidents(t *testing.T) {
+	weights := trainedWeights(t)
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	incidentDir := filepath.Join(dir, "incidents")
+	err := run([]string{
+		"-weights", weights,
+		"-family", "Lockbit", "-variant", "1",
+		"-benign-calls", "300", "-infected-calls", "1500",
+		"-events", eventsPath,
+		"-incident-dir", incidentDir,
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	data, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"event":"mitigation.block"`) {
+		t.Error("events file missing mitigation.block")
+	}
+	reports, err := filepath.Glob(filepath.Join(incidentDir, "incident-*.json"))
+	if err != nil || len(reports) == 0 {
+		t.Fatalf("no incident reports in %s: %v", incidentDir, err)
 	}
 }
 

@@ -49,7 +49,9 @@ import (
 	"github.com/kfrida1/csdinf/internal/cti"
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/incident"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
@@ -482,6 +484,76 @@ func NewSpanLog(capacity int) *SpanLog { return telemetry.NewSpanLog(capacity) }
 // recent spans), and /healthz. spans may be nil.
 func NewTelemetryHandler(r *Telemetry, spans *SpanLog) http.Handler {
 	return telemetry.NewHTTPHandler(r, spans)
+}
+
+// Event log types (the structured, leveled JSON-lines domain-event layer of
+// the observability stack — see internal/eventlog). An EventLogger threaded
+// through ServeConfig, DeployConfig, DetectorConfig, and UpdaterConfig
+// records what happened — alerts, mitigations, model swaps, queue
+// rejections — with trace-job and process correlation IDs; a nil logger is
+// inert.
+type (
+	// EventLogger is the concurrency-safe structured event logger: bounded
+	// in-memory ring plus non-blocking fan-out to attached Sinks.
+	EventLogger = eventlog.Logger
+	// EventLogConfig controls an EventLogger (minimum level, ring size,
+	// sink queue bound).
+	EventLogConfig = eventlog.Config
+	// LoggedEvent is one structured record: sequence, time, level,
+	// component, event name, correlation IDs, and typed fields.
+	LoggedEvent = eventlog.Event
+	// EventField is one structured key/value attribute of an event.
+	EventField = eventlog.Field
+	// EventLevel is an event severity (debug, info, warn, error).
+	EventLevel = eventlog.Level
+	// EventSink receives events from an EventLogger; slow sinks drop (and
+	// count) rather than block emission.
+	EventSink = eventlog.Sink
+	// EventSinkStats reports one sink's written/dropped/error counters.
+	EventSinkStats = eventlog.SinkStats
+)
+
+// Event severities, re-exported for EventLogConfig.MinLevel.
+const (
+	EventLevelDebug = eventlog.LevelDebug
+	EventLevelInfo  = eventlog.LevelInfo
+	EventLevelWarn  = eventlog.LevelWarn
+	EventLevelError = eventlog.LevelError
+)
+
+// NewEventLogger builds a structured event logger.
+func NewEventLogger(cfg EventLogConfig) *EventLogger { return eventlog.New(cfg) }
+
+// NewEventFileSink opens (or truncates) a JSON-lines event file; attach the
+// result with EventLogger.Attach.
+func NewEventFileSink(path string) (EventSink, error) { return eventlog.NewFileSink(path) }
+
+// Incident forensics types (see internal/incident): the recorder turns the
+// per-process detection stream into SOC-facing forensic records.
+type (
+	// Incident is one flagged process's forensic record: confidence
+	// trajectory, timestamps, model generation, device and queue-wait
+	// attribution, and correlated trace job IDs.
+	Incident = incident.Incident
+	// IncidentWindow is one classified window inside an incident's
+	// trajectory.
+	IncidentWindow = incident.Window
+	// IncidentRecorder accumulates incidents from detector window samples
+	// and mux evictions.
+	IncidentRecorder = incident.Recorder
+	// IncidentConfig controls an IncidentRecorder.
+	IncidentConfig = incident.Config
+	// WindowSample is one classified window with its cross-layer
+	// attribution (job ID, device, pipeline phases) — the payload of
+	// DetectorConfig.OnWindow.
+	WindowSample = detect.WindowSample
+)
+
+// NewIncidentRecorder builds an incident recorder. Wire its Window method
+// to DetectorConfig.OnWindow and its Evict method to DetectorMuxConfig's
+// OnEvict so every flagged process yields a forensic record.
+func NewIncidentRecorder(cfg IncidentConfig) (*IncidentRecorder, error) {
+	return incident.NewRecorder(cfg)
 }
 
 // AUC computes the area under the ROC curve of scored predictions.

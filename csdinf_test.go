@@ -445,3 +445,49 @@ func TestServerFacade(t *testing.T) {
 		t.Fatalf("post-close error = %v, want ErrServerClosed", err)
 	}
 }
+
+// TestObservabilityFacade exercises the event-log and incident re-exports:
+// a logger with a file sink, an incident recorder fed synthetic window
+// samples, and the forensic report output.
+func TestObservabilityFacade(t *testing.T) {
+	events := NewEventLogger(EventLogConfig{MinLevel: EventLevelDebug})
+	path := t.TempDir() + "/events.jsonl"
+	sink, err := NewEventFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events.Attach("file", sink, 0)
+
+	rec, err := NewIncidentRecorder(IncidentConfig{
+		Generation: func() int64 { return 7 },
+		Events:     events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Window(WindowSample{PID: 42, CallIndex: 100, Probability: 0.2, Action: ActionNone, Device: "0"})
+	rec.Window(WindowSample{PID: 42, CallIndex: 125, Probability: 0.9, Action: ActionBlock, Job: 5, Device: "0"})
+
+	incs := rec.Snapshot()
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(incs))
+	}
+	inc := incs[0]
+	if inc.PID != 42 || inc.State != "closed" || inc.CloseReason != "blocked" {
+		t.Fatalf("incident = %+v", inc)
+	}
+	if inc.ModelGeneration != 7 || len(inc.Trajectory) != 2 {
+		t.Fatalf("generation %d, trajectory %d", inc.ModelGeneration, len(inc.Trajectory))
+	}
+	if _, err := rec.WriteReports(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := events.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var stats []EventSinkStats = events.SinkStats()
+	if len(stats) != 1 || stats[0].Written == 0 || stats[0].Dropped != 0 {
+		t.Fatalf("sink stats = %+v", stats)
+	}
+}

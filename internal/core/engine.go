@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/fpga"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
@@ -52,6 +53,11 @@ type DeployConfig struct {
 	// TraceName is the trace track group naming this device (one group per
 	// physical device); empty defaults to "csd0".
 	TraceName string
+	// Events, when non-nil, receives the engine's structured events: one
+	// info deploy event (with init cost and pipeline shape), plus the
+	// per-DMA debug transfer events the CSD emits (Deploy attaches the
+	// logger to the device under the TraceName device name).
+	Events *eventlog.Logger
 }
 
 // Engine is a deployed CSD inference engine. It is not safe for concurrent
@@ -149,15 +155,24 @@ func Deploy(dev *csd.SmartSSD, m *lstm.Model, cfg DeployConfig) (*Engine, error)
 		predictions: reg.Counter("engine_predictions_total",
 			"Classifications completed by deployed engines."),
 	}
+	group := cfg.TraceName
+	if group == "" {
+		group = "csd0"
+	}
 	if cfg.Trace.Enabled() {
-		group := cfg.TraceName
-		if group == "" {
-			group = "csd0"
-		}
 		dev.SetTracer(cfg.Trace, group)
 		e.tracer = cfg.Trace
 		e.traceGroup = group
 		e.stages = computeStages(pipe)
+	}
+	if cfg.Events != nil {
+		dev.SetEventLogger(cfg.Events, group)
+		cfg.Events.Info(context.Background(), "core", "engine.deploy",
+			eventlog.F("device", group),
+			eventlog.F("seq_len", pipe.SeqLen()),
+			eventlog.F("gate_cus", pipe.GateCUs()),
+			eventlog.F("weight_bytes", wbuf.Len()),
+			eventlog.F("init_ns", initTime))
 	}
 	return e, nil
 }

@@ -22,6 +22,7 @@
 package csd
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/pcie"
 	"github.com/kfrida1/csdinf/internal/ssd"
 	"github.com/kfrida1/csdinf/internal/trace"
@@ -92,6 +94,12 @@ type SmartSSD struct {
 	tracer     *trace.Tracer
 	traceGroup string
 	traceJob   atomic.Int64
+
+	// Structured event emission (optional; see internal/eventlog). Transfer
+	// events are debug-level — one per DMA — and carry the same job ID the
+	// timeline events do.
+	events     *eventlog.Logger
+	eventsName string
 }
 
 // SetTracer attaches a timeline tracer; subsequent transfers emit events on
@@ -108,6 +116,32 @@ func (s *SmartSSD) SetTracer(t *trace.Tracer, group string) {
 // transfer events. The transfer APIs take no context (they model raw device
 // DMA), so the single-stream owner of the device sets the job up front.
 func (s *SmartSSD) TraceJob(id int64) { s.traceJob.Store(id) }
+
+// SetEventLogger attaches a structured event logger; subsequent transfers
+// emit one debug event per DMA under the given device name (matching the
+// trace track group, e.g. "csd0"), carrying path, byte count, duration, and
+// the current TraceJob correlation ID. A nil logger detaches.
+func (s *SmartSSD) SetEventLogger(l *eventlog.Logger, device string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = l
+	s.eventsName = device
+}
+
+// emitTransfer reports one completed DMA on the structured event log.
+func (s *SmartSSD) emitTransfer(path string, bytes int64, d time.Duration) {
+	s.mu.Lock()
+	l, name := s.events, s.eventsName
+	s.mu.Unlock()
+	if !l.Enabled(eventlog.LevelDebug) {
+		return
+	}
+	ctx := trace.WithJob(context.Background(), s.traceJob.Load())
+	l.Debug(ctx, "csd", "transfer."+path,
+		eventlog.F("device", name),
+		eventlog.F("bytes", bytes),
+		eventlog.F("transfer_ns", d))
+}
 
 // traceTransfer places a serial chain of transfer stages on the device's
 // timeline: each stage occupies its track for its duration, back to back
@@ -255,6 +289,7 @@ func (s *SmartSSD) TransferP2P(ssdOff int64, buf *Buffer) (time.Duration, error)
 		{Track: trace.Track{Name: "ssd"}, Name: "ssd-read", Dur: readTime},
 		{Track: trace.Track{Name: "pcie-internal"}, Name: "p2p", Dur: linkTime},
 	})
+	s.emitTransfer("p2p", buf.Size, readTime+linkTime)
 	return readTime + linkTime, nil
 }
 
@@ -287,6 +322,7 @@ func (s *SmartSSD) TransferViaHost(ssdOff int64, buf *Buffer) (time.Duration, er
 		{Track: trace.Track{Name: "host-dram"}, Name: "host-stage", Dur: stage},
 		{Track: trace.Track{Name: "pcie-host"}, Name: "host-down", Dur: down},
 	})
+	s.emitTransfer("via-host", buf.Size, readTime+up+stage+down)
 	return readTime + up + stage + down, nil
 }
 
@@ -312,6 +348,7 @@ func (s *SmartSSD) WriteBuffer(buf *Buffer, data []byte) (time.Duration, error) 
 	s.traceTransfer(buf.Bank, []trace.Event{
 		{Track: trace.Track{Name: "pcie-host"}, Name: "h2d", Dur: t},
 	})
+	s.emitTransfer("h2d", int64(len(data)), t)
 	return t, nil
 }
 
@@ -332,6 +369,7 @@ func (s *SmartSSD) ReadBuffer(buf *Buffer, dst []byte) (time.Duration, error) {
 	s.traceTransfer(buf.Bank, []trace.Event{
 		{Track: trace.Track{Name: "pcie-host"}, Name: "d2h", Dur: t},
 	})
+	s.emitTransfer("d2h", int64(n), t)
 	return t, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/core"
 	"github.com/kfrida1/csdinf/internal/csd"
 	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
@@ -51,6 +52,10 @@ type HotSwapEngine struct {
 	// registered instruments by Instrument; both guarded by swapMu.
 	swapsC      *telemetry.Counter
 	generationG *telemetry.Gauge
+
+	// events, when non-nil, receives an info event per swap (guarded by
+	// swapMu for writes; Swap reads it under the same lock).
+	events *eventlog.Logger
 }
 
 // holder wraps the interface value so it can live behind atomic.Pointer.
@@ -89,6 +94,15 @@ func (h *HotSwapEngine) Instrument(reg *telemetry.Registry) {
 	h.generationG = gen
 }
 
+// SetEvents attaches a structured event logger; each subsequent Swap emits
+// an info "model.swap" event carrying the new generation, so incident
+// reports can attribute verdicts to the model version that produced them.
+func (h *HotSwapEngine) SetEvents(l *eventlog.Logger) {
+	h.swapMu.Lock()
+	defer h.swapMu.Unlock()
+	h.events = l
+}
+
 // Generation returns the deployment generation of the live model (initial
 // deployment = 1, incremented on every Swap). Lock-free.
 func (h *HotSwapEngine) Generation() int64 { return h.generation.Load() }
@@ -124,7 +138,10 @@ func (h *HotSwapEngine) Swap(inf infer.Inferencer) error {
 	}
 	h.cur.Store(&holder{inf: inf})
 	h.swapsC.Inc()
-	h.generationG.Set(h.generation.Add(1))
+	gen := h.generation.Add(1)
+	h.generationG.Set(gen)
+	h.events.Info(context.Background(), "cti", "model.swap",
+		eventlog.F("generation", gen))
 	return nil
 }
 
@@ -152,6 +169,10 @@ type Config struct {
 	// cti_swaps_total counter and cti_model_generation gauge, and is
 	// threaded into each deployment unless Deploy.Telemetry is set.
 	Telemetry *telemetry.Registry
+	// Events, when non-nil, is attached to the hot-swap engine (one info
+	// model.swap event per redeployment) and threaded into each deployment
+	// unless Deploy.Events is set.
+	Events *eventlog.Logger
 }
 
 // Updater maintains the corpus, retrains on new CTI samples, and hot-swaps
@@ -191,6 +212,9 @@ func NewUpdater(base *dataset.Dataset, cfg Config) (*Updater, *UpdateResult, err
 	}
 	if cfg.Deploy.Telemetry == nil {
 		cfg.Deploy.Telemetry = cfg.Telemetry
+	}
+	if cfg.Deploy.Events == nil {
+		cfg.Deploy.Events = cfg.Events
 	}
 	u := &Updater{cfg: cfg, corpus: base}
 	res, err := u.retrainAndDeploy(0)
@@ -262,6 +286,9 @@ func (u *Updater) retrainAndDeploy(newSeqs int) (*UpdateResult, error) {
 		}
 		if u.cfg.Telemetry != nil {
 			hot.Instrument(u.cfg.Telemetry)
+		}
+		if u.cfg.Events != nil {
+			hot.SetEvents(u.cfg.Events)
 		}
 		u.hot = hot
 	} else if err := u.hot.Swap(eng); err != nil {

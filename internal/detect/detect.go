@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/telemetry"
+	"github.com/kfrida1/csdinf/internal/trace"
 )
 
 // Predictor classifies a fully-formed window. It is the stack-wide
@@ -60,6 +62,35 @@ type Event struct {
 	Action Action
 }
 
+// WindowSample is one classified window with its full pipeline attribution
+// — the forensic feed consumed by the incident recorder
+// (internal/incident) and by Config.OnWindow observers.
+type WindowSample struct {
+	// PID is the monitored process (0 for a bare Detector outside a Mux).
+	PID int
+	// Time is when the verdict was produced.
+	Time time.Time
+	// CallIndex is the index of the API call that completed the window.
+	CallIndex int64
+	// Probability is the classifier's ransomware probability.
+	Probability float64
+	// Action is the detector's response.
+	Action Action
+	// Job is the trace correlation ID the scheduler assigned the
+	// classification request (0 when tracing is off); the same ID appears
+	// on the request's telemetry.Span, its timeline events, and any
+	// eventlog events it emitted.
+	Job int64
+	// Device is the serving device that executed the classification (the
+	// scheduler's device index as a string); empty without a scheduler.
+	Device string
+	// QueueWait, Transfer, and Compute are the request's recorded pipeline
+	// phases (zero when the corresponding layer is not instrumented).
+	QueueWait time.Duration
+	Transfer  time.Duration
+	Compute   time.Duration
+}
+
 // Config controls the detector.
 type Config struct {
 	// Stride is how many new calls arrive between classifications once the
@@ -82,6 +113,16 @@ type Config struct {
 	// Spans, when non-nil, retains one pipeline span per classified window
 	// (queue wait → transfer → compute → verdict).
 	Spans *telemetry.SpanLog
+	// OnWindow, when non-nil, receives every classified window with its
+	// pipeline attribution — wire incident.Recorder.Window here to turn
+	// flagged processes into forensic incident reports. Inside a Mux the
+	// sample carries the process's PID.
+	OnWindow func(WindowSample)
+	// Events, when non-nil, receives the detector's structured events:
+	// window verdicts (debug: benign, info: alert) and mitigation
+	// (error: mitigation.block), each carrying the trace job ID and
+	// process attribution.
+	Events *eventlog.Logger
 }
 
 func (c *Config) defaults() {
@@ -102,6 +143,9 @@ func (c *Config) defaults() {
 type Detector struct {
 	pred Predictor
 	cfg  Config
+	// pid attributes this detector's windows to a monitored process; set
+	// by the Mux for its per-process children, 0 for a bare detector.
+	pid int
 
 	window    []int
 	filled    int
@@ -190,10 +234,12 @@ func (d *Detector) classify(ctx context.Context) (*Event, error) {
 	d.sinceEval = 0
 	// Open a pipeline span unless the caller already carries one; the
 	// layers below (scheduler queue wait, engine transfer/compute) record
-	// their phases into whichever span rides the context.
+	// their phases into whichever span rides the context. A window
+	// observer (or event log) also wants the span's attribution, so one is
+	// created for it even when no span ring is configured.
 	sp := telemetry.SpanFrom(ctx)
 	ownSpan := false
-	if sp == nil && d.cfg.Spans != nil {
+	if sp == nil && (d.cfg.Spans != nil || d.cfg.OnWindow != nil || d.cfg.Events != nil) {
 		sp = &telemetry.Span{Name: "window"}
 		ctx = telemetry.WithSpan(ctx, sp)
 		ownSpan = true
@@ -233,7 +279,60 @@ func (d *Detector) classify(ctx context.Context) (*Event, error) {
 			d.cfg.Spans.Add(*sp)
 		}
 	}
+	d.observeWindow(ctx, ev, sp)
 	return ev, nil
+}
+
+// observeWindow feeds the classified window — with the pipeline
+// attribution its span accumulated on the way down the stack — to the
+// OnWindow observer and the event log.
+func (d *Detector) observeWindow(ctx context.Context, ev *Event, sp *telemetry.Span) {
+	if d.cfg.OnWindow == nil && d.cfg.Events == nil {
+		return
+	}
+	s := WindowSample{
+		PID:         d.pid,
+		Time:        time.Now(),
+		CallIndex:   ev.CallIndex,
+		Probability: ev.Probability,
+		Action:      ev.Action,
+	}
+	if sp != nil {
+		s.Job = sp.ID
+		s.Device = sp.Device
+		for _, p := range sp.Phases {
+			switch p.Name {
+			case telemetry.PhaseQueue:
+				s.QueueWait += p.Duration
+			case telemetry.PhaseTransfer:
+				s.Transfer += p.Duration
+			case telemetry.PhaseCompute:
+				s.Compute += p.Duration
+			}
+		}
+	}
+	if d.cfg.OnWindow != nil {
+		d.cfg.OnWindow(s)
+	}
+	lvl, name := eventlog.LevelDebug, "window.benign"
+	switch s.Action {
+	case ActionAlert:
+		lvl, name = eventlog.LevelInfo, "window.alert"
+	case ActionBlock:
+		lvl, name = eventlog.LevelError, "mitigation.block"
+	}
+	if !d.cfg.Events.Enabled(lvl) {
+		return
+	}
+	// Ride the job ID on the context so the event correlates with the
+	// request's span and timeline events.
+	d.cfg.Events.LogPID(trace.WithJob(ctx, s.Job), lvl, "detect", name, s.PID,
+		eventlog.F("call_index", s.CallIndex),
+		eventlog.F("probability", s.Probability),
+		eventlog.F("device", s.Device),
+		eventlog.F("queue_wait_ns", s.QueueWait),
+		eventlog.F("compute_ns", s.Compute),
+	)
 }
 
 // Blocked reports whether mitigation has fired.

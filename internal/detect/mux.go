@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 )
 
@@ -32,17 +33,27 @@ type Mux struct {
 	blockedPID int
 	blocked    bool
 
+	onEvict func(pid int)
+	events  *eventlog.Logger
+
 	evictionsC *telemetry.Counter
 	processesG *telemetry.Gauge
 }
 
 // MuxConfig controls the demultiplexer.
 type MuxConfig struct {
-	// Detector is the per-process detector configuration.
+	// Detector is the per-process detector configuration. Its OnWindow
+	// observer and Events logger are inherited by every per-process child,
+	// with samples and events carrying the child's PID.
 	Detector Config
 	// MaxProcesses bounds concurrently tracked processes; 0 defaults to
 	// 64. When exceeded, the longest-idle process's state is evicted.
 	MaxProcesses int
+	// OnEvict, when non-nil, is invoked with the PID whose detector state
+	// was just evicted under the process cap — wire
+	// incident.Recorder.Evict here so an open incident for the process is
+	// closed rather than silently merged with a later reappearance.
+	OnEvict func(pid int)
 }
 
 // NewMux builds a per-process detector demultiplexer over the predictor.
@@ -67,6 +78,8 @@ func NewMux(pred Predictor, cfg MuxConfig) (*Mux, error) {
 		detectors:    make(map[int]*Detector),
 		maxProcesses: cfg.MaxProcesses,
 		lastSeen:     make(map[int]int64),
+		onEvict:      cfg.OnEvict,
+		events:       cfg.Detector.Events,
 		evictionsC: reg.Counter("mux_evictions_total",
 			"Per-process detector states evicted under the process cap."),
 		processesG: reg.Gauge("mux_processes",
@@ -98,8 +111,11 @@ func (m *Mux) Observe(ctx context.Context, pid, apiCallID int) (*ProcessEvent, e
 		if err != nil {
 			return nil, fmt.Errorf("detect: process %d: %w", pid, err)
 		}
+		det.pid = pid
 		m.detectors[pid] = det
 		m.processesG.Set(int64(len(m.detectors)))
+		m.events.LogPID(ctx, eventlog.LevelDebug, "detect", "process.track", pid,
+			eventlog.F("tracked", len(m.detectors)))
 	}
 	m.lastSeen[pid] = m.clock
 
@@ -129,6 +145,11 @@ func (m *Mux) evictIdlest() {
 	delete(m.lastSeen, victim)
 	m.evictionsC.Inc()
 	m.processesG.Set(int64(len(m.detectors)))
+	m.events.LogPID(context.Background(), eventlog.LevelInfo, "detect", "process.evict", victim,
+		eventlog.F("tracked", len(m.detectors)))
+	if m.onEvict != nil {
+		m.onEvict(victim)
+	}
 }
 
 // Blocked reports whether mitigation has fired, and for which process.

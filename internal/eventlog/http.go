@@ -1,0 +1,80 @@
+package eventlog
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// HTTPHandler serves the logger's in-memory ring as /events.json: a JSON
+// document with the total event count, per-sink delivery counters, and the
+// retained events (flat JSON-lines objects, oldest first).
+//
+// Query parameters:
+//
+//	?level=warn   only events at or above the level
+//	?n=100        only the most recent n matching events
+//
+// A nil *Logger serves an empty document, so the telemetry mux can mount
+// the endpoint unconditionally.
+func (l *Logger) HTTPHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := l.Recent()
+		if lv := r.URL.Query().Get("level"); lv != "" {
+			min, err := ParseLevel(lv)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			kept := events[:0]
+			for _, ev := range events {
+				if ev.Level >= min {
+					kept = append(kept, ev)
+				}
+			}
+			events = kept
+		}
+		if ns := r.URL.Query().Get("n"); ns != "" {
+			n, err := strconv.Atoi(ns)
+			if err != nil || n < 0 {
+				http.Error(w, "eventlog: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+
+		// Hand-rolled rendering keeps the per-event bytes identical to the
+		// file sink's JSON lines.
+		buf := make([]byte, 0, 1024+256*len(events))
+		buf = append(buf, `{"total":`...)
+		buf = strconv.AppendInt(buf, l.Total(), 10)
+		buf = append(buf, `,"retained":`...)
+		buf = strconv.AppendInt(buf, int64(len(events)), 10)
+		buf = append(buf, `,"sinks":[`...)
+		for i, s := range l.SinkStats() {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `{"name":`...)
+			buf = appendString(buf, s.Name)
+			buf = append(buf, `,"written":`...)
+			buf = strconv.AppendInt(buf, s.Written, 10)
+			buf = append(buf, `,"dropped":`...)
+			buf = strconv.AppendInt(buf, s.Dropped, 10)
+			buf = append(buf, `,"errors":`...)
+			buf = strconv.AppendInt(buf, s.Errors, 10)
+			buf = append(buf, '}')
+		}
+		buf = append(buf, `],"events":[`...)
+		for i, ev := range events {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = ev.AppendJSON(buf)
+		}
+		buf = append(buf, "]}\n"...)
+		_, _ = w.Write(buf)
+	})
+}

@@ -1,0 +1,108 @@
+package eventlog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink receives events from a Logger. Each attached sink is serviced by
+// its own delivery goroutine reading a bounded queue, so WriteEvent is
+// never called concurrently for one sink and a slow sink cannot block the
+// emitting goroutines — excess events are dropped for that sink and
+// counted (see SinkStats).
+//
+// A sink that also implements io.Closer is closed by Logger.Close after
+// its queue drains.
+type Sink interface {
+	WriteEvent(Event) error
+}
+
+// attachedSink is one registered sink plus its delivery machinery.
+type attachedSink struct {
+	name  string
+	sink  Sink
+	queue chan Event
+	done  sync.WaitGroup
+
+	written atomic.Int64
+	dropped atomic.Int64
+	errors  atomic.Int64
+}
+
+// run is the delivery goroutine: drains the queue until it is closed.
+func (s *attachedSink) run() {
+	defer s.done.Done()
+	for ev := range s.queue {
+		if err := s.sink.WriteEvent(ev); err != nil {
+			s.errors.Add(1)
+		}
+		s.written.Add(1)
+	}
+}
+
+func (s *attachedSink) close() error {
+	if c, ok := s.sink.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// writerSink renders events as JSON lines to an io.Writer, one Write call
+// per event so lines stay whole even on unbuffered destinations.
+type writerSink struct {
+	w io.Writer
+	c io.Closer // nil when the writer is not owned
+}
+
+// NewWriterSink returns a sink writing one JSON line per event to w. The
+// writer is not closed by Logger.Close.
+func NewWriterSink(w io.Writer) Sink { return &writerSink{w: w} }
+
+// NewFileSink creates (or truncates) a JSON-lines event file at path. The
+// file is closed by Logger.Close.
+func NewFileSink(path string) (Sink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: create sink file: %w", err)
+	}
+	return &writerSink{w: f, c: f}, nil
+}
+
+func (s *writerSink) WriteEvent(ev Event) error {
+	line := ev.AppendJSON(make([]byte, 0, 256))
+	line = append(line, '\n')
+	_, err := s.w.Write(line)
+	return err
+}
+
+func (s *writerSink) Close() error {
+	if s.c == nil {
+		return nil
+	}
+	return s.c.Close()
+}
+
+// CaptureSink retains every event it receives — a test and tooling helper.
+// Its accessors are safe for concurrent use with delivery.
+type CaptureSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// WriteEvent implements Sink.
+func (c *CaptureSink) WriteEvent(ev Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+	return nil
+}
+
+// Events returns the captured events in delivery order.
+func (c *CaptureSink) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}

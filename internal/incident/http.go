@@ -1,0 +1,47 @@
+package incident
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HTTPHandler serves the incident history as JSON — the /incidents.json
+// endpoint of the telemetry server. The document is:
+//
+//	{"total": N, "open": n, "incidents": [...]}
+//
+// where total counts incidents ever opened (including ones dropped from the
+// bounded closed ring) and incidents is Snapshot's order: closed first,
+// then open. Query parameter ?state=open or ?state=closed filters. A nil
+// recorder serves a valid empty document.
+func (r *Recorder) HTTPHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		state := req.URL.Query().Get("state")
+		if state != "" && state != "open" && state != "closed" {
+			http.Error(w, "state must be open or closed", http.StatusBadRequest)
+			return
+		}
+		incidents := r.Snapshot()
+		if state != "" {
+			kept := incidents[:0]
+			for _, inc := range incidents {
+				if inc.State == state {
+					kept = append(kept, inc)
+				}
+			}
+			incidents = kept
+		}
+		if incidents == nil {
+			incidents = []Incident{}
+		}
+		doc := struct {
+			Total     int64      `json:"total"`
+			Open      int        `json:"open"`
+			Incidents []Incident `json:"incidents"`
+		}{Total: r.Total(), Open: r.Open(), Incidents: incidents}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+}

@@ -1,0 +1,35 @@
+package incident
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteReports writes one JSON report per recorded incident (closed and
+// open) into dir, creating it if needed. Files are named
+// incident-<id>-pid<pid>.json; an existing file for the same incident is
+// overwritten, so calling WriteReports again after more windows refreshes
+// the reports. Returns the number of reports written, or ErrNoIncidents
+// when there is nothing to write.
+func (r *Recorder) WriteReports(dir string) (int, error) {
+	incidents := r.Snapshot()
+	if len(incidents) == 0 {
+		return 0, ErrNoIncidents
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("incident: create report dir: %w", err)
+	}
+	for _, inc := range incidents {
+		data, err := json.MarshalIndent(inc, "", "  ")
+		if err != nil {
+			return 0, fmt.Errorf("incident: encode incident %d: %w", inc.ID, err)
+		}
+		name := fmt.Sprintf("incident-%d-pid%d.json", inc.ID, inc.PID)
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			return 0, fmt.Errorf("incident: write report %s: %w", name, err)
+		}
+	}
+	return len(incidents), nil
+}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/telemetry"
@@ -70,6 +71,12 @@ type Config struct {
 	// the transfer and kernel events the device emits for the same request
 	// (and mirrored onto the request's telemetry.Span as Span.ID).
 	Trace *trace.Tracer
+	// Events, when non-nil, receives the scheduler's structured events:
+	// per-request completions (debug: request.done, with device and
+	// queue-wait attribution), backpressure rejections (warn: queue.full),
+	// device-side failures (warn: request.error), and lifecycle events
+	// (info: server.start / server.close).
+	Events *eventlog.Logger
 }
 
 func (c *Config) defaults() error {
@@ -221,6 +228,11 @@ func New(engines []infer.Inferencer, cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.run(d)
 	}
+	cfg.Events.Info(context.Background(), "serve", "server.start",
+		eventlog.F("devices", len(engines)),
+		eventlog.F("queue_depth", cfg.QueueDepth),
+		eventlog.F("batch_max", cfg.BatchMax),
+		eventlog.F("block", cfg.Block))
 	return s, nil
 }
 
@@ -302,6 +314,9 @@ func (s *Server) submit(ctx context.Context, req *request) (kernels.Result, infe
 		default:
 			d.pending.Dec()
 			d.queueFull.Inc()
+			s.cfg.Events.Warn(req.ctx, "serve", "queue.full",
+				eventlog.F("device", d.idx),
+				eventlog.F("queue_depth", s.cfg.QueueDepth))
 			return kernels.Result{}, infer.Timing{}, ErrQueueFull
 		}
 	}
@@ -381,6 +396,7 @@ func (s *Server) execute(d *device, req *request) {
 	d.queueWait.ObserveDuration(wait)
 	if req.span != nil {
 		req.span.Record(telemetry.PhaseQueue, wait)
+		req.span.Device = strconv.Itoa(d.idx)
 	}
 	if tr := s.cfg.Trace; tr.Enabled() {
 		// Pure wall-clock domain: the wait really elapsed on the host.
@@ -427,8 +443,19 @@ func (s *Server) execute(d *device, req *request) {
 	}
 	if resp.err == nil {
 		d.jobs.Inc()
+		if s.cfg.Events.Enabled(eventlog.LevelDebug) {
+			s.cfg.Events.Debug(req.ctx, "serve", "request.done",
+				eventlog.F("device", d.idx),
+				eventlog.F("stored", req.stored),
+				eventlog.F("queue_wait_ns", wait),
+				eventlog.F("device_time_ns", resp.timing.Total()))
+		}
 	} else {
 		d.errors.Inc()
+		s.cfg.Events.Warn(req.ctx, "serve", "request.error",
+			eventlog.F("device", d.idx),
+			eventlog.F("stored", req.stored),
+			eventlog.F("error", resp.err))
 	}
 	if req.ownSpan {
 		s.cfg.Spans.Add(*req.span)
@@ -491,6 +518,14 @@ func (s *Server) Stats() []DeviceStats {
 func (s *Server) Close() error {
 	if s.closed.CompareAndSwap(false, true) {
 		close(s.quit)
+		s.wg.Wait()
+		var jobs int64
+		for _, d := range s.devices {
+			jobs += d.jobs.Value()
+		}
+		s.cfg.Events.Info(context.Background(), "serve", "server.close",
+			eventlog.F("jobs_total", jobs))
+		return nil
 	}
 	s.wg.Wait()
 	return nil

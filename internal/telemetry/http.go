@@ -3,7 +3,42 @@ package telemetry
 import (
 	"encoding/json"
 	"net/http"
+	"runtime/debug"
+	"time"
 )
+
+// processStart anchors the uptime reported by /healthz.
+var processStart = time.Now()
+
+// buildInfo is the /healthz identification block, resolved once from the
+// binary's embedded build metadata.
+type buildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+func readBuildInfo() buildInfo {
+	var b buildInfo
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = bi.GoVersion
+	b.Module = bi.Main.Path
+	b.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
 
 // NewHTTPHandler returns the metrics endpoint served by cmd/csddetect's
 // -metrics-addr flag:
@@ -11,12 +46,22 @@ import (
 //	/metrics       Prometheus text exposition
 //	/metrics.json  JSON snapshot (plus recent spans when a log is given)
 //	/spans.json    the SpanLog ring: recent per-request pipeline spans
-//	/healthz       liveness probe, {"status":"ok"}
+//	/healthz       liveness probe: status, build identification (module,
+//	               version, go version, VCS revision), and process uptime
 //
-// spans may be nil (then /spans.json reports an empty ring). The handler is
-// safe for concurrent use alongside live instrumentation — that is the
-// point of it.
+// spans may be nil (then /spans.json reports an empty ring). Extra handlers
+// (e.g. the event log's /events.json and the incident recorder's
+// /incidents.json, which live above this package in the import graph) mount
+// via NewHTTPHandlerWith. The handler is safe for concurrent use alongside
+// live instrumentation — that is the point of it.
 func NewHTTPHandler(r *Registry, spans *SpanLog) http.Handler {
+	return NewHTTPHandlerWith(r, spans, nil)
+}
+
+// NewHTTPHandlerWith is NewHTTPHandler plus extra pattern → handler mounts
+// on the same mux. Extra patterns must not collide with the built-in
+// endpoints.
+func NewHTTPHandlerWith(r *Registry, spans *SpanLog, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -36,15 +81,28 @@ func NewHTTPHandler(r *Registry, spans *SpanLog) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		snap := spans.Snapshot()
+		if snap == nil {
+			snap = []Span{}
+		}
 		_ = enc.Encode(struct {
 			Total    int64  `json:"total"`
 			Retained int    `json:"retained"`
 			Spans    []Span `json:"spans"`
 		}{Total: spans.Total(), Retained: len(snap), Spans: snap})
 	})
+	build := readBuildInfo()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Status        string    `json:"status"`
+			Build         buildInfo `json:"build"`
+			UptimeSeconds float64   `json:"uptime_seconds"`
+		}{Status: "ok", Build: build, UptimeSeconds: time.Since(processStart).Seconds()})
 	})
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }

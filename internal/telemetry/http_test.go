@@ -2,10 +2,12 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -85,7 +87,155 @@ func TestHTTPHandlerEndpoints(t *testing.T) {
 	}
 
 	resp, body = get("/healthz")
-	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Build  struct {
+			GoVersion string `json:"go_version"`
+			Module    string `json:"module"`
+		} `json:"build"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz invalid: %v", err)
+	}
+	if health.Status != "ok" {
+		t.Errorf("/healthz status = %q", health.Status)
+	}
+	// The binary always knows the Go version it was built with; VCS fields
+	// depend on how the test binary was produced and are not pinned.
+	if !strings.HasPrefix(health.Build.GoVersion, "go") {
+		t.Errorf("/healthz go_version = %q", health.Build.GoVersion)
+	}
+	if health.Build.Module != "github.com/kfrida1/csdinf" {
+		t.Errorf("/healthz module = %q", health.Build.Module)
+	}
+	if health.UptimeSeconds <= 0 {
+		t.Errorf("/healthz uptime_seconds = %v, want > 0", health.UptimeSeconds)
+	}
+}
+
+// TestHTTPHandlerZeroSpans pins the empty-ring shape of /spans.json: a nil
+// SpanLog (and one that never recorded) must serve "spans": [] — not null —
+// so jq pipelines and dashboards can iterate unconditionally.
+func TestHTTPHandlerZeroSpans(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		spans *SpanLog
+	}{
+		{"nil-log", nil},
+		{"empty-log", NewSpanLog(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(NewHTTPHandler(NewRegistry(), tc.spans))
+			defer srv.Close()
+			resp, err := http.Get(srv.URL + "/spans.json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(body), `"spans": []`) {
+				t.Fatalf("/spans.json empty ring not normalized:\n%s", body)
+			}
+			var doc struct {
+				Total    int64  `json:"total"`
+				Retained int    `json:"retained"`
+				Spans    []Span `json:"spans"`
+			}
+			if err := json.Unmarshal(body, &doc); err != nil {
+				t.Fatal(err)
+			}
+			if doc.Total != 0 || doc.Retained != 0 || len(doc.Spans) != 0 {
+				t.Fatalf("empty ring doc = %+v", doc)
+			}
+		})
+	}
+}
+
+// TestSpanLogConcurrentWriters hammers one SpanLog from writers while
+// /spans.json and Snapshot readers race them (run with -race). Retention
+// must hold: the ring never exceeds capacity and Total counts every Add.
+func TestSpanLogConcurrentWriters(t *testing.T) {
+	const writers, adds, capacity = 8, 500, 32
+	spans := NewSpanLog(capacity)
+	srv := httptest.NewServer(NewHTTPHandler(NewRegistry(), spans))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < adds; i++ {
+				spans.Add(Span{
+					Name: "window", ID: int64(w*adds + i + 1),
+					Phases: []Phase{{Name: PhaseCompute, Duration: time.Microsecond}},
+				})
+			}
+		}(w)
+	}
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(readErr)
+		for i := 0; i < 20; i++ {
+			resp, err := http.Get(srv.URL + "/spans.json")
+			if err != nil {
+				readErr <- err
+				return
+			}
+			var doc struct {
+				Retained int    `json:"retained"`
+				Spans    []Span `json:"spans"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&doc)
+			resp.Body.Close()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			if doc.Retained > capacity || len(doc.Spans) > capacity {
+				readErr <- fmt.Errorf("retention exceeded: retained %d of cap %d", doc.Retained, capacity)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := <-readErr; err != nil {
+		t.Fatal(err)
+	}
+	if got := spans.Total(); got != writers*adds {
+		t.Fatalf("Total = %d, want %d", got, writers*adds)
+	}
+	if got := len(spans.Snapshot()); got != capacity {
+		t.Fatalf("retained %d spans, want %d", got, capacity)
+	}
+}
+
+// TestHTTPHandlerExtraMounts checks NewHTTPHandlerWith mounts additional
+// endpoints alongside the built-ins (how /events.json and /incidents.json
+// reach the telemetry server without inverting the import graph).
+func TestHTTPHandlerExtraMounts(t *testing.T) {
+	extra := map[string]http.Handler{
+		"/extra.json": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Write([]byte(`{"extra":true}`))
+		}),
+	}
+	srv := httptest.NewServer(NewHTTPHandlerWith(NewRegistry(), nil, extra))
+	defer srv.Close()
+	for _, path := range []string{"/extra.json", "/healthz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
 	}
 }

@@ -37,6 +37,10 @@ type Span struct {
 	// ID is the trace correlation ID shared with the request's timeline
 	// events when tracing is on (internal/trace job ID); 0 otherwise.
 	ID int64 `json:"id,omitempty"`
+	// Device is the serving device that executed the request, stamped by
+	// the scheduler at dispatch (its device index as a string); empty when
+	// the request never went through a scheduler.
+	Device string `json:"device,omitempty"`
 	// Phases are the recorded stages in arrival order. Queue wait is wall
 	// time; transfer and compute are simulated device time (see the package
 	// comment).
