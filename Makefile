@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_JSON_DIR ?= bench-results
 
-.PHONY: build test bench bench-json bench-gate smoke trace verify fmt
+.PHONY: build test bench bench-json bench-gate smoke trace lint fuzz verify fmt
 
 build:
 	$(GO) build ./...
@@ -43,9 +43,38 @@ trace:
 	$(GO) run ./cmd/csdbench -experiment table1 -measure-go=false \
 		-trace $(BENCH_JSON_DIR)/trace.json -json $(BENCH_JSON_DIR)
 
-# verify is the pre-merge gate: static checks, a full build, and the whole
-# test suite under the race detector (the serving layer is concurrent).
-verify:
+# lint runs both static-analysis fronts (see DESIGN.md "Static analysis"):
+#   1. the design-rule checker over the supported deploy matrix, writing
+#      the machine-readable findings CI uploads as an artifact;
+#   2. the custom Go-source analyzers (simclock, ctxfirst, telemetrylabels,
+#      eventname) from the tools/analyzers module, plus that module's own
+#      test suite (which includes linting this repository as a fixture);
+#   3. staticcheck over both modules, when the binary is installed (CI
+#      installs it; locally: go install honnef.co/go/tools/cmd/staticcheck@latest).
+lint:
+	mkdir -p $(BENCH_JSON_DIR)
+	$(GO) run ./cmd/csdlint drc -q -json $(BENCH_JSON_DIR)/drc.json
+	cd tools/analyzers && $(GO) run ./cmd/csdlint-go -root ../..
+	cd tools/analyzers && $(GO) test ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... && cd tools/analyzers && staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# fuzz gives each native fuzz target a short smoke budget — enough to shake
+# out regressions in the scheduler and the event wire format without tying
+# up CI. Crashers land in testdata/fuzz/ for triage.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzScheduleLoop -fuzztime=$(FUZZTIME) ./internal/hls/
+	$(GO) test -run=^$$ -fuzz=FuzzEventJSON -fuzztime=$(FUZZTIME) ./internal/eventlog/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeJSON -fuzztime=$(FUZZTIME) ./internal/eventlog/
+
+# verify is the pre-merge gate: static checks (vet + both lint fronts), a
+# full build, and the whole test suite under the race detector (the serving
+# layer is concurrent).
+verify: lint
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...

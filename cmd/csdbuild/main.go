@@ -11,6 +11,11 @@
 //	csdbuild -level fixed -platform ku15p          # fails: 5,120 DSPs needed
 //	csdbuild -level mixed -platform ku15p          # fits: DSP-packed MACs
 //	csdbuild -level ii -streaming
+//	csdbuild -drc -level fixed -platform ku15p     # caught statically, before compile
+//
+// With -drc the static design-rule checker (internal/drc) runs first and
+// error-level findings abort the build before any kernel is compiled — the
+// same catalogue `csdlint drc` reports.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/kfrida1/csdinf/internal/drc"
 	"github.com/kfrida1/csdinf/internal/fpga"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
@@ -37,6 +43,7 @@ func run(args []string) error {
 	platform := fs.String("platform", "u200", "u200 | ku15p")
 	streaming := fs.Bool("streaming", false, "use AXI4-Stream kernel links")
 	gateCUs := fs.Int("gatecus", 4, "kernel_gates compute units (must divide 4)")
+	runDRC := fs.Bool("drc", false, "run the static design-rule check before compiling; error findings abort the build")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,9 +64,23 @@ func run(args []string) error {
 		return fmt.Errorf("unknown platform %q (want u200, ku15p)", *platform)
 	}
 
-	specs, err := kernels.Specs(lstm.PaperConfig(), kernels.Config{
-		Level: lv, GateCUs: *gateCUs, Streaming: *streaming,
-	})
+	kcfg := kernels.Config{Level: lv, Part: part, GateCUs: *gateCUs, Streaming: *streaming}
+	if *runDRC {
+		design, err := kernels.DesignFor(lstm.PaperConfig(), kcfg)
+		if err != nil {
+			return err
+		}
+		rep := drc.Check(design)
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if !rep.OK() {
+			return &drc.RejectError{Report: rep}
+		}
+	}
+
+	specs, err := kernels.Specs(lstm.PaperConfig(), kcfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,194 @@
+// Command csdlint is the static-analysis front door of the repository.
+//
+//	csdlint drc [flags]    run the design-rule checker over kernel designs
+//	csdlint rules          print the design-rule catalogue
+//
+// `csdlint drc` validates kernel designs — HLS pragma legality, initiation-
+// interval feasibility, resource budgets, DDR-bank connectivity, dataflow
+// stage matching — without running a single simulated cycle. By default it
+// sweeps the supported deployment matrix (every optimization level on every
+// platform it is expected to fit); -level/-platform narrow it to one
+// configuration, including known-infeasible ones for inspection:
+//
+//	csdlint drc                                    # the CI gate: whole matrix
+//	csdlint drc -level fixed -platform ku15p       # inspect the infeasible fit
+//	csdlint drc -json findings.json                # machine-readable findings
+//
+// The exit status is 1 when any checked design carries error-level
+// findings, so CI can gate on it. Warnings (e.g. the vanilla design's
+// memory-port II bound — the very bottleneck Fig. 3's II level removes) are
+// reported but do not fail the run.
+//
+// The Go-source analyzers (simclock, ctxfirst, telemetrylabels, eventname)
+// live in the separate tools/analyzers module and run via its csdlint-go
+// driver; `make lint` runs both fronts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/kfrida1/csdinf/internal/drc"
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csdlint:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+// run executes the command, returning the process exit code: 0 clean, 1
+// error-level findings, 2 usage or I/O failure (with err set).
+func run(args []string, out io.Writer) (int, error) {
+	if len(args) == 0 {
+		usage(out)
+		return 2, nil
+	}
+	switch args[0] {
+	case "drc":
+		return runDRC(args[1:], out)
+	case "rules":
+		return 0, printRules(out)
+	case "help", "-h", "-help", "--help":
+		usage(out)
+		return 0, nil
+	default:
+		usage(out)
+		return 2, fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(out io.Writer) {
+	fmt.Fprintln(out, "usage: csdlint <drc|rules> [flags]")
+	fmt.Fprintln(out, "  drc    run the design-rule checker (csdlint drc -h for flags)")
+	fmt.Fprintln(out, "  rules  print the rule catalogue")
+}
+
+// checkedDesign is one (configuration, report) pair of a run, the JSON
+// artifact element CI uploads.
+type checkedDesign struct {
+	Level     string     `json:"level"`
+	Platform  string     `json:"platform"`
+	GateCUs   int        `json:"gate_cus"`
+	Streaming bool       `json:"streaming,omitempty"`
+	Report    drc.Report `json:"report"`
+}
+
+var levelFlags = map[string]kernels.OptLevel{
+	"vanilla": kernels.LevelVanilla,
+	"ii":      kernels.LevelII,
+	"fixed":   kernels.LevelFixedPoint,
+	"mixed":   kernels.LevelMixed,
+}
+
+var platformFlags = map[string]fpga.Part{
+	"u200":  fpga.AlveoU200,
+	"ku15p": fpga.KU15P,
+}
+
+// deployMatrix is the default sweep: every configuration the repository is
+// expected to deploy cleanly. fixed/ku15p is deliberately absent — it is
+// the paper's known-infeasible design, inspectable with explicit flags.
+var deployMatrix = []struct {
+	level, platform string
+}{
+	{"vanilla", "u200"},
+	{"ii", "u200"},
+	{"fixed", "u200"},
+	{"mixed", "u200"},
+	{"vanilla", "ku15p"},
+	{"ii", "ku15p"},
+	{"mixed", "ku15p"},
+}
+
+func runDRC(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("csdlint drc", flag.ContinueOnError)
+	fs.SetOutput(out)
+	level := fs.String("level", "", "check one level (vanilla | ii | fixed | mixed); default: the deploy matrix")
+	platform := fs.String("platform", "", "check one platform (u200 | ku15p); default: the deploy matrix")
+	gateCUs := fs.Int("gatecus", 4, "kernel_gates compute units (must divide 4)")
+	streaming := fs.Bool("streaming", false, "use AXI4-Stream kernel links")
+	jsonPath := fs.String("json", "", "write machine-readable findings to this file")
+	quiet := fs.Bool("q", false, "suppress per-design text reports; print only the summary")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	matrix := deployMatrix
+	if *level != "" || *platform != "" {
+		if *level == "" || *platform == "" {
+			return 2, fmt.Errorf("-level and -platform must be given together")
+		}
+		matrix = []struct{ level, platform string }{{*level, *platform}}
+	}
+
+	var checked []checkedDesign
+	totalErrors := 0
+	for _, m := range matrix {
+		lv, ok := levelFlags[m.level]
+		if !ok {
+			return 2, fmt.Errorf("unknown level %q (want vanilla, ii, fixed, mixed)", m.level)
+		}
+		part, ok := platformFlags[m.platform]
+		if !ok {
+			return 2, fmt.Errorf("unknown platform %q (want u200, ku15p)", m.platform)
+		}
+		design, err := kernels.DesignFor(lstm.PaperConfig(), kernels.Config{
+			Level: lv, Part: part, GateCUs: *gateCUs, Streaming: *streaming,
+		})
+		if err != nil {
+			return 2, fmt.Errorf("%s/%s: %w", m.level, m.platform, err)
+		}
+		rep := drc.Check(design)
+		checked = append(checked, checkedDesign{
+			Level: m.level, Platform: m.platform, GateCUs: *gateCUs,
+			Streaming: *streaming, Report: rep,
+		})
+		totalErrors += rep.Errors
+		if !*quiet {
+			fmt.Fprintf(out, "--- %s on %s ---\n", m.level, m.platform)
+			if err := rep.WriteText(out); err != nil {
+				return 2, err
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, checked); err != nil {
+			return 2, err
+		}
+	}
+
+	fmt.Fprintf(out, "csdlint drc: %d design(s) checked, %d error finding(s)\n", len(checked), totalErrors)
+	if totalErrors > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func writeJSON(path string, checked []checkedDesign) error {
+	data, err := json.MarshalIndent(checked, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func printRules(out io.Writer) error {
+	fmt.Fprintln(out, "Design-rule catalogue (see DESIGN.md \"Static analysis\" for the severity policy):")
+	for _, r := range drc.Rules() {
+		fmt.Fprintf(out, "  %-8s %-6s %s\n", r.ID, r.Severity, r.Title)
+	}
+	return nil
+}

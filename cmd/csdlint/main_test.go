@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDRCMatrixClean is the same gate CI runs: the supported deploy matrix
+// must carry zero error-level findings.
+func TestDRCMatrixClean(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"drc", "-q"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "7 design(s) checked, 0 error finding(s)") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}
+
+// TestDRCInfeasibleDesignFails pins the nonzero exit and the text report for
+// the paper's known-infeasible configuration.
+func TestDRCInfeasibleDesignFails(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"drc", "-level", "fixed", "-platform", "ku15p"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, out.String())
+	}
+	for _, want := range []string{"fixed on ku15p", "RES0", "error finding(s)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestDRCJSONArtifact checks the -json artifact decodes and carries one
+// element per checked design with the report embedded.
+func TestDRCJSONArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.json")
+	var out strings.Builder
+	code, err := run([]string{"drc", "-q", "-json", path}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checked []struct {
+		Level    string `json:"level"`
+		Platform string `json:"platform"`
+		Report   struct {
+			Part     string `json:"part"`
+			Errors   int    `json:"errors"`
+			Warnings int    `json:"warnings"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(data, &checked); err != nil {
+		t.Fatalf("artifact does not decode: %v", err)
+	}
+	if len(checked) != 7 {
+		t.Fatalf("artifact has %d designs, want 7", len(checked))
+	}
+	for _, c := range checked {
+		if c.Report.Errors != 0 {
+			t.Fatalf("%s/%s has %d errors in a clean matrix", c.Level, c.Platform, c.Report.Errors)
+		}
+		if c.Report.Part == "" {
+			t.Fatalf("%s/%s report lost its part name", c.Level, c.Platform)
+		}
+	}
+}
+
+func TestRulesSubcommand(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"rules"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	for _, id := range []string{"PRAG001", "II001", "BUF001", "RES002", "AXI001", "DF003"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("rule catalogue missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestUsageAndBadFlags(t *testing.T) {
+	var out strings.Builder
+	if code, _ := run(nil, &out); code != 2 {
+		t.Fatalf("no args: code = %d, want 2", code)
+	}
+	if code, err := run([]string{"bogus"}, &out); code != 2 || err == nil {
+		t.Fatalf("unknown subcommand: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"drc", "-level", "fixed"}, &out); code != 2 || err == nil {
+		t.Fatalf("lone -level: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"drc", "-level", "nope", "-platform", "u200"}, &out); code != 2 || err == nil {
+		t.Fatalf("bad level: code=%d err=%v", code, err)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/drc"
+	"github.com/kfrida1/csdinf/internal/eventlog"
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// TestDeployRefusesIllegalDesign pins the static gate: the fixed-point
+// design does not fit the KU15P, and Deploy must refuse it from the
+// design-rule check — before any device allocation — with an error that
+// matches both the DRC sentinel and the legacy resource-exhaustion probe.
+func TestDeployRefusesIllegalDesign(t *testing.T) {
+	dev, err := csd.New(csd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Deploy(dev, m, DeployConfig{Level: kernels.LevelFixedPoint, Part: fpga.KU15P})
+	if err == nil {
+		t.Fatal("fixed-point on KU15P should be refused")
+	}
+	var rej *drc.RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("error = %v, want *drc.RejectError", err)
+	}
+	if !errors.Is(err, drc.ErrRejected) || !errors.Is(err, fpga.ErrResourceExhausted) {
+		t.Fatalf("error %v should match ErrRejected and ErrResourceExhausted", err)
+	}
+	if rej.Report.Errors == 0 {
+		t.Fatal("rejection carries no error findings")
+	}
+
+	// No device state may have been touched: the weight buffer allocation
+	// happens after the gate, so a fresh allocation of the full bank must
+	// still succeed.
+	if _, err := dev.Alloc(1<<30, 0); err != nil {
+		t.Fatalf("device was touched before the refusal: %v", err)
+	}
+}
+
+// TestDeployDRCWarnAllowsAndLogs checks the warn policy deploys anyway but
+// surfaces the findings on the event log.
+func TestDeployDRCWarnAllowsAndLogs(t *testing.T) {
+	dev, err := csd.New(csd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := eventlog.New(eventlog.Config{MinLevel: eventlog.LevelDebug})
+
+	// Vanilla has warn-level II findings (the memory-port bound on the
+	// cell-update loop) but no errors: both policies must admit it.
+	eng, err := Deploy(dev, m, DeployConfig{Level: kernels.LevelVanilla, SeqLen: 4, Events: log})
+	if err != nil {
+		t.Fatalf("vanilla deploy under enforce: %v", err)
+	}
+	if eng == nil {
+		t.Fatal("nil engine")
+	}
+	var sawFinding bool
+	for _, ev := range log.Recent() {
+		if ev.Name == "engine.drc_finding" {
+			sawFinding = true
+		}
+	}
+	if !sawFinding {
+		t.Fatal("warn-level findings were not surfaced as events")
+	}
+}
+
+// TestDeployDRCOff pins the escape hatch: with the check off, the refusal
+// comes from the runtime placement instead (kernels.New), preserving the
+// old failure mode.
+func TestDeployDRCOff(t *testing.T) {
+	dev, err := csd.New(csd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Deploy(dev, m, DeployConfig{Level: kernels.LevelFixedPoint, Part: fpga.KU15P, DRC: DRCOff})
+	if err == nil {
+		t.Fatal("fixed-point on KU15P should still fail at placement")
+	}
+	var rej *drc.RejectError
+	if errors.As(err, &rej) {
+		t.Fatal("DRCOff should not produce a RejectError")
+	}
+	if !errors.Is(err, fpga.ErrResourceExhausted) {
+		t.Fatalf("error = %v, want runtime ErrResourceExhausted", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/drc"
 	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/fpga"
 	"github.com/kfrida1/csdinf/internal/infer"
@@ -26,6 +27,20 @@ import (
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/trace"
+)
+
+// DRCPolicy selects how Deploy treats static design-rule findings.
+type DRCPolicy int
+
+const (
+	// DRCEnforce (the default) refuses to deploy a design with error-level
+	// findings, returning a *drc.RejectError before the device is touched.
+	// Warnings and infos are surfaced as events but do not block.
+	DRCEnforce DRCPolicy = iota
+	// DRCWarn surfaces all findings as events but never blocks deployment.
+	DRCWarn
+	// DRCOff skips the design-rule check entirely.
+	DRCOff
 )
 
 // DeployConfig controls engine deployment.
@@ -58,6 +73,11 @@ type DeployConfig struct {
 	// per-DMA debug transfer events the CSD emits (Deploy attaches the
 	// logger to the device under the TraceName device name).
 	Events *eventlog.Logger
+	// DRC selects the static design-rule gate policy. The zero value is
+	// DRCEnforce: a design with error-level findings (budget overflow,
+	// illegal pragma combination, broken dataflow) is refused before any
+	// device state is touched, exactly as Vitis refuses to synthesize it.
+	DRC DRCPolicy
 }
 
 // Engine is a deployed CSD inference engine. It is not safe for concurrent
@@ -111,6 +131,17 @@ func Deploy(dev *csd.SmartSSD, m *lstm.Model, cfg DeployConfig) (*Engine, error)
 	}
 	if m == nil {
 		return nil, errors.New("core: nil model")
+	}
+	if cfg.DRC != DRCOff {
+		design, derr := kernels.DesignFor(m.Config(), kernels.Config{Level: cfg.Level, Part: cfg.Part})
+		if derr != nil {
+			return nil, fmt.Errorf("core: design check: %w", derr)
+		}
+		rep := drc.Check(design)
+		emitDRCFindings(cfg.Events, rep)
+		if !rep.OK() && cfg.DRC == DRCEnforce {
+			return nil, &drc.RejectError{Report: rep}
+		}
 	}
 	pipe, err := kernels.New(m, kernels.Config{
 		Level: cfg.Level, Part: cfg.Part, SeqLen: cfg.SeqLen, Scale: cfg.Scale,
@@ -175,6 +206,34 @@ func Deploy(dev *csd.SmartSSD, m *lstm.Model, cfg DeployConfig) (*Engine, error)
 			eventlog.F("init_ns", initTime))
 	}
 	return e, nil
+}
+
+// emitDRCFindings reports the design-rule outcome on the event log: one
+// summary event, plus one event per finding at a level mirroring its
+// severity (drc warns land at eventlog warn, infos at debug).
+func emitDRCFindings(events *eventlog.Logger, rep drc.Report) {
+	if events == nil || rep.Clean() {
+		return
+	}
+	events.Info(context.Background(), "core", "engine.drc",
+		eventlog.F("part", rep.Part),
+		eventlog.F("errors", rep.Errors),
+		eventlog.F("warnings", rep.Warnings),
+		eventlog.F("infos", rep.Infos))
+	for _, f := range rep.Findings {
+		lvl := eventlog.LevelDebug
+		switch f.Severity {
+		case drc.SevWarn:
+			lvl = eventlog.LevelWarn
+		case drc.SevError:
+			lvl = eventlog.LevelError
+		}
+		events.Log(context.Background(), lvl, "core", "engine.drc_finding",
+			eventlog.F("rule", f.Rule),
+			eventlog.F("kernel", f.Kernel),
+			eventlog.F("object", f.Object),
+			eventlog.F("message", f.Message))
+	}
 }
 
 // computeStages precomputes the per-classification compute timeline from

@@ -104,7 +104,7 @@ func (m *Mux) Observe(ctx context.Context, pid, apiCallID int) (*ProcessEvent, e
 	det, ok := m.detectors[pid]
 	if !ok {
 		if len(m.detectors) >= m.maxProcesses {
-			m.evictIdlest()
+			m.evictIdlest(ctx)
 		}
 		var err error
 		det, err = New(m.pred, m.cfg)
@@ -134,7 +134,11 @@ func (m *Mux) Observe(ctx context.Context, pid, apiCallID int) (*ProcessEvent, e
 	return out, nil
 }
 
-func (m *Mux) evictIdlest() {
+// evictIdlest drops the longest-idle process. The caller's ctx is threaded
+// through so the eviction event keeps the trace job ID of the API call that
+// forced it — that correlation is what lets incident forensics explain why
+// a process's history was truncated.
+func (m *Mux) evictIdlest(ctx context.Context) {
 	var pids []int
 	for pid := range m.detectors {
 		pids = append(pids, pid)
@@ -145,7 +149,7 @@ func (m *Mux) evictIdlest() {
 	delete(m.lastSeen, victim)
 	m.evictionsC.Inc()
 	m.processesG.Set(int64(len(m.detectors)))
-	m.events.LogPID(context.Background(), eventlog.LevelInfo, "detect", "process.evict", victim,
+	m.events.LogPID(ctx, eventlog.LevelInfo, "detect", "process.evict", victim,
 		eventlog.F("tracked", len(m.detectors)))
 	if m.onEvict != nil {
 		m.onEvict(victim)

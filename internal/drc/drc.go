@@ -1,0 +1,712 @@
+// Package drc is a static design-rule checker for simulated HLS/FPGA kernel
+// designs: the analogue of the pragma-legality, II-feasibility, and
+// resource-budget checks Vitis HLS emits at synthesis time, *before* any
+// cycle emulation runs.
+//
+// The runtime stack (internal/hls, internal/fpga, internal/vitis) already
+// fails on infeasible designs — but only when the design is scheduled or
+// linked, deep inside Deploy. This package validates a design without
+// running a single simulated cycle, so an illegal kernel configuration is
+// reported as a catalogue of findings (rule ID, severity, kernel, object,
+// message) at the door: `csdlint drc` and `csdbuild -drc` surface them on
+// the command line, core.Deploy refuses error-level designs before touching
+// the device, and CI fails on them with machine-readable JSON findings.
+//
+// Rules fall into five groups, mirroring the sections of a v++ synthesis
+// log: PRAG (pragma legality), II (initiation-interval feasibility), BUF
+// (buffer/partition storage), RES (fabric budgets per CU, per kernel, and
+// per device), AXI (DDR-bank connectivity and port conflicts), and DF
+// (dataflow stage matching). See Rules for the full catalogue and DESIGN.md
+// "Static analysis" for the severity policy.
+package drc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/hls"
+)
+
+// Severity grades a finding.
+type Severity int
+
+// Severities, in escalating order.
+const (
+	// SevInfo findings are observations: legal but worth knowing (a no-op
+	// pragma, a dead buffer).
+	SevInfo Severity = iota + 1
+	// SevWarn findings are legal designs that will not behave as written:
+	// an unachievable requested II, a clamped unroll factor, a tight fit.
+	SevWarn
+	// SevError findings are designs the toolchain (or the device) would
+	// reject: budget overflow, illegal pragma combination, broken dataflow.
+	SevError
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warn"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"info"`:
+		*s = SevInfo
+	case `"warn"`:
+		*s = SevWarn
+	case `"error"`:
+		*s = SevError
+	default:
+		return fmt.Errorf("drc: unknown severity %s", b)
+	}
+	return nil
+}
+
+// Rule is one catalogue entry.
+type Rule struct {
+	// ID is the stable rule identifier (e.g. "RES002").
+	ID string `json:"id"`
+	// Severity is the rule's fixed severity.
+	Severity Severity `json:"severity"`
+	// Title is the one-line rule statement.
+	Title string `json:"title"`
+}
+
+// The rule catalogue. IDs are stable: tools and CI filters key on them.
+var catalogue = []Rule{
+	{PragPipelineSubLoops, SevError, "PIPELINE on a loop containing sub-loops (HLS would require them fully unrolled)"},
+	{PragNegativeTrip, SevError, "negative loop trip count"},
+	{PragUnrollExceedsTrip, SevWarn, "UNROLL factor exceeds the loop trip count (factor is clamped)"},
+	{PragUnrollRagged, SevWarn, "UNROLL factor does not divide the trip count (ragged final iterations)"},
+	{PragIIWithoutPipeline, SevWarn, "II= requested on a loop without PIPELINE (pragma is ignored)"},
+	{PragPartitionNoAccess, SevInfo, "ARRAY_PARTITION on a loop with no indexed memory accesses (no-op)"},
+	{PragPipelineZeroTrip, SevWarn, "PIPELINE on a zero-trip loop (pipeline never fills)"},
+	{IICarriedDep, SevWarn, "requested II below the loop-carried dependency bound"},
+	{IIMemoryPorts, SevWarn, "requested II below the memory-port bound (ARRAY_PARTITION would lift it)"},
+	{BufDead, SevInfo, "buffer with no storage (zero or negative words)"},
+	{BufPartitionHuge, SevWarn, "ARRAY_PARTITION complete on a large buffer (register fan-out explodes FF/LUT and routing)"},
+	{BufPartitionUnindexed, SevWarn, "ARRAY_PARTITION complete on a buffer no partitioned loop indexes (burns FF for nothing)"},
+	{ResMalformedKernel, SevError, "malformed kernel (missing name, duplicate name, or non-positive CU count)"},
+	{ResCUOverflow, SevError, "a single compute unit exceeds the device budget"},
+	{ResKernelOverflow, SevError, "a kernel's compute units together exceed the device budget"},
+	{ResDesignOverflow, SevError, "the whole design exceeds the device budget"},
+	{ResTightFit, SevWarn, "design utilization above the routing-closure threshold"},
+	{AXIBankRange, SevError, "AXI master bound to a DDR bank the part does not have"},
+	{AXIPortConflict, SevWarn, "too many AXI masters contending for one DDR bank"},
+	{AXIUnbound, SevInfo, "kernel has no DDR-bank connectivity entry while others do"},
+	{DFUnknownKernel, SevError, "dataflow stream references a kernel not in the design"},
+	{DFFanOutMismatch, SevWarn, "dataflow fan-out does not match the consumer's compute-unit count"},
+	{DFCycle, SevError, "dataflow streams form a cycle"},
+}
+
+// Rule IDs.
+const (
+	PragPipelineSubLoops  = "PRAG001"
+	PragNegativeTrip      = "PRAG002"
+	PragUnrollExceedsTrip = "PRAG003"
+	PragUnrollRagged      = "PRAG004"
+	PragIIWithoutPipeline = "PRAG005"
+	PragPartitionNoAccess = "PRAG006"
+	PragPipelineZeroTrip  = "PRAG007"
+	IICarriedDep          = "II001"
+	IIMemoryPorts         = "II002"
+	BufDead               = "BUF001"
+	BufPartitionHuge      = "BUF002"
+	BufPartitionUnindexed = "BUF003"
+	ResMalformedKernel    = "RES001"
+	ResCUOverflow         = "RES002"
+	ResKernelOverflow     = "RES003"
+	ResDesignOverflow     = "RES004"
+	ResTightFit           = "RES005"
+	AXIBankRange          = "AXI001"
+	AXIPortConflict       = "AXI002"
+	AXIUnbound            = "AXI003"
+	DFUnknownKernel       = "DF001"
+	DFFanOutMismatch      = "DF002"
+	DFCycle               = "DF003"
+)
+
+// Rules returns the rule catalogue, in report order.
+func Rules() []Rule {
+	out := make([]Rule, len(catalogue))
+	copy(out, catalogue)
+	return out
+}
+
+var ruleByID = func() map[string]Rule {
+	m := make(map[string]Rule, len(catalogue))
+	for _, r := range catalogue {
+		m[r.ID] = r
+	}
+	return m
+}()
+
+// Finding is one rule violation (or observation) in a design.
+type Finding struct {
+	// Rule is the catalogue ID.
+	Rule string `json:"rule"`
+	// Severity is the rule's severity.
+	Severity Severity `json:"severity"`
+	// Kernel names the offending kernel; empty for design-level findings.
+	Kernel string `json:"kernel,omitempty"`
+	// Object names the loop, buffer, stream, or bank within the kernel.
+	Object string `json:"object,omitempty"`
+	// Message is the human-readable diagnostic.
+	Message string `json:"message"`
+}
+
+// String renders the finding in one line.
+func (f Finding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %-5s", f.Rule, f.Severity)
+	if f.Kernel != "" {
+		fmt.Fprintf(&b, " %s", f.Kernel)
+		if f.Object != "" {
+			fmt.Fprintf(&b, "/%s", f.Object)
+		}
+		b.WriteString(":")
+	} else if f.Object != "" {
+		fmt.Fprintf(&b, " %s:", f.Object)
+	}
+	fmt.Fprintf(&b, " %s", f.Message)
+	return b.String()
+}
+
+// Stream declares one dataflow link of the design: the producer kernel
+// writes FanOut copies of its output, one per consumer compute unit (the
+// paper's kernel_preprocess makes four copies of the embedding, one per
+// kernel_gates CU).
+type Stream struct {
+	// From and To are kernel names.
+	From, To string
+	// FanOut is the number of copies the producer writes.
+	FanOut int
+}
+
+// Design is the static view of a kernel design: everything the checker
+// needs, nothing that requires running it.
+type Design struct {
+	// Part is the target FPGA.
+	Part fpga.Part
+	// Kernels are the kernel specifications to place.
+	Kernels []fpga.KernelSpec
+	// Streams declares the dataflow stage links (optional).
+	Streams []Stream
+	// Connectivity maps kernel name → the DDR bank of each of its AXI
+	// master ports (optional; the sp= options of a v++ link). Nil skips
+	// the AXI rules entirely; a partial map fires AXIUnbound.
+	Connectivity map[string][]int
+}
+
+// Thresholds tune the advisory rules; zero values take defaults.
+type Thresholds struct {
+	// Utilization is the RES005 tight-fit fraction; 0 defaults to 0.8.
+	Utilization float64
+	// PartitionWords is the BUF002 register-partition limit; 0 defaults
+	// to 4096 words (128 Kb of flip-flops).
+	PartitionWords int
+	// MastersPerBank is the AXI002 port-conflict limit; 0 defaults to 16,
+	// the per-controller port cap of the Vitis DDR interconnect.
+	MastersPerBank int
+}
+
+func (t *Thresholds) defaults() {
+	if t.Utilization == 0 {
+		t.Utilization = 0.8
+	}
+	if t.PartitionWords == 0 {
+		t.PartitionWords = 4096
+	}
+	if t.MastersPerBank == 0 {
+		t.MastersPerBank = 16
+	}
+}
+
+// Report is the outcome of checking one design.
+type Report struct {
+	// Part is the target part name.
+	Part string `json:"part"`
+	// Findings are the rule hits, grouped by kernel in design order, then
+	// design-level findings.
+	Findings []Finding `json:"findings"`
+	// Errors, Warnings, and Infos count findings by severity.
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	Infos    int `json:"infos"`
+}
+
+// OK reports whether the design has no error-level findings.
+func (r *Report) OK() bool { return r.Errors == 0 }
+
+// Clean reports whether the design has no findings at all.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// ByRule returns the findings with the given rule ID.
+func (r *Report) ByRule(id string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Rule == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (r *Report) add(rule, kernel, object, format string, args ...any) {
+	def, ok := ruleByID[rule]
+	if !ok {
+		panic("drc: unknown rule " + rule)
+	}
+	r.Findings = append(r.Findings, Finding{
+		Rule: rule, Severity: def.Severity,
+		Kernel: kernel, Object: object,
+		Message: fmt.Sprintf(format, args...),
+	})
+	switch def.Severity {
+	case SevError:
+		r.Errors++
+	case SevWarn:
+		r.Warnings++
+	case SevInfo:
+		r.Infos++
+	}
+}
+
+// ErrRejected is the sentinel all DRC rejections wrap.
+var ErrRejected = errors.New("drc: design rejected by design-rule check")
+
+// RejectError is returned when a gate (core.Deploy, csdbuild -drc) refuses
+// a design with error-level findings. When the rejection includes a
+// resource-budget overflow it also matches fpga.ErrResourceExhausted, so
+// callers that probed for the runtime placement failure keep working.
+type RejectError struct {
+	// Report is the full check outcome.
+	Report Report
+}
+
+// Error summarizes the rejection with the first error-level finding.
+func (e *RejectError) Error() string {
+	for _, f := range e.Report.Findings {
+		if f.Severity == SevError {
+			return fmt.Sprintf("drc: design rejected on %s: %d error finding(s), first: %s",
+				e.Report.Part, e.Report.Errors, f.String())
+		}
+	}
+	return fmt.Sprintf("drc: design rejected on %s", e.Report.Part)
+}
+
+// Unwrap matches ErrRejected always, and fpga.ErrResourceExhausted when a
+// budget rule fired.
+func (e *RejectError) Unwrap() []error {
+	errs := []error{ErrRejected}
+	for _, f := range e.Report.Findings {
+		switch f.Rule {
+		case ResCUOverflow, ResKernelOverflow, ResDesignOverflow:
+			return append(errs, fpga.ErrResourceExhausted)
+		}
+	}
+	return errs
+}
+
+// Check validates the design against the full rule catalogue with default
+// thresholds.
+func Check(d Design) Report {
+	return CheckWith(d, Thresholds{})
+}
+
+// CheckWith validates the design with explicit thresholds.
+func CheckWith(d Design, th Thresholds) Report {
+	th.defaults()
+	r := Report{Part: d.Part.Name}
+
+	seen := make(map[string]bool, len(d.Kernels))
+	var total hls.Resources
+	for _, k := range d.Kernels {
+		if !checkKernelShape(&r, k, seen) {
+			continue
+		}
+		res := checkKernel(&r, d.Part, k, th)
+		total.Add(res)
+	}
+	checkDesignBudget(&r, d.Part, total, th)
+	checkConnectivity(&r, d, th)
+	checkDataflow(&r, d, seen)
+	return r
+}
+
+// checkKernelShape covers RES001; it returns false when the kernel is too
+// malformed for the remaining rules to be meaningful.
+func checkKernelShape(r *Report, k fpga.KernelSpec, seen map[string]bool) bool {
+	if k.Name == "" {
+		r.add(ResMalformedKernel, "", "", "kernel has no name")
+		return false
+	}
+	if seen[k.Name] {
+		r.add(ResMalformedKernel, k.Name, "", "kernel %q declared twice", k.Name)
+		return false
+	}
+	seen[k.Name] = true
+	if k.CUs <= 0 {
+		r.add(ResMalformedKernel, k.Name, "", "compute-unit count must be positive, got %d", k.CUs)
+		return false
+	}
+	return true
+}
+
+// checkKernel runs the per-loop and per-buffer rules and the per-kernel
+// budget rules, returning the kernel's total (CUs×perCU) resource bill.
+func checkKernel(r *Report, part fpga.Part, k fpga.KernelSpec, th Thresholds) hls.Resources {
+	var perCU hls.Resources
+	anyPartitionedLoop := false
+	for _, l := range k.Loops {
+		res := checkLoop(r, k.Name, l, th)
+		perCU.Add(res)
+		if loopTreePartitions(l) {
+			anyPartitionedLoop = true
+		}
+	}
+	for _, b := range k.Buffers {
+		checkBuffer(r, k.Name, b, anyPartitionedLoop, th)
+		perCU.Add(b.Resources())
+	}
+
+	if !perCU.Fits(part.Budget) {
+		r.add(ResCUOverflow, k.Name, "",
+			"one CU needs %s, exceeding the %s budget %s",
+			resString(perCU), part.Name, overBudget(perCU, part.Budget))
+	}
+	total := perCU.Scale(k.CUs)
+	if k.CUs > 1 && perCU.Fits(part.Budget) && !total.Fits(part.Budget) {
+		r.add(ResKernelOverflow, k.Name, "",
+			"%d CUs need %s, exceeding the %s budget %s",
+			k.CUs, resString(total), part.Name, overBudget(total, part.Budget))
+	}
+	return total
+}
+
+// loopTreePartitions reports whether the loop or any sub-loop carries
+// ARRAY_PARTITION.
+func loopTreePartitions(l hls.Loop) bool {
+	if l.ArrayPartition {
+		return true
+	}
+	for _, s := range l.Sub {
+		if loopTreePartitions(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoop runs the PRAG and II rules on one loop (recursing into
+// sub-loops) and returns the loop tree's resource cost.
+func checkLoop(r *Report, kernel string, l hls.Loop, th Thresholds) hls.Resources {
+	if l.Trip < 0 {
+		r.add(PragNegativeTrip, kernel, l.Name, "trip count %d is negative", l.Trip)
+	}
+	if l.Pipeline && len(l.Sub) > 0 {
+		r.add(PragPipelineSubLoops, kernel, l.Name,
+			"PIPELINE on a loop with %d sub-loop(s); HLS requires sub-loops fully unrolled", len(l.Sub))
+	}
+	if l.Pipeline && l.Trip == 0 {
+		r.add(PragPipelineZeroTrip, kernel, l.Name, "pipelined loop has a zero trip count")
+	}
+	unroll := l.Unroll
+	if unroll > 1 && l.Trip > 0 {
+		if unroll > l.Trip {
+			r.add(PragUnrollExceedsTrip, kernel, l.Name,
+				"UNROLL factor %d exceeds trip count %d; HLS clamps it to %d", unroll, l.Trip, l.Trip)
+			unroll = l.Trip
+		} else if l.Trip%unroll != 0 {
+			r.add(PragUnrollRagged, kernel, l.Name,
+				"UNROLL factor %d does not divide trip count %d; the final iteration runs ragged", unroll, l.Trip)
+		}
+	}
+	if l.RequestedII > 0 && !l.Pipeline {
+		r.add(PragIIWithoutPipeline, kernel, l.Name,
+			"II=%d requested without PIPELINE; the pragma is ignored", l.RequestedII)
+	}
+	if l.ArrayPartition && l.MemAccessesPerIter == 0 {
+		r.add(PragPartitionNoAccess, kernel, l.Name,
+			"ARRAY_PARTITION on a loop with no indexed memory accesses is a no-op")
+	}
+	checkII(r, kernel, l)
+
+	// Resource accounting mirrors hls.ScheduleLoop: the body replicated by
+	// the (clamped) unroll factor, plus sub-loop trees.
+	if unroll <= 0 {
+		unroll = 1
+	}
+	var body hls.Resources
+	for _, op := range l.Body {
+		if _, err := op.Latency(); err == nil {
+			body.Add(op.Resources())
+		}
+	}
+	res := body.Scale(unroll)
+	for _, s := range l.Sub {
+		res.Add(checkLoop(r, kernel, s, th))
+	}
+	return res
+}
+
+// checkII fires the II-feasibility rules: the requested initiation interval
+// is compared against the same lower bounds hls.ScheduleLoop enforces, so
+// the checker predicts exactly the II the scheduler would achieve.
+func checkII(r *Report, kernel string, l hls.Loop) {
+	if !l.Pipeline || len(l.Sub) > 0 {
+		return
+	}
+	requested := l.RequestedII
+	if requested <= 0 {
+		requested = 1
+	}
+	depth := 0
+	for _, op := range l.Body {
+		lat, err := op.Latency()
+		if err != nil {
+			return // unknown op: ScheduleLoop reports it; nothing to bound
+		}
+		depth += lat
+	}
+	if l.CarriedDep && depth > requested {
+		r.add(IICarriedDep, kernel, l.Name,
+			"requested II=%d but the carried dependency bounds II to the body latency %d", requested, depth)
+	}
+	if !l.ArrayPartition && l.MemAccessesPerIter > 0 {
+		unroll := l.Unroll
+		if unroll <= 0 {
+			unroll = 1
+		}
+		if l.Trip > 0 && unroll > l.Trip {
+			unroll = l.Trip
+		}
+		memII := (l.MemAccessesPerIter*unroll + hls.MemPorts - 1) / hls.MemPorts
+		if memII > requested {
+			r.add(IIMemoryPorts, kernel, l.Name,
+				"requested II=%d but %d memory accesses/iter over %d ports bound II to %d (ARRAY_PARTITION lifts this)",
+				requested, l.MemAccessesPerIter*unroll, hls.MemPorts, memII)
+		}
+	}
+}
+
+// checkBuffer runs the BUF rules on one buffer.
+func checkBuffer(r *Report, kernel string, b hls.Buffer, anyPartitionedLoop bool, th Thresholds) {
+	if b.Words <= 0 {
+		r.add(BufDead, kernel, b.Name, "buffer declares %d words of storage", b.Words)
+		return
+	}
+	if b.PartitionComplete {
+		if b.Words > th.PartitionWords {
+			r.add(BufPartitionHuge, kernel, b.Name,
+				"ARRAY_PARTITION complete on %d words costs %d FF; above the %d-word register limit",
+				b.Words, b.Words*32, th.PartitionWords)
+		}
+		if !anyPartitionedLoop {
+			r.add(BufPartitionUnindexed, kernel, b.Name,
+				"buffer is completely partitioned but no loop in the kernel uses ARRAY_PARTITION; the registers buy nothing")
+		}
+	}
+}
+
+// checkDesignBudget runs the design-level RES rules.
+func checkDesignBudget(r *Report, part fpga.Part, total hls.Resources, th Thresholds) {
+	if !total.Fits(part.Budget) {
+		r.add(ResDesignOverflow, "", "",
+			"design needs %s, exceeding the %s budget %s",
+			resString(total), part.Name, overBudget(total, part.Budget))
+		return
+	}
+	frac := func(used, budget int) float64 {
+		if budget == 0 {
+			return 0
+		}
+		return float64(used) / float64(budget)
+	}
+	classes := []struct {
+		name         string
+		used, budget int
+	}{
+		{"DSP", total.DSP, part.Budget.DSP},
+		{"LUT", total.LUT, part.Budget.LUT},
+		{"FF", total.FF, part.Budget.FF},
+		{"BRAM", total.BRAM, part.Budget.BRAM},
+	}
+	for _, c := range classes {
+		if u := frac(c.used, c.budget); u > th.Utilization {
+			r.add(ResTightFit, "", c.name,
+				"%s utilization %.1f%% (%d/%d) above the %.0f%% routing-closure threshold",
+				c.name, u*100, c.used, c.budget, th.Utilization*100)
+		}
+	}
+}
+
+// checkConnectivity runs the AXI rules over the DDR-bank port map.
+func checkConnectivity(r *Report, d Design, th Thresholds) {
+	if d.Connectivity == nil {
+		return
+	}
+	masters := make(map[int]int)
+	bound := 0
+	for _, k := range d.Kernels {
+		banks, ok := d.Connectivity[k.Name]
+		if !ok {
+			continue
+		}
+		bound++
+		for _, bank := range banks {
+			if bank < 0 || bank >= d.Part.DDRBanks {
+				r.add(AXIBankRange, k.Name, fmt.Sprintf("bank%d", bank),
+					"AXI master bound to DDR bank %d; part %s has banks [0, %d)",
+					bank, d.Part.Name, d.Part.DDRBanks)
+				continue
+			}
+			masters[bank] += k.CUs
+		}
+	}
+	if bound > 0 && bound < len(d.Kernels) {
+		for _, k := range d.Kernels {
+			if _, ok := d.Connectivity[k.Name]; !ok {
+				r.add(AXIUnbound, k.Name, "",
+					"kernel has no DDR-bank connectivity entry; its masters default to bank 0 at link time")
+			}
+		}
+	}
+	for bank := 0; bank < d.Part.DDRBanks; bank++ {
+		if n := masters[bank]; n > th.MastersPerBank {
+			r.add(AXIPortConflict, "", fmt.Sprintf("bank%d", bank),
+				"%d AXI masters contend for DDR bank %d; the interconnect serializes above %d ports",
+				n, bank, th.MastersPerBank)
+		}
+	}
+}
+
+// checkDataflow runs the DF rules over the declared stream links.
+func checkDataflow(r *Report, d Design, kernels map[string]bool) {
+	if len(d.Streams) == 0 {
+		return
+	}
+	cus := make(map[string]int, len(d.Kernels))
+	for _, k := range d.Kernels {
+		cus[k.Name] = k.CUs
+	}
+	edges := make(map[string][]string)
+	for _, s := range d.Streams {
+		obj := s.From + "→" + s.To
+		okFrom, okTo := kernels[s.From], kernels[s.To]
+		if !okFrom {
+			r.add(DFUnknownKernel, s.From, obj, "stream producer %q is not in the design", s.From)
+		}
+		if !okTo {
+			r.add(DFUnknownKernel, s.To, obj, "stream consumer %q is not in the design", s.To)
+		}
+		if okFrom && okTo {
+			edges[s.From] = append(edges[s.From], s.To)
+			if s.FanOut != cus[s.To] {
+				r.add(DFFanOutMismatch, s.From, obj,
+					"stream writes %d copies but consumer %q has %d compute unit(s)",
+					s.FanOut, s.To, cus[s.To])
+			}
+		}
+	}
+	if cyc := findCycle(edges); len(cyc) > 0 {
+		r.add(DFCycle, "", strings.Join(cyc, "→"),
+			"dataflow streams form a cycle; DATAFLOW regions must be acyclic")
+	}
+}
+
+// findCycle returns one cycle in the stream graph (as a node path), or nil.
+func findCycle(edges map[string][]string) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	var cycle []string
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, m := range edges[n] {
+			switch color[m] {
+			case gray:
+				for i, s := range stack {
+					if s == m {
+						cycle = append(append([]string(nil), stack[i:]...), m)
+						return true
+					}
+				}
+			case white:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	// Deterministic order keeps golden output stable.
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[j] < nodes[i] {
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+			}
+		}
+	}
+	for _, n := range nodes {
+		if color[n] == white && visit(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// resString renders a resource vector compactly.
+func resString(r hls.Resources) string {
+	return fmt.Sprintf("DSP %d, LUT %d, FF %d, BRAM %d", r.DSP, r.LUT, r.FF, r.BRAM)
+}
+
+// overBudget names the resource classes that overflow.
+func overBudget(used, budget hls.Resources) string {
+	var over []string
+	if used.DSP > budget.DSP {
+		over = append(over, fmt.Sprintf("DSP %d/%d", used.DSP, budget.DSP))
+	}
+	if used.LUT > budget.LUT {
+		over = append(over, fmt.Sprintf("LUT %d/%d", used.LUT, budget.LUT))
+	}
+	if used.FF > budget.FF {
+		over = append(over, fmt.Sprintf("FF %d/%d", used.FF, budget.FF))
+	}
+	if used.BRAM > budget.BRAM {
+		over = append(over, fmt.Sprintf("BRAM %d/%d", used.BRAM, budget.BRAM))
+	}
+	if len(over) == 0 {
+		return "(fits)"
+	}
+	return "on " + strings.Join(over, ", ")
+}

@@ -1,0 +1,309 @@
+package drc_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/drc"
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/hls"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// illegalDesign seeds the three headline violations of the issue: a
+// requested II below the carried-dependency bound, an UNROLL factor above
+// the trip count, and a resource-budget overflow — plus an AXI bank out of
+// range, all on the SmartSSD's KU15P.
+func illegalDesign() drc.Design {
+	return drc.Design{
+		Part: fpga.KU15P,
+		Kernels: []fpga.KernelSpec{
+			{
+				Name: "kernel_bad", CUs: 2,
+				Loops: []hls.Loop{
+					{
+						// FAdd+FMul chain with a carried dependency: the body
+						// latency (11) bounds II, but II=1 is requested.
+						Name: "acc", Trip: 64, Body: []hls.Op{hls.FMul, hls.FAdd},
+						CarriedDep: true, Pipeline: true, RequestedII: 1,
+					},
+					{
+						// UNROLL 16 on an 8-trip loop: clamped by HLS.
+						Name: "tiny", Trip: 8, Unroll: 16,
+						Body: []hls.Op{hls.IntAdd},
+					},
+					{
+						// Fully-unrolled float MAC array: 4096 copies of a
+						// 5-DSP body per CU, ×2 CUs — far over the KU15P's
+						// 1968 DSPs.
+						Name: "mac", Trip: 4096, Unroll: 4096, Pipeline: true,
+						ArrayPartition: true,
+						Body:           []hls.Op{hls.FMul, hls.FAdd},
+					},
+				},
+				Buffers: []hls.Buffer{{Name: "weights", Words: 4096}},
+			},
+		},
+		Connectivity: map[string][]int{
+			// The KU15P has a single DDR bank; bank 1 does not exist.
+			"kernel_bad": {0, 1},
+		},
+	}
+}
+
+func TestIllegalDesignGolden(t *testing.T) {
+	rep := drc.Check(illegalDesign())
+	if rep.OK() {
+		t.Fatal("illegal design passed the check")
+	}
+	for _, rule := range []string{drc.IICarriedDep, drc.PragUnrollExceedsTrip, drc.ResCUOverflow, drc.AXIBankRange} {
+		if len(rep.ByRule(rule)) == 0 {
+			t.Errorf("rule %s did not fire", rule)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "illegal.txt")
+	want, err := os.ReadFile(golden)
+	if os.IsNotExist(err) || os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep := drc.Check(illegalDesign())
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := drc.DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Errors != rep.Errors || back.Warnings != rep.Warnings || len(back.Findings) != len(rep.Findings) {
+		t.Fatalf("round trip lost findings: got %+v want %+v", back, rep)
+	}
+	if back.Findings[0].Severity != rep.Findings[0].Severity {
+		t.Fatalf("severity did not survive JSON: %v vs %v", back.Findings[0], rep.Findings[0])
+	}
+}
+
+// TestTable1DesignClean is the positive control: the paper's shipping
+// configuration (fixed-point, Alveo U200, four gate CUs) carries no
+// error-level findings.
+func TestTable1DesignClean(t *testing.T) {
+	design, err := kernels.DesignFor(lstm.PaperConfig(), kernels.Config{Level: kernels.LevelFixedPoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := drc.Check(design)
+	if !rep.OK() {
+		var buf bytes.Buffer
+		_ = rep.WriteText(&buf)
+		t.Fatalf("table-1 design has error findings:\n%s", buf.String())
+	}
+}
+
+// TestDeployMatrixErrorFree checks every supported deployment configuration
+// is error-free, and that the known-infeasible one (fixed-point on the
+// KU15P) is caught statically with the budget rule.
+func TestDeployMatrixErrorFree(t *testing.T) {
+	clean := []struct {
+		level kernels.OptLevel
+		part  fpga.Part
+	}{
+		{kernels.LevelVanilla, fpga.AlveoU200},
+		{kernels.LevelII, fpga.AlveoU200},
+		{kernels.LevelFixedPoint, fpga.AlveoU200},
+		{kernels.LevelMixed, fpga.AlveoU200},
+		{kernels.LevelVanilla, fpga.KU15P},
+		{kernels.LevelII, fpga.KU15P},
+		{kernels.LevelMixed, fpga.KU15P},
+	}
+	for _, c := range clean {
+		design, err := kernels.DesignFor(lstm.PaperConfig(), kernels.Config{Level: c.level, Part: c.part})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.level, c.part.Name, err)
+		}
+		if rep := drc.Check(design); !rep.OK() {
+			var buf bytes.Buffer
+			_ = rep.WriteText(&buf)
+			t.Errorf("%s on %s should be error-free:\n%s", c.level, c.part.Name, buf.String())
+		}
+	}
+
+	design, err := kernels.DesignFor(lstm.PaperConfig(), kernels.Config{Level: kernels.LevelFixedPoint, Part: fpga.KU15P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := drc.Check(design)
+	if rep.OK() {
+		t.Fatal("fixed-point on KU15P should be rejected")
+	}
+	budget := append(rep.ByRule(drc.ResCUOverflow),
+		append(rep.ByRule(drc.ResKernelOverflow), rep.ByRule(drc.ResDesignOverflow)...)...)
+	if len(budget) == 0 {
+		t.Fatalf("expected a budget-overflow rule, findings: %+v", rep.Findings)
+	}
+}
+
+// TestEveryRuleHasAFiringFixture exercises each catalogue rule with a
+// minimal design that triggers it — the proof the rule IDs have teeth.
+func TestEveryRuleHasAFiringFixture(t *testing.T) {
+	part := fpga.KU15P
+	kernel := func(loops []hls.Loop, bufs ...hls.Buffer) drc.Design {
+		return drc.Design{Part: part, Kernels: []fpga.KernelSpec{
+			{Name: "k", CUs: 1, Loops: loops, Buffers: bufs},
+		}}
+	}
+	fixtures := map[string]drc.Design{
+		drc.PragPipelineSubLoops: kernel([]hls.Loop{
+			{Name: "outer", Trip: 4, Pipeline: true, Sub: []hls.Loop{{Name: "inner", Trip: 2}}},
+		}),
+		drc.PragNegativeTrip: kernel([]hls.Loop{{Name: "l", Trip: -1}}),
+		drc.PragUnrollExceedsTrip: kernel([]hls.Loop{
+			{Name: "l", Trip: 4, Unroll: 8, Body: []hls.Op{hls.IntAdd}},
+		}),
+		drc.PragUnrollRagged: kernel([]hls.Loop{
+			{Name: "l", Trip: 10, Unroll: 4, Body: []hls.Op{hls.IntAdd}},
+		}),
+		drc.PragIIWithoutPipeline: kernel([]hls.Loop{
+			{Name: "l", Trip: 4, RequestedII: 2, Body: []hls.Op{hls.IntAdd}},
+		}),
+		drc.PragPartitionNoAccess: kernel([]hls.Loop{
+			{Name: "l", Trip: 4, ArrayPartition: true, Body: []hls.Op{hls.IntAdd}},
+		}),
+		drc.PragPipelineZeroTrip: kernel([]hls.Loop{
+			{Name: "l", Trip: 0, Pipeline: true, Body: []hls.Op{hls.IntAdd}},
+		}),
+		drc.IICarriedDep: kernel([]hls.Loop{
+			{Name: "l", Trip: 8, Pipeline: true, RequestedII: 1, CarriedDep: true,
+				Body: []hls.Op{hls.FAdd}},
+		}),
+		drc.IIMemoryPorts: kernel([]hls.Loop{
+			{Name: "l", Trip: 8, Pipeline: true, RequestedII: 1, MemAccessesPerIter: 6,
+				Body: []hls.Op{hls.MemRead}},
+		}),
+		drc.BufDead: kernel(nil, hls.Buffer{Name: "b", Words: 0}),
+		drc.BufPartitionHuge: kernel(
+			[]hls.Loop{{Name: "l", Trip: 4, ArrayPartition: true, MemAccessesPerIter: 1, Body: []hls.Op{hls.MemRead}}},
+			hls.Buffer{Name: "b", Words: 65536, PartitionComplete: true},
+		),
+		drc.BufPartitionUnindexed: kernel(nil, hls.Buffer{Name: "b", Words: 16, PartitionComplete: true}),
+		drc.ResMalformedKernel:    {Part: part, Kernels: []fpga.KernelSpec{{Name: "", CUs: 1}}},
+		drc.ResCUOverflow: kernel([]hls.Loop{
+			{Name: "l", Trip: 4096, Unroll: 4096, Body: []hls.Op{hls.FMul, hls.FAdd}},
+		}),
+		drc.ResDesignOverflow: {Part: part, Kernels: []fpga.KernelSpec{
+			{Name: "a", CUs: 1, Loops: []hls.Loop{{Name: "l", Trip: 512, Unroll: 512, Body: []hls.Op{hls.FMul}}}},
+			{Name: "b", CUs: 1, Loops: []hls.Loop{{Name: "l", Trip: 512, Unroll: 512, Body: []hls.Op{hls.FMul}}}},
+		}},
+		drc.ResTightFit: kernel([]hls.Loop{
+			// 600 DSPs of 1968: 30% — no; use 1800/1968 = 91%.
+			{Name: "l", Trip: 600, Unroll: 600, Body: []hls.Op{hls.FMul}},
+		}),
+		drc.AXIBankRange: {Part: part, Kernels: []fpga.KernelSpec{{Name: "k", CUs: 1}},
+			Connectivity: map[string][]int{"k": {3}}},
+		drc.AXIPortConflict: {Part: part, Kernels: []fpga.KernelSpec{{Name: "k", CUs: 32}},
+			Connectivity: map[string][]int{"k": {0}}},
+		drc.AXIUnbound: {Part: part, Kernels: []fpga.KernelSpec{
+			{Name: "a", CUs: 1}, {Name: "b", CUs: 1},
+		}, Connectivity: map[string][]int{"a": {0}}},
+		drc.DFUnknownKernel: {Part: part, Kernels: []fpga.KernelSpec{{Name: "k", CUs: 1}},
+			Streams: []drc.Stream{{From: "k", To: "ghost", FanOut: 1}}},
+		drc.DFFanOutMismatch: {Part: part, Kernels: []fpga.KernelSpec{
+			{Name: "a", CUs: 1}, {Name: "b", CUs: 4},
+		}, Streams: []drc.Stream{{From: "a", To: "b", FanOut: 2}}},
+		drc.DFCycle: {Part: part, Kernels: []fpga.KernelSpec{
+			{Name: "a", CUs: 1}, {Name: "b", CUs: 1},
+		}, Streams: []drc.Stream{
+			{From: "a", To: "b", FanOut: 1}, {From: "b", To: "a", FanOut: 1},
+		}},
+	}
+
+	// RES003 (kernel CUs overflow while one CU fits) needs a near-budget CU.
+	fixtures[drc.ResKernelOverflow] = drc.Design{Part: part, Kernels: []fpga.KernelSpec{
+		{Name: "k", CUs: 4, Loops: []hls.Loop{
+			{Name: "l", Trip: 600, Unroll: 600, Body: []hls.Op{hls.FMul}},
+		}},
+	}}
+
+	for _, rule := range drc.Rules() {
+		d, ok := fixtures[rule.ID]
+		if !ok {
+			t.Errorf("rule %s has no firing fixture", rule.ID)
+			continue
+		}
+		rep := drc.Check(d)
+		if len(rep.ByRule(rule.ID)) == 0 {
+			var buf bytes.Buffer
+			_ = rep.WriteText(&buf)
+			t.Errorf("rule %s did not fire on its fixture; report:\n%s", rule.ID, buf.String())
+		}
+	}
+}
+
+func TestRejectError(t *testing.T) {
+	rep := drc.Check(illegalDesign())
+	err := &drc.RejectError{Report: rep}
+	if !errors.Is(err, drc.ErrRejected) {
+		t.Fatal("RejectError should match ErrRejected")
+	}
+	if !errors.Is(err, fpga.ErrResourceExhausted) {
+		t.Fatal("budget rejection should match fpga.ErrResourceExhausted")
+	}
+	if !strings.Contains(err.Error(), "error finding") {
+		t.Fatalf("unhelpful message: %s", err)
+	}
+
+	// A non-budget rejection must NOT claim resource exhaustion.
+	d := drc.Design{Part: fpga.KU15P, Kernels: []fpga.KernelSpec{
+		{Name: "k", CUs: 1, Loops: []hls.Loop{
+			{Name: "outer", Trip: 4, Pipeline: true, Sub: []hls.Loop{{Name: "inner", Trip: 2}}},
+		}},
+	}}
+	err = &drc.RejectError{Report: drc.Check(d)}
+	if errors.Is(err, fpga.ErrResourceExhausted) {
+		t.Fatal("pragma rejection should not match ErrResourceExhausted")
+	}
+	if !errors.Is(err, drc.ErrRejected) {
+		t.Fatal("pragma rejection should still match ErrRejected")
+	}
+}
+
+func TestCleanReportRendering(t *testing.T) {
+	rep := drc.Check(drc.Design{Part: fpga.AlveoU200, Kernels: []fpga.KernelSpec{
+		{Name: "k", CUs: 1, Loops: []hls.Loop{
+			{Name: "l", Trip: 8, Pipeline: true, ArrayPartition: true,
+				MemAccessesPerIter: 1, Body: []hls.Op{hls.MemRead, hls.IntAdd}},
+		}},
+	}})
+	if !rep.Clean() {
+		t.Fatalf("expected clean, got %+v", rep.Findings)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "clean: no findings") {
+		t.Fatalf("clean report should say so:\n%s", buf.String())
+	}
+}

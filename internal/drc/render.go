@@ -1,0 +1,47 @@
+package drc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the report as a v++-style check log: one line per
+// finding plus a severity summary. The output is deterministic (findings
+// are emitted in design order) so it can be golden-tested.
+func (r *Report) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Design-rule check: platform %s ===\n", r.Part)
+	if r.Clean() {
+		b.WriteString("clean: no findings\n")
+	}
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d error(s), %d warning(s), %d info(s)\n", r.Errors, r.Warnings, r.Infos)
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("drc: write report: %w", err)
+	}
+	return nil
+}
+
+// JSON renders the report as indented machine-readable JSON: the format
+// `csdlint drc -json` writes and CI uploads as an artifact.
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("drc: marshal report: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// DecodeReport parses a JSON report produced by Report.JSON.
+func DecodeReport(data []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("drc: decode report: %w", err)
+	}
+	return r, nil
+}

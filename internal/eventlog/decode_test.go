@@ -1,0 +1,72 @@
+package eventlog
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestDecodeJSONRoundTripsLoggerOutput(t *testing.T) {
+	l := New(Config{MinLevel: LevelDebug})
+	ctx := context.Background()
+	l.LogPID(ctx, LevelWarn, "detect", "window.alert", 4242,
+		F("p", 0.97), F("window", 40), F("blocked", true), F("note", "π ≈ 3"))
+
+	events := l.Recent()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	wire := events[0].AppendJSON(nil)
+	got, err := DecodeJSON(wire)
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v\nwire: %s", err, wire)
+	}
+	if got.Seq != events[0].Seq || got.Level != LevelWarn ||
+		got.Component != "detect" || got.Name != "window.alert" || got.PID != 4242 {
+		t.Fatalf("decoded %+v from %s", got, wire)
+	}
+	if !got.Time.Equal(events[0].Time.UTC().Truncate(time.Nanosecond)) {
+		t.Fatalf("time = %v, want %v", got.Time, events[0].Time)
+	}
+	want := []Field{
+		{Key: "p", Value: json.Number("0.97")},
+		{Key: "window", Value: json.Number("40")},
+		{Key: "blocked", Value: true},
+		{Key: "note", Value: "π ≈ 3"},
+	}
+	if len(got.Fields) != len(want) {
+		t.Fatalf("fields = %+v, want %+v", got.Fields, want)
+	}
+	for i := range want {
+		if got.Fields[i] != want[i] {
+			t.Errorf("field %d = %#v, want %#v", i, got.Fields[i], want[i])
+		}
+	}
+
+	// The decoded event re-encodes to the identical wire bytes.
+	again := got.AppendJSON(nil)
+	if string(again) != string(wire) {
+		t.Fatalf("re-encode drifted:\n got %s\nwant %s", again, wire)
+	}
+}
+
+func TestDecodeJSONRejectsMalformedInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":         ``,
+		"array":         `[1]`,
+		"truncated":     `{"seq":1`,
+		"non-string":    `{1:2}`,
+		"nested object": `{"x":{"y":1}}`,
+		"nested array":  `{"x":[1]}`,
+		"bad level":     `{"level":"loud"}`,
+		"bad ts":        `{"ts":"yesterday"}`,
+		"seq type":      `{"seq":"one"}`,
+		"trailing":      `{"seq":1}{"seq":2}`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeJSON([]byte(in)); err == nil {
+			t.Errorf("%s: DecodeJSON(%q) succeeded", name, in)
+		}
+	}
+}

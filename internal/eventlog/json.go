@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"time"
@@ -88,6 +89,13 @@ func appendValue(buf []byte, v any) []byte {
 		return appendFloat(buf, float64(x))
 	case float64:
 		return appendFloat(buf, x)
+	case json.Number:
+		// Produced by DecodeJSON; re-emit the exact wire digits so
+		// decode/encode round-trips byte-for-byte.
+		if x == "" {
+			return append(buf, '0')
+		}
+		return append(buf, x...)
 	case time.Duration:
 		// Integer nanoseconds; field keys name the unit (*_ns).
 		return strconv.AppendInt(buf, int64(x), 10)

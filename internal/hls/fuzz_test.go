@@ -1,0 +1,116 @@
+package hls
+
+import (
+	"testing"
+)
+
+// FuzzScheduleLoop drives the scheduler with arbitrary loop nests and
+// checks its invariants: it never panics, never returns a schedule with
+// negative cycles/II/resources, and errors exactly on the documented
+// illegal shapes. Inputs are clamped to keep int64 cycle arithmetic far
+// from overflow — the fuzzer probes structure, not integer width.
+func FuzzScheduleLoop(f *testing.F) {
+	f.Add(40, uint8(3), true, false, 2, 1, 8, true, 100, 20, 0, uint8(0))
+	f.Add(32, uint8(1), false, true, 0, 4, 4, false, 0, 0, 16, uint8(2))
+	f.Add(-1, uint8(0), false, false, 0, 0, 0, false, -5, 0, 0, uint8(9))
+	f.Fuzz(func(t *testing.T, trip int, bodySel uint8, pipeline, carried bool,
+		requestedII, unroll, mem int, partition bool,
+		prologue, epilogue, subTrip int, subSel uint8) {
+
+		clamp := func(v, lo, hi int) int {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		// Body ops are picked from a menu that includes every operator
+		// class plus an out-of-range op, so Latency's error path is probed.
+		menu := [][]Op{
+			nil,
+			{IntAdd},
+			{FMul, FAdd},
+			{MemRead, FMul, FAdd, MemWrite},
+			{FExp, FDiv},
+			{Op(127)},
+		}
+		l := Loop{
+			Name:               "fuzz",
+			Trip:               clamp(trip, -4, 1<<12),
+			Body:               menu[int(bodySel)%len(menu)],
+			CarriedDep:         carried,
+			MemAccessesPerIter: clamp(mem, -2, 64),
+			Pipeline:           pipeline,
+			RequestedII:        clamp(requestedII, -2, 1<<10),
+			Unroll:             clamp(unroll, -2, 1<<10),
+			ArrayPartition:     partition,
+			Prologue:           clamp(prologue, -4, 1<<10),
+			Epilogue:           clamp(epilogue, -4, 1<<10),
+		}
+		if st := clamp(subTrip, 0, 1<<8); st > 0 {
+			l.Sub = []Loop{{
+				Name: "fuzz.sub",
+				Trip: st,
+				Body: menu[int(subSel)%len(menu)],
+			}}
+		}
+
+		s, err := ScheduleLoop(l)
+		if err != nil {
+			return
+		}
+		// Illegal shapes must not schedule silently.
+		if l.Trip < 0 || l.Prologue < 0 || l.Epilogue < 0 {
+			t.Fatalf("negative trip/prologue/epilogue scheduled: %+v", l)
+		}
+		if l.Pipeline && len(l.Sub) > 0 {
+			t.Fatalf("pipelined loop with sub-loops scheduled: %+v", l)
+		}
+		if s.Cycles < 0 || s.II < 0 || s.Depth < 0 {
+			t.Fatalf("negative schedule %+v for %+v", s, l)
+		}
+		if s.Res.LUT < 0 || s.Res.FF < 0 || s.Res.DSP < 0 || s.Res.BRAM < 0 {
+			t.Fatalf("negative resources %+v for %+v", s.Res, l)
+		}
+		if l.Pipeline && l.Trip > 0 && s.II < 1 {
+			t.Fatalf("pipelined loop achieved II %d < 1: %+v", s.II, l)
+		}
+		if l.Pipeline && s.II < s.minLegalII(l) {
+			t.Fatalf("II %d below feasibility bound %d for %+v", s.II, s.minLegalII(l), l)
+		}
+
+		// Determinism: the scheduler is a pure function of the loop.
+		again, err := ScheduleLoop(l)
+		if err != nil {
+			t.Fatalf("second schedule errored: %v", err)
+		}
+		if again.Cycles != s.Cycles || again.II != s.II || again.Depth != s.Depth || again.Res != s.Res {
+			t.Fatalf("schedule not deterministic: %+v vs %+v", s, again)
+		}
+	})
+}
+
+// minLegalII recomputes the II feasibility bound the way internal/drc's
+// II001/II002 rules do, so the fuzzer cross-checks scheduler and checker.
+func (s Schedule) minLegalII(l Loop) int {
+	ii := 1
+	if l.CarriedDep && s.Depth > ii {
+		ii = s.Depth
+	}
+	unroll := l.Unroll
+	if unroll <= 0 {
+		unroll = 1
+	}
+	if unroll > l.Trip && l.Trip > 0 {
+		unroll = l.Trip
+	}
+	if !l.ArrayPartition && l.MemAccessesPerIter > 0 {
+		memII := (l.MemAccessesPerIter*unroll + MemPorts - 1) / MemPorts
+		if memII > ii {
+			ii = memII
+		}
+	}
+	return ii
+}

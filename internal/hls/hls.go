@@ -121,6 +121,12 @@ func (r Resources) Fits(b Resources) bool {
 	return r.DSP <= b.DSP && r.LUT <= b.LUT && r.FF <= b.FF && r.BRAM <= b.BRAM
 }
 
+// Resources returns the fabric cost of one instance of the operator, in the
+// range Vitis utilization reports show for UltraScale+ at 300 MHz. The
+// design-rule checker (internal/drc) uses it to predict a loop's bill
+// without scheduling it.
+func (o Op) Resources() Resources { return o.resources() }
+
 // resources returns the fabric cost of one instance of the operator,
 // in the range Vitis utilization reports show for UltraScale+ at 300 MHz.
 func (o Op) resources() Resources {
@@ -218,6 +224,10 @@ var ErrPipelineWithSubLoops = errors.New("hls: cannot pipeline a loop containing
 func ScheduleLoop(l Loop) (Schedule, error) {
 	if l.Trip < 0 {
 		return Schedule{}, fmt.Errorf("hls: loop %q has negative trip count %d", l.Name, l.Trip)
+	}
+	if l.Prologue < 0 || l.Epilogue < 0 {
+		return Schedule{}, fmt.Errorf("hls: loop %q has negative prologue/epilogue (%d, %d)",
+			l.Name, l.Prologue, l.Epilogue)
 	}
 	unroll := l.Unroll
 	if unroll <= 0 {

@@ -1,0 +1,69 @@
+package kernels
+
+import (
+	"github.com/kfrida1/csdinf/internal/drc"
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// DesignFor returns the static design-rule checker's view of a
+// configuration: the kernel specifications, the dataflow streams of Fig. 2
+// (preprocess fans its embedding out to every gate CU; the gate CUs each
+// feed the hidden-state kernel), and the DDR-bank connectivity the paper's
+// host program would pass to v++ as sp= options. The result feeds drc.Check
+// — the pre-deployment gate used by core.Deploy, csdbuild -drc, and
+// `csdlint drc` — without scheduling a single loop.
+func DesignFor(model lstm.Config, cfg Config) (drc.Design, error) {
+	cfg.defaults()
+	specs, err := Specs(model, cfg)
+	if err != nil {
+		return drc.Design{}, err
+	}
+	return drc.Design{
+		Part:    cfg.Part,
+		Kernels: specs,
+		Streams: []drc.Stream{
+			// §III-C: preprocess writes one private embedding copy per gate
+			// CU; each gate CU writes one gate vector to the hidden-state
+			// kernel's single CU.
+			{From: KernelPreprocess, To: KernelGates, FanOut: cfg.GateCUs},
+			{From: KernelGates, To: KernelHiddenState, FanOut: 1},
+		},
+		Connectivity: connectivityFor(specs, cfg.Part),
+	}, nil
+}
+
+// connectivityFor derives the paper's DDR-bank map (§III-C: parameters in
+// bank 0, the sequence staging buffer in bank 1 when the part has one):
+// each kernel's per-CU AXI masters reach the parameter bank and the
+// sequence bank.
+func connectivityFor(specs []fpga.KernelSpec, part fpga.Part) map[string][]int {
+	banks := part.DDRBanks
+	if banks <= 0 {
+		banks = 1
+	}
+	seqBank := 0
+	if banks > 1 {
+		seqBank = 1
+	}
+	m := make(map[string][]int, len(specs))
+	for _, s := range specs {
+		switch s.Name {
+		case KernelPreprocess:
+			// Reads the embedding table (bank 0) and the staged sequence
+			// (bank 1), writes the x copies back to bank 0.
+			m[s.Name] = []int{0, seqBank}
+		case KernelGates:
+			// Each CU reads weights from bank 0 and x/h from the sequence
+			// bank.
+			m[s.Name] = []int{0, seqBank}
+		case KernelHiddenState:
+			// Gathers the four gate vectors (bank 0) and writes h copies
+			// and the classification result (sequence bank).
+			m[s.Name] = []int{0, seqBank}
+		default:
+			m[s.Name] = []int{0}
+		}
+	}
+	return m
+}

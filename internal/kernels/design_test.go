@@ -1,0 +1,60 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/fpga"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+func TestDesignForShape(t *testing.T) {
+	d, err := DesignFor(lstm.PaperConfig(), Config{Level: LevelFixedPoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Part.Name != fpga.AlveoU200.Name {
+		t.Fatalf("default part = %s, want U200", d.Part.Name)
+	}
+	if len(d.Kernels) != 3 {
+		t.Fatalf("kernels = %d, want 3", len(d.Kernels))
+	}
+	if len(d.Streams) != 2 || d.Streams[0].FanOut != GateCUs {
+		t.Fatalf("streams = %+v, want preprocess→gates fan-out %d", d.Streams, GateCUs)
+	}
+	for _, k := range d.Kernels {
+		banks, ok := d.Connectivity[k.Name]
+		if !ok || len(banks) == 0 {
+			t.Fatalf("kernel %s has no connectivity entry", k.Name)
+		}
+		for _, b := range banks {
+			if b < 0 || b >= d.Part.DDRBanks {
+				t.Fatalf("kernel %s bound to bank %d outside part range", k.Name, b)
+			}
+		}
+	}
+}
+
+func TestDesignForInvalidConfig(t *testing.T) {
+	if _, err := DesignFor(lstm.PaperConfig(), Config{Level: OptLevel(99)}); err == nil {
+		t.Fatal("invalid level should be rejected")
+	}
+	if _, err := DesignFor(lstm.Config{}, Config{}); err == nil {
+		t.Fatal("invalid model config should be rejected")
+	}
+}
+
+// TestDesignForKU15PSingleBank pins the connectivity derivation on a
+// single-bank part: everything must collapse onto bank 0.
+func TestDesignForKU15PSingleBank(t *testing.T) {
+	d, err := DesignFor(lstm.PaperConfig(), Config{Level: LevelMixed, Part: fpga.KU15P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, banks := range d.Connectivity {
+		for _, b := range banks {
+			if b != 0 {
+				t.Fatalf("kernel %s bound to bank %d on a single-bank part", name, b)
+			}
+		}
+	}
+}

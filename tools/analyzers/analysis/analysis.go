@@ -1,0 +1,260 @@
+// Package analysis is a deliberately small, dependency-free skeleton of the
+// golang.org/x/tools/go/analysis API: just enough structure to write the
+// repository's custom lint passes against the standard library's go/ast and
+// go/parser. The build environment has no module proxy access, so vendoring
+// x/tools is not an option; the subset here (Analyzer, Pass, Reportf,
+// suppression comments) keeps the passes portable should that ever change.
+//
+// Passes are purely syntactic — there is no type checker. Each analyzer
+// documents the heuristics it uses in place of type information, and every
+// heuristic is pinned by a fixture test so a refactor that invalidates one
+// fails loudly.
+//
+// A diagnostic can be suppressed at the call site with
+//
+//	//csdlint:allow <analyzer> <reason>
+//
+// on the same line as, or the line immediately above, the flagged node. The
+// reason is mandatory by convention (reviewed, not enforced).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// An Analyzer is one named lint pass.
+type Analyzer struct {
+	Name string // short lowercase identifier used in output and allow comments
+	Doc  string // one-line description
+	Run  func(*Pass)
+}
+
+// A File is one parsed, non-test Go source file.
+type File struct {
+	Path    string // path as given to Load (root-relative)
+	AST     *ast.File
+	Imports map[string]string // local name -> import path, including renames
+	allows  map[int][]string  // source line -> analyzer names allowed there
+}
+
+// ImportName returns the local name under which path is imported in f, or
+// "" when f does not import it. Dot and blank imports return "".
+func (f *File) ImportName(path string) string {
+	for name, p := range f.Imports {
+		if p == path {
+			return name
+		}
+	}
+	return ""
+}
+
+// A Package is the unit a Pass runs over: all non-test files of one
+// directory.
+type Package struct {
+	Dir   string // slash-separated path relative to the load root, "." for the root
+	Fset  *token.FileSet
+	Files []*File
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an allow comment for this analyzer
+// covers the position's line.
+func (p *Pass) Reportf(f *File, pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if names, ok := f.allows[position.Line]; ok && allowed(names, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func allowed(names []string, analyzer string) bool {
+	for _, n := range names {
+		if n == analyzer || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// skipDirs are directory basenames never descended into: metadata, fixtures,
+// build output, and this module itself (it is a separate module with its own
+// gating and would otherwise be analyzed against the root's rules).
+var skipDirs = map[string]bool{
+	".git": true, ".github": true, "testdata": true, "tools": true,
+	"vendor": true, "bench-results": true, "node_modules": true,
+}
+
+// Load parses every non-test .go file under root into per-directory
+// packages, sorted by directory then file name for deterministic output.
+func Load(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	byDir := map[string]*Package{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && (skipDirs[d.Name()] || strings.HasPrefix(d.Name(), ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		file, err := parseFile(fset, rel, src)
+		if err != nil {
+			return err
+		}
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		pkg, ok := byDir[dir]
+		if !ok {
+			pkg = &Package{Dir: dir, Fset: fset}
+			byDir[dir] = pkg
+		}
+		pkg.Files = append(pkg.Files, file)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(byDir))
+	for _, pkg := range byDir {
+		sort.Slice(pkg.Files, func(i, j int) bool { return pkg.Files[i].Path < pkg.Files[j].Path })
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs, nil
+}
+
+// PackageFromSource builds a package from in-memory sources, for fixture
+// tests. Keys are file names; dir is the package's root-relative directory.
+func PackageFromSource(dir string, sources map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	pkg := &Package{Dir: dir, Fset: fset}
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		file, err := parseFile(fset, dir+"/"+name, []byte(sources[name]))
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	return pkg, nil
+}
+
+func parseFile(fset *token.FileSet, path string, src []byte) (*File, error) {
+	astf, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Path: path, AST: astf, Imports: map[string]string{}, allows: map[int][]string{}}
+	for _, imp := range astf.Imports {
+		ipath, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ipath
+		if i := strings.LastIndex(ipath, "/"); i >= 0 {
+			name = ipath[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		}
+		f.Imports[name] = ipath
+	}
+	for _, group := range astf.Comments {
+		for _, c := range group.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+			rest, ok := strings.CutPrefix(text, "csdlint:allow ")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			// A trailing comment (code before it on the line) covers only
+			// its own line; a standalone comment covers the next line.
+			f.allows[pos.Line] = append(f.allows[pos.Line], fields[0])
+			lineStart := pos.Offset - (pos.Column - 1)
+			if lineStart >= 0 && strings.TrimSpace(string(src[lineStart:pos.Offset])) == "" {
+				f.allows[pos.Line+1] = append(f.allows[pos.Line+1], fields[0])
+			}
+		}
+	}
+	return f, nil
+}
+
+// Run applies every analyzer to every package and returns the findings in
+// position order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		if di.Pos.Column != dj.Pos.Column {
+			return di.Pos.Column < dj.Pos.Column
+		}
+		return di.Analyzer < dj.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, root, rel, src string) {
+	t.Helper()
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSkipsTestsFixturesAndTools(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/a/a.go", "package a\n")
+	write(t, root, "internal/a/a_test.go", "package a\n")
+	write(t, root, "internal/a/testdata/fixture.go", "package broken !!!\n")
+	write(t, root, "tools/analyzers/x.go", "package x\n")
+	write(t, root, "main.go", "package main\n")
+
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	total := 0
+	for _, p := range pkgs {
+		dirs = append(dirs, p.Dir)
+		total += len(p.Files)
+	}
+	if len(pkgs) != 2 || total != 2 {
+		t.Fatalf("loaded %v (%d files), want [., internal/a] with 2 files", dirs, total)
+	}
+	if pkgs[0].Dir != "." || pkgs[1].Dir != "internal/a" {
+		t.Fatalf("dirs = %v", dirs)
+	}
+}
+
+func TestImportsTrackRenames(t *testing.T) {
+	pkg, err := PackageFromSource("internal/a", map[string]string{"a.go": `package a
+
+import (
+	"time"
+	wall "time"
+	_ "embed"
+	tel "example.com/internal/telemetry"
+)
+
+var _ = time.Time{}
+var _ = wall.Time{}
+var _ = tel.X
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := pkg.Files[0]
+	if f.Imports["time"] != "time" || f.Imports["wall"] != "time" {
+		t.Fatalf("imports = %v", f.Imports)
+	}
+	if f.Imports["tel"] != "example.com/internal/telemetry" {
+		t.Fatalf("renamed third-party import lost: %v", f.Imports)
+	}
+	if _, ok := f.Imports["embed"]; ok {
+		t.Fatalf("blank import should be dropped: %v", f.Imports)
+	}
+	if f.ImportName("time") == "" {
+		t.Fatal("ImportName(time) empty")
+	}
+}
+
+func TestRunOrdersDiagnostics(t *testing.T) {
+	pkg, err := PackageFromSource("internal/a", map[string]string{
+		"a.go": "package a\n\nvar A = 1\n",
+		"b.go": "package a\n\nvar B = 2\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagEveryValueSpec := &Analyzer{Name: "every", Doc: "test", Run: func(p *Pass) {
+		// Visit files in reverse to prove Run sorts output by position.
+		for i := len(p.Pkg.Files) - 1; i >= 0; i-- {
+			f := p.Pkg.Files[i]
+			for _, decl := range f.AST.Decls {
+				p.Reportf(f, decl.Pos(), "decl in %s", f.Path)
+			}
+		}
+	}}
+	diags := Run([]*Package{pkg}, []*Analyzer{flagEveryValueSpec})
+	if len(diags) != 2 {
+		t.Fatalf("diags = %v", diags)
+	}
+	if diags[0].Pos.Filename != "internal/a/a.go" || diags[1].Pos.Filename != "internal/a/b.go" {
+		t.Fatalf("not sorted: %v", diags)
+	}
+}
+
+func TestAllowParsing(t *testing.T) {
+	pkg, err := PackageFromSource("internal/a", map[string]string{"a.go": `package a
+
+var A = 1 //csdlint:allow every trailing form
+
+//csdlint:allow every preceding form
+var B = 2
+
+//csdlint:allow other different analyzer
+var C = 3
+
+//csdlint:allow all blanket
+var D = 4
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	every := &Analyzer{Name: "every", Doc: "test", Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.AST.Decls {
+				if g, ok := decl.(*ast.GenDecl); ok {
+					p.Reportf(f, g.Pos(), "var")
+				}
+			}
+		}
+	}}
+	diags := Run([]*Package{pkg}, []*Analyzer{every})
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want only C's", diags)
+	}
+	if diags[0].Pos.Line != 9 {
+		t.Fatalf("flagged line %d, want 9 (var C)", diags[0].Pos.Line)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/kfrida1/csdinf/tools/analyzers
+
+go 1.24

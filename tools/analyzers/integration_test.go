@@ -1,0 +1,40 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/kfrida1/csdinf/tools/analyzers/analysis"
+	"github.com/kfrida1/csdinf/tools/analyzers/passes/ctxfirst"
+	"github.com/kfrida1/csdinf/tools/analyzers/passes/eventname"
+	"github.com/kfrida1/csdinf/tools/analyzers/passes/simclock"
+	"github.com/kfrida1/csdinf/tools/analyzers/passes/telemetrylabels"
+)
+
+// TestRepositoryIsClean runs every analyzer over the actual repository —
+// the same gate `make lint` and CI apply. A failure here means a real
+// violation landed (fix it or annotate it with a reasoned
+// //csdlint:allow), never that the fixture suite is wrong.
+func TestRepositoryIsClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("repository root not found: %v", err)
+	}
+	pkgs, err := analysis.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("only %d packages loaded from the repository; Load is broken", len(pkgs))
+	}
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{
+		simclock.Analyzer,
+		ctxfirst.Analyzer,
+		telemetrylabels.Analyzer,
+		eventname.Analyzer,
+	})
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

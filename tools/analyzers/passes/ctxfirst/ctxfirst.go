@@ -1,0 +1,108 @@
+// Package ctxfirst enforces the repository's context conventions:
+//
+//  1. a context.Context parameter must be the first parameter, and
+//  2. a function that already receives a ctx must not mint a fresh
+//     context.Background()/context.TODO() — that drops the caller's trace
+//     job ID and cancellation, which the event log and forensics rely on.
+//
+// Both checks are syntactic: a parameter whose type is <contextpkg>.Context
+// (resolved through import renames) counts as a context parameter.
+package ctxfirst
+
+import (
+	"go/ast"
+
+	"github.com/kfrida1/csdinf/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter and must be threaded, not re-minted",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ctxPkg := f.ImportName("context")
+		if ctxPkg == "" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body, name = fn.Type, fn.Body, fn.Name.Name
+			case *ast.FuncLit:
+				ftype, body, name = fn.Type, fn.Body, "function literal"
+			default:
+				return true
+			}
+			idx := ctxParamIndex(ftype, ctxPkg)
+			if idx > 0 {
+				pass.Reportf(f, ftype.Params.List[idx].Pos(),
+					"%s: context.Context must be the first parameter", name)
+			}
+			if idx >= 0 && body != nil {
+				flagFreshContexts(pass, f, body, ctxPkg, name)
+			}
+			return true
+		})
+	}
+}
+
+// ctxParamIndex returns the index (counting expanded names) of the first
+// context.Context parameter, or -1.
+func ctxParamIndex(ftype *ast.FuncType, ctxPkg string) int {
+	if ftype.Params == nil {
+		return -1
+	}
+	idx := 0
+	for _, field := range ftype.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtxType(field.Type, ctxPkg) {
+			return idx
+		}
+		idx += n
+	}
+	return -1
+}
+
+func isCtxType(expr ast.Expr, ctxPkg string) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	return ok && ident.Name == ctxPkg
+}
+
+func flagFreshContexts(pass *analysis.Pass, f *analysis.File, body *ast.BlockStmt, ctxPkg, name string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// A nested function literal gets its own visit from run; whether a
+		// Background inside it is legal depends on its own signature.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok || ident.Name != ctxPkg {
+			return true
+		}
+		pass.Reportf(f, call.Pos(),
+			"%s receives a context.Context but mints %s.%s(); thread the parameter instead",
+			name, ctxPkg, sel.Sel.Name)
+		return true
+	})
+}

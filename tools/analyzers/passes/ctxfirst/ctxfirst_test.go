@@ -1,0 +1,104 @@
+package ctxfirst
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/kfrida1/csdinf/tools/analyzers/analysis"
+)
+
+func runOn(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.PackageFromSource("internal/demo", map[string]string{"a.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{Analyzer})
+}
+
+func TestCtxMustBeFirst(t *testing.T) {
+	src := `package demo
+
+import "context"
+
+func good(ctx context.Context, n int)  {}
+func bad(n int, ctx context.Context)   {}
+func none(n int)                       {}
+func method() { _ = func(id string, ctx context.Context) {} }
+`
+	diags := runOn(t, src)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 (bad, literal)", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "first parameter") {
+			t.Fatalf("unexpected message: %s", d.Message)
+		}
+	}
+}
+
+func TestNoFreshContextInCtxFunctions(t *testing.T) {
+	src := `package demo
+
+import "context"
+
+func process(ctx context.Context) {
+	use(context.Background())
+	use(context.TODO())
+}
+
+// startup has no ctx parameter: minting a root context is its job.
+func startup() { use(context.Background()) }
+
+func use(ctx context.Context) {}
+`
+	diags := runOn(t, src)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 (Background, TODO in process)", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "thread the parameter") {
+			t.Fatalf("unexpected message: %s", d.Message)
+		}
+	}
+}
+
+// TestNestedLiteralOwnsItsScope pins that a ctx-less closure inside a
+// ctx-bearing function may mint its own root context (e.g. a detached
+// background worker), while a ctx-bearing closure may not.
+func TestNestedLiteralOwnsItsScope(t *testing.T) {
+	src := `package demo
+
+import "context"
+
+func outer(ctx context.Context) {
+	go func() { use(context.Background()) }()
+	cb := func(ctx context.Context) { use(context.TODO()) }
+	_ = cb
+}
+
+func use(ctx context.Context) {}
+`
+	diags := runOn(t, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "TODO") {
+		t.Fatalf("diagnostics = %v, want only the ctx-bearing closure's TODO", diags)
+	}
+}
+
+func TestImportRenameAndAllow(t *testing.T) {
+	src := `package demo
+
+import stdctx "context"
+
+func handle(ctx stdctx.Context) {
+	use(stdctx.Background()) //csdlint:allow ctxfirst detached audit span
+	use(stdctx.Background())
+}
+
+func use(ctx stdctx.Context) {}
+`
+	diags := runOn(t, src)
+	if len(diags) != 1 || diags[0].Pos.Line != 7 {
+		t.Fatalf("diagnostics = %v, want only line 7", diags)
+	}
+}

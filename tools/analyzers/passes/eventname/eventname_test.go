@@ -1,0 +1,126 @@
+package eventname
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/kfrida1/csdinf/tools/analyzers/analysis"
+)
+
+func runOn(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.PackageFromSource("internal/demo", map[string]string{"a.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{Analyzer})
+}
+
+const header = `package demo
+
+import (
+	"context"
+
+	"github.com/kfrida1/csdinf/internal/eventlog"
+)
+
+const evSwap = "model.swap"
+
+func emit(ctx context.Context, l *eventlog.Logger, path string, lvl eventlog.Level) {
+`
+
+func TestDynamicNameIsFlagged(t *testing.T) {
+	src := header + `
+	l.Debug(ctx, "csd", "transfer."+path)
+	l.Info(ctx, "csd", "transfer.p2p")
+	l.Warn(ctx, "detect", evSwap)
+}
+`
+	diags := runOn(t, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "built at runtime") {
+		t.Fatalf("diagnostics = %v, want one runtime-name finding", diags)
+	}
+}
+
+func TestNonDotScopedLiteralIsFlagged(t *testing.T) {
+	src := header + `
+	l.Info(ctx, "serve", "Dispatched")
+	l.Error(ctx, "serve", "queue")
+	l.Info(ctx, "csd", "transfer.via-host")
+	l.Info(ctx, "core", "engine.drc_finding")
+}
+`
+	diags := runOn(t, src)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 (Dispatched, queue)", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "dot-scoped") {
+			t.Fatalf("unexpected message: %s", d.Message)
+		}
+	}
+}
+
+func TestLogAndLogPIDNamePosition(t *testing.T) {
+	src := header + `
+	l.Log(ctx, lvl, "detect", "window alert")
+	l.LogPID(ctx, lvl, "detect", "process.track", 42)
+	l.LogPID(ctx, lvl, "detect", "track-"+path, 42)
+}
+`
+	diags := runOn(t, src)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 (bad literal, dynamic)", diags)
+	}
+}
+
+// TestPackageFunctionsAreNotLoggerCalls pins the import-receiver exclusion:
+// http.Error and math.Log share method names with the logger but must not
+// be treated as event emissions.
+func TestPackageFunctionsAreNotLoggerCalls(t *testing.T) {
+	src := `package demo
+
+import (
+	"math"
+	"net/http"
+)
+
+func f(w http.ResponseWriter) {
+	http.Error(w, "bad request", 400)
+	_ = math.Log(2.0)
+}
+`
+	if diags := runOn(t, src); len(diags) != 0 {
+		t.Fatalf("package functions flagged: %v", diags)
+	}
+}
+
+// TestNonContextFirstArgIgnored pins the context heuristic: a 3+-arg method
+// whose first argument is not context-shaped is not a logger call.
+func TestNonContextFirstArgIgnored(t *testing.T) {
+	src := `package demo
+
+type enc struct{}
+
+func (enc) Error(a, b, c string) {}
+
+func f(e enc, s string) { e.Error(s, s, "not an event "+s) }
+`
+	if diags := runOn(t, src); len(diags) != 0 {
+		t.Fatalf("non-logger method flagged: %v", diags)
+	}
+}
+
+func TestContextValuedCallsAndAllow(t *testing.T) {
+	src := header + `
+	l.LogPID(withJob(ctx), lvl, "detect", "Window.Alert", 7)
+	l.Info(context.Background(), "cti", "swap-"+path) //csdlint:allow eventname names enumerated in docs
+}
+
+func withJob(ctx context.Context) context.Context { return ctx }
+`
+	diags := runOn(t, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `"Window.Alert"`) {
+		t.Fatalf("diagnostics = %v, want only the bad literal through withJob", diags)
+	}
+}

@@ -1,0 +1,94 @@
+package telemetrylabels
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/kfrida1/csdinf/tools/analyzers/analysis"
+)
+
+func runOn(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.PackageFromSource("internal/demo", map[string]string{"a.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{Analyzer})
+}
+
+const header = `package demo
+
+import (
+	"strconv"
+
+	"github.com/kfrida1/csdinf/internal/telemetry"
+)
+
+func label(i int, path string) {
+`
+
+func TestBoundedKeysAllowDynamicValues(t *testing.T) {
+	src := header + `
+	_ = telemetry.L("device", strconv.Itoa(i))
+	_ = telemetry.L("verdict", verdictName(i))
+}
+
+func verdictName(i int) string { return "benign" }
+`
+	if diags := runOn(t, src); len(diags) != 0 {
+		t.Fatalf("bounded keys flagged: %v", diags)
+	}
+}
+
+func TestUnboundedKeyRejectsDynamicValue(t *testing.T) {
+	src := header + `
+	_ = telemetry.L("path", path)
+	_ = telemetry.L("pid", strconv.Itoa(i))
+	_ = telemetry.L("stage", "preprocess")
+}
+`
+	diags := runOn(t, src)
+	// "path" passes: a bare identifier value is assumed constant-ish; only
+	// computed values are flagged. strconv.Itoa(i) on "pid" is the blowup.
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `"pid"`) {
+		t.Fatalf("diagnostics = %v, want one finding on key \"pid\"", diags)
+	}
+}
+
+func TestComputedKeyIsRejected(t *testing.T) {
+	src := header + `
+	_ = telemetry.L("dev"+strconv.Itoa(i), "x")
+}
+`
+	diags := runOn(t, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "literal or named constant") {
+		t.Fatalf("diagnostics = %v, want computed-key finding", diags)
+	}
+}
+
+func TestConstKeyAndAllow(t *testing.T) {
+	src := header + `
+	_ = telemetry.L(keyKernel, kernelName(i))
+	_ = telemetry.L("query", path) //csdlint:allow telemetrylabels value set capped by config
+}
+
+const keyKernel = "kernel"
+
+func kernelName(i int) string { return "gates" }
+`
+	if diags := runOn(t, src); len(diags) != 0 {
+		t.Fatalf("const key or allow not honored: %v", diags)
+	}
+}
+
+func TestOtherPackagesNamedTelemetryIgnored(t *testing.T) {
+	src := `package demo
+
+import "example.com/other/telemetry"
+
+func f(s string) { _ = telemetry.L(s, s) }
+`
+	if diags := runOn(t, src); len(diags) != 0 {
+		t.Fatalf("unrelated telemetry package flagged: %v", diags)
+	}
+}
