@@ -20,14 +20,18 @@ bench-json:
 	$(GO) run ./cmd/csdbench -experiment table2 -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdbench -experiment energy -json $(BENCH_JSON_DIR)
 
-# bench-gate regenerates the table1 result and fails (nonzero exit) when
-# classification throughput or any platform's per-item latency regressed
-# more than ±15% against the checked-in baseline. Refresh the baseline
-# deliberately by copying a trusted BENCH_table1.json over
-# bench-results/baseline.json.
+# bench-gate regenerates the table1 and fleet results and fails (nonzero
+# exit) when classification throughput or any platform's per-item latency
+# regressed more than ±15%, or the fleet's serving throughput / p99 queue
+# wait regressed more than ±50% (wall-clock benchmark), against the
+# checked-in baselines. Refresh a baseline deliberately by copying a
+# trusted BENCH_table1.json / BENCH_fleet.json over
+# bench-results/baseline.json / bench-results/baseline-fleet.json.
 bench-gate:
 	$(GO) run ./cmd/csdbench -experiment table1 -measure-go=false -json $(BENCH_JSON_DIR)
-	$(GO) run ./cmd/benchdiff -fresh $(BENCH_JSON_DIR)/BENCH_table1.json
+	$(GO) run ./cmd/csdbench -experiment fleet -json $(BENCH_JSON_DIR)
+	$(GO) run ./cmd/benchdiff -fresh $(BENCH_JSON_DIR)/BENCH_table1.json \
+		-fleet-fresh $(BENCH_JSON_DIR)/BENCH_fleet.json
 
 # smoke replays the ransomware demo with full forensics on: the JSON-lines
 # event stream and one incident report per flagged process land next to the

@@ -1,18 +1,24 @@
-// Command benchdiff is the benchmark regression gate: it compares a fresh
-// BENCH_table1.json (written by `make bench-json` / cmd/csdbench) against
-// the checked-in baseline and fails — with a nonzero exit — when the FPGA
-// classification throughput or any platform's per-item latency regressed
-// beyond the tolerance.
+// Command benchdiff is the benchmark regression gate: it compares fresh
+// BENCH_table1.json and BENCH_fleet.json results (written by `make
+// bench-gate` / cmd/csdbench) against the checked-in baselines and fails —
+// with a nonzero exit — when the FPGA classification throughput, any
+// platform's per-item latency, the fleet's serving throughput, or the
+// fleet-wide p99 queue wait regressed beyond the tolerance.
 //
 // The simulated device timings are deterministic, so the default ±15%
-// tolerance exists for the host-measured rows (CPU wall time varies with
-// the runner) while still catching real modeling or scheduling regressions.
+// table1 tolerance exists for the host-measured rows (CPU wall time varies
+// with the runner) while still catching real modeling or scheduling
+// regressions. The fleet benchmark is wall-clock end to end, so its gate
+// uses a wider default (±50%) that still catches structural scheduling
+// regressions (a lost device, a serialization bug) without flaking on
+// runner noise.
 //
 // Usage:
 //
 //	benchdiff                                 # compare bench-results defaults
 //	benchdiff -fresh out/BENCH_table1.json -baseline bench-results/baseline.json
 //	benchdiff -tolerance 0.10
+//	benchdiff -fleet-fresh "" 	              # skip the fleet gate
 package main
 
 import (
@@ -43,14 +49,30 @@ type benchDoc struct {
 	} `json:"result"`
 }
 
-func readDoc(path string) (*benchDoc, error) {
+// fleetDoc is the subset of BENCH_fleet.json the gate compares.
+type fleetDoc struct {
+	Experiment string `json:"experiment"`
+	Result     struct {
+		WindowsPerSecond float64 `json:"windows_per_second"`
+		QueueWaitP99US   float64 `json:"queue_wait_p99_us"`
+	} `json:"result"`
+}
+
+func readJSON(path string, doc any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	return nil
+}
+
+func readDoc(path string) (*benchDoc, error) {
 	var doc benchDoc
-	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+	if err := readJSON(path, &doc); err != nil {
+		return nil, err
 	}
 	return &doc, nil
 }
@@ -60,11 +82,17 @@ func run(args []string, out *os.File) error {
 	fresh := fs.String("fresh", "bench-results/BENCH_table1.json", "freshly produced benchmark result")
 	baseline := fs.String("baseline", "bench-results/baseline.json", "checked-in baseline to compare against")
 	tolerance := fs.Float64("tolerance", 0.15, "relative regression tolerance (0.15 = ±15%)")
+	fleetFresh := fs.String("fleet-fresh", "bench-results/BENCH_fleet.json", "freshly produced fleet benchmark result (empty: skip the fleet gate)")
+	fleetBaseline := fs.String("fleet-baseline", "bench-results/baseline-fleet.json", "checked-in fleet baseline")
+	fleetTolerance := fs.Float64("fleet-tolerance", 0.50, "fleet regression tolerance (wall-clock benchmark, wider by default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tolerance <= 0 || *tolerance >= 1 {
 		return fmt.Errorf("tolerance %v outside (0, 1)", *tolerance)
+	}
+	if *fleetFresh != "" && (*fleetTolerance <= 0 || *fleetTolerance >= 1) {
+		return fmt.Errorf("fleet-tolerance %v outside (0, 1)", *fleetTolerance)
 	}
 
 	base, err := readDoc(*baseline)
@@ -80,14 +108,14 @@ func run(args []string, out *os.File) error {
 	}
 
 	var regressions []string
-	report := func(metric string, baseVal, curVal float64, higherIsBetter bool) {
+	reportAt := func(metric string, baseVal, curVal, tol float64, higherIsBetter bool) {
 		delta := (curVal - baseVal) / baseVal
 		status := "ok"
 		regressed := false
 		if higherIsBetter {
-			regressed = delta < -*tolerance
+			regressed = delta < -tol
 		} else {
-			regressed = delta > *tolerance
+			regressed = delta > tol
 		}
 		if regressed {
 			status = "REGRESSION"
@@ -96,6 +124,9 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(out, "%-44s baseline %12.4g  fresh %12.4g  %+7.1f%%  %s\n",
 			metric, baseVal, curVal, 100*delta, status)
+	}
+	report := func(metric string, baseVal, curVal float64, higherIsBetter bool) {
+		reportAt(metric, baseVal, curVal, *tolerance, higherIsBetter)
 	}
 
 	// Throughput: classifications per second on the in-storage engine.
@@ -121,11 +152,31 @@ func run(args []string, out *os.File) error {
 		report("latency "+row.Platform+" mean_us", row.MeanUS, curUS, false)
 	}
 
-	if len(regressions) > 0 {
-		return fmt.Errorf("%d benchmark regression(s) beyond ±%.0f%%:\n  %s",
-			len(regressions), 100**tolerance, joinLines(regressions))
+	// Fleet: rack-scale throughput (higher is better) and fleet-wide p99
+	// queue wait (lower is better), at the wider wall-clock tolerance.
+	if *fleetFresh != "" {
+		var fleetBase, fleetCur fleetDoc
+		if err := readJSON(*fleetBaseline, &fleetBase); err != nil {
+			return fmt.Errorf("fleet baseline: %w", err)
+		}
+		if err := readJSON(*fleetFresh, &fleetCur); err != nil {
+			return fmt.Errorf("fresh fleet result: %w", err)
+		}
+		if fleetBase.Experiment != fleetCur.Experiment {
+			return fmt.Errorf("experiment mismatch: baseline %q vs fresh %q",
+				fleetBase.Experiment, fleetCur.Experiment)
+		}
+		reportAt("fleet windows_per_second", fleetBase.Result.WindowsPerSecond,
+			fleetCur.Result.WindowsPerSecond, *fleetTolerance, true)
+		reportAt("fleet queue_wait_p99_us", fleetBase.Result.QueueWaitP99US,
+			fleetCur.Result.QueueWaitP99US, *fleetTolerance, false)
 	}
-	fmt.Fprintf(out, "benchdiff: all metrics within ±%.0f%% of baseline\n", 100**tolerance)
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s) beyond tolerance:\n  %s",
+			len(regressions), joinLines(regressions))
+	}
+	fmt.Fprintf(out, "benchdiff: all metrics within tolerance of baseline\n")
 	return nil
 }
 

@@ -40,7 +40,7 @@ func TestWithinTolerancePasses(t *testing.T) {
     "fpga_items_per_second": 416666.0
   }
 }`)
-	if err := run([]string{"-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", ""}, os.Stdout); err != nil {
 		t.Fatalf("within-tolerance comparison failed: %v", err)
 	}
 }
@@ -58,7 +58,7 @@ func TestThroughputRegressionFails(t *testing.T) {
     "fpga_items_per_second": 300000.0
   }
 }`)
-	err := run([]string{"-baseline", base, "-fresh", fresh}, os.Stdout)
+	err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("34% throughput drop passed the gate")
 	}
@@ -80,7 +80,7 @@ func TestLatencyRegressionFails(t *testing.T) {
     "fpga_items_per_second": 454545.45
   }
 }`)
-	err := run([]string{"-baseline", base, "-fresh", fresh}, os.Stdout)
+	err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("36% latency increase passed the gate")
 	}
@@ -99,7 +99,7 @@ func TestMissingPlatformFails(t *testing.T) {
     "fpga_items_per_second": 454545.45
   }
 }`)
-	if err := run([]string{"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("dropped CPU row passed the gate")
 	}
 }
@@ -108,7 +108,7 @@ func TestExperimentMismatchFails(t *testing.T) {
 	dir := t.TempDir()
 	base := writeDoc(t, dir, "baseline.json", baselineDoc)
 	fresh := writeDoc(t, dir, "fresh.json", `{"experiment": "table2", "result": {}}`)
-	if err := run([]string{"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("experiment mismatch passed the gate")
 	}
 }
@@ -116,23 +116,83 @@ func TestExperimentMismatchFails(t *testing.T) {
 func TestBadFlagsAndFiles(t *testing.T) {
 	dir := t.TempDir()
 	base := writeDoc(t, dir, "baseline.json", baselineDoc)
-	if err := run([]string{"-baseline", base, "-fresh", filepath.Join(dir, "missing.json"), "-tolerance", "0.15"}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", filepath.Join(dir, "missing.json"), "-tolerance", "0.15", "-fleet-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("missing fresh file accepted")
 	}
-	if err := run([]string{"-baseline", base, "-fresh", base, "-tolerance", "2"}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", base, "-tolerance", "2", "-fleet-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("tolerance 2 accepted")
 	}
 }
 
 // TestCheckedInBaselineSelfComparison pins that the repository's committed
-// baseline passes the gate against itself — i.e. the default invocation is
-// internally consistent.
+// baselines pass the gate against themselves — i.e. the default invocation
+// is internally consistent.
 func TestCheckedInBaselineSelfComparison(t *testing.T) {
 	base := filepath.Join("..", "..", "bench-results", "baseline.json")
-	if _, err := os.Stat(base); err != nil {
-		t.Fatalf("checked-in baseline missing: %v", err)
+	fleetBase := filepath.Join("..", "..", "bench-results", "baseline-fleet.json")
+	for _, p := range []string{base, fleetBase} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("checked-in baseline missing: %v", err)
+		}
 	}
-	if err := run([]string{"-baseline", base, "-fresh", base}, os.Stdout); err != nil {
-		t.Fatalf("baseline does not pass against itself: %v", err)
+	if err := run([]string{"-baseline", base, "-fresh", base,
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fleetBase}, os.Stdout); err != nil {
+		t.Fatalf("baselines do not pass against themselves: %v", err)
+	}
+}
+
+const fleetBaselineDoc = `{
+  "experiment": "fleet",
+  "result": {"windows_per_second": 1200.0, "queue_wait_p99_us": 40000.0}
+}`
+
+func TestFleetWithinTolerancePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	fleetBase := writeDoc(t, dir, "baseline-fleet.json", fleetBaselineDoc)
+	fresh := writeDoc(t, dir, "fresh-fleet.json", `{
+  "experiment": "fleet",
+  "result": {"windows_per_second": 900.0, "queue_wait_p99_us": 55000.0}
+}`)
+	err := run([]string{"-baseline", base, "-fresh", base,
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh}, os.Stdout)
+	if err != nil {
+		t.Fatalf("within-tolerance fleet comparison failed: %v", err)
+	}
+}
+
+func TestFleetThroughputRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	fleetBase := writeDoc(t, dir, "baseline-fleet.json", fleetBaselineDoc)
+	fresh := writeDoc(t, dir, "fresh-fleet.json", `{
+  "experiment": "fleet",
+  "result": {"windows_per_second": 400.0, "queue_wait_p99_us": 40000.0}
+}`)
+	err := run([]string{"-baseline", base, "-fresh", base,
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh}, os.Stdout)
+	if err == nil {
+		t.Fatal("67% fleet throughput drop passed the gate")
+	}
+	if !strings.Contains(err.Error(), "windows_per_second") {
+		t.Fatalf("error does not name the regressed metric: %v", err)
+	}
+}
+
+func TestFleetQueueWaitRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	fleetBase := writeDoc(t, dir, "baseline-fleet.json", fleetBaselineDoc)
+	fresh := writeDoc(t, dir, "fresh-fleet.json", `{
+  "experiment": "fleet",
+  "result": {"windows_per_second": 1200.0, "queue_wait_p99_us": 90000.0}
+}`)
+	err := run([]string{"-baseline", base, "-fresh", base,
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh}, os.Stdout)
+	if err == nil {
+		t.Fatal("125% fleet p99 increase passed the gate")
+	}
+	if !strings.Contains(err.Error(), "queue_wait_p99_us") {
+		t.Fatalf("error does not name the regressed metric: %v", err)
 	}
 }

@@ -13,6 +13,7 @@
 //	csdbench -experiment energy               # energy per inference item
 //	csdbench -experiment latency              # calls-to-mitigation per family
 //	csdbench -experiment models               # LSTM vs snapshot baseline
+//	csdbench -experiment fleet -nodes 4       # rack-scale fleet throughput/p99
 //
 // The fig4/metrics experiments train on a 1/10-scale synthetic corpus by
 // default (the full 29K corpus behaves identically but takes ~10× longer in
@@ -39,7 +40,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("csdbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "fig3 | table1 | fig4 | metrics | table2 | energy | latency | models | window | all")
+	experiment := fs.String("experiment", "all", "fig3 | table1 | fig4 | metrics | table2 | energy | latency | models | window | fleet | all")
 	trials := fs.Int("trials", 1000, "CPU/GPU latency samples for table1")
 	epochs := fs.Int("epochs", 40, "training epochs for fig4/metrics")
 	seed := fs.Int64("seed", 1, "seed for all randomized stages")
@@ -47,6 +48,7 @@ func run(args []string) error {
 	measureGo := fs.Bool("measure-go", true, "include the plain-Go CPU measurement in table1")
 	jsonDir := fs.String("json", "", "directory to also write results as BENCH_<experiment>.json (empty: off)")
 	tracePath := fs.String("trace", "", "with table1: run the traced serving demo and write a Chrome trace (Perfetto-loadable) to this file")
+	nodes := fs.Int("nodes", 4, "CSD node count for the fleet experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +63,7 @@ func run(args []string) error {
 		"latency": func() error { return runLatency(*jsonDir, *epochs, *seed) },
 		"models":  func() error { return runModels(*jsonDir, *epochs, *seed) },
 		"window":  func() error { return runWindowSweep(*jsonDir, *seed) },
+		"fleet":   func() error { return runFleet(*jsonDir, *nodes, *seed) },
 	}
 	if *experiment == "all" {
 		for _, name := range []string{"fig3", "table1", "table2", "energy"} {
@@ -73,7 +76,7 @@ func run(args []string) error {
 	}
 	r, ok := runs[*experiment]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want fig3, table1, fig4, metrics, table2, energy, latency, models, all)", *experiment)
+		return fmt.Errorf("unknown experiment %q (want fig3, table1, fig4, metrics, table2, energy, latency, models, window, fleet, all)", *experiment)
 	}
 	return r()
 }
@@ -270,6 +273,17 @@ func runModels(jsonDir string, epochs int, seed int64) error {
 	fmt.Print(experiments.FormatModelSelection(res))
 	fmt.Println()
 	return writeBench(jsonDir, "models", res)
+}
+
+func runFleet(jsonDir string, nodes int, seed int64) error {
+	fmt.Println("=== Fleet: rack-scale serving throughput and queue wait (extension) ===")
+	res, err := experiments.FleetRun(experiments.FleetRunConfig{Nodes: nodes, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFleet(res))
+	fmt.Println()
+	return writeBench(jsonDir, "fleet", res)
 }
 
 func runEnergy(jsonDir string) error {

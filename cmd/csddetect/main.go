@@ -37,6 +37,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/detect"
 	"github.com/kfrida1/csdinf/internal/eventlog"
+	"github.com/kfrida1/csdinf/internal/fleet"
 	"github.com/kfrida1/csdinf/internal/incident"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/lstm"
@@ -63,14 +64,16 @@ func main() {
 	}
 }
 
-// pipeline is the full detection stack csddetect drives: CSD device →
-// in-storage engine → scheduler → hot-swap wrapper → per-process detector
-// mux, with the incident recorder and structured event log fed at every
-// layer. Tests build it directly to drive synthetic streams.
+// pipeline is the full detection stack csddetect drives: CSD device(s) →
+// in-storage engine(s) → scheduler (or fleet placement, with -devices > 1)
+// → hot-swap wrapper → per-process detector mux, with the incident
+// recorder and structured event log fed at every layer. Tests build it
+// directly to drive synthetic streams.
 type pipeline struct {
-	dev    *csd.SmartSSD
-	eng    *core.Engine
-	srv    *serve.Server
+	dev    *csd.SmartSSD // first (or only) drive; quarantine anchor
+	eng    *core.Engine  // nil in fleet mode
+	srv    *serve.Server // nil in fleet mode
+	fl     *fleet.Fleet  // nil in single-device mode
 	hot    *cti.HotSwapEngine
 	mux    *detect.Mux
 	rec    *incident.Recorder
@@ -80,41 +83,71 @@ type pipeline struct {
 type pipelineConfig struct {
 	model     *lstm.Model
 	threshold float64
-	reg       *telemetry.Registry
-	spans     *telemetry.SpanLog
-	tracer    *trace.Tracer
-	events    *eventlog.Logger
+	// devices is the CSD count; 0 or 1 serves one drive through the
+	// single-node scheduler, >1 provisions a fleet with per-process
+	// (tenant) placement.
+	devices int
+	reg     *telemetry.Registry
+	spans   *telemetry.SpanLog
+	tracer  *trace.Tracer
+	events  *eventlog.Logger
 	// onBlock, when non-nil, observes mitigation (the pipeline always
 	// engages the device write quarantine first).
 	onBlock func(detect.Event)
 }
 
 func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
-	dev, err := csd.New(csd.Config{})
-	if err != nil {
-		return nil, err
-	}
-	eng, err := core.Deploy(dev, cfg.model, core.DeployConfig{
-		Telemetry: cfg.reg, Trace: cfg.tracer, Events: cfg.events,
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Serve the single engine through the scheduler so queue-wait metrics
-	// and device attribution cover the request path even in this
-	// one-device demo.
-	srv, err := serve.New([]infer.Inferencer{eng}, serve.Config{
-		Telemetry: cfg.reg, Spans: cfg.spans, Trace: cfg.tracer, Events: cfg.events,
-	})
-	if err != nil {
-		return nil, err
+	p := &pipeline{events: cfg.events}
+	var pred infer.Inferencer
+	var quarantine func()
+	if cfg.devices > 1 {
+		fl, err := fleet.New(cfg.model, fleet.Config{
+			Nodes:     cfg.devices,
+			Telemetry: cfg.reg, Spans: cfg.spans, Trace: cfg.tracer, Events: cfg.events,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.fl = fl
+		p.dev = fl.Device(0)
+		pred = fl
+		quarantine = func() {
+			// The write quarantine is rack-wide: every drive the process
+			// could have placed onto rejects writes.
+			for i := 0; i < fl.Nodes(); i++ {
+				fl.Device(i).SSD().Quarantine(true)
+			}
+		}
+	} else {
+		dev, err := csd.New(csd.Config{})
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.Deploy(dev, cfg.model, core.DeployConfig{
+			Telemetry: cfg.reg, Trace: cfg.tracer, Events: cfg.events,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Serve the single engine through the scheduler so queue-wait
+		// metrics and device attribution cover the request path even in
+		// this one-device demo.
+		srv, err := serve.New([]infer.Inferencer{eng}, serve.Config{
+			Telemetry: cfg.reg, Spans: cfg.spans, Trace: cfg.tracer, Events: cfg.events,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.dev, p.eng, p.srv = dev, eng, srv
+		pred = srv
+		quarantine = func() { dev.SSD().Quarantine(true) }
 	}
 	// The hot-swap wrapper is the CTI maintenance seam; its generation
 	// stamps incident reports with the model version that produced the
 	// verdicts.
-	hot, err := cti.NewHotSwapEngine(srv)
+	hot, err := cti.NewHotSwapEngine(pred)
 	if err != nil {
-		srv.Close()
+		p.Close()
 		return nil, err
 	}
 	if cfg.reg != nil {
@@ -125,7 +158,7 @@ func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
 		Generation: hot.Generation, Events: cfg.events,
 	})
 	if err != nil {
-		srv.Close()
+		p.Close()
 		return nil, err
 	}
 	mux, err := detect.NewMux(hot, detect.MuxConfig{
@@ -136,7 +169,7 @@ func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
 			OnWindow:  rec.Window,
 			Events:    cfg.events,
 			OnBlock: func(e detect.Event) {
-				dev.SSD().Quarantine(true) // block all writes at the device level
+				quarantine() // block all writes at the device level
 				if cfg.onBlock != nil {
 					cfg.onBlock(e)
 				}
@@ -145,13 +178,22 @@ func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
 		OnEvict: rec.Evict,
 	})
 	if err != nil {
-		srv.Close()
+		p.Close()
 		return nil, err
 	}
-	return &pipeline{dev: dev, eng: eng, srv: srv, hot: hot, mux: mux, rec: rec, events: cfg.events}, nil
+	p.hot, p.mux, p.rec = hot, mux, rec
+	return p, nil
 }
 
-func (p *pipeline) Close() error { return p.srv.Close() }
+func (p *pipeline) Close() error {
+	if p.fl != nil {
+		return p.fl.Close()
+	}
+	if p.srv != nil {
+		return p.srv.Close()
+	}
+	return nil
+}
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("csddetect", flag.ContinueOnError)
@@ -170,6 +212,7 @@ func run(args []string) error {
 	tracePath := fs.String("trace", "", "write a Chrome trace (Perfetto-loadable) of the device timeline to this file")
 	eventsPath := fs.String("events", "", "write the structured event log as JSON lines to this file (enables debug-level events)")
 	incidentDir := fs.String("incident-dir", "", "write one JSON forensic report per incident into this directory")
+	devices := fs.Int("devices", 1, "CSD count; >1 provisions a fleet with per-process placement")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,7 +251,7 @@ func run(args []string) error {
 	}
 
 	p, err := buildPipeline(pipelineConfig{
-		model: model, threshold: *threshold,
+		model: model, threshold: *threshold, devices: *devices,
 		reg: reg, spans: spans, tracer: tracer, events: events,
 		onBlock: func(e detect.Event) {
 			fmt.Printf("[call %6d] *** MITIGATION: write quarantine engaged (p=%.3f) ***\n",
@@ -219,9 +262,13 @@ func run(args []string) error {
 		return err
 	}
 	defer p.Close()
-	fmt.Printf("deployed classifier to CSD (host init %v); per-item FPGA time: ", p.eng.InitTime())
-	_, _, _, tot := p.eng.PerItemMicros()
-	fmt.Printf("%.3f µs\n", tot)
+	if p.eng != nil {
+		fmt.Printf("deployed classifier to CSD (host init %v); per-item FPGA time: ", p.eng.InitTime())
+		_, _, _, tot := p.eng.PerItemMicros()
+		fmt.Printf("%.3f µs\n", tot)
+	} else {
+		fmt.Printf("deployed classifier to a %d-device fleet (per-process placement)\n", p.fl.Nodes())
+	}
 
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)

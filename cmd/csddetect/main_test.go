@@ -182,11 +182,11 @@ func TestForensicsEndToEnd(t *testing.T) {
 	}
 
 	// Serving-device and queue-wait attribution: the one-device demo serves
-	// everything on device "0".
-	if len(inc.Devices) != 1 || inc.Devices[0] != "0" {
-		t.Fatalf("devices = %v, want [0]", inc.Devices)
+	// everything on registry device "csd-000".
+	if len(inc.Devices) != 1 || inc.Devices[0] != "csd-000" {
+		t.Fatalf("devices = %v, want [csd-000]", inc.Devices)
 	}
-	if last.Device != "0" {
+	if last.Device != "csd-000" {
 		t.Fatalf("trajectory tail device = %q", last.Device)
 	}
 	if inc.QueueWaitTotal <= 0 {
@@ -247,7 +247,7 @@ func TestForensicsEndToEnd(t *testing.T) {
 	for _, sp := range spansDoc.Spans {
 		if sp.ID == job {
 			inSpans = true
-			if sp.Device != "0" {
+			if sp.Device != "csd-000" {
 				t.Fatalf("span %d device = %q", job, sp.Device)
 			}
 		}
@@ -348,5 +348,79 @@ func TestDetectErrors(t *testing.T) {
 	}
 	if err := run([]string{"-weights", weights, "-family", "NotAFamily"}); err == nil {
 		t.Error("unknown family accepted")
+	}
+}
+
+// TestDetectFleetDevices pins the -devices flag: the same detection run
+// succeeds over a multi-device fleet, every drive comes from the registry
+// ("csd-000"...), the infected process's windows all land on one device
+// (per-process placement), and the quarantine engages rack-wide.
+func TestDetectFleetDevices(t *testing.T) {
+	model, err := loadOrTrain(trainedWeights(t), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	events := eventlog.New(eventlog.Config{})
+	defer events.Close()
+	p, err := buildPipeline(pipelineConfig{
+		model: model, threshold: 0.5, devices: 3,
+		reg: reg, events: events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	benign, err := sandbox.ManualInteractionProfile().Generate(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(p.mux, benignPID, benign, false); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sandbox.RansomwareProfile("Lockbit", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infected, err := prof.Generate(1500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(p.mux, ransomPID, infected, false); err != nil {
+		t.Fatal(err)
+	}
+	if blocked, pid := p.mux.Blocked(); !blocked || pid != ransomPID {
+		t.Fatalf("blocked=%v pid=%d, want blocked on pid %d", blocked, pid, ransomPID)
+	}
+
+	// Registry-provisioned devices, stats in ID order.
+	stats := p.fl.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("fleet nodes = %d, want 3", len(stats))
+	}
+	for i, st := range stats {
+		if want := []string{"csd-000", "csd-001", "csd-002"}[i]; st.Serve.ID != want {
+			t.Fatalf("node %d ID = %q, want %q", i, st.Serve.ID, want)
+		}
+	}
+
+	// Per-process placement: each flagged process's incident names exactly
+	// one serving device.
+	incidents := p.rec.Flush()
+	if len(incidents) == 0 {
+		t.Fatal("no incidents recorded")
+	}
+	for _, inc := range incidents {
+		if inc.PID == ransomPID && len(inc.Devices) != 1 {
+			t.Fatalf("infected process served by %v, want exactly one device", inc.Devices)
+		}
+	}
+
+	// Rack-wide quarantine: every drive rejects writes.
+	for i := 0; i < p.fl.Nodes(); i++ {
+		if _, err := p.fl.Device(i).SSD().Write(0, []byte("x")); err == nil {
+			t.Fatalf("device %d accepted a write after mitigation", i)
+		}
 	}
 }

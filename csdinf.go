@@ -40,6 +40,7 @@
 package csdinf
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -49,7 +50,9 @@ import (
 	"github.com/kfrida1/csdinf/internal/cti"
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/device"
 	"github.com/kfrida1/csdinf/internal/eventlog"
+	"github.com/kfrida1/csdinf/internal/fleet"
 	"github.com/kfrida1/csdinf/internal/fpga"
 	"github.com/kfrida1/csdinf/internal/incident"
 	"github.com/kfrida1/csdinf/internal/infer"
@@ -293,6 +296,59 @@ type (
 	ServerDeviceStats = serve.DeviceStats
 )
 
+// Device registry types (shared device identity and lifecycle).
+type (
+	// DeviceRegistry owns CSD identity (stable "csd-000"-style IDs),
+	// lifecycle state, and capacity accounting for every serving layer.
+	DeviceRegistry = device.Registry
+	// DeviceRegistryConfig controls a device registry.
+	DeviceRegistryConfig = device.Config
+	// Device is one registered drive.
+	Device = device.Device
+	// DeviceID is a stable device identity.
+	DeviceID = device.ID
+	// DeviceState is a device lifecycle state (provisioning, ready,
+	// draining, failed).
+	DeviceState = device.State
+	// DeviceChange describes one lifecycle transition, as delivered to
+	// registry watchers.
+	DeviceChange = device.Change
+)
+
+// NewDeviceRegistry builds an empty shared device registry.
+func NewDeviceRegistry(cfg DeviceRegistryConfig) *DeviceRegistry {
+	return device.NewRegistry(cfg)
+}
+
+// Fleet types (the rack-scale serving layer).
+type (
+	// Fleet serves inference over N CSD nodes with tenant-aware placement,
+	// QoS admission, and device lifecycle flows.
+	Fleet = fleet.Fleet
+	// FleetConfig controls a fleet.
+	FleetConfig = fleet.Config
+	// FleetClass is one QoS admission class (a named share of fleet
+	// in-flight capacity).
+	FleetClass = fleet.Class
+	// FleetNodeStats describes one fleet node's serving activity.
+	FleetNodeStats = fleet.NodeStats
+)
+
+// Fleet errors.
+var (
+	// ErrFleetAdmission is returned when a request's QoS class is at its
+	// in-flight cap.
+	ErrFleetAdmission = fleet.ErrAdmission
+	// ErrNoReadyDevice is returned when every device is out of rotation.
+	ErrNoReadyDevice = serve.ErrNoReadyDevice
+)
+
+// WithTenant stamps a tenant identity on a context; the fleet places all
+// of a tenant's requests on the same device via consistent hashing.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return infer.WithTenant(ctx, tenant)
+}
+
 // Serving errors.
 var (
 	// ErrQueueFull is the scheduler's backpressure signal when a device
@@ -305,13 +361,14 @@ var (
 
 // NewServer deploys the model to nodeCfg.Devices fresh CSDs and starts the
 // concurrent request scheduler over them. Close the server to stop its
-// device workers. When serveCfg.Telemetry is set it is threaded into each
-// engine deployment (unless nodeCfg.Deploy.Telemetry is already set), so the
-// engines' transfer/compute histograms land in the same registry as the
-// scheduler's queue metrics. Likewise a serveCfg.Trace tracer is threaded
-// into each deployment under a per-device track group ("csd0", "csd1", ...),
-// so one timeline covers the scheduler's queues and every device's
-// SSD/PCIe/DDR/CU tracks.
+// device workers. Each CSD is registered in the device registry
+// (serveCfg.Devices, or a private one) and keeps its registry ID
+// ("csd-000", "csd-001", ...) across every layer: telemetry labels, trace
+// track groups, incident attribution, and event device fields. When
+// serveCfg.Telemetry is set it is threaded into each engine deployment
+// (unless nodeCfg.Deploy.Telemetry is already set), so the engines'
+// transfer/compute histograms land in the same registry as the scheduler's
+// queue metrics.
 func NewServer(m *Model, nodeCfg NodeConfig, serveCfg ServeConfig) (*Server, error) {
 	devices := nodeCfg.Devices
 	if devices == 0 {
@@ -320,6 +377,9 @@ func NewServer(m *Model, nodeCfg NodeConfig, serveCfg ServeConfig) (*Server, err
 	if devices < 0 {
 		return nil, fmt.Errorf("csdinf: device count must be positive, got %d", devices)
 	}
+	if serveCfg.Handles != nil {
+		return nil, fmt.Errorf("csdinf: NewServer deploys its own devices; leave ServeConfig.Handles nil")
+	}
 	deploy := nodeCfg.Deploy
 	if deploy.Telemetry == nil {
 		deploy.Telemetry = serveCfg.Telemetry
@@ -327,23 +387,43 @@ func NewServer(m *Model, nodeCfg NodeConfig, serveCfg ServeConfig) (*Server, err
 	if deploy.Trace == nil {
 		deploy.Trace = serveCfg.Trace
 	}
+	if serveCfg.Devices == nil {
+		serveCfg.Devices = device.NewRegistry(device.Config{
+			Telemetry: serveCfg.Telemetry, Events: serveCfg.Events,
+		})
+	}
 	engines := make([]Inferencer, devices)
+	handles := make([]*Device, devices)
 	for i := range engines {
+		h := serveCfg.Devices.Register()
+		handles[i] = h
 		dev, err := csd.New(nodeCfg.CSD)
 		if err != nil {
-			return nil, fmt.Errorf("csdinf: device %d: %w", i, err)
+			return nil, fmt.Errorf("csdinf: device %s: %w", h.ID(), err)
 		}
 		devDeploy := deploy
-		if devDeploy.Trace != nil && devDeploy.TraceName == "" {
-			devDeploy.TraceName = fmt.Sprintf("csd%d", i)
+		if devDeploy.TraceName == "" {
+			devDeploy.TraceName = string(h.ID())
 		}
 		eng, err := core.Deploy(dev, m, devDeploy)
 		if err != nil {
-			return nil, fmt.Errorf("csdinf: deploy to device %d: %w", i, err)
+			return nil, fmt.Errorf("csdinf: deploy to device %s: %w", h.ID(), err)
 		}
 		engines[i] = eng
+		if err := h.SetReady("deployed"); err != nil {
+			return nil, err
+		}
 	}
+	serveCfg.Handles = handles
 	return serve.New(engines, serveCfg)
+}
+
+// NewFleet deploys the model to fleetCfg.Nodes fresh CSDs and starts the
+// rack-scale serving layer: tenant-aware consistent-hash placement,
+// per-class QoS admission, and drain/fail/rejoin lifecycle flows over the
+// shared device registry.
+func NewFleet(m *Model, fleetCfg FleetConfig) (*Fleet, error) {
+	return fleet.New(m, fleetCfg)
 }
 
 // NewUpdater trains an initial model on the base corpus, deploys it, and

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/kfrida1/csdinf/internal/eventlog"
+	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 )
 
@@ -119,6 +120,12 @@ func (m *Mux) Observe(ctx context.Context, pid, apiCallID int) (*ProcessEvent, e
 	}
 	m.lastSeen[pid] = m.clock
 
+	// Each monitored process is a placement tenant: the fleet layer pins a
+	// tenant's windows to one device, keeping a process's classification
+	// stream (and its per-device trace timeline) together.
+	if infer.TenantFrom(ctx) == "" {
+		ctx = infer.WithTenant(ctx, fmt.Sprintf("pid-%d", pid))
+	}
 	ev, err := det.Observe(ctx, apiCallID)
 	if err != nil {
 		return nil, fmt.Errorf("detect: process %d: %w", pid, err)

@@ -9,9 +9,9 @@ import (
 )
 
 // DecodeJSON parses one flat JSON-lines object produced by AppendJSON back
-// into an Event. Fixed keys (seq, ts, level, component, event, job, pid)
-// populate the struct fields; every other key becomes a Field, preserving
-// wire order. Decoded field values are string, bool, nil, or json.Number —
+// into an Event. Fixed keys (seq, ts, level, component, event, job, pid,
+// device) populate the struct fields; every other key becomes a Field,
+// preserving wire order. Decoded field values are string, bool, nil, or json.Number —
 // the JSON value domain; re-encoding a decoded event reproduces the wire
 // bytes, which is how the fuzz harness pins the format.
 //
@@ -67,6 +67,8 @@ func DecodeJSON(data []byte) (Event, error) {
 			if pid, err = asInt64(val); err == nil {
 				e.PID = int(pid)
 			}
+		case "device":
+			e.Device, err = asString(val)
 		default:
 			e.Fields = append(e.Fields, Field{Key: key, Value: val})
 		}

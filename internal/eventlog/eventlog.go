@@ -115,6 +115,10 @@ type Event struct {
 	Job int64
 	// PID attributes the event to a monitored process; 0 means none.
 	PID int
+	// Device attributes the event to a registry device (internal/device
+	// IDs, e.g. "csd-000"); empty means none. The same ID labels the
+	// device's telemetry series and names its trace tracks.
+	Device string
 	// Fields are the event's structured attributes, in emission order.
 	Fields []Field
 }
@@ -199,35 +203,42 @@ func (l *Logger) Enabled(lvl Level) bool {
 // structured payload. Use the level helpers (Debug, Info, Warn, Error)
 // at call sites.
 func (l *Logger) Log(ctx context.Context, lvl Level, component, name string, fields ...Field) {
-	l.emit(ctx, lvl, component, name, 0, fields)
+	l.emit(ctx, lvl, component, name, 0, "", fields)
 }
 
 // LogPID is Log with a process attribution.
 func (l *Logger) LogPID(ctx context.Context, lvl Level, component, name string, pid int, fields ...Field) {
-	l.emit(ctx, lvl, component, name, pid, fields)
+	l.emit(ctx, lvl, component, name, pid, "", fields)
+}
+
+// LogDevice is Log with a device attribution — the registry ID of the
+// drive the event concerns (lifecycle edges, placement decisions,
+// per-device scheduling).
+func (l *Logger) LogDevice(ctx context.Context, lvl Level, component, name, device string, fields ...Field) {
+	l.emit(ctx, lvl, component, name, 0, device, fields)
 }
 
 // Debug records a debug-level event.
 func (l *Logger) Debug(ctx context.Context, component, name string, fields ...Field) {
-	l.emit(ctx, LevelDebug, component, name, 0, fields)
+	l.emit(ctx, LevelDebug, component, name, 0, "", fields)
 }
 
 // Info records an info-level event.
 func (l *Logger) Info(ctx context.Context, component, name string, fields ...Field) {
-	l.emit(ctx, LevelInfo, component, name, 0, fields)
+	l.emit(ctx, LevelInfo, component, name, 0, "", fields)
 }
 
 // Warn records a warn-level event.
 func (l *Logger) Warn(ctx context.Context, component, name string, fields ...Field) {
-	l.emit(ctx, LevelWarn, component, name, 0, fields)
+	l.emit(ctx, LevelWarn, component, name, 0, "", fields)
 }
 
 // Error records an error-level event.
 func (l *Logger) Error(ctx context.Context, component, name string, fields ...Field) {
-	l.emit(ctx, LevelError, component, name, 0, fields)
+	l.emit(ctx, LevelError, component, name, 0, "", fields)
 }
 
-func (l *Logger) emit(ctx context.Context, lvl Level, component, name string, pid int, fields []Field) {
+func (l *Logger) emit(ctx context.Context, lvl Level, component, name string, pid int, device string, fields []Field) {
 	if !l.Enabled(lvl) {
 		return
 	}
@@ -238,6 +249,7 @@ func (l *Logger) emit(ctx context.Context, lvl Level, component, name string, pi
 		Component: component,
 		Name:      name,
 		PID:       pid,
+		Device:    device,
 		Fields:    fields,
 	}
 	if ctx != nil {

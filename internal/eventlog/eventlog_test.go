@@ -39,8 +39,8 @@ func TestEventJSONGolden(t *testing.T) {
 		Name:      "queue.full",
 		Job:       42,
 		PID:       1337,
+		Device:    "csd-003",
 		Fields: []Field{
-			F("device", "3"),
 			F("depth", 64),
 			F("wait_ns", 1500*time.Nanosecond),
 			F("ratio", 0.25),
@@ -50,7 +50,7 @@ func TestEventJSONGolden(t *testing.T) {
 	}
 	got := string(ev.AppendJSON(nil))
 	want := `{"seq":7,"ts":"2026-08-05T12:00:00.123456789Z","level":"warn","component":"serve",` +
-		`"event":"queue.full","job":42,"pid":1337,"device":"3","depth":64,"wait_ns":1500,` +
+		`"event":"queue.full","job":42,"pid":1337,"device":"csd-003","depth":64,"wait_ns":1500,` +
 		`"ratio":0.25,"blocked":true,"err":"boom \"quoted\""}`
 	if got != want {
 		t.Errorf("AppendJSON:\n got %s\nwant %s", got, want)

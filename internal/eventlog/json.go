@@ -10,9 +10,9 @@ import (
 
 // AppendJSON appends the event as one flat JSON object — the JSON-lines
 // wire format. Fixed keys come first (seq, ts, level, component, event,
-// then job and pid when attributed), followed by the event's fields in
-// emission order, so `jq 'select(.job == 12)'` style pipelines see every
-// attribute at the top level.
+// then job, pid, and device when attributed), followed by the event's
+// fields in emission order, so `jq 'select(.job == 12)'` style pipelines
+// see every attribute at the top level.
 func (e Event) AppendJSON(buf []byte) []byte {
 	buf = append(buf, '{')
 	buf = appendKey(buf, "seq", true)
@@ -32,6 +32,10 @@ func (e Event) AppendJSON(buf []byte) []byte {
 	if e.PID != 0 {
 		buf = appendKey(buf, "pid", false)
 		buf = strconv.AppendInt(buf, int64(e.PID), 10)
+	}
+	if e.Device != "" {
+		buf = appendKey(buf, "device", false)
+		buf = appendString(buf, e.Device)
 	}
 	for _, f := range e.Fields {
 		buf = appendKey(buf, f.Key, false)

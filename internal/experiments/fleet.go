@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/fleet"
+	"github.com/kfrida1/csdinf/internal/infer"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/telemetry"
+)
+
+// FleetRunConfig controls the rack-scale serving benchmark.
+type FleetRunConfig struct {
+	// Nodes is the CSD count; 0 defaults to 4.
+	Nodes int
+	// Tenants is the number of concurrent tenant workers; 0 defaults to 16.
+	Tenants int
+	// WindowsPerTenant is each worker's classification count; 0 defaults
+	// to 50.
+	WindowsPerTenant int
+	// QueueDepth bounds each node's queue; 0 defaults to 64.
+	QueueDepth int
+	// Seed drives the (untrained) model weights and the synthetic windows.
+	Seed int64
+}
+
+// FleetRunResult is the structured outcome cmd/csdbench writes to
+// BENCH_fleet.json and cmd/benchdiff gates. Throughput is wall-clock
+// (higher is better); the queue-wait quantiles come from the merged
+// per-device serve_queue_wait_seconds histograms (lower is better).
+type FleetRunResult struct {
+	Nodes             int     `json:"nodes"`
+	Tenants           int     `json:"tenants"`
+	Windows           int     `json:"windows"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	WindowsPerSecond  float64 `json:"windows_per_second"`
+	QueueWaitMeanUS   float64 `json:"queue_wait_mean_us"`
+	QueueWaitP50US    float64 `json:"queue_wait_p50_us"`
+	QueueWaitP99US    float64 `json:"queue_wait_p99_us"`
+	SpilloverRequests int64   `json:"spillover_requests"`
+}
+
+// FleetRun deploys the paper's model across a small fleet and drives it
+// with concurrent tenant load: every tenant's windows consistent-hash to a
+// home device, queues apply backpressure (Block mode), and the merged
+// queue-wait histogram yields the fleet-wide p99 the regression gate
+// watches. The model is untrained — placement and scheduling cost do not
+// depend on the weights.
+func FleetRun(cfg FleetRunConfig) (*FleetRunResult, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Tenants == 0 {
+		cfg.Tenants = 16
+	}
+	if cfg.WindowsPerTenant == 0 {
+		cfg.WindowsPerTenant = 50
+	}
+	m, err := lstm.NewModel(lstm.PaperConfig(), cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	reg := telemetry.NewRegistry()
+	fl, err := fleet.New(m, fleet.Config{
+		Nodes:      cfg.Nodes,
+		QueueDepth: cfg.QueueDepth,
+		Block:      true,
+		Telemetry:  reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	defer fl.Close()
+
+	seqLen := fl.SeqLen()
+	vocab := m.Config().VocabSize
+	var failures atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			ctx := infer.WithTenant(context.Background(), fmt.Sprintf("tenant-%d", t))
+			seq := make([]int, seqLen)
+			for w := 0; w < cfg.WindowsPerTenant; w++ {
+				for i := range seq {
+					// Cheap deterministic per-(tenant, window) variation.
+					seq[i] = (t*31 + w*7 + i) % vocab
+				}
+				if _, _, err := fl.Predict(ctx, seq); err != nil {
+					failures.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if n := failures.Load(); n > 0 {
+		return nil, fmt.Errorf("experiments: %d fleet requests failed: %v",
+			n, firstErr.Load())
+	}
+
+	windows := cfg.Tenants * cfg.WindowsPerTenant
+	qw := fl.QueueWait()
+	res := &FleetRunResult{
+		Nodes:            cfg.Nodes,
+		Tenants:          cfg.Tenants,
+		Windows:          windows,
+		WallSeconds:      wall.Seconds(),
+		WindowsPerSecond: float64(windows) / wall.Seconds(),
+		QueueWaitMeanUS:  qw.Mean / 1e3,
+		QueueWaitP50US:   qw.P50 / 1e3,
+		QueueWaitP99US:   qw.P99 / 1e3,
+	}
+	for _, mt := range reg.Snapshot() {
+		if mt.Name == "fleet_spillover_total" {
+			res.SpilloverRequests = mt.Value
+		}
+	}
+	if qw.Count != int64(windows) {
+		return nil, fmt.Errorf("experiments: queue-wait histogram saw %d windows, want %d",
+			qw.Count, windows)
+	}
+	return res, nil
+}
+
+// FormatFleet renders the fleet benchmark result.
+func FormatFleet(res *FleetRunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d nodes, %d tenants × %d windows = %d classifications\n",
+		res.Nodes, res.Tenants, res.Windows/max(res.Tenants, 1), res.Windows)
+	fmt.Fprintf(&b, "%-28s %12.0f windows/s (%.3f s wall)\n",
+		"Fleet throughput", res.WindowsPerSecond, res.WallSeconds)
+	fmt.Fprintf(&b, "%-28s mean %8.2f µs   p50 %8.2f µs   p99 %8.2f µs\n",
+		"Queue wait (fleet-wide)", res.QueueWaitMeanUS, res.QueueWaitP50US, res.QueueWaitP99US)
+	fmt.Fprintf(&b, "%-28s %12d requests\n", "Placement spillover", res.SpilloverRequests)
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFleetRunSmoke(t *testing.T) {
+	res, err := FleetRun(FleetRunConfig{
+		Nodes: 2, Tenants: 4, WindowsPerTenant: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != 20 {
+		t.Fatalf("windows = %d, want 20", res.Windows)
+	}
+	if res.WindowsPerSecond <= 0 || res.WallSeconds <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if res.QueueWaitP99US < res.QueueWaitP50US {
+		t.Fatalf("p99 %.2f < p50 %.2f", res.QueueWaitP99US, res.QueueWaitP50US)
+	}
+	out := FormatFleet(res)
+	for _, want := range []string{"Fleet throughput", "p99", "spillover"} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Fatalf("format output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -60,18 +60,27 @@ type Window struct {
 	Compute   time.Duration `json:"compute_ns"`
 }
 
-// Incident is the forensic record of one flagged process.
+// Incident is the forensic record of one flagged process — or, for
+// Kind "device", of one failed drive.
 type Incident struct {
 	// ID numbers incidents in open order, starting at 1.
 	ID int64 `json:"id"`
-	// PID is the flagged process.
+	// Kind distinguishes process incidents (ransomware verdicts folded from
+	// the window stream; the zero value, serialized as "process") from
+	// device incidents (a drive fault reported by the fleet layer).
+	Kind string `json:"kind,omitempty"`
+	// PID is the flagged process (0 for device incidents).
 	PID int `json:"pid"`
 	// State is "open" until the incident closes.
 	State string `json:"state"`
 	// CloseReason is why the incident closed: "blocked" (mitigation fired),
-	// "evicted" (the mux dropped the process's detector state), or "flush"
-	// (operator shutdown). Empty while open.
+	// "evicted" (the mux dropped the process's detector state), "flush"
+	// (operator shutdown), or "device-failed" (device incidents). Empty
+	// while open.
 	CloseReason string `json:"close_reason,omitempty"`
+	// FailureReason is the fault cause reported for a device incident
+	// ("ecc-storm", "simulated-fault", ...); empty for process incidents.
+	FailureReason string `json:"failure_reason,omitempty"`
 	// FirstSeen is when the process's first window of this tracking epoch
 	// was classified — including benign windows before the flag.
 	FirstSeen time.Time `json:"first_seen"`
@@ -101,7 +110,8 @@ type Incident struct {
 	// for correlating this incident with the trace timeline export and
 	// /spans.json.
 	Jobs []int64 `json:"jobs,omitempty"`
-	// Devices are the distinct serving devices that classified the windows.
+	// Devices are the distinct serving devices that classified the windows
+	// (for a device incident: the failed drive's registry ID).
 	Devices []string `json:"devices,omitempty"`
 	// QueueWaitTotal, TransferTotal, and ComputeTotal aggregate the pipeline
 	// phases across every window of the epoch, in nanoseconds.
@@ -258,6 +268,40 @@ func (r *Recorder) Window(s detect.WindowSample) {
 			eventlog.F("windows_total", snap.WindowsTotal),
 			eventlog.F("max_probability", snap.MaxProbability))
 	}
+}
+
+// DeviceFailure records a device-fault incident: one closed Incident of
+// Kind "device" attributed to the failed drive's registry ID. The fleet
+// layer calls it when a device fails so drive faults land in the same
+// SOC-facing history as ransomware verdicts. It returns the recorded
+// incident.
+func (r *Recorder) DeviceFailure(deviceID, reason string) Incident {
+	if r == nil {
+		return Incident{}
+	}
+	r.mu.Lock()
+	now := r.cfg.Clock()
+	r.nextID++
+	r.opened++
+	inc := Incident{
+		ID: r.nextID, Kind: "device", State: "closed",
+		CloseReason: "device-failed", FailureReason: reason,
+		FirstSeen: now, FlaggedAt: now, ClosedAt: now,
+		Devices: []string{deviceID},
+	}
+	if r.cfg.Generation != nil {
+		inc.ModelGeneration = r.cfg.Generation()
+	}
+	if len(r.closed) >= r.cfg.MaxClosed {
+		drop := len(r.closed) - r.cfg.MaxClosed + 1
+		r.closed = append(r.closed[:0], r.closed[drop:]...)
+	}
+	r.closed = append(r.closed, inc)
+	r.mu.Unlock()
+	r.cfg.Events.LogDevice(context.Background(), eventlog.LevelError, "incident", "incident.device_failure", deviceID,
+		eventlog.F("incident_id", inc.ID),
+		eventlog.F("reason", reason))
+	return cloneIncident(inc)
 }
 
 // Evict drops the process's tracking state: an open incident closes with

@@ -1,0 +1,29 @@
+package infer
+
+import "context"
+
+// tenantKey is the context key carrying a request's tenant identity.
+type tenantKey struct{}
+
+// WithTenant stamps a tenant identity on the context. The fleet layer
+// reads it to place all of a tenant's requests on the same device
+// (consistent hashing), which keeps one tenant's detector traffic from
+// smearing across the rack. The detection mux stamps "pid-<n>" so each
+// monitored process is a tenant; multi-tenant hosts can stamp coarser
+// identities (container, VM, customer). It lives in the shared inference
+// contract package so callers at any layer can set it without importing
+// the fleet.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the tenant identity stamped on the context, or ""
+// when the request is untenanted (placement then falls back to pure
+// least-busy).
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}

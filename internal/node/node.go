@@ -11,12 +11,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strconv"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/kfrida1/csdinf/internal/core"
 	"github.com/kfrida1/csdinf/internal/csd"
+	"github.com/kfrida1/csdinf/internal/device"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
@@ -31,11 +32,17 @@ type Config struct {
 	CSD csd.Config
 	// Deploy configures each engine (zero value = paper defaults).
 	Deploy core.DeployConfig
-	// Telemetry, when non-nil, receives per-device node metrics
-	// (node_jobs_total, node_busy_nanoseconds_total, labeled
-	// device="<index>") and is threaded into each engine deployment unless
-	// Deploy.Telemetry is already set.
+	// Telemetry, when non-nil, receives the per-device node job counter
+	// (node_jobs_total, labeled device="<registry ID>") and is threaded
+	// into each engine deployment unless Deploy.Telemetry is already set.
+	// Busy-time accounting lives with the device registry
+	// (device_busy_nanoseconds_total).
 	Telemetry *telemetry.Registry
+	// Registry, when non-nil, is the shared device registry the node
+	// registers its drives in; nil builds a private one. Either way each
+	// drive gets a stable ID ("csd-000", ...) that labels its telemetry
+	// and names its trace track group.
+	Registry *device.Registry
 }
 
 // Node is a host with several CSD inference engines. Its methods are safe
@@ -43,21 +50,23 @@ type Config struct {
 // placement policy; internal/serve layers bounded queues and least-busy
 // placement on top for sustained request load.
 type Node struct {
-	engines []*engineSlot
-	next    int
-	nextMu  sync.Mutex
+	engines  []*engineSlot
+	registry *device.Registry
+	next     int
+	nextMu   sync.Mutex
 }
 
 var _ infer.Inferencer = (*Node)(nil)
 
 // engineSlot serializes access to one engine (a single hardware pipeline
-// per device). Work accounting lives in telemetry instruments so Stats()
-// and /metrics read the same counters.
+// per device). Identity and busy accounting live on the registry handle;
+// the job counter is a telemetry instrument so Stats() and /metrics read
+// the same counter.
 type engineSlot struct {
 	mu   sync.Mutex
+	h    *device.Device
 	eng  *core.Engine
 	dev  *csd.SmartSSD
-	busy *telemetry.Counter // accumulated simulated device time, ns
 	jobs *telemetry.Counter
 }
 
@@ -76,21 +85,33 @@ func New(m *lstm.Model, cfg Config) (*Node, error) {
 	if deploy.Telemetry == nil {
 		deploy.Telemetry = cfg.Telemetry
 	}
-	n := &Node{}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = device.NewRegistry(device.Config{
+			Telemetry: cfg.Telemetry, Events: deploy.Events,
+		})
+	}
+	n := &Node{registry: reg}
 	for i := 0; i < cfg.Devices; i++ {
+		h := reg.Register()
 		dev, err := csd.New(cfg.CSD)
 		if err != nil {
-			return nil, fmt.Errorf("node: device %d: %w", i, err)
+			return nil, fmt.Errorf("node: device %s: %w", h.ID(), err)
 		}
-		eng, err := core.Deploy(dev, m, deploy)
+		devDeploy := deploy
+		if devDeploy.TraceName == "" {
+			devDeploy.TraceName = string(h.ID())
+		}
+		eng, err := core.Deploy(dev, m, devDeploy)
 		if err != nil {
-			return nil, fmt.Errorf("node: deploy to device %d: %w", i, err)
+			return nil, fmt.Errorf("node: deploy to device %s: %w", h.ID(), err)
 		}
-		dl := telemetry.L("device", strconv.Itoa(i))
+		if err := h.SetReady("node-deploy"); err != nil {
+			return nil, err
+		}
+		dl := telemetry.L("device", string(h.ID()))
 		n.engines = append(n.engines, &engineSlot{
-			eng: eng, dev: dev,
-			busy: cfg.Telemetry.Counter("node_busy_nanoseconds_total",
-				"Accumulated simulated device time.", dl),
+			h: h, eng: eng, dev: dev,
 			jobs: cfg.Telemetry.Counter("node_jobs_total",
 				"Classifications completed by the device.", dl),
 		})
@@ -103,6 +124,9 @@ func (n *Node) Devices() int { return len(n.engines) }
 
 // Device returns the i-th CSD (e.g. to store sequences for stored scans).
 func (n *Node) Device(i int) *csd.SmartSSD { return n.engines[i].dev }
+
+// Registry returns the device registry the node's drives are registered in.
+func (n *Node) Registry() *device.Registry { return n.registry }
 
 // SeqLen returns the classification window length of the deployed model.
 func (n *Node) SeqLen() int { return n.engines[0].eng.SeqLen() }
@@ -125,7 +149,7 @@ func (n *Node) Predict(ctx context.Context, seq []int) (kernels.Result, core.Tim
 	if err != nil {
 		return kernels.Result{}, core.Timing{}, err
 	}
-	slot.busy.Add(int64(timing.Total()))
+	slot.h.AddBusy(int64(timing.Total()))
 	slot.jobs.Inc()
 	return res, timing, nil
 }
@@ -142,7 +166,7 @@ func (n *Node) PredictStored(ctx context.Context, ssdOff int64) (kernels.Result,
 	if err != nil {
 		return kernels.Result{}, core.Timing{}, err
 	}
-	slot.busy.Add(int64(timing.Total()))
+	slot.h.AddBusy(int64(timing.Total()))
 	slot.jobs.Inc()
 	return res, timing, nil
 }
@@ -185,7 +209,7 @@ func (n *Node) PredictBatch(ctx context.Context, seqs [][]int) (*BatchResult, er
 				}
 				results[i] = res
 				perDevice[d] += timing.Total()
-				slot.busy.Add(int64(timing.Total()))
+				slot.h.AddBusy(int64(timing.Total()))
 				slot.jobs.Inc()
 			}
 		}(d)
@@ -208,16 +232,23 @@ func (n *Node) PredictBatch(ctx context.Context, seqs [][]int) (*BatchResult, er
 
 // DeviceStats describes one device's accumulated work.
 type DeviceStats struct {
+	// ID is the device's stable registry identity.
+	ID       string
 	Jobs     int64
 	BusyTime time.Duration
 }
 
-// Stats returns per-device accumulated work.
+// Stats returns per-device accumulated work, ordered by device ID.
 func (n *Node) Stats() []DeviceStats {
 	out := make([]DeviceStats, len(n.engines))
 	for i, s := range n.engines {
-		out[i] = DeviceStats{Jobs: s.jobs.Value(), BusyTime: time.Duration(s.busy.Value())}
+		out[i] = DeviceStats{
+			ID:       string(s.h.ID()),
+			Jobs:     s.jobs.Value(),
+			BusyTime: time.Duration(s.h.Busy()),
+		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -6,26 +6,34 @@
 // this package supplies the serving discipline that argument presumes. Each
 // device's engine owns one hardware pipeline and is not safe for concurrent
 // use, so the server gives every device a single worker goroutine fed by a
-// bounded queue. Incoming requests are placed on the device with the least
-// simulated outstanding work (accumulated busy time plus an estimate of its
-// queued backlog), a policy that beats round-robin when request costs or
-// device loads are uneven. A full queue pushes back — immediately with
-// ErrQueueFull, or by blocking until space frees, per Config.Block. Workers
-// coalesce adjacent stored-scan requests into one dispatch, the background
-// scanning pattern the paper's introduction motivates. Context cancellation
-// is honored end-to-end: a canceled request still in a queue is abandoned
-// before it ever touches the device.
+// bounded queue. Incoming requests are placed on the ready device with the
+// least simulated outstanding work (accumulated busy time plus an estimate
+// of its queued backlog), a policy that beats round-robin when request
+// costs or device loads are uneven. A full queue pushes back — immediately
+// with ErrQueueFull, or by blocking until space frees, per Config.Block.
+// Workers coalesce adjacent stored-scan requests into one dispatch, the
+// background scanning pattern the paper's introduction motivates. Context
+// cancellation is honored end-to-end: a canceled request still in a queue
+// is abandoned before it ever touches the device.
+//
+// Device identity, lifecycle, and busy accounting live in the shared
+// internal/device registry, not here: the server consumes registry handles
+// (its own, for standalone use, or pre-registered ones handed down by the
+// fleet layer), labels its telemetry and trace tracks with registry IDs,
+// and respects lifecycle state in placement — a draining device finishes
+// its queue but attracts no new work.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"strconv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/kfrida1/csdinf/internal/device"
 	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
@@ -42,6 +50,10 @@ var ErrQueueFull = errors.New("serve: device queue full")
 // requests still queued when Close ran.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrNoReadyDevice is returned when no device is in the Ready lifecycle
+// state — every drive is provisioning, draining, or failed.
+var ErrNoReadyDevice = errors.New("serve: no ready device")
+
 // Config controls the scheduler.
 type Config struct {
 	// QueueDepth bounds each device's request queue; 0 defaults to 64.
@@ -53,29 +65,44 @@ type Config struct {
 	// device worker coalesces into one dispatch; 0 defaults to 8, 1
 	// disables batching.
 	BatchMax int
+	// Devices is the shared device registry owning identity, lifecycle,
+	// and busy accounting for the engines. Nil builds a private registry
+	// (against Config.Telemetry and Config.Events), preserving standalone
+	// use; fleet-scale callers pass their own so every layer sees the same
+	// device IDs.
+	Devices *device.Registry
+	// Handles pairs pre-registered devices with engines, index for index
+	// (len must equal the engine count). Nil makes the server register one
+	// device per engine in Devices and mark it Ready; non-nil leaves
+	// lifecycle entirely to the caller — the fleet layer drains, fails,
+	// and rejoins devices while the server keeps scheduling around them.
+	Handles []*device.Device
 	// Telemetry, when non-nil, receives the per-device serving metrics:
 	// serve_jobs_total, serve_dispatches_total, serve_errors_total,
-	// serve_canceled_total, serve_queue_full_total, serve_queue_depth,
-	// serve_busy_nanoseconds_total, the serve_queue_wait_seconds wall-time
-	// histogram, and the serve_batch_size histogram — all labeled
-	// device="<index>". With a nil registry the same instruments still back
-	// Stats(), just unexported.
+	// serve_canceled_total, serve_queue_full_total, the
+	// serve_queue_wait_seconds wall-time histogram, and the
+	// serve_batch_size histogram — all labeled device="<registry ID>".
+	// Busy-time and backlog instruments live with the registry
+	// (device_busy_nanoseconds_total, device_pending_requests). With a nil
+	// registry the same instruments still back Stats(), just unexported.
 	Telemetry *telemetry.Registry
 	// Spans, when non-nil, retains a completed telemetry.Span per request
 	// for requests that did not already carry one in their context (e.g.
 	// direct Predict calls outside a detector).
 	Spans *telemetry.SpanLog
 	// Trace, when non-nil, records each request's queue residency on the
-	// scheduler's per-device tracks and assigns the request a trace job ID
-	// that rides its context — the correlation key tying the queue event to
-	// the transfer and kernel events the device emits for the same request
-	// (and mirrored onto the request's telemetry.Span as Span.ID).
+	// scheduler's per-device tracks (named by registry ID) and assigns the
+	// request a trace job ID that rides its context — the correlation key
+	// tying the queue event to the transfer and kernel events the device
+	// emits for the same request (and mirrored onto the request's
+	// telemetry.Span as Span.ID).
 	Trace *trace.Tracer
 	// Events, when non-nil, receives the scheduler's structured events:
 	// per-request completions (debug: request.done, with device and
 	// queue-wait attribution), backpressure rejections (warn: queue.full),
 	// device-side failures (warn: request.error), and lifecycle events
-	// (info: server.start / server.close).
+	// (info: server.start / server.close). Device-attributed events carry
+	// the registry ID.
 	Events *eventlog.Logger
 }
 
@@ -102,6 +129,13 @@ type response struct {
 	err    error
 }
 
+// claim states for request.claim.
+const (
+	claimNone   int32 = iota // unresolved
+	claimWorker              // worker will complete done (result or error)
+	claimCaller              // caller reclaimed at close; never executed
+)
+
 // request is one queued classification. done is buffered (capacity 1) so a
 // worker can always complete a request whose caller has already abandoned
 // it.
@@ -115,6 +149,14 @@ type request struct {
 	// the request's queue wait (wall time: queueing happens in the real
 	// host scheduler, unlike the simulated device time in Timing).
 	enqueuedAt time.Time
+	// claim resolves the close-time race between the caller and the
+	// worker: 0 = unresolved, 1 = worker owns it (will deliver done),
+	// 2 = caller reclaimed it (ErrClosed, eligible for re-placement
+	// upstream). Whoever wins the CAS also decrements the device's
+	// pending count. Without it, a caller observing quit while its
+	// request executes would abandon work the worker still completes —
+	// and a fleet-level retry would then duplicate the window.
+	claim atomic.Int32
 	// span, when non-nil, accumulates the request's pipeline phases. It is
 	// the context span when the caller supplied one, else a server-created
 	// span destined for Config.Spans.
@@ -126,19 +168,16 @@ type request struct {
 	job int64
 }
 
-// device is one engine plus its serving state. The scalar serving state
-// lives directly in telemetry instruments (created against Config.Telemetry
-// or detached when telemetry is off), so Stats() and /metrics read the same
-// source of truth.
-type device struct {
-	idx   int
+// slot is one engine plus its serving state. Identity, lifecycle, and
+// busy/backlog accounting live on the registry handle; the scalar serving
+// counters live directly in telemetry instruments (created against
+// Config.Telemetry or detached when telemetry is off), so Stats() and
+// /metrics read the same source of truth.
+type slot struct {
+	h     *device.Device
 	inf   infer.Inferencer
 	queue chan *request
 
-	est atomic.Int64 // EWMA per-request simulated cost, ns
-
-	busy       *telemetry.Counter // accumulated simulated device time, ns
-	pending    *telemetry.Gauge   // requests queued or executing
 	jobs       *telemetry.Counter // requests executed successfully
 	dispatches *telemetry.Counter // worker wake-ups (batches count once)
 	errors     *telemetry.Counter // failed executions (cancellations excluded)
@@ -148,27 +187,13 @@ type device struct {
 	batchSize  *telemetry.Histogram
 }
 
-// estFloor is the backlog cost assumed for a device whose EWMA has no
-// samples yet, so queued requests count against placement from the start.
-const estFloor = int64(time.Microsecond)
-
-// score is the device's simulated outstanding work: accumulated busy time
-// plus the estimated cost of its backlog.
-func (d *device) score() int64 {
-	est := d.est.Load()
-	if est < estFloor {
-		est = estFloor
-	}
-	return d.busy.Value() + d.pending.Value()*est
-}
-
 // Server schedules classification requests over a set of single-stream
 // inference engines. It implements infer.Inferencer, so a detector, mux, or
 // hot-swap wrapper can sit directly on top of a whole rack of devices. Its
 // methods are safe for concurrent use.
 type Server struct {
-	cfg     Config
-	devices []*device
+	cfg   Config
+	slots []*slot
 
 	quit   chan struct{}
 	closed atomic.Bool
@@ -181,6 +206,11 @@ var _ infer.Inferencer = (*Server)(nil)
 // engine. Engines must all use the same window length. The server takes
 // ownership of serializing access to them; callers must not use the engines
 // directly while the server is running.
+//
+// Device identity comes from cfg.Handles when supplied (pre-registered by
+// the fleet layer, lifecycle managed by the caller); otherwise the server
+// registers one device per engine in cfg.Devices (or a private registry)
+// and marks it Ready.
 func New(engines []infer.Inferencer, cfg Config) (*Server, error) {
 	if len(engines) == 0 {
 		return nil, errors.New("serve: no engines")
@@ -197,18 +227,39 @@ func New(engines []infer.Inferencer, cfg Config) (*Server, error) {
 				i, e.SeqLen(), engines[0].SeqLen())
 		}
 	}
+	if cfg.Handles != nil && len(cfg.Handles) != len(engines) {
+		return nil, fmt.Errorf("serve: %d device handles for %d engines", len(cfg.Handles), len(engines))
+	}
+	handles := cfg.Handles
+	if handles == nil {
+		if cfg.Devices == nil {
+			cfg.Devices = device.NewRegistry(device.Config{
+				Telemetry: cfg.Telemetry, Events: cfg.Events,
+			})
+		}
+		for range engines {
+			d := cfg.Devices.Register()
+			if err := d.SetReady("serve-start"); err != nil {
+				return nil, err
+			}
+			handles = append(handles, d)
+		}
+	} else {
+		for i, h := range handles {
+			if h == nil {
+				return nil, fmt.Errorf("serve: device handle %d is nil", i)
+			}
+		}
+	}
 	s := &Server{cfg: cfg, quit: make(chan struct{})}
 	reg := cfg.Telemetry
 	for i, e := range engines {
-		dl := telemetry.L("device", strconv.Itoa(i))
-		d := &device{
-			idx:   i,
+		h := handles[i]
+		dl := telemetry.L("device", string(h.ID()))
+		d := &slot{
+			h:     h,
 			inf:   e,
 			queue: make(chan *request, cfg.QueueDepth),
-			busy: reg.Counter("serve_busy_nanoseconds_total",
-				"Accumulated simulated device time.", dl),
-			pending: reg.Gauge("serve_queue_depth",
-				"Requests queued or executing on the device.", dl),
 			jobs: reg.Counter("serve_jobs_total",
 				"Requests executed successfully.", dl),
 			dispatches: reg.Counter("serve_dispatches_total",
@@ -224,7 +275,7 @@ func New(engines []infer.Inferencer, cfg Config) (*Server, error) {
 			batchSize: reg.Histogram("serve_batch_size",
 				"Stored-scan requests coalesced per dispatch.", telemetry.DefaultCountBuckets(), dl),
 		}
-		s.devices = append(s.devices, d)
+		s.slots = append(s.slots, d)
 		s.wg.Add(1)
 		go s.run(d)
 	}
@@ -237,22 +288,30 @@ func New(engines []infer.Inferencer, cfg Config) (*Server, error) {
 }
 
 // Devices returns the number of devices being served.
-func (s *Server) Devices() int { return len(s.devices) }
+func (s *Server) Devices() int { return len(s.slots) }
+
+// Closed reports whether Close has begun: new submits fail with ErrClosed
+// and queued requests are being failed for re-placement.
+func (s *Server) Closed() bool { return s.closed.Load() }
+
+// Registry returns the device registry the server's engines are
+// registered in.
+func (s *Server) Registry() *device.Registry { return s.cfg.Devices }
 
 // SeqLen returns the classification window length of the deployed engines.
-func (s *Server) SeqLen() int { return s.devices[0].inf.SeqLen() }
+func (s *Server) SeqLen() int { return s.slots[0].inf.SeqLen() }
 
-// Predict classifies a live window, scheduling it on the device with the
-// least simulated outstanding work. The window is copied, so the caller may
-// reuse its slice (detectors slide theirs) as soon as Predict returns.
+// Predict classifies a live window, scheduling it on the ready device with
+// the least simulated outstanding work. The window is copied, so the caller
+// may reuse its slice (detectors slide theirs) as soon as Predict returns.
 func (s *Server) Predict(ctx context.Context, seq []int) (kernels.Result, infer.Timing, error) {
 	req := &request{ctx: ctx, seq: append([]int(nil), seq...), done: make(chan response, 1)}
 	return s.submit(ctx, req)
 }
 
 // PredictStored classifies the sequence at the given SSD byte offset on the
-// least-loaded device. Offsets address the chosen device's SSD, so stored
-// serving presumes scan targets are mirrored across the rack (as the
+// least-loaded ready device. Offsets address the chosen device's SSD, so
+// stored serving presumes scan targets are mirrored across the rack (as the
 // background-scan replication deployment does). Adjacent queued stored
 // requests are coalesced into one device dispatch.
 func (s *Server) PredictStored(ctx context.Context, ssdOff int64) (kernels.Result, infer.Timing, error) {
@@ -260,12 +319,17 @@ func (s *Server) PredictStored(ctx context.Context, ssdOff int64) (kernels.Resul
 	return s.submit(ctx, req)
 }
 
-// pick returns the device with the least simulated outstanding work.
-func (s *Server) pick() *device {
-	best := s.devices[0]
-	bestScore := best.score()
-	for _, d := range s.devices[1:] {
-		if sc := d.score(); sc < bestScore {
+// pick returns the ready device with the least simulated outstanding work,
+// or nil when every device is out of rotation (draining, failed, or still
+// provisioning).
+func (s *Server) pick() *slot {
+	var best *slot
+	var bestScore int64
+	for _, d := range s.slots {
+		if !d.h.IsReady() {
+			continue
+		}
+		if sc := d.h.Score(); best == nil || sc < bestScore {
 			best, bestScore = d, sc
 		}
 	}
@@ -295,27 +359,30 @@ func (s *Server) submit(ctx context.Context, req *request) (kernels.Result, infe
 		}
 	}
 	d := s.pick()
-	d.pending.Inc()
+	if d == nil {
+		return kernels.Result{}, infer.Timing{}, ErrNoReadyDevice
+	}
+	d.h.IncPending()
 	req.enqueuedAt = time.Now()
 	if s.cfg.Block {
 		select {
 		case d.queue <- req:
 		case <-ctx.Done():
-			d.pending.Dec()
+			d.h.DecPending()
 			d.canceled.Inc()
 			return kernels.Result{}, infer.Timing{}, ctx.Err()
 		case <-s.quit:
-			d.pending.Dec()
+			d.h.DecPending()
 			return kernels.Result{}, infer.Timing{}, ErrClosed
 		}
 	} else {
 		select {
 		case d.queue <- req:
 		default:
-			d.pending.Dec()
+			d.h.DecPending()
 			d.queueFull.Inc()
-			s.cfg.Events.Warn(req.ctx, "serve", "queue.full",
-				eventlog.F("device", d.idx),
+			s.cfg.Events.LogDevice(req.ctx, eventlog.LevelWarn, "serve", "queue.full",
+				string(d.h.ID()),
 				eventlog.F("queue_depth", s.cfg.QueueDepth))
 			return kernels.Result{}, infer.Timing{}, ErrQueueFull
 		}
@@ -328,32 +395,39 @@ func (s *Server) submit(ctx context.Context, req *request) (kernels.Result, infe
 		// touching the device and complete the buffered done channel.
 		return kernels.Result{}, infer.Timing{}, ctx.Err()
 	case <-s.quit:
-		// The worker may have finished this request just before closing.
-		select {
-		case resp := <-req.done:
-			return resp.res, resp.timing, resp.err
-		default:
+		if req.claim.CompareAndSwap(claimNone, claimCaller) {
+			// Still queued and unclaimed: this request never touched the
+			// device and never will — safe for the caller (or a fleet
+			// layer) to re-place elsewhere.
+			d.h.DecPending()
 			return kernels.Result{}, infer.Timing{}, ErrClosed
 		}
+		// The worker owns it: the device is (or was) executing this
+		// request, so the exactly-once answer is whatever the worker
+		// delivers.
+		resp := <-req.done
+		return resp.res, resp.timing, resp.err
 	}
 }
 
 // run is the device worker: the single goroutine with access to the engine.
-func (s *Server) run(d *device) {
+func (s *Server) run(d *slot) {
 	defer s.wg.Done()
 	for {
+		// Quit takes priority over further queued work: once Close has run,
+		// remaining queued requests are failed with ErrClosed (so a fleet
+		// layer can re-place them), not executed. Without this check the
+		// blocking select below picks randomly when both are ready.
 		select {
 		case <-s.quit:
-			// Fail whatever is still queued.
-			for {
-				select {
-				case req := <-d.queue:
-					d.pending.Dec()
-					req.done <- response{err: ErrClosed}
-				default:
-					return
-				}
-			}
+			s.failQueued(d)
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			s.failQueued(d)
+			return
 		case req := <-d.queue:
 			batch := s.collect(d, req)
 			d.dispatches.Inc()
@@ -365,10 +439,25 @@ func (s *Server) run(d *device) {
 	}
 }
 
+// failQueued completes every still-queued request with ErrClosed.
+func (s *Server) failQueued(d *slot) {
+	for {
+		select {
+		case req := <-d.queue:
+			if req.claim.CompareAndSwap(claimNone, claimWorker) {
+				d.h.DecPending()
+				req.done <- response{err: ErrClosed}
+			}
+		default:
+			return
+		}
+	}
+}
+
 // collect coalesces adjacent queued stored-scan requests behind the first
 // into one dispatch, stopping at a live request, an empty queue, or
 // BatchMax.
-func (s *Server) collect(d *device, first *request) []*request {
+func (s *Server) collect(d *slot, first *request) []*request {
 	batch := []*request{first}
 	if !first.stored || s.cfg.BatchMax <= 1 {
 		return batch
@@ -389,14 +478,19 @@ func (s *Server) collect(d *device, first *request) []*request {
 
 // execute runs one request on the device's engine and completes it. A
 // request whose context is already done never touches the engine.
-func (s *Server) execute(d *device, req *request) {
+func (s *Server) execute(d *slot, req *request) {
+	if !req.claim.CompareAndSwap(claimNone, claimWorker) {
+		// The caller reclaimed this request at close; it was never
+		// executed and the caller has already re-placed it.
+		return
+	}
 	// Queue wait ends here, whether the request proceeds or was abandoned:
 	// the scheduling delay was paid either way.
 	wait := time.Since(req.enqueuedAt)
 	d.queueWait.ObserveDuration(wait)
 	if req.span != nil {
 		req.span.Record(telemetry.PhaseQueue, wait)
-		req.span.Device = strconv.Itoa(d.idx)
+		req.span.Device = string(d.h.ID())
 	}
 	if tr := s.cfg.Trace; tr.Enabled() {
 		// Pure wall-clock domain: the wait really elapsed on the host.
@@ -409,13 +503,13 @@ func (s *Server) execute(d *device, req *request) {
 			start = 0
 		}
 		tr.Emit(trace.Event{
-			Track: trace.Track{Group: "serve", Name: "device" + strconv.Itoa(d.idx)},
+			Track: trace.Track{Group: "serve", Name: string(d.h.ID())},
 			Name:  name, Cat: trace.CatQueue,
 			Start: start, Dur: wait, Job: req.job,
 		})
 	}
 	if err := req.ctx.Err(); err != nil {
-		d.pending.Dec()
+		d.h.DecPending()
 		d.canceled.Inc()
 		req.done <- response{err: err}
 		return
@@ -433,27 +527,20 @@ func (s *Server) execute(d *device, req *request) {
 	} else {
 		resp.res, resp.timing, resp.err = d.inf.Predict(ctx, req.seq)
 	}
-	if total := int64(resp.timing.Total()); total > 0 {
-		d.busy.Add(total)
-		if old := d.est.Load(); old == 0 {
-			d.est.Store(total)
-		} else {
-			d.est.Store((3*old + total) / 4)
-		}
-	}
+	d.h.AddBusy(int64(resp.timing.Total()))
 	if resp.err == nil {
 		d.jobs.Inc()
 		if s.cfg.Events.Enabled(eventlog.LevelDebug) {
-			s.cfg.Events.Debug(req.ctx, "serve", "request.done",
-				eventlog.F("device", d.idx),
+			s.cfg.Events.LogDevice(req.ctx, eventlog.LevelDebug, "serve", "request.done",
+				string(d.h.ID()),
 				eventlog.F("stored", req.stored),
 				eventlog.F("queue_wait_ns", wait),
 				eventlog.F("device_time_ns", resp.timing.Total()))
 		}
 	} else {
 		d.errors.Inc()
-		s.cfg.Events.Warn(req.ctx, "serve", "request.error",
-			eventlog.F("device", d.idx),
+		s.cfg.Events.LogDevice(req.ctx, eventlog.LevelWarn, "serve", "request.error",
+			string(d.h.ID()),
 			eventlog.F("stored", req.stored),
 			eventlog.F("error", resp.err))
 	}
@@ -462,13 +549,17 @@ func (s *Server) execute(d *device, req *request) {
 	}
 	// Drop the backlog count before releasing the caller, so a caller
 	// submitting its next request sees this device's true score.
-	d.pending.Dec()
+	d.h.DecPending()
 	req.done <- resp
 }
 
 // DeviceStats describes one device's serving activity. It is a read of the
 // same telemetry instruments exposed at /metrics.
 type DeviceStats struct {
+	// ID is the device's stable registry identity.
+	ID string
+	// State is the device's lifecycle state name.
+	State string
 	// Jobs counts successfully executed requests.
 	Jobs int64
 	// Dispatches counts worker wake-ups; a coalesced stored batch counts
@@ -492,16 +583,20 @@ type DeviceStats struct {
 	QueueWaitP90  time.Duration
 }
 
-// Stats returns a snapshot of per-device serving activity.
+// Stats returns a snapshot of per-device serving activity, deterministically
+// ordered by device ID so multi-device output diffs cleanly at any fleet
+// size.
 func (s *Server) Stats() []DeviceStats {
-	out := make([]DeviceStats, len(s.devices))
-	for i, d := range s.devices {
+	out := make([]DeviceStats, len(s.slots))
+	for i, d := range s.slots {
 		wait := d.queueWait.Snapshot()
 		out[i] = DeviceStats{
+			ID:            string(d.h.ID()),
+			State:         d.h.State().String(),
 			Jobs:          d.jobs.Value(),
 			Dispatches:    d.dispatches.Value(),
-			BusyTime:      time.Duration(d.busy.Value()),
-			Queued:        d.pending.Value(),
+			BusyTime:      time.Duration(d.h.Busy()),
+			Queued:        d.h.Pending(),
 			Errors:        d.errors.Value(),
 			Canceled:      d.canceled.Value(),
 			QueueFull:     d.queueFull.Value(),
@@ -510,6 +605,7 @@ func (s *Server) Stats() []DeviceStats {
 			QueueWaitP90:  time.Duration(wait.P90),
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -519,8 +615,13 @@ func (s *Server) Close() error {
 	if s.closed.CompareAndSwap(false, true) {
 		close(s.quit)
 		s.wg.Wait()
+		// Sweep once more after the workers exit: a submit racing with
+		// Close can commit its enqueue after the worker's drain.
+		for _, d := range s.slots {
+			s.failQueued(d)
+		}
 		var jobs int64
-		for _, d := range s.devices {
+		for _, d := range s.slots {
 			jobs += d.jobs.Value()
 		}
 		s.cfg.Events.Info(context.Background(), "serve", "server.close",

@@ -69,7 +69,7 @@ func TestQueueWaitRecorded(t *testing.T) {
 	if st.QueueWaitMean <= 0 {
 		t.Fatalf("QueueWaitMean = %v", st.QueueWaitMean)
 	}
-	h := findSeries(t, reg, "serve_queue_wait_seconds", "0").Histogram
+	h := findSeries(t, reg, "serve_queue_wait_seconds", "csd-000").Histogram
 	if h == nil || h.Count != 2 {
 		t.Fatalf("histogram snapshot %+v", h)
 	}
@@ -108,7 +108,7 @@ func TestServeCountersExposed(t *testing.T) {
 		}
 	}
 	var jobs int64
-	for _, dev := range []string{"0", "1"} {
+	for _, dev := range []string{"csd-000", "csd-001"} {
 		jobs += findSeries(t, reg, "serve_jobs_total", dev).Value
 	}
 	if jobs != 6 {
@@ -123,8 +123,8 @@ func TestServeCountersExposed(t *testing.T) {
 	text := b.String()
 	for _, name := range []string{
 		"serve_jobs_total", "serve_dispatches_total", "serve_errors_total",
-		"serve_canceled_total", "serve_queue_full_total", "serve_queue_depth",
-		"serve_busy_nanoseconds_total", "serve_queue_wait_seconds_bucket",
+		"serve_canceled_total", "serve_queue_full_total", "device_pending_requests",
+		"device_busy_nanoseconds_total", "device_state", "serve_queue_wait_seconds_bucket",
 		"serve_batch_size_bucket",
 	} {
 		if !strings.Contains(text, name) {
@@ -168,14 +168,14 @@ func TestQueueFullAndCanceledCounters(t *testing.T) {
 	wg.Wait()
 	s.Close()
 
-	if v := findSeries(t, reg, "serve_queue_full_total", "0").Value; v != 1 {
+	if v := findSeries(t, reg, "serve_queue_full_total", "csd-000").Value; v != 1 {
 		t.Fatalf("serve_queue_full_total = %d, want 1", v)
 	}
-	if v := findSeries(t, reg, "serve_canceled_total", "0").Value; v != 1 {
+	if v := findSeries(t, reg, "serve_canceled_total", "csd-000").Value; v != 1 {
 		t.Fatalf("serve_canceled_total = %d, want 1", v)
 	}
-	if v := findSeries(t, reg, "serve_queue_depth", "0").Value; v != 0 {
-		t.Fatalf("serve_queue_depth = %d after drain, want 0", v)
+	if v := findSeries(t, reg, "device_pending_requests", "csd-000").Value; v != 0 {
+		t.Fatalf("device_pending_requests = %d after drain, want 0", v)
 	}
 }
 

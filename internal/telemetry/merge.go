@@ -1,0 +1,91 @@
+package telemetry
+
+import "math"
+
+// MergeHistogramSnapshots folds several snapshots of same-layout histograms
+// (identical units and bucket bounds — e.g. one labeled series per device)
+// into one aggregate snapshot, recomputing the bucket-estimated quantiles
+// over the combined distribution. This is how a fleet-wide p99 is read from
+// per-device queue-wait histograms without a shared hot-path instrument.
+//
+// Snapshots with zero observations are skipped. The standard-deviation and
+// confidence-interval fields are not recomputed (the per-shard squared sums
+// are not exposed) and are left zero; Mean, quantiles, extremes, counts,
+// and buckets are exact merges. Mixing layouts returns the zero snapshot.
+func MergeHistogramSnapshots(snaps []HistogramSnapshot) HistogramSnapshot {
+	var out HistogramSnapshot
+	out.Min = math.MaxInt64
+	for _, s := range snaps {
+		if s.Count == 0 {
+			continue
+		}
+		if out.Count == 0 {
+			out.Unit = s.Unit
+			out.Buckets = make([]Bucket, len(s.Buckets))
+			copy(out.Buckets, s.Buckets)
+		} else {
+			if s.Unit != out.Unit || len(s.Buckets) != len(out.Buckets) {
+				return HistogramSnapshot{}
+			}
+			for i := range s.Buckets {
+				if s.Buckets[i].UpperBound != out.Buckets[i].UpperBound {
+					return HistogramSnapshot{}
+				}
+				out.Buckets[i].Count += s.Buckets[i].Count
+			}
+		}
+		out.Count += s.Count
+		out.Sum += s.Sum
+		if s.Min < out.Min {
+			out.Min = s.Min
+		}
+		if s.Max > out.Max {
+			out.Max = s.Max
+		}
+	}
+	if out.Count == 0 {
+		return HistogramSnapshot{}
+	}
+	out.Mean = float64(out.Sum) / float64(out.Count)
+	out.CILow, out.CIHigh = out.Mean, out.Mean
+	var total int64
+	for _, b := range out.Buckets {
+		total += b.Count
+	}
+	out.P50 = bucketQuantile(out.Buckets, total, 0.50, out.Min, out.Max)
+	out.P90 = bucketQuantile(out.Buckets, total, 0.90, out.Min, out.Max)
+	out.P99 = bucketQuantile(out.Buckets, total, 0.99, out.Min, out.Max)
+	return out
+}
+
+// bucketQuantile is Histogram.quantile over snapshot buckets: linear
+// interpolation inside the landing bucket, clamped to the observed
+// extremes, with the overflow bucket reporting the observed max.
+func bucketQuantile(buckets []Bucket, total int64, q float64, min, max int64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, b := range buckets {
+		cum += float64(b.Count)
+		if cum < rank || b.Count == 0 {
+			continue
+		}
+		if b.UpperBound == math.MaxInt64 { // overflow bucket
+			return float64(max)
+		}
+		lower := float64(min)
+		if i > 0 {
+			lower = float64(buckets[i-1].UpperBound)
+		}
+		upper := float64(b.UpperBound)
+		frac := (rank - (cum - float64(b.Count))) / float64(b.Count)
+		v := lower + frac*(upper-lower)
+		if v > float64(max) {
+			v = float64(max)
+		}
+		if v < float64(min) {
+			v = float64(min)
+		}
+		return v
+	}
+	return float64(max)
+}

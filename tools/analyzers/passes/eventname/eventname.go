@@ -5,11 +5,16 @@
 // EventLogger's ability to enumerate its vocabulary.
 //
 // Without a type checker the pass recognizes logger calls by shape: a
-// method call named Debug/Info/Warn/Error/Log/LogPID whose receiver is a
-// value (not an imported package — that exclusion keeps http.Error and
-// math.Log out) and whose first argument looks like a context. The name
-// argument sits at index 2 for the level methods and index 3 for
-// Log/LogPID, matching internal/eventlog's Logger.
+// method call named Debug/Info/Warn/Error/Log/LogPID/LogDevice whose
+// receiver is a value (not an imported package — that exclusion keeps
+// http.Error and math.Log out) and whose first argument looks like a
+// context. The name argument sits at index 2 for the level methods and
+// index 3 for Log/LogPID/LogDevice, matching internal/eventlog's Logger.
+//
+// The pass also pins the component vocabulary: a literal component must
+// come from the known set below, so a typo ("serv", "flete") cannot fork
+// the forensics timeline's grouping. New layers add themselves to the list
+// in the same change that introduces their events.
 package eventname
 
 import (
@@ -28,11 +33,19 @@ import (
 var namePattern = regexp.MustCompile(`^[a-z][a-z0-9_-]*(\.[a-z0-9_-]+)+$`)
 
 // nameArgIndex maps logger method names to the position of the event-name
-// argument; minimum arity is index+1 (Log and LogPID both carry level and
-// component before the name).
+// argument; minimum arity is index+1 (Log, LogPID, and LogDevice all carry
+// level and component before the name).
 var nameArgIndex = map[string]int{
 	"Debug": 2, "Info": 2, "Warn": 2, "Error": 2,
-	"Log": 3, "LogPID": 3,
+	"Log": 3, "LogPID": 3, "LogDevice": 3,
+}
+
+// knownComponents is the event-emitting layer vocabulary. The component
+// argument always sits immediately before the event name.
+var knownComponents = map[string]bool{
+	"core": true, "csd": true, "cti": true, "detect": true,
+	"device": true, "engine": true, "fleet": true, "incident": true,
+	"serve": true,
 }
 
 var Analyzer = &analysis.Analyzer{
@@ -66,6 +79,7 @@ func run(pass *analysis.Pass) {
 			if !looksLikeContext(call.Args[0]) {
 				return true
 			}
+			checkComponent(pass, f, call.Args[idx-1])
 			checkName(pass, f, call.Args[idx])
 			return true
 		})
@@ -86,6 +100,25 @@ func looksLikeContext(expr ast.Expr) bool {
 		return true
 	}
 	return false
+}
+
+// checkComponent flags literal components outside the known vocabulary.
+// Non-literal components (constants, parameters) are assumed to carry a
+// checked literal from their declaration site.
+func checkComponent(pass *analysis.Pass, f *analysis.File, arg ast.Expr) {
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	comp, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !knownComponents[comp] {
+		pass.Reportf(f, lit.Pos(),
+			"event component %q is not a known emitting layer; add it to the eventname analyzer's vocabulary if this is a new subsystem",
+			comp)
+	}
 }
 
 func checkName(pass *analysis.Pass, f *analysis.File, arg ast.Expr) {

@@ -124,3 +124,43 @@ func withJob(ctx context.Context) context.Context { return ctx }
 		t.Fatalf("diagnostics = %v, want only the bad literal through withJob", diags)
 	}
 }
+
+// TestLogDeviceNamePosition pins the LogDevice shape: component at index 2,
+// event name at index 3, device attribution after the name.
+func TestLogDeviceNamePosition(t *testing.T) {
+	src := header + `
+	l.LogDevice(ctx, lvl, "fleet", "fleet.node.fail", "csd-000")
+	l.LogDevice(ctx, lvl, "device", "device.rejoin", "csd-001")
+	l.LogDevice(ctx, lvl, "fleet", "retried", "csd-000")
+	l.LogDevice(ctx, lvl, "fleet", "retry."+path, "csd-000")
+}
+`
+	diags := runOn(t, src)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 (bad literal, dynamic)", diags)
+	}
+}
+
+// TestUnknownComponentIsFlagged pins the component vocabulary: a literal
+// component outside the known layer set is a typo waiting to fork the
+// forensics timeline.
+func TestUnknownComponentIsFlagged(t *testing.T) {
+	src := header + `
+	l.Info(ctx, "flete", "fleet.start")
+	l.Log(ctx, lvl, "serv", "serve.close")
+	l.LogDevice(ctx, lvl, "device", "device.ready", "csd-000")
+	l.Info(ctx, componentVar, "fleet.start")
+}
+
+var componentVar = "fleet"
+`
+	diags := runOn(t, src)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 unknown components", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "not a known emitting layer") {
+			t.Fatalf("unexpected message: %s", d.Message)
+		}
+	}
+}
