@@ -36,6 +36,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/cti"
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/detect"
+	"github.com/kfrida1/csdinf/internal/device"
 	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/fleet"
 	"github.com/kfrida1/csdinf/internal/incident"
@@ -185,6 +186,19 @@ func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
 	return p, nil
 }
 
+// registry returns the device registry of whichever serving layer is live,
+// for the /healthz readiness judgment (nil in single-node mode without a
+// configured registry — then /healthz stays unconditionally ok).
+func (p *pipeline) registry() *device.Registry {
+	if p.fl != nil {
+		return p.fl.Registry()
+	}
+	if p.srv != nil {
+		return p.srv.Registry()
+	}
+	return nil
+}
+
 func (p *pipeline) Close() error {
 	if p.fl != nil {
 		return p.fl.Close()
@@ -278,9 +292,13 @@ func run(args []string) error {
 		defer ln.Close()
 		fmt.Printf("metrics at http://%s/metrics\n", ln.Addr())
 		mux := http.NewServeMux()
-		mux.Handle("/", telemetry.NewHTTPHandlerWith(reg, spans, map[string]http.Handler{
-			"/events.json":    events.HTTPHandler(),
-			"/incidents.json": p.rec.HTTPHandler(),
+		mux.Handle("/", telemetry.NewHTTPHandlerOpts(reg, telemetry.HTTPOptions{
+			Spans: spans,
+			Extra: map[string]http.Handler{
+				"/events.json":    events.HTTPHandler(),
+				"/incidents.json": p.rec.HTTPHandler(),
+			},
+			Health: p.registry().Health,
 		}))
 		if *pprofOn {
 			// Mount explicitly rather than blank-importing, so the Go

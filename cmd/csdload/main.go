@@ -1,0 +1,257 @@
+// Command csdload is the open-loop load generator for the CSD serving
+// stack: it drives a simulated fleet with Poisson or bursty arrivals from
+// thousands of synthetic processes and reports SLO attainment — latency and
+// availability objectives, rolling error budgets, and Google-SRE-style
+// burn-rate alerts, with incidents auto-opened when the fast-burn rule
+// trips.
+//
+// Unlike the closed-loop benchmarks under internal/experiments, csdload
+// dispatches every request at its scheduled arrival time and measures
+// latency from that intent, so the report is coordinated-omission-safe: a
+// backed-up fleet is charged for the queueing it inflicts.
+//
+// Usage:
+//
+//	csdload -devices 4 -arrivals poisson -rate 5000 -duration 10s -seed 1
+//	csdload -chaos -json slo-report.json           # drain/fail/rejoin mid-run
+//	csdload -metrics-addr 127.0.0.1:9100 -hold 1m  # /metrics, /slo.json, ...
+//
+// The -seed flag makes the arrival schedule (and its report digest)
+// deterministic, which is how CI pins the generator.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/kfrida1/csdinf/internal/device"
+	"github.com/kfrida1/csdinf/internal/eventlog"
+	"github.com/kfrida1/csdinf/internal/fleet"
+	"github.com/kfrida1/csdinf/internal/incident"
+	"github.com/kfrida1/csdinf/internal/load"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/slo"
+	"github.com/kfrida1/csdinf/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "csdload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("csdload", flag.ContinueOnError)
+	devices := fs.Int("devices", 4, "CSD fleet size")
+	arrivals := fs.String("arrivals", "poisson", "arrival process: poisson or bursty")
+	rate := fs.Float64("rate", 5000, "mean arrival rate, requests/second")
+	duration := fs.Duration("duration", 10*time.Second, "run length including warmup")
+	warmup := fs.Duration("warmup", 0, "leading slice excluded from measurement")
+	seed := fs.Int64("seed", 1, "schedule seed (same seed: same arrivals, same report digest)")
+	pids := fs.Int("pids", 2000, "synthetic process population")
+	queueDepth := fs.Int("queue-depth", 0, "per-device queue depth (0: fleet default)")
+	chaos := fs.Bool("chaos", false, "drain/fail/rejoin devices mid-run, including a full-rack blackout")
+	jsonPath := fs.String("json", "", "write the SLO report JSON artifact to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /slo.json, /events.json, /incidents.json, /healthz on this address (empty: off)")
+	hold := fs.Duration("hold", 0, "keep the metrics endpoint up this long after the run")
+	latencySLO := fs.Duration("latency-slo", 2*time.Millisecond, "latency objective threshold (the paper's ~2ms promise)")
+	latencyTarget := fs.Float64("latency-target", 0.99, "fraction of requests that must meet -latency-slo")
+	availTarget := fs.Float64("availability-target", 0.999, "fraction of requests that must succeed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// An untrained paper-architecture model: load generation exercises the
+	// serving path, not classification accuracy.
+	model, err := lstm.NewModel(lstm.PaperConfig(), *seed)
+	if err != nil {
+		return err
+	}
+
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanLog(32)
+	events := eventlog.New(eventlog.Config{})
+	defer events.Close()
+	rec, err := incident.NewRecorder(incident.Config{Events: events})
+	if err != nil {
+		return err
+	}
+
+	fl, err := fleet.New(model, fleet.Config{
+		Nodes:      *devices,
+		QueueDepth: *queueDepth,
+		Telemetry:  reg,
+		Spans:      spans,
+		Events:     events,
+		Incidents:  rec,
+	})
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+
+	// The SLO window is the measured part of the run: burn windows and the
+	// error budget scale with it (a 10s run lives on a compressed clock).
+	window := *duration - *warmup
+	evaluator, err := slo.NewEvaluator(slo.Config{
+		Objectives: []slo.Objective{
+			{
+				Name:        "latency",
+				Description: fmt.Sprintf("%.0f%% of requests classified within %v of intended arrival", *latencyTarget*100, *latencySLO),
+				Kind:        slo.KindLatency,
+				Target:      *latencyTarget,
+				Threshold:   *latencySLO,
+				Window:      window,
+			},
+			{
+				Name:        "availability",
+				Description: fmt.Sprintf("%.1f%% of requests succeed", *availTarget*100),
+				Kind:        slo.KindAvailability,
+				Target:      *availTarget,
+				Window:      window,
+			},
+		},
+		Telemetry: reg,
+		Events:    events,
+		Incidents: rec,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "metrics at http://%s/metrics (slo at /slo.json)\n", ln.Addr())
+		handler := telemetry.NewHTTPHandlerOpts(reg, telemetry.HTTPOptions{
+			Spans: spans,
+			Extra: map[string]http.Handler{
+				"/slo.json":       evaluator.HTTPHandler(),
+				"/events.json":    events.HTTPHandler(),
+				"/incidents.json": rec.HTTPHandler(),
+			},
+			Health: fl.Registry().Health,
+		})
+		go func() { _ = http.Serve(ln, handler) }()
+	}
+
+	var steps []load.ChaosStep
+	if *chaos {
+		steps = chaosPlan(fl, *duration)
+		fmt.Fprintf(out, "chaos: %d steps scheduled (drain/fail/rejoin + full-rack blackout)\n", len(steps))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := load.Run(ctx, load.Config{
+		Target:    fl,
+		Arrivals:  *arrivals,
+		Rate:      *rate,
+		Duration:  *duration,
+		Warmup:    *warmup,
+		PIDs:      *pids,
+		Vocab:     lstm.PaperConfig().VocabSize,
+		Seed:      *seed,
+		Evaluator: evaluator,
+		Events:    events,
+		Chaos:     steps,
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+
+	fmt.Fprintln(out)
+	if err := res.WriteText(out); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", *jsonPath, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nSLO report written to %s\n", *jsonPath)
+	}
+	if *metricsAddr != "" && *hold > 0 {
+		fmt.Fprintf(out, "holding metrics endpoint for %v...\n", *hold)
+		time.Sleep(*hold)
+	}
+	return nil
+}
+
+// chaosPlan schedules the fleet disturbances of a -chaos run: a drain and
+// rejoin of one device, a hard failure and rejoin of another, and — because
+// the fleet's retry-on-spillover masks single-device faults — a short
+// full-rack blackout that deliberately violates the availability objective
+// so the run demonstrates a fast-burn alert and its auto-opened incident.
+func chaosPlan(fl *fleet.Fleet, duration time.Duration) []load.ChaosStep {
+	at := func(frac float64) time.Duration {
+		return time.Duration(frac * float64(duration))
+	}
+	var ids []device.ID
+	for _, d := range fl.Registry().List() {
+		ids = append(ids, d.ID())
+	}
+	var steps []load.ChaosStep
+	if len(ids) >= 2 {
+		id := ids[1]
+		steps = append(steps,
+			load.ChaosStep{At: at(0.35), Name: fmt.Sprintf("drain %s", id), Do: func(context.Context) error {
+				return fl.Drain(id, "chaos-drain")
+			}},
+			load.ChaosStep{At: at(0.45), Name: fmt.Sprintf("rejoin %s", id), Do: func(context.Context) error {
+				return fl.Rejoin(id, "chaos-drain-over")
+			}},
+		)
+	}
+	if len(ids) >= 3 {
+		id := ids[2]
+		steps = append(steps,
+			load.ChaosStep{At: at(0.5), Name: fmt.Sprintf("fail %s", id), Do: func(context.Context) error {
+				return fl.Fail(id, "chaos-fault")
+			}},
+			load.ChaosStep{At: at(0.6), Name: fmt.Sprintf("rejoin %s", id), Do: func(context.Context) error {
+				return fl.Rejoin(id, "chaos-repaired")
+			}},
+		)
+	}
+	steps = append(steps,
+		load.ChaosStep{At: at(0.7), Name: "blackout: fail all devices", Do: func(ctx context.Context) error {
+			var first error
+			for _, id := range ids {
+				if err := fl.Fail(id, "chaos-blackout"); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}},
+		load.ChaosStep{At: at(0.85), Name: "blackout over: rejoin all devices", Do: func(ctx context.Context) error {
+			var first error
+			for _, id := range ids {
+				if err := fl.Rejoin(id, "chaos-blackout-over"); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}},
+	)
+	return steps
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/load"
+)
+
+// TestRunDeterministicReport runs csdload twice with the same seed at a
+// small scale and pins that the schedule digest — the deterministic part of
+// the SLO report — is identical, and differs for a different seed.
+func TestRunDeterministicReport(t *testing.T) {
+	dir := t.TempDir()
+	report := func(name string, seed string) load.Result {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		var out bytes.Buffer
+		err := run([]string{
+			"-devices", "2", "-rate", "300", "-duration", "400ms",
+			"-warmup", "100ms", "-seed", seed, "-pids", "64", "-json", path,
+		}, &out)
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+		if !strings.Contains(out.String(), "SLO attainment") {
+			t.Fatalf("report lacks SLO attainment section:\n%s", out.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res load.Result
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatalf("artifact not valid JSON: %v", err)
+		}
+		return res
+	}
+
+	a := report("a.json", "1")
+	b := report("b.json", "1")
+	c := report("c.json", "2")
+	if a.ScheduleDigest == "" {
+		t.Fatal("empty schedule digest")
+	}
+	if a.ScheduleDigest != b.ScheduleDigest || a.Scheduled != b.Scheduled {
+		t.Errorf("same seed diverged: %s/%d vs %s/%d",
+			a.ScheduleDigest, a.Scheduled, b.ScheduleDigest, b.Scheduled)
+	}
+	if c.ScheduleDigest == a.ScheduleDigest {
+		t.Errorf("different seeds produced identical digest %s", a.ScheduleDigest)
+	}
+	if a.SLO == nil || len(a.SLO.Objectives) != 2 {
+		t.Fatalf("report SLO = %+v, want latency + availability objectives", a.SLO)
+	}
+}
+
+// TestRunChaos pins the -chaos contract: the full-rack blackout violates
+// the availability objective, a burn-rate alert fires, and an incident is
+// auto-opened — all visible in the report artifact.
+func TestRunChaos(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-devices", "2", "-rate", "500", "-duration", "1s",
+		"-seed", "1", "-pids", "64", "-chaos", "-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res load.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chaos) == 0 {
+		t.Fatal("no chaos steps recorded")
+	}
+	if res.SLO == nil {
+		t.Fatal("no SLO status in artifact")
+	}
+	var violated, fired bool
+	var incidents int64
+	for _, o := range res.SLO.Objectives {
+		if o.Name == "availability" {
+			violated = !o.Met
+		}
+	}
+	for _, a := range res.SLO.Alerts {
+		if a.State == "firing" {
+			fired = true
+		}
+		if a.IncidentID != 0 {
+			incidents++
+		}
+	}
+	if !violated {
+		t.Error("availability objective met despite a full-rack blackout")
+	}
+	if !fired {
+		t.Errorf("no burn-rate alert fired; alerts = %+v", res.SLO.Alerts)
+	}
+	if incidents == 0 || res.SLO.IncidentsOpened == 0 {
+		t.Errorf("no incident auto-opened (transitions %+v, opened %d)",
+			res.SLO.Alerts, res.SLO.IncidentsOpened)
+	}
+	if !strings.Contains(out.String(), "chaos steps") {
+		t.Errorf("text report lacks chaos section:\n%s", out.String())
+	}
+}

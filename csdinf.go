@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"github.com/kfrida1/csdinf/internal/core"
 	"github.com/kfrida1/csdinf/internal/csd"
@@ -57,12 +58,14 @@ import (
 	"github.com/kfrida1/csdinf/internal/incident"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/load"
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/metrics"
 	"github.com/kfrida1/csdinf/internal/node"
 	"github.com/kfrida1/csdinf/internal/report"
 	"github.com/kfrida1/csdinf/internal/sandbox"
 	"github.com/kfrida1/csdinf/internal/serve"
+	"github.com/kfrida1/csdinf/internal/slo"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/trace"
 	"github.com/kfrida1/csdinf/internal/train"
@@ -638,3 +641,64 @@ func NewIncidentRecorder(cfg IncidentConfig) (*IncidentRecorder, error) {
 
 // AUC computes the area under the ROC curve of scored predictions.
 func AUC(preds []ScoredPrediction) (float64, error) { return metrics.AUC(preds) }
+
+// SLO types (the error-budget and burn-rate alerting layer — see
+// internal/slo): declarative objectives over latency, availability, and
+// detection windows, evaluated into rolling multi-window error budgets with
+// Google-SRE-style multi-window multi-burn-rate alerts.
+type (
+	// SLObjective declares one service-level objective.
+	SLObjective = slo.Objective
+	// SLOKind selects what an objective measures (latency, availability,
+	// detection windows-until-flagged).
+	SLOKind = slo.Kind
+	// BurnRule is one multi-window burn-rate alert rule.
+	BurnRule = slo.Rule
+	// SLOEvaluator ingests request outcomes and judges objectives; a nil
+	// evaluator is inert, like the other observability hooks.
+	SLOEvaluator = slo.Evaluator
+	// SLOConfig wires objectives, rules, and the observability stack into
+	// an evaluator.
+	SLOConfig = slo.Config
+	// SLOStatus is one evaluation pass: per-objective attainment, budget
+	// remaining, burn rates, and the recent alert transitions.
+	SLOStatus = slo.Status
+	// SLObjectiveStatus is one objective's judgment inside an SLOStatus.
+	SLObjectiveStatus = slo.ObjectiveStatus
+)
+
+// Objective kinds.
+const (
+	SLOAvailability = slo.KindAvailability
+	SLOLatency      = slo.KindLatency
+	SLODetection    = slo.KindDetection
+)
+
+// NewSLOEvaluator builds an SLO evaluator over the given objectives.
+func NewSLOEvaluator(cfg SLOConfig) (*SLOEvaluator, error) { return slo.NewEvaluator(cfg) }
+
+// DefaultBurnRules returns the standard fast/slow multi-window burn-rate
+// alert pair scaled to an objective window.
+func DefaultBurnRules(window time.Duration) []BurnRule { return slo.DefaultRules(window) }
+
+// Load-generation types (the open-loop generator behind cmd/csdload — see
+// internal/load): Poisson or bursty arrivals dispatched at their scheduled
+// times with coordinated-omission-safe latency measurement.
+type (
+	// LoadConfig describes one open-loop load run.
+	LoadConfig = load.Config
+	// LoadResult is a completed run's report: throughput, latency from
+	// intended arrival, error taxonomy, SLO status, and chaos outcomes.
+	LoadResult = load.Result
+	// LoadTarget is anything csdload can drive — Fleet and Server both
+	// satisfy it.
+	LoadTarget = load.Target
+	// ChaosStep is one scheduled mid-run disturbance (drain, fail, rejoin).
+	ChaosStep = load.ChaosStep
+)
+
+// RunLoad executes an open-loop load run against a fleet or server and
+// returns the SLO attainment report.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	return load.Run(ctx, cfg)
+}

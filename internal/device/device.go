@@ -231,6 +231,25 @@ func (r *Registry) Ready() []*Device {
 	return out
 }
 
+// Health judges the registry as a serving pool for liveness probes: "ok"
+// (and ready) while at least one device is Ready, "degraded" (and not
+// ready) once every device has drained or failed — wire it to
+// telemetry.HTTPOptions.Health so /healthz?ready=1 answers 503 instead of
+// pretending an empty pool can serve.
+func (r *Registry) Health() (status string, ready bool) {
+	if r == nil {
+		return "ok", true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range r.order {
+		if d.State() == Ready {
+			return "ok", true
+		}
+	}
+	return "degraded", false
+}
+
 // Watch registers a lifecycle callback and returns its cancel function.
 // Callbacks run synchronously on the transitioning goroutine, in Seq
 // order, after the transition has committed; keep them fast and do not

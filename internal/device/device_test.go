@@ -146,6 +146,29 @@ func TestReadyListsOnlyReadyDevices(t *testing.T) {
 	}
 }
 
+func TestHealthDegradesWithoutReadyDevices(t *testing.T) {
+	r := NewRegistry(Config{})
+	if status, ready := r.Health(); status != "degraded" || ready {
+		t.Fatalf("empty registry Health() = %q/%v, want degraded/false", status, ready)
+	}
+	d := r.Register()
+	if status, ready := r.Health(); status != "degraded" || ready {
+		t.Fatalf("provisioning-only Health() = %q/%v, want degraded/false", status, ready)
+	}
+	d.SetReady("")
+	if status, ready := r.Health(); status != "ok" || !ready {
+		t.Fatalf("Health() with a ready device = %q/%v, want ok/true", status, ready)
+	}
+	d.Fail("blown-fuse")
+	if status, ready := r.Health(); status != "degraded" || ready {
+		t.Fatalf("Health() after last device failed = %q/%v, want degraded/false", status, ready)
+	}
+	var nilReg *Registry
+	if status, ready := nilReg.Health(); status != "ok" || !ready {
+		t.Fatalf("nil registry Health() = %q/%v, want ok/true", status, ready)
+	}
+}
+
 func TestScoreAccounting(t *testing.T) {
 	r := NewRegistry(Config{})
 	d := r.Register()

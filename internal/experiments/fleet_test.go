@@ -21,8 +21,22 @@ func TestFleetRunSmoke(t *testing.T) {
 	if res.QueueWaitP99US < res.QueueWaitP50US {
 		t.Fatalf("p99 %.2f < p50 %.2f", res.QueueWaitP99US, res.QueueWaitP50US)
 	}
+	// Every request succeeded, so SLO attainment is defined and positive; the
+	// objective itself may or may not be met on a loaded CI box, but the
+	// accounting must be coherent with the wall-latency quantiles.
+	if res.SLOAttainment <= 0 || res.SLOAttainment > 1 {
+		t.Fatalf("SLO attainment = %v, want (0, 1]", res.SLOAttainment)
+	}
+	if res.WallLatencyP99US < res.WallLatencyP50US || res.WallLatencyP50US <= 0 {
+		t.Fatalf("wall latency p50 %.2f / p99 %.2f incoherent",
+			res.WallLatencyP50US, res.WallLatencyP99US)
+	}
+	if res.SLOMet != (res.SLOBudgetRemaining >= 0) {
+		t.Fatalf("SLOMet = %v but budget remaining = %v",
+			res.SLOMet, res.SLOBudgetRemaining)
+	}
 	out := FormatFleet(res)
-	for _, want := range []string{"Fleet throughput", "p99", "spillover"} {
+	for _, want := range []string{"Fleet throughput", "p99", "spillover", "SLO attainment"} {
 		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
 			t.Fatalf("format output missing %q:\n%s", want, out)
 		}

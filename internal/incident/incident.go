@@ -81,6 +81,9 @@ type Incident struct {
 	// FailureReason is the fault cause reported for a device incident
 	// ("ecc-storm", "simulated-fault", ...); empty for process incidents.
 	FailureReason string `json:"failure_reason,omitempty"`
+	// Objective is the violated service-level objective of a Kind "slo"
+	// incident; empty otherwise.
+	Objective string `json:"objective,omitempty"`
 	// FirstSeen is when the process's first window of this tracking epoch
 	// was classified — including benign windows before the flag.
 	FirstSeen time.Time `json:"first_seen"`
@@ -300,6 +303,42 @@ func (r *Recorder) DeviceFailure(deviceID, reason string) Incident {
 	r.mu.Unlock()
 	r.cfg.Events.LogDevice(context.Background(), eventlog.LevelError, "incident", "incident.device_failure", deviceID,
 		eventlog.F("incident_id", inc.ID),
+		eventlog.F("reason", reason))
+	return cloneIncident(inc)
+}
+
+// SLOBreach records a service-level-objective breach: one closed Incident
+// of Kind "slo" naming the violated objective and the burn rule that fired.
+// The slo.Evaluator calls it when a paging burn-rate rule trips so budget
+// exhaustion lands in the same SOC-facing history as ransomware verdicts
+// and drive faults. It returns the recorded incident.
+func (r *Recorder) SLOBreach(objective, rule, reason string) Incident {
+	if r == nil {
+		return Incident{}
+	}
+	r.mu.Lock()
+	now := r.cfg.Clock()
+	r.nextID++
+	r.opened++
+	inc := Incident{
+		ID: r.nextID, Kind: "slo", State: "closed",
+		CloseReason: "slo-breach", FailureReason: reason,
+		Objective: objective,
+		FirstSeen: now, FlaggedAt: now, ClosedAt: now,
+	}
+	if r.cfg.Generation != nil {
+		inc.ModelGeneration = r.cfg.Generation()
+	}
+	if len(r.closed) >= r.cfg.MaxClosed {
+		drop := len(r.closed) - r.cfg.MaxClosed + 1
+		r.closed = append(r.closed[:0], r.closed[drop:]...)
+	}
+	r.closed = append(r.closed, inc)
+	r.mu.Unlock()
+	r.cfg.Events.Error(context.Background(), "incident", "incident.slo_breach",
+		eventlog.F("incident_id", inc.ID),
+		eventlog.F("objective", objective),
+		eventlog.F("rule", rule),
 		eventlog.F("reason", reason))
 	return cloneIncident(inc)
 }

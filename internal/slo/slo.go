@@ -1,0 +1,141 @@
+// Package slo turns raw telemetry into judgments: declarative service-level
+// objectives, rolling error budgets, and Google-SRE-style multi-window
+// multi-burn-rate alerting for the CSD detection stack.
+//
+// The paper's value proposition is detection under production traffic — a
+// drive that keeps up with datacenter I/O while flagging ransomware in near
+// real time. RanStop (arXiv:2011.12248) frames hardware-assisted detection
+// as a ~2 ms latency promise; SHIELD (arXiv:2501.16619) stresses sustained
+// host-independent operation. Both are SLO claims, and metrics alone cannot
+// verify them: a histogram says what the p99 was, not whether the service
+// kept its promise, how much failure headroom remains, or when an operator
+// must be paged. This package closes that loop.
+//
+// An Objective declares what "good" means for one stream of events — a
+// request classified within a latency threshold, a request that succeeded
+// at all, a ransomware process flagged within a bounded number of windows —
+// plus the fraction of events that must be good (the target) over a rolling
+// window. The complement of the target is the error budget. An Evaluator
+// ingests the event stream into per-objective time-bucketed rings and, on
+// each evaluation pass, computes windowed attainment, budget remaining, and
+// burn rates over multiple alert windows. When both the long and the short
+// window of a rule burn faster than the rule's threshold, the alert fires:
+// an slo.* event is emitted, and paging rules open an incident through
+// internal/incident so SLO breaches land in the same SOC-facing history as
+// ransomware verdicts and drive faults.
+//
+// The Evaluator is safe for concurrent use; recording is a mutex-guarded
+// bucket increment, cheap enough for per-request call sites.
+package slo
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind discriminates what an objective's events measure.
+type Kind uint8
+
+const (
+	// KindAvailability: an event is good when the request succeeded.
+	KindAvailability Kind = iota
+	// KindLatency: an event is good when the request succeeded within
+	// Objective.Threshold of its intended start (coordinated-omission-safe
+	// recording measures from intended arrival, not dispatch).
+	KindLatency
+	// KindDetection: an event is one flagged (or abandoned) process; it is
+	// good when the detector flagged the process within
+	// Objective.MaxWindows classified windows — the paper's
+	// detection-latency promise expressed as windows-until-flagged.
+	KindDetection
+)
+
+// String returns the kind name used in JSON status.
+func (k Kind) String() string {
+	switch k {
+	case KindAvailability:
+		return "availability"
+	case KindLatency:
+		return "latency"
+	case KindDetection:
+		return "detection"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Objective is one declarative service-level objective.
+type Objective struct {
+	// Name identifies the objective in status, events, metric labels, and
+	// incidents ("latency-2ms", "availability").
+	Name string
+	// Description is a human sentence for reports; optional.
+	Description string
+	// Kind selects which recorded events feed the objective.
+	Kind Kind
+	// Target is the fraction of events that must be good, in (0, 1) —
+	// e.g. 0.999 leaves a 0.1% error budget.
+	Target float64
+	// Threshold is the good-latency bound for KindLatency objectives.
+	Threshold time.Duration
+	// MaxWindows is the windows-until-flagged bound for KindDetection
+	// objectives.
+	MaxWindows int
+	// Window is the rolling error-budget window; 0 defaults to one hour.
+	// Load runs typically set it to the measured run duration.
+	Window time.Duration
+}
+
+func (o *Objective) validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("slo: objective has no name")
+	}
+	if o.Target <= 0 || o.Target >= 1 {
+		return fmt.Errorf("slo: objective %q target %v outside (0, 1)", o.Name, o.Target)
+	}
+	if o.Kind == KindLatency && o.Threshold <= 0 {
+		return fmt.Errorf("slo: latency objective %q needs a positive Threshold", o.Name)
+	}
+	if o.Kind == KindDetection && o.MaxWindows <= 0 {
+		return fmt.Errorf("slo: detection objective %q needs a positive MaxWindows", o.Name)
+	}
+	if o.Window == 0 {
+		o.Window = time.Hour
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("slo: objective %q window must be positive, got %v", o.Name, o.Window)
+	}
+	return nil
+}
+
+// Rule is one burn-rate alert: the alert fires when the error budget burns
+// at more than Burn× the sustainable rate over both the Long and the Short
+// window (the short window makes the alert reset quickly once the burn
+// stops — the Google SRE multi-window refinement).
+type Rule struct {
+	// Name labels the rule ("fast", "slow").
+	Name string
+	// Burn is the burn-rate threshold: 1.0 means exactly consuming the
+	// budget over the objective window; 14.4 is the classic page-now rate.
+	Burn float64
+	// Long and Short are the two evaluation windows; both must exceed Burn.
+	Long, Short time.Duration
+	// Page marks the rule severe enough to open an incident when it fires
+	// (the fast-burn condition); non-paging rules only emit events.
+	Page bool
+}
+
+// DefaultRules scales the Google SRE multi-window multi-burn-rate pair to
+// an objective window: a paging fast-burn rule (14.4× over window/10, with
+// a window/120 short window) and a warning slow-burn rule (6× over
+// window/2, short window/24). The canonical 30-day/1-hour/5-minute shape
+// survives the rescale — load runs just live on a compressed clock.
+func DefaultRules(window time.Duration) []Rule {
+	if window <= 0 {
+		window = time.Hour
+	}
+	return []Rule{
+		{Name: "fast", Burn: 14.4, Long: window / 10, Short: window / 120, Page: true},
+		{Name: "slow", Burn: 6, Long: window / 2, Short: window / 24},
+	}
+}

@@ -94,6 +94,44 @@ func TestHistogramEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// TestHistogramMinMaxSumSharpenQuantiles pins the Min/Max/Sum exposure that
+// SLO latency objectives and MergeHistogramSnapshots rely on: quantile
+// estimates clamp to the observed extremes, so a coarse bucket layout cannot
+// report a p99 beyond any value actually seen (bucket-edge interpolation
+// alone would).
+func TestHistogramMinMaxSumSharpenQuantiles(t *testing.T) {
+	// One enormous bucket: raw interpolation over [0, 1s] would put p50 near
+	// 500ms; clamping to the observed [2ms, 3ms] keeps the estimate honest.
+	h := NewHistogram(DurationBuckets(time.Second))
+	for _, d := range []time.Duration{2 * time.Millisecond, 2500 * time.Microsecond, 3 * time.Millisecond} {
+		h.ObserveDuration(d)
+	}
+	s := h.Snapshot()
+	if s.Min != int64(2*time.Millisecond) || s.Max != int64(3*time.Millisecond) {
+		t.Fatalf("extremes = [%v, %v], want [2ms, 3ms]",
+			time.Duration(s.Min), time.Duration(s.Max))
+	}
+	if s.Sum != int64(7500*time.Microsecond) {
+		t.Fatalf("sum = %v, want 7.5ms", time.Duration(s.Sum))
+	}
+	for _, tc := range []struct {
+		name string
+		got  float64
+	}{
+		{"p50", s.P50}, {"p90", s.P90}, {"p99", s.P99},
+	} {
+		if tc.got < float64(s.Min) || tc.got > float64(s.Max) {
+			t.Errorf("%s = %v escapes observed [%v, %v]",
+				tc.name, time.Duration(tc.got),
+				time.Duration(s.Min), time.Duration(s.Max))
+		}
+	}
+	// Mean comes from the exact Sum, not bucket edges.
+	if want := float64(2500 * time.Microsecond); s.Mean != want {
+		t.Errorf("mean = %v, want %v", time.Duration(s.Mean), time.Duration(want))
+	}
+}
+
 func TestHistogramOverflowBucket(t *testing.T) {
 	h := NewHistogram(DurationBuckets(time.Microsecond))
 	h.ObserveDuration(10 * time.Second) // beyond every bound

@@ -62,6 +62,27 @@ func NewHTTPHandler(r *Registry, spans *SpanLog) http.Handler {
 // on the same mux. Extra patterns must not collide with the built-in
 // endpoints.
 func NewHTTPHandlerWith(r *Registry, spans *SpanLog, extra map[string]http.Handler) http.Handler {
+	return NewHTTPHandlerOpts(r, HTTPOptions{Spans: spans, Extra: extra})
+}
+
+// HTTPOptions configures NewHTTPHandlerOpts.
+type HTTPOptions struct {
+	// Spans backs /spans.json; nil reports an empty ring.
+	Spans *SpanLog
+	// Extra mounts additional pattern → handler pairs on the same mux
+	// (e.g. /events.json, /incidents.json, /slo.json).
+	Extra map[string]http.Handler
+	// Health, when non-nil, supplies the /healthz judgment: a status string
+	// ("ok", "degraded", ...) and whether the process can serve. When not
+	// ready, /healthz?ready=1 answers 503 so probes can gate on capacity
+	// rather than mere liveness; the plain /healthz stays 200 (the process
+	// is alive) but reports the degraded status honestly.
+	Health func() (status string, ready bool)
+}
+
+// NewHTTPHandlerOpts is NewHTTPHandler with the full option set.
+func NewHTTPHandlerOpts(r *Registry, opts HTTPOptions) http.Handler {
+	spans := opts.Spans
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -91,17 +112,25 @@ func NewHTTPHandlerWith(r *Registry, spans *SpanLog, extra map[string]http.Handl
 		}{Total: spans.Total(), Retained: len(snap), Spans: snap})
 	})
 	build := readBuildInfo()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		status, ready := "ok", true
+		if opts.Health != nil {
+			status, ready = opts.Health()
+		}
 		w.Header().Set("Content-Type", "application/json")
+		if !ready && req.URL.Query().Get("ready") != "" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(struct {
 			Status        string    `json:"status"`
+			Ready         bool      `json:"ready"`
 			Build         buildInfo `json:"build"`
 			UptimeSeconds float64   `json:"uptime_seconds"`
-		}{Status: "ok", Build: build, UptimeSeconds: time.Since(processStart).Seconds()})
+		}{Status: status, Ready: ready, Build: build, UptimeSeconds: time.Since(processStart).Seconds()})
 	})
-	for pattern, h := range extra {
+	for pattern, h := range opts.Extra {
 		mux.Handle(pattern, h)
 	}
 	return mux

@@ -217,6 +217,54 @@ func TestSpanLogConcurrentWriters(t *testing.T) {
 	}
 }
 
+// TestHealthzDegraded pins the honest-degradation contract: with a Health
+// hook reporting not-ready, plain /healthz stays 200 (the process is alive)
+// but reports the degraded status, while /healthz?ready=1 answers 503 so
+// readiness probes can gate on serving capacity.
+func TestHealthzDegraded(t *testing.T) {
+	var mu sync.Mutex
+	status, ready := "ok", true
+	srv := httptest.NewServer(NewHTTPHandlerOpts(NewRegistry(), HTTPOptions{
+		Health: func() (string, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			return status, ready
+		},
+	}))
+	defer srv.Close()
+
+	check := func(path string, wantCode int, wantStatus string, wantReady bool) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Errorf("%s status code = %d, want %d", path, resp.StatusCode, wantCode)
+		}
+		var doc struct {
+			Status string `json:"status"`
+			Ready  bool   `json:"ready"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("%s invalid JSON: %v", path, err)
+		}
+		if doc.Status != wantStatus || doc.Ready != wantReady {
+			t.Errorf("%s = {%q, %v}, want {%q, %v}", path, doc.Status, doc.Ready, wantStatus, wantReady)
+		}
+	}
+
+	check("/healthz", http.StatusOK, "ok", true)
+	check("/healthz?ready=1", http.StatusOK, "ok", true)
+
+	mu.Lock()
+	status, ready = "degraded", false
+	mu.Unlock()
+	check("/healthz", http.StatusOK, "degraded", false)
+	check("/healthz?ready=1", http.StatusServiceUnavailable, "degraded", false)
+}
+
 // TestHTTPHandlerExtraMounts checks NewHTTPHandlerWith mounts additional
 // endpoints alongside the built-ins (how /events.json and /incidents.json
 // reach the telemetry server without inverting the import graph).

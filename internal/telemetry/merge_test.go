@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMergeEmptyAndAllZero pins the degenerate inputs: no snapshots, and
+// snapshots that never observed anything, both merge to the zero snapshot so
+// callers can range over fleets with idle shards without special-casing.
+func TestMergeEmptyAndAllZero(t *testing.T) {
+	if got := MergeHistogramSnapshots(nil); got.Count != 0 || got.Min != 0 {
+		t.Fatalf("merge of nil = %+v, want zero snapshot", got)
+	}
+	idle := NewHistogram(Buckets{}).Snapshot()
+	got := MergeHistogramSnapshots([]HistogramSnapshot{idle, idle})
+	if got.Count != 0 || got.Min != 0 || got.Max != 0 || len(got.Buckets) != 0 {
+		t.Fatalf("merge of idle shards = %+v, want zero snapshot", got)
+	}
+}
+
+// TestMergeSingleSnapshotIsIdentity checks a one-element merge preserves the
+// moments, extremes, and quantiles of its input.
+func TestMergeSingleSnapshotIsIdentity(t *testing.T) {
+	h := NewHistogram(Buckets{})
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond} {
+		h.ObserveDuration(d)
+	}
+	s := h.Snapshot()
+	m := MergeHistogramSnapshots([]HistogramSnapshot{s})
+	if m.Count != s.Count || m.Sum != s.Sum || m.Min != s.Min || m.Max != s.Max {
+		t.Fatalf("identity merge moments = %+v, want %+v", m, s)
+	}
+	if m.Mean != s.Mean || m.P50 != s.P50 || m.P99 != s.P99 {
+		t.Fatalf("identity merge estimates = %+v, want %+v", m, s)
+	}
+	// Idle shards alongside a live one must not perturb the result.
+	idle := NewHistogram(Buckets{}).Snapshot()
+	m = MergeHistogramSnapshots([]HistogramSnapshot{idle, s, idle})
+	if m.Count != s.Count || m.Min != s.Min || m.Max != s.Max {
+		t.Fatalf("merge with idle shards = %+v, want %+v", m, s)
+	}
+}
+
+// TestMergeMismatchedLayouts pins the refusal contract: snapshots whose units
+// or bucket bounds differ cannot be merged meaningfully, so the result is the
+// zero snapshot rather than a silently wrong aggregate.
+func TestMergeMismatchedLayouts(t *testing.T) {
+	lat := NewHistogram(Buckets{})
+	lat.ObserveDuration(time.Millisecond)
+	counts := NewHistogram(DefaultCountBuckets())
+	counts.Observe(3)
+	if got := MergeHistogramSnapshots([]HistogramSnapshot{lat.Snapshot(), counts.Snapshot()}); got.Count != 0 {
+		t.Fatalf("unit mismatch merged: %+v", got)
+	}
+
+	coarse := NewHistogram(DurationBuckets(time.Millisecond, time.Second))
+	coarse.ObserveDuration(time.Millisecond)
+	if got := MergeHistogramSnapshots([]HistogramSnapshot{lat.Snapshot(), coarse.Snapshot()}); got.Count != 0 {
+		t.Fatalf("bucket-count mismatch merged: %+v", got)
+	}
+
+	shifted := NewHistogram(DurationBuckets(2*time.Millisecond, time.Second))
+	shifted.ObserveDuration(time.Millisecond)
+	if got := MergeHistogramSnapshots([]HistogramSnapshot{coarse.Snapshot(), shifted.Snapshot()}); got.Count != 0 {
+		t.Fatalf("bound mismatch merged: %+v", got)
+	}
+}
+
+// TestMergeConservation pins the accounting across a sharded merge: counts,
+// sums, per-bucket totals, and extremes all aggregate exactly, and the merged
+// quantiles stay within the combined observed range.
+func TestMergeConservation(t *testing.T) {
+	mk := func(ds ...time.Duration) HistogramSnapshot {
+		h := NewHistogram(Buckets{})
+		for _, d := range ds {
+			h.ObserveDuration(d)
+		}
+		return h.Snapshot()
+	}
+	shards := []HistogramSnapshot{
+		mk(100*time.Microsecond, 200*time.Microsecond),
+		mk(time.Millisecond),
+		mk(4*time.Millisecond, 40*time.Microsecond, 7*time.Millisecond),
+	}
+	m := MergeHistogramSnapshots(shards)
+	var count, sum, bucketed int64
+	for _, s := range shards {
+		count += s.Count
+		sum += s.Sum
+	}
+	for _, b := range m.Buckets {
+		bucketed += b.Count
+	}
+	if m.Count != count || bucketed != count {
+		t.Fatalf("count = %d (bucketed %d), want %d", m.Count, bucketed, count)
+	}
+	if m.Sum != sum {
+		t.Fatalf("sum = %d, want %d", m.Sum, sum)
+	}
+	if m.Min != int64(40*time.Microsecond) || m.Max != int64(7*time.Millisecond) {
+		t.Fatalf("extremes = [%v, %v], want [40µs, 7ms]",
+			time.Duration(m.Min), time.Duration(m.Max))
+	}
+	for _, q := range []float64{m.P50, m.P90, m.P99} {
+		if q < float64(m.Min) || q > float64(m.Max) {
+			t.Fatalf("quantile %v escapes [%v, %v]",
+				time.Duration(q), time.Duration(m.Min), time.Duration(m.Max))
+		}
+	}
+}

@@ -141,6 +141,22 @@ func TestLogDeviceNamePosition(t *testing.T) {
 	}
 }
 
+// TestSLOAndLoadComponentsAreKnown pins the vocabulary growth from the SLO
+// engine and load generator: "slo" and "load" are legitimate emitting layers
+// and their dot-scoped events lint clean.
+func TestSLOAndLoadComponentsAreKnown(t *testing.T) {
+	src := header + `
+	l.Info(ctx, "slo", "slo.budget.exhausted")
+	l.Error(ctx, "slo", "slo.burn.alert")
+	l.Info(ctx, "load", "load.run.start")
+	l.Info(ctx, "load", "load.chaos.step")
+}
+`
+	if diags := runOn(t, src); len(diags) != 0 {
+		t.Fatalf("slo/load events flagged: %v", diags)
+	}
+}
+
 // TestUnknownComponentIsFlagged pins the component vocabulary: a literal
 // component outside the known layer set is a typo waiting to fork the
 // forensics timeline.
