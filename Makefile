@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_JSON_DIR ?= bench-results
 
-.PHONY: build test bench bench-json bench-gate smoke load-smoke trace lint fuzz verify fmt
+.PHONY: build test bench bench-json bench-gate smoke load-smoke prof-smoke trace lint fuzz verify fmt
 
 build:
 	$(GO) build ./...
@@ -20,18 +20,22 @@ bench-json:
 	$(GO) run ./cmd/csdbench -experiment table2 -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdbench -experiment energy -json $(BENCH_JSON_DIR)
 
-# bench-gate regenerates the table1 and fleet results and fails (nonzero
-# exit) when classification throughput or any platform's per-item latency
-# regressed more than ±15%, or the fleet's serving throughput / p99 queue
-# wait regressed more than ±50% (wall-clock benchmark), against the
-# checked-in baselines. Refresh a baseline deliberately by copying a
-# trusted BENCH_table1.json / BENCH_fleet.json over
-# bench-results/baseline.json / bench-results/baseline-fleet.json.
+# bench-gate regenerates the table1, fleet, and wallclock results and fails
+# (nonzero exit) when classification throughput or any platform's per-item
+# latency regressed more than ±15%, the fleet's serving throughput / p99
+# queue wait regressed more than ±50% (wall-clock benchmark), or the
+# instrumented serve path's ns/op (±50%) or allocs/op (±25%) regressed,
+# against the checked-in baselines. Refresh a baseline deliberately by
+# copying a trusted BENCH_table1.json / BENCH_fleet.json /
+# BENCH_wallclock.json over bench-results/baseline.json /
+# bench-results/baseline-fleet.json / bench-results/baseline-wallclock.json.
 bench-gate:
 	$(GO) run ./cmd/csdbench -experiment table1 -measure-go=false -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdbench -experiment fleet -json $(BENCH_JSON_DIR)
+	$(GO) run ./cmd/csdbench -experiment wallclock -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/benchdiff -fresh $(BENCH_JSON_DIR)/BENCH_table1.json \
-		-fleet-fresh $(BENCH_JSON_DIR)/BENCH_fleet.json
+		-fleet-fresh $(BENCH_JSON_DIR)/BENCH_fleet.json \
+		-wallclock-fresh $(BENCH_JSON_DIR)/BENCH_wallclock.json
 
 # smoke replays the ransomware demo with full forensics on: the JSON-lines
 # event stream and one incident report per flagged process land next to the
@@ -53,6 +57,20 @@ load-smoke:
 	$(GO) run ./cmd/csdload -devices 4 -arrivals poisson -rate 500 \
 		-duration 5s -warmup 1s -seed 1 -latency-slo 25ms \
 		-json $(BENCH_JSON_DIR)/slo-report.json
+
+# prof-smoke is load-smoke with the continuous profiler on and chaos
+# injected: the full-rack blackout deliberately pages the availability
+# objective, so the run proves the page → incident → flight-dump chain and
+# uploads the dumps (runtime samples + per-request stage breakdowns, job-ID
+# correlated with the incident) and the final prof.json snapshot.
+prof-smoke:
+	mkdir -p $(BENCH_JSON_DIR)/prof
+	$(GO) run ./cmd/csdload -devices 4 -arrivals poisson -rate 500 \
+		-duration 5s -warmup 1s -seed 1 -latency-slo 25ms -chaos \
+		-prof -prof-dir $(BENCH_JSON_DIR)/prof \
+		-json $(BENCH_JSON_DIR)/prof/slo-report.json
+	@ls $(BENCH_JSON_DIR)/prof/flight-*.json >/dev/null 2>&1 || \
+		{ echo "prof-smoke: no flight dump produced" >&2; exit 1; }
 
 # trace runs the table1 configuration with the device timeline tracer on,
 # writing a Perfetto-loadable Chrome trace (open at https://ui.perfetto.dev)

@@ -498,3 +498,43 @@ func BenchmarkBackgroundScan(b *testing.B) {
 	perSeq := float64(last.Timing.Transfer.Microseconds()+last.Timing.Compute.Microseconds()) / float64(len(offsets))
 	b.ReportMetric(perSeq, "sim_µs/seq")
 }
+
+// BenchmarkServe_WallClock is the observability-overhead gate's benchmark
+// twin: one fully-instrumented serve request per iteration, serialized, with
+// allocation reporting. ns/op and allocs/op here correspond to the
+// "instrumented" leg of `csdbench -experiment wallclock`, which cmd/benchdiff
+// diffs against bench-results/baseline-wallclock.json in CI. The allocs/op
+// figure is the interesting one: the observability path's allocation profile
+// is deterministic, so growth means new per-request allocations crept into
+// the hot path.
+func BenchmarkServe_WallClock(b *testing.B) {
+	m := paperModel(b)
+	reg := NewTelemetry()
+	spans := NewSpanLog(256)
+	events := NewEventLogger(EventLogConfig{})
+	defer events.Close()
+	profiler, err := NewProfiler(ProfilerConfig{
+		SampleEvery: -1, MutexFraction: -1, BlockRateNS: -1,
+		CountAllocs: true, Telemetry: reg, Events: events,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer profiler.Close()
+	s, err := NewServer(m, NodeConfig{Devices: 1}, ServeConfig{
+		Telemetry: reg, Spans: spans, Trace: NewTracer(), Events: events, Prof: profiler,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	seq := paperSeq()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Predict(ctx, seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 // Command benchdiff is the benchmark regression gate: it compares fresh
-// BENCH_table1.json and BENCH_fleet.json results (written by `make
-// bench-gate` / cmd/csdbench) against the checked-in baselines and fails —
-// with a nonzero exit — when the FPGA classification throughput, any
-// platform's per-item latency, the fleet's serving throughput, or the
-// fleet-wide p99 queue wait regressed beyond the tolerance.
+// BENCH_table1.json, BENCH_fleet.json, and BENCH_wallclock.json results
+// (written by `make bench-gate` / cmd/csdbench) against the checked-in
+// baselines and fails — with a nonzero exit — when the FPGA classification
+// throughput, any platform's per-item latency, the fleet's serving
+// throughput, the fleet-wide p99 queue wait, or the instrumented serve
+// path's per-request wall-clock or allocation count regressed beyond the
+// tolerance.
 //
 // The simulated device timings are deterministic, so the default ±15%
 // table1 tolerance exists for the host-measured rows (CPU wall time varies
@@ -58,6 +60,19 @@ type fleetDoc struct {
 	} `json:"result"`
 }
 
+// wallclockDoc is the subset of BENCH_wallclock.json the gate compares:
+// the instrumented leg's per-request wall-clock and allocation costs from
+// the observability self-audit (cmd/csdbench -experiment wallclock).
+type wallclockDoc struct {
+	Experiment string `json:"experiment"`
+	Result     struct {
+		Instrumented struct {
+			NSPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"instrumented"`
+	} `json:"result"`
+}
+
 func readJSON(path string, doc any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -85,6 +100,10 @@ func run(args []string, out *os.File) error {
 	fleetFresh := fs.String("fleet-fresh", "bench-results/BENCH_fleet.json", "freshly produced fleet benchmark result (empty: skip the fleet gate)")
 	fleetBaseline := fs.String("fleet-baseline", "bench-results/baseline-fleet.json", "checked-in fleet baseline")
 	fleetTolerance := fs.Float64("fleet-tolerance", 0.50, "fleet regression tolerance (wall-clock benchmark, wider by default)")
+	wcFresh := fs.String("wallclock-fresh", "bench-results/BENCH_wallclock.json", "freshly produced wallclock self-audit result (empty: skip the wallclock gate)")
+	wcBaseline := fs.String("wallclock-baseline", "bench-results/baseline-wallclock.json", "checked-in wallclock baseline")
+	wcTolerance := fs.Float64("wallclock-tolerance", 0.50, "instrumented ns/op regression tolerance (wall-clock benchmark, wide by default)")
+	wcAllocTolerance := fs.Float64("wallclock-alloc-tolerance", 0.25, "instrumented allocs/op regression tolerance (allocation counts are stable, tighter)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +112,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *fleetFresh != "" && (*fleetTolerance <= 0 || *fleetTolerance >= 1) {
 		return fmt.Errorf("fleet-tolerance %v outside (0, 1)", *fleetTolerance)
+	}
+	if *wcFresh != "" && (*wcTolerance <= 0 || *wcTolerance >= 1 || *wcAllocTolerance <= 0 || *wcAllocTolerance >= 1) {
+		return fmt.Errorf("wallclock tolerances (%v, %v) outside (0, 1)", *wcTolerance, *wcAllocTolerance)
 	}
 
 	base, err := readDoc(*baseline)
@@ -170,6 +192,29 @@ func run(args []string, out *os.File) error {
 			fleetCur.Result.WindowsPerSecond, *fleetTolerance, true)
 		reportAt("fleet queue_wait_p99_us", fleetBase.Result.QueueWaitP99US,
 			fleetCur.Result.QueueWaitP99US, *fleetTolerance, false)
+	}
+
+	// Wallclock self-audit: the instrumented leg's per-request wall-clock
+	// (lower is better, wide tolerance — host timing varies with the
+	// runner) and allocation count (lower is better, tighter tolerance —
+	// the allocation profile of the observability path is deterministic,
+	// so a breach means new per-request allocations crept in).
+	if *wcFresh != "" {
+		var wcBase, wcCur wallclockDoc
+		if err := readJSON(*wcBaseline, &wcBase); err != nil {
+			return fmt.Errorf("wallclock baseline: %w", err)
+		}
+		if err := readJSON(*wcFresh, &wcCur); err != nil {
+			return fmt.Errorf("fresh wallclock result: %w", err)
+		}
+		if wcBase.Experiment != wcCur.Experiment {
+			return fmt.Errorf("experiment mismatch: baseline %q vs fresh %q",
+				wcBase.Experiment, wcCur.Experiment)
+		}
+		reportAt("wallclock instrumented ns_per_op", wcBase.Result.Instrumented.NSPerOp,
+			wcCur.Result.Instrumented.NSPerOp, *wcTolerance, false)
+		reportAt("wallclock instrumented allocs_per_op", wcBase.Result.Instrumented.AllocsPerOp,
+			wcCur.Result.Instrumented.AllocsPerOp, *wcAllocTolerance, false)
 	}
 
 	if len(regressions) > 0 {

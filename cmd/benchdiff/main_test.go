@@ -40,7 +40,7 @@ func TestWithinTolerancePasses(t *testing.T) {
     "fpga_items_per_second": 416666.0
   }
 }`)
-	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", ""}, os.Stdout); err != nil {
+	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout); err != nil {
 		t.Fatalf("within-tolerance comparison failed: %v", err)
 	}
 }
@@ -58,7 +58,7 @@ func TestThroughputRegressionFails(t *testing.T) {
     "fpga_items_per_second": 300000.0
   }
 }`)
-	err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", ""}, os.Stdout)
+	err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("34% throughput drop passed the gate")
 	}
@@ -80,7 +80,7 @@ func TestLatencyRegressionFails(t *testing.T) {
     "fpga_items_per_second": 454545.45
   }
 }`)
-	err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", ""}, os.Stdout)
+	err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("36% latency increase passed the gate")
 	}
@@ -99,7 +99,7 @@ func TestMissingPlatformFails(t *testing.T) {
     "fpga_items_per_second": 454545.45
   }
 }`)
-	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", ""}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("dropped CPU row passed the gate")
 	}
 }
@@ -108,7 +108,7 @@ func TestExperimentMismatchFails(t *testing.T) {
 	dir := t.TempDir()
 	base := writeDoc(t, dir, "baseline.json", baselineDoc)
 	fresh := writeDoc(t, dir, "fresh.json", `{"experiment": "table2", "result": {}}`)
-	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", ""}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("experiment mismatch passed the gate")
 	}
 }
@@ -116,10 +116,10 @@ func TestExperimentMismatchFails(t *testing.T) {
 func TestBadFlagsAndFiles(t *testing.T) {
 	dir := t.TempDir()
 	base := writeDoc(t, dir, "baseline.json", baselineDoc)
-	if err := run([]string{"-baseline", base, "-fresh", filepath.Join(dir, "missing.json"), "-tolerance", "0.15", "-fleet-fresh", ""}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", filepath.Join(dir, "missing.json"), "-tolerance", "0.15", "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("missing fresh file accepted")
 	}
-	if err := run([]string{"-baseline", base, "-fresh", base, "-tolerance", "2", "-fleet-fresh", ""}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", base, "-tolerance", "2", "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("tolerance 2 accepted")
 	}
 }
@@ -130,13 +130,15 @@ func TestBadFlagsAndFiles(t *testing.T) {
 func TestCheckedInBaselineSelfComparison(t *testing.T) {
 	base := filepath.Join("..", "..", "bench-results", "baseline.json")
 	fleetBase := filepath.Join("..", "..", "bench-results", "baseline-fleet.json")
-	for _, p := range []string{base, fleetBase} {
+	wcBase := filepath.Join("..", "..", "bench-results", "baseline-wallclock.json")
+	for _, p := range []string{base, fleetBase, wcBase} {
 		if _, err := os.Stat(p); err != nil {
 			t.Fatalf("checked-in baseline missing: %v", err)
 		}
 	}
 	if err := run([]string{"-baseline", base, "-fresh", base,
-		"-fleet-baseline", fleetBase, "-fleet-fresh", fleetBase}, os.Stdout); err != nil {
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fleetBase,
+		"-wallclock-baseline", wcBase, "-wallclock-fresh", wcBase}, os.Stdout); err != nil {
 		t.Fatalf("baselines do not pass against themselves: %v", err)
 	}
 }
@@ -155,7 +157,7 @@ func TestFleetWithinTolerancePasses(t *testing.T) {
   "result": {"windows_per_second": 900.0, "queue_wait_p99_us": 55000.0}
 }`)
 	err := run([]string{"-baseline", base, "-fresh", base,
-		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh}, os.Stdout)
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh, "-wallclock-fresh", ""}, os.Stdout)
 	if err != nil {
 		t.Fatalf("within-tolerance fleet comparison failed: %v", err)
 	}
@@ -170,7 +172,7 @@ func TestFleetThroughputRegressionFails(t *testing.T) {
   "result": {"windows_per_second": 400.0, "queue_wait_p99_us": 40000.0}
 }`)
 	err := run([]string{"-baseline", base, "-fresh", base,
-		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh}, os.Stdout)
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh, "-wallclock-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("67% fleet throughput drop passed the gate")
 	}
@@ -188,11 +190,78 @@ func TestFleetQueueWaitRegressionFails(t *testing.T) {
   "result": {"windows_per_second": 1200.0, "queue_wait_p99_us": 90000.0}
 }`)
 	err := run([]string{"-baseline", base, "-fresh", base,
-		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh}, os.Stdout)
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh, "-wallclock-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("125% fleet p99 increase passed the gate")
 	}
 	if !strings.Contains(err.Error(), "queue_wait_p99_us") {
 		t.Fatalf("error does not name the regressed metric: %v", err)
+	}
+}
+
+const wallclockBaselineDoc = `{
+  "experiment": "wallclock",
+  "result": {"instrumented": {"ns_per_op": 900000.0, "allocs_per_op": 430.0}}
+}`
+
+func TestWallclockWithinTolerancePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	wcBase := writeDoc(t, dir, "baseline-wallclock.json", wallclockBaselineDoc)
+	fresh := writeDoc(t, dir, "fresh-wallclock.json", `{
+  "experiment": "wallclock",
+  "result": {"instrumented": {"ns_per_op": 1200000.0, "allocs_per_op": 480.0}}
+}`)
+	err := run([]string{"-baseline", base, "-fresh", base, "-fleet-fresh", "",
+		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh}, os.Stdout)
+	if err != nil {
+		t.Fatalf("within-tolerance wallclock comparison failed: %v", err)
+	}
+}
+
+func TestWallclockNSRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	wcBase := writeDoc(t, dir, "baseline-wallclock.json", wallclockBaselineDoc)
+	fresh := writeDoc(t, dir, "fresh-wallclock.json", `{
+  "experiment": "wallclock",
+  "result": {"instrumented": {"ns_per_op": 1500000.0, "allocs_per_op": 430.0}}
+}`)
+	err := run([]string{"-baseline", base, "-fresh", base, "-fleet-fresh", "",
+		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh}, os.Stdout)
+	if err == nil {
+		t.Fatal("67% instrumented ns/op increase passed the gate")
+	}
+	if !strings.Contains(err.Error(), "ns_per_op") {
+		t.Fatalf("error does not name the regressed metric: %v", err)
+	}
+}
+
+func TestWallclockAllocRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	wcBase := writeDoc(t, dir, "baseline-wallclock.json", wallclockBaselineDoc)
+	fresh := writeDoc(t, dir, "fresh-wallclock.json", `{
+  "experiment": "wallclock",
+  "result": {"instrumented": {"ns_per_op": 900000.0, "allocs_per_op": 600.0}}
+}`)
+	err := run([]string{"-baseline", base, "-fresh", base, "-fleet-fresh", "",
+		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh}, os.Stdout)
+	if err == nil {
+		t.Fatal("40% instrumented allocs/op increase passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs_per_op") {
+		t.Fatalf("error does not name the regressed metric: %v", err)
+	}
+}
+
+func TestWallclockExperimentMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	wcBase := writeDoc(t, dir, "baseline-wallclock.json", wallclockBaselineDoc)
+	fresh := writeDoc(t, dir, "fresh-wallclock.json", `{"experiment": "fleet", "result": {}}`)
+	if err := run([]string{"-baseline", base, "-fresh", base, "-fleet-fresh", "",
+		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("wallclock experiment mismatch passed the gate")
 	}
 }

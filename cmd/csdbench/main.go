@@ -14,6 +14,10 @@
 //	csdbench -experiment latency              # calls-to-mitigation per family
 //	csdbench -experiment models               # LSTM vs snapshot baseline
 //	csdbench -experiment fleet -nodes 4       # rack-scale fleet throughput/p99
+//	csdbench -experiment wallclock            # observability-overhead self-audit
+//
+// Pass -prof to run the continuous profiler alongside any experiment and
+// write its snapshot to <prof-dir>/prof.json on exit.
 //
 // The fig4/metrics experiments train on a 1/10-scale synthetic corpus by
 // default (the full 29K corpus behaves identically but takes ~10× longer in
@@ -29,6 +33,7 @@ import (
 
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/experiments"
+	"github.com/kfrida1/csdinf/internal/prof"
 )
 
 func main() {
@@ -40,7 +45,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("csdbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "fig3 | table1 | fig4 | metrics | table2 | energy | latency | models | window | fleet | all")
+	experiment := fs.String("experiment", "all", "fig3 | table1 | fig4 | metrics | table2 | energy | latency | models | window | fleet | wallclock | all")
 	trials := fs.Int("trials", 1000, "CPU/GPU latency samples for table1")
 	epochs := fs.Int("epochs", 40, "training epochs for fig4/metrics")
 	seed := fs.Int64("seed", 1, "seed for all randomized stages")
@@ -49,8 +54,26 @@ func run(args []string) error {
 	jsonDir := fs.String("json", "", "directory to also write results as BENCH_<experiment>.json (empty: off)")
 	tracePath := fs.String("trace", "", "with table1: run the traced serving demo and write a Chrome trace (Perfetto-loadable) to this file")
 	nodes := fs.Int("nodes", 4, "CSD node count for the fleet experiment")
+	iterations := fs.Int("iterations", 2000, "measured requests per leg for the wallclock self-audit")
+	profOn := fs.Bool("prof", false, "run the continuous profiler during the experiment")
+	profDir := fs.String("prof-dir", "bench-results", "with -prof: directory for the prof.json snapshot artifact")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *profOn {
+		p, err := prof.New(prof.Config{})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if path, err := p.WriteSnapshot(*profDir); err != nil {
+				fmt.Fprintln(os.Stderr, "csdbench: write prof snapshot:", err)
+			} else {
+				fmt.Printf("(wrote %s)\n", path)
+			}
+			p.Close()
+		}()
 	}
 
 	runs := map[string]func() error{
@@ -64,6 +87,9 @@ func run(args []string) error {
 		"models":  func() error { return runModels(*jsonDir, *epochs, *seed) },
 		"window":  func() error { return runWindowSweep(*jsonDir, *seed) },
 		"fleet":   func() error { return runFleet(*jsonDir, *nodes, *seed) },
+		"wallclock": func() error {
+			return runWallClock(*jsonDir, *iterations, *seed)
+		},
 	}
 	if *experiment == "all" {
 		for _, name := range []string{"fig3", "table1", "table2", "energy"} {
@@ -137,14 +163,27 @@ func runTableI(jsonDir string, trials int, seed int64, measureGo bool, tracePath
 	// FPGA figure so downstream dashboards need no recomputation.
 	doc := struct {
 		*experiments.TableIResult
-		FPGAItemsPerSecond float64                  `json:"fpga_items_per_second"`
-		TraceProfile       *experiments.TraceResult `json:"trace_profile,omitempty"`
+		FPGAItemsPerSecond float64 `json:"fpga_items_per_second"`
+		// ObservabilityOverheadPercent is a small-iteration self-audit:
+		// the host wall-clock premium the telemetry/trace/eventlog/prof
+		// stack adds per serve request (full audit: -experiment wallclock).
+		ObservabilityOverheadPercent float64                  `json:"observability_overhead_percent"`
+		TraceProfile                 *experiments.TraceResult `json:"trace_profile,omitempty"`
 	}{TableIResult: res}
 	for _, row := range res.Rows {
 		if row.Platform == "FPGA (CSD)" && row.MeanUS > 0 {
 			doc.FPGAItemsPerSecond = 1e6 / row.MeanUS
 		}
 	}
+	audit, err := experiments.WallClock(experiments.WallClockConfig{
+		Iterations: 300, Warmup: 50, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	doc.ObservabilityOverheadPercent = audit.OverheadPercent
+	fmt.Printf("observability overhead (300-request self-audit): %+.1f%% wall-clock per request\n\n",
+		audit.OverheadPercent)
 	if tracePath != "" {
 		tr, err := runTrace(tracePath, seed)
 		if err != nil {
@@ -284,6 +323,19 @@ func runFleet(jsonDir string, nodes int, seed int64) error {
 	fmt.Print(experiments.FormatFleet(res))
 	fmt.Println()
 	return writeBench(jsonDir, "fleet", res)
+}
+
+func runWallClock(jsonDir string, iterations int, seed int64) error {
+	fmt.Println("=== Observability self-audit: instrumented vs bare serve wall-clock ===")
+	res, err := experiments.WallClock(experiments.WallClockConfig{
+		Iterations: iterations, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatWallClock(res))
+	fmt.Println()
+	return writeBench(jsonDir, "wallclock", res)
 }
 
 func runEnergy(jsonDir string) error {

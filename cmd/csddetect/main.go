@@ -12,6 +12,7 @@
 //	csddetect -metrics-addr 127.0.0.1:9100         # /metrics, /events.json, /incidents.json, ...
 //	csddetect -events events.jsonl                 # JSON-lines event stream (jq-friendly)
 //	csddetect -incident-dir incidents/             # one JSON forensic report per incident
+//	csddetect -prof -prof-dir prof/                # continuous profiler + incident flight dumps
 //
 // Usage:
 //
@@ -42,6 +43,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/incident"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/prof"
 	"github.com/kfrida1/csdinf/internal/sandbox"
 	"github.com/kfrida1/csdinf/internal/serve"
 	"github.com/kfrida1/csdinf/internal/telemetry"
@@ -92,9 +94,15 @@ type pipelineConfig struct {
 	spans   *telemetry.SpanLog
 	tracer  *trace.Tracer
 	events  *eventlog.Logger
+	// profiler, when non-nil, attributes per-stage cost to every request
+	// and dumps its flight recorder whenever an incident opens.
+	profiler *prof.Profiler
 	// onBlock, when non-nil, observes mitigation (the pipeline always
 	// engages the device write quarantine first).
 	onBlock func(detect.Event)
+	// onIncident, when non-nil, fires as each incident opens (csddetect
+	// wires the profiler's flight dump here).
+	onIncident func(incident.Incident)
 }
 
 func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
@@ -105,6 +113,7 @@ func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
 		fl, err := fleet.New(cfg.model, fleet.Config{
 			Nodes:     cfg.devices,
 			Telemetry: cfg.reg, Spans: cfg.spans, Trace: cfg.tracer, Events: cfg.events,
+			Prof: cfg.profiler,
 		})
 		if err != nil {
 			return nil, err
@@ -135,6 +144,7 @@ func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
 		// this one-device demo.
 		srv, err := serve.New([]infer.Inferencer{eng}, serve.Config{
 			Telemetry: cfg.reg, Spans: cfg.spans, Trace: cfg.tracer, Events: cfg.events,
+			Prof: cfg.profiler,
 		})
 		if err != nil {
 			return nil, err
@@ -156,7 +166,7 @@ func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
 	}
 	hot.SetEvents(cfg.events)
 	rec, err := incident.NewRecorder(incident.Config{
-		Generation: hot.Generation, Events: cfg.events,
+		Generation: hot.Generation, Events: cfg.events, OnOpen: cfg.onIncident,
 	})
 	if err != nil {
 		p.Close()
@@ -169,6 +179,7 @@ func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
 			Spans:     cfg.spans,
 			OnWindow:  rec.Window,
 			Events:    cfg.events,
+			Prof:      cfg.profiler,
 			OnBlock: func(e detect.Event) {
 				quarantine() // block all writes at the device level
 				if cfg.onBlock != nil {
@@ -227,6 +238,8 @@ func run(args []string) error {
 	eventsPath := fs.String("events", "", "write the structured event log as JSON lines to this file (enables debug-level events)")
 	incidentDir := fs.String("incident-dir", "", "write one JSON forensic report per incident into this directory")
 	devices := fs.Int("devices", 1, "CSD count; >1 provisions a fleet with per-process placement")
+	profOn := fs.Bool("prof", false, "run the continuous profiler: runtime sampling, per-stage cost attribution, incident flight dumps")
+	profDir := fs.String("prof-dir", "prof-out", "with -prof: directory for flight dumps and the final prof.json snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -264,9 +277,32 @@ func run(args []string) error {
 		tracer = trace.New()
 	}
 
+	var profiler *prof.Profiler
+	var onIncident func(incident.Incident)
+	if *profOn {
+		profiler, err = prof.New(prof.Config{Telemetry: reg, Events: events})
+		if err != nil {
+			return err
+		}
+		defer profiler.Close()
+		// Each opening incident dumps the flight recorder: the forensic
+		// report arrives with the runtime samples and per-stage request
+		// breakdowns that surrounded the detection.
+		onIncident = func(inc incident.Incident) {
+			kind := inc.Kind
+			if kind == "" {
+				kind = "process"
+			}
+			if _, err := profiler.WriteFlight(*profDir, "incident."+kind, inc.ID); err != nil {
+				fmt.Fprintln(os.Stderr, "csddetect: flight dump:", err)
+			}
+		}
+	}
+
 	p, err := buildPipeline(pipelineConfig{
 		model: model, threshold: *threshold, devices: *devices,
 		reg: reg, spans: spans, tracer: tracer, events: events,
+		profiler: profiler, onIncident: onIncident,
 		onBlock: func(e detect.Event) {
 			fmt.Printf("[call %6d] *** MITIGATION: write quarantine engaged (p=%.3f) ***\n",
 				e.CallIndex, e.Probability)
@@ -293,11 +329,8 @@ func run(args []string) error {
 		fmt.Printf("metrics at http://%s/metrics\n", ln.Addr())
 		mux := http.NewServeMux()
 		mux.Handle("/", telemetry.NewHTTPHandlerOpts(reg, telemetry.HTTPOptions{
-			Spans: spans,
-			Extra: map[string]http.Handler{
-				"/events.json":    events.HTTPHandler(),
-				"/incidents.json": p.rec.HTTPHandler(),
-			},
+			Spans:  spans,
+			Extra:  extraHandlers(events, p.rec, profiler),
 			Health: p.registry().Health,
 		}))
 		if *pprofOn {
@@ -328,11 +361,11 @@ func run(args []string) error {
 	}
 
 	// Phase 2: the infection begins on a second process.
-	prof, err := sandbox.RansomwareProfile(*family, *variant)
+	profile, err := sandbox.RansomwareProfile(*family, *variant)
 	if err != nil {
 		return err
 	}
-	infected, err := prof.Generate(*infectedCalls, *seed+1)
+	infected, err := profile.Generate(*infectedCalls, *seed+1)
 	if err != nil {
 		return err
 	}
@@ -383,6 +416,13 @@ func run(args []string) error {
 		}
 	}
 
+	if profiler != nil {
+		path, err := profiler.WriteSnapshot(*profDir)
+		if err != nil {
+			return fmt.Errorf("write prof snapshot: %w", err)
+		}
+		fmt.Printf("profiler snapshot written to %s\n", path)
+	}
 	if !blocked {
 		return fmt.Errorf("infection ran to completion without mitigation")
 	}
@@ -397,6 +437,19 @@ func run(args []string) error {
 		time.Sleep(*hold)
 	}
 	return nil
+}
+
+// extraHandlers assembles the observability endpoints mounted beside
+// /metrics; /prof.json appears only when the profiler is on.
+func extraHandlers(events *eventlog.Logger, rec *incident.Recorder, profiler *prof.Profiler) map[string]http.Handler {
+	extra := map[string]http.Handler{
+		"/events.json":    events.HTTPHandler(),
+		"/incidents.json": rec.HTTPHandler(),
+	}
+	if profiler != nil {
+		extra["/prof.json"] = profiler.Handler()
+	}
+	return extra
 }
 
 // writeTrace exports the device timeline as Chrome trace JSON and prints

@@ -15,6 +15,14 @@
 //	csdload -devices 4 -arrivals poisson -rate 5000 -duration 10s -seed 1
 //	csdload -chaos -json slo-report.json           # drain/fail/rejoin mid-run
 //	csdload -metrics-addr 127.0.0.1:9100 -hold 1m  # /metrics, /slo.json, ...
+//	csdload -prof -prof-dir out/prof               # continuous profiler + flight dumps
+//
+// With -prof, the continuous profiler samples runtime state throughout the
+// run, attributes per-stage cost to every request, and dumps its flight
+// recorder (recent samples + request breakdowns) to -prof-dir whenever an
+// incident opens — so a paging SLO burn arrives with the runtime context
+// that surrounded it. The final profiler snapshot lands at
+// -prof-dir/prof.json, also served live at /prof.json with -metrics-addr.
 //
 // The -seed flag makes the arrival schedule (and its report digest)
 // deterministic, which is how CI pins the generator.
@@ -38,8 +46,10 @@ import (
 	"github.com/kfrida1/csdinf/internal/incident"
 	"github.com/kfrida1/csdinf/internal/load"
 	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/prof"
 	"github.com/kfrida1/csdinf/internal/slo"
 	"github.com/kfrida1/csdinf/internal/telemetry"
+	"github.com/kfrida1/csdinf/internal/trace"
 )
 
 func main() {
@@ -66,6 +76,8 @@ func run(args []string, out io.Writer) error {
 	latencySLO := fs.Duration("latency-slo", 2*time.Millisecond, "latency objective threshold (the paper's ~2ms promise)")
 	latencyTarget := fs.Float64("latency-target", 0.99, "fraction of requests that must meet -latency-slo")
 	availTarget := fs.Float64("availability-target", 0.999, "fraction of requests that must succeed")
+	profOn := fs.Bool("prof", false, "run the continuous profiler: runtime sampling, per-stage cost attribution, incident flight dumps")
+	profDir := fs.String("prof-dir", "prof-out", "with -prof: directory for flight dumps and the final prof.json snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +93,34 @@ func run(args []string, out io.Writer) error {
 	spans := telemetry.NewSpanLog(32)
 	events := eventlog.New(eventlog.Config{})
 	defer events.Close()
-	rec, err := incident.NewRecorder(incident.Config{Events: events})
+
+	var profiler *prof.Profiler
+	var tracer *trace.Tracer
+	incidentCfg := incident.Config{Events: events}
+	if *profOn {
+		profiler, err = prof.New(prof.Config{Telemetry: reg, Events: events})
+		if err != nil {
+			return err
+		}
+		defer profiler.Close()
+		// A tracer rides along so the scheduler allocates per-request job
+		// IDs — the correlation key between flight-dump breakdowns,
+		// incident windows, and trace events. Its event ring is bounded.
+		tracer = trace.New()
+		// Every opened incident — SLO burn, device failure, flagged
+		// process — dumps the flight recorder, so the page arrives with
+		// the runtime samples and request breakdowns that surrounded it.
+		incidentCfg.OnOpen = func(inc incident.Incident) {
+			kind := inc.Kind
+			if kind == "" {
+				kind = "process"
+			}
+			if _, err := profiler.WriteFlight(*profDir, "incident."+kind, inc.ID); err != nil {
+				fmt.Fprintln(os.Stderr, "csdload: flight dump:", err)
+			}
+		}
+	}
+	rec, err := incident.NewRecorder(incidentCfg)
 	if err != nil {
 		return err
 	}
@@ -93,6 +132,8 @@ func run(args []string, out io.Writer) error {
 		Spans:      spans,
 		Events:     events,
 		Incidents:  rec,
+		Trace:      tracer,
+		Prof:       profiler,
 	})
 	if err != nil {
 		return err
@@ -135,13 +176,17 @@ func run(args []string, out io.Writer) error {
 		}
 		defer ln.Close()
 		fmt.Fprintf(out, "metrics at http://%s/metrics (slo at /slo.json)\n", ln.Addr())
+		extra := map[string]http.Handler{
+			"/slo.json":       evaluator.HTTPHandler(),
+			"/events.json":    events.HTTPHandler(),
+			"/incidents.json": rec.HTTPHandler(),
+		}
+		if profiler != nil {
+			extra["/prof.json"] = profiler.Handler()
+		}
 		handler := telemetry.NewHTTPHandlerOpts(reg, telemetry.HTTPOptions{
-			Spans: spans,
-			Extra: map[string]http.Handler{
-				"/slo.json":       evaluator.HTTPHandler(),
-				"/events.json":    events.HTTPHandler(),
-				"/incidents.json": rec.HTTPHandler(),
-			},
+			Spans:  spans,
+			Extra:  extra,
 			Health: fl.Registry().Health,
 		})
 		go func() { _ = http.Serve(ln, handler) }()
@@ -189,6 +234,13 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\nSLO report written to %s\n", *jsonPath)
+	}
+	if profiler != nil {
+		path, err := profiler.WriteSnapshot(*profDir)
+		if err != nil {
+			return fmt.Errorf("write prof snapshot: %w", err)
+		}
+		fmt.Fprintf(out, "profiler snapshot written to %s\n", path)
 	}
 	if *metricsAddr != "" && *hold > 0 {
 		fmt.Fprintf(out, "holding metrics endpoint for %v...\n", *hold)

@@ -62,6 +62,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/metrics"
 	"github.com/kfrida1/csdinf/internal/node"
+	"github.com/kfrida1/csdinf/internal/prof"
 	"github.com/kfrida1/csdinf/internal/report"
 	"github.com/kfrida1/csdinf/internal/sandbox"
 	"github.com/kfrida1/csdinf/internal/serve"
@@ -702,3 +703,47 @@ type (
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	return load.Run(ctx, cfg)
 }
+
+// Continuous-profiling types (the always-on runtime profiler and hot-path
+// cost attribution layer — see internal/prof): a background sampler over
+// scheduler/heap/GC/contention state, per-request pipeline-stage breakdowns,
+// and a bounded flight recorder dumped on incidents. A nil Profiler is
+// inert, like every other observability hook.
+type (
+	// Profiler is the continuous profiler: background runtime sampling,
+	// per-stage cost aggregation, and the flight-recorder ring.
+	Profiler = prof.Profiler
+	// ProfilerConfig controls sampling period, ring capacities, contention
+	// profiling rates, and the telemetry/eventlog wiring.
+	ProfilerConfig = prof.Config
+	// ProfSample is one runtime sample: goroutines, heap, GC pauses, and
+	// top contended sites.
+	ProfSample = prof.Sample
+	// Breakdown is one request's per-stage wall-clock (and optional
+	// allocation) attribution; it rides the context like a Span.
+	Breakdown = prof.Breakdown
+	// ProfStage names one pipeline stage of a Breakdown.
+	ProfStage = prof.Stage
+	// FlightDump is the flight recorder's exported state: recent runtime
+	// samples and request breakdowns around an incident.
+	FlightDump = prof.FlightDump
+	// ProfSnapshot is the profiler's full exported state (the /prof.json
+	// document).
+	ProfSnapshot = prof.Snapshot
+)
+
+// Pipeline stages of a request Breakdown.
+const (
+	StageQueue    = prof.StageQueue
+	StageEncode   = prof.StageEncode
+	StageTransfer = prof.StageTransfer
+	StageCompute  = prof.StageCompute
+	StageVerdict  = prof.StageVerdict
+	StageObserve  = prof.StageObserve
+)
+
+// NewProfiler starts a continuous profiler. Thread it through
+// ServeConfig.Prof, FleetConfig.Prof, or DetectorConfig.Prof; serve its
+// Handler at /prof.json; and wire IncidentConfig.OnOpen to WriteFlight for
+// incident-correlated flight dumps. Close it to stop the sampler.
+func NewProfiler(cfg ProfilerConfig) (*Profiler, error) { return prof.New(cfg) }

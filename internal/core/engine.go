@@ -25,6 +25,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/prof"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/trace"
 )
@@ -288,7 +289,9 @@ func (e *Engine) PredictStored(ctx context.Context, ssdOff int64) (kernels.Resul
 		return kernels.Result{}, Timing{}, err
 	}
 	e.stampJob(ctx)
+	st := prof.BreakdownFrom(ctx).Begin(prof.StageTransfer)
 	xfer, err := e.dev.TransferP2P(ssdOff, e.seqBuf)
+	st.End()
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: fetch sequence: %w", err)
 	}
@@ -302,7 +305,9 @@ func (e *Engine) PredictStoredViaHost(ctx context.Context, ssdOff int64) (kernel
 		return kernels.Result{}, Timing{}, err
 	}
 	e.stampJob(ctx)
+	st := prof.BreakdownFrom(ctx).Begin(prof.StageTransfer)
 	xfer, err := e.dev.TransferViaHost(ssdOff, e.seqBuf)
+	st.End()
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: fetch sequence via host: %w", err)
 	}
@@ -321,12 +326,17 @@ func (e *Engine) Predict(ctx context.Context, seq []int) (kernels.Result, Timing
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: sequence length %d, engine expects %d",
 			len(seq), e.pipe.SeqLen())
 	}
+	bd := prof.BreakdownFrom(ctx)
+	st := bd.Begin(prof.StageEncode)
 	data, err := csd.EncodeItems(seq)
+	st.End()
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: encode sequence: %w", err)
 	}
 	e.stampJob(ctx)
+	st = bd.Begin(prof.StageTransfer)
 	xfer, err := e.dev.WriteBuffer(e.seqBuf, data)
+	st.End()
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: stage sequence: %w", err)
 	}
@@ -334,6 +344,8 @@ func (e *Engine) Predict(ctx context.Context, seq []int) (kernels.Result, Timing
 }
 
 func (e *Engine) classifyBuffer(ctx context.Context, t Timing) (kernels.Result, Timing, error) {
+	bd := prof.BreakdownFrom(ctx)
+	st := bd.Begin(prof.StageCompute)
 	seq, err := csd.DecodeItems(e.seqBuf.Bytes())
 	if err != nil {
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: decode sequence: %w", err)
@@ -343,6 +355,8 @@ func (e *Engine) classifyBuffer(ctx context.Context, t Timing) (kernels.Result, 
 		return kernels.Result{}, Timing{}, fmt.Errorf("core: classify: %w", err)
 	}
 	t.Compute = e.pipe.Device().Duration(cycles)
+	st.End()
+	obs := bd.Begin(prof.StageObserve)
 	e.emitCompute(ctx, t)
 	e.xferHist.ObserveDuration(t.Transfer)
 	e.computeHist.ObserveDuration(t.Compute)
@@ -351,6 +365,7 @@ func (e *Engine) classifyBuffer(ctx context.Context, t Timing) (kernels.Result, 
 		sp.Record(telemetry.PhaseTransfer, t.Transfer)
 		sp.Record(telemetry.PhaseCompute, t.Compute)
 	}
+	obs.End()
 	return res, t, nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/infer"
+	"github.com/kfrida1/csdinf/internal/prof"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/trace"
 )
@@ -123,6 +124,12 @@ type Config struct {
 	// (error: mitigation.block), each carrying the trace job ID and
 	// process attribution.
 	Events *eventlog.Logger
+	// Prof, when non-nil, attributes each classified window's host
+	// wall-clock to pipeline stages: the detector opens a prof.Breakdown
+	// per classification (unless the caller already carries one), the
+	// layers below stamp their stages, and the detector adds its verdict
+	// and observation costs before recording the breakdown.
+	Prof *prof.Profiler
 }
 
 func (c *Config) defaults() {
@@ -244,6 +251,17 @@ func (d *Detector) classify(ctx context.Context) (*Event, error) {
 		ctx = telemetry.WithSpan(ctx, sp)
 		ownSpan = true
 	}
+	// Same ownership rule for the stage-cost breakdown: open one unless the
+	// caller supplied it, so detector-driven requests carry verdict and
+	// observation costs alongside the queue/transfer/compute stages the
+	// layers below stamp.
+	bd := prof.BreakdownFrom(ctx)
+	ownBD := false
+	if bd == nil && d.cfg.Prof != nil {
+		bd = d.cfg.Prof.NewBreakdown(0)
+		ctx = prof.WithBreakdown(ctx, bd)
+		ownBD = true
+	}
 	res, _, err := d.pred.Predict(ctx, d.window)
 	if err != nil {
 		return nil, fmt.Errorf("detect: classify window at call %d: %w", d.calls, err)
@@ -273,6 +291,8 @@ func (d *Detector) classify(ctx context.Context) (*Event, error) {
 	} else {
 		d.consecutive = 0
 	}
+	bd.Add(prof.StageVerdict, time.Since(verdictStart))
+	obs := bd.Begin(prof.StageObserve)
 	if sp != nil {
 		sp.Record(telemetry.PhaseVerdict, time.Since(verdictStart))
 		if ownSpan {
@@ -280,6 +300,13 @@ func (d *Detector) classify(ctx context.Context) (*Event, error) {
 		}
 	}
 	d.observeWindow(ctx, ev, sp)
+	obs.End()
+	if ownBD {
+		if sp != nil && bd.Job == 0 {
+			bd.Job = sp.ID
+		}
+		d.cfg.Prof.Record(bd)
+	}
 	return ev, nil
 }
 

@@ -21,11 +21,12 @@ func TestFleetRunSmoke(t *testing.T) {
 	if res.QueueWaitP99US < res.QueueWaitP50US {
 		t.Fatalf("p99 %.2f < p50 %.2f", res.QueueWaitP99US, res.QueueWaitP50US)
 	}
-	// Every request succeeded, so SLO attainment is defined and positive; the
-	// objective itself may or may not be met on a loaded CI box, but the
-	// accounting must be coherent with the wall-latency quantiles.
-	if res.SLOAttainment <= 0 || res.SLOAttainment > 1 {
-		t.Fatalf("SLO attainment = %v, want (0, 1]", res.SLOAttainment)
+	// The objective itself may or may not be met on a loaded CI box — a
+	// fully slammed runner can push every request past the 2ms threshold,
+	// making latency attainment legitimately 0 — but the accounting must
+	// stay a fraction coherent with the wall-latency quantiles.
+	if res.SLOAttainment < 0 || res.SLOAttainment > 1 {
+		t.Fatalf("SLO attainment = %v, want [0, 1]", res.SLOAttainment)
 	}
 	if res.WallLatencyP99US < res.WallLatencyP50US || res.WallLatencyP50US <= 0 {
 		t.Fatalf("wall latency p50 %.2f / p99 %.2f incoherent",

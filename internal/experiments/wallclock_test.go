@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWallClockSelfAudit(t *testing.T) {
+	res, err := WallClock(WallClockConfig{Iterations: 40, Warmup: 5})
+	if err != nil {
+		t.Fatalf("WallClock: %v", err)
+	}
+	if res.Iterations != 40 {
+		t.Fatalf("iterations = %d, want 40", res.Iterations)
+	}
+	if res.Instrumented.NSPerOp <= 0 || res.Bare.NSPerOp <= 0 {
+		t.Fatalf("non-positive ns/op: instrumented=%f bare=%f",
+			res.Instrumented.NSPerOp, res.Bare.NSPerOp)
+	}
+	if res.Instrumented.AllocsPerOp <= 0 {
+		t.Fatalf("instrumented allocs/op = %f, want > 0", res.Instrumented.AllocsPerOp)
+	}
+	// The instrumented leg must have recorded per-stage breakdowns; compute
+	// and observe are unconditionally exercised by the serve pipeline.
+	for _, stage := range []string{"queue", "compute", "observe"} {
+		if res.StageNSPerOp[stage] <= 0 {
+			t.Errorf("stage %q mean ns = %f, want > 0", stage, res.StageNSPerOp[stage])
+		}
+	}
+
+	out := FormatWallClock(res)
+	for _, want := range []string{"observability on", "observability off", "overhead:", "instrumented stage means:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatWallClock output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWallClockRejectsNegativeIterations(t *testing.T) {
+	if _, err := WallClock(WallClockConfig{Iterations: -1}); err == nil {
+		t.Fatal("expected error for negative iterations")
+	}
+}

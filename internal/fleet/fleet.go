@@ -38,6 +38,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
 	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/prof"
 	"github.com/kfrida1/csdinf/internal/serve"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/trace"
@@ -107,6 +108,10 @@ type Config struct {
 	Events *eventlog.Logger
 	// Incidents, when non-nil, receives a device incident per failure.
 	Incidents *incident.Recorder
+	// Prof, when non-nil, is threaded into each node's scheduler so every
+	// fleet request gets a per-stage host-cost breakdown in the continuous
+	// profiler's flight recorder.
+	Prof *prof.Profiler
 }
 
 func (c *Config) defaults() error {
@@ -312,6 +317,7 @@ func (f *Fleet) newServer(n *node) (*serve.Server, error) {
 		Spans:      f.cfg.Spans,
 		Trace:      f.cfg.Trace,
 		Events:     f.cfg.Events,
+		Prof:       f.cfg.Prof,
 	})
 }
 

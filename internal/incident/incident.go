@@ -139,6 +139,12 @@ type Config struct {
 	// incident.close on closure (error level when mitigation blocked the
 	// process, info otherwise).
 	Events *eventlog.Logger
+	// OnOpen, when non-nil, is invoked (outside the recorder's lock, with a
+	// deep copy) every time an incident opens — a process flagged, a device
+	// failure recorded, or an SLO breach recorded. Wire the continuous
+	// profiler's flight-recorder dump here so every incident ships with the
+	// runtime state that preceded it.
+	OnOpen func(Incident)
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 }
@@ -263,6 +269,9 @@ func (r *Recorder) Window(s detect.WindowSample) {
 			eventlog.F("probability", w.Probability),
 			eventlog.F("model_generation", snap.ModelGeneration),
 			eventlog.F("windows_before_flag", snap.WindowsTotal-1))
+		if r.cfg.OnOpen != nil {
+			r.cfg.OnOpen(snap)
+		}
 	}
 	if blocked {
 		r.cfg.Events.LogPID(jobCtx(w.Job), eventlog.LevelError, "incident", "incident.close", s.PID,
@@ -304,6 +313,9 @@ func (r *Recorder) DeviceFailure(deviceID, reason string) Incident {
 	r.cfg.Events.LogDevice(context.Background(), eventlog.LevelError, "incident", "incident.device_failure", deviceID,
 		eventlog.F("incident_id", inc.ID),
 		eventlog.F("reason", reason))
+	if r.cfg.OnOpen != nil {
+		r.cfg.OnOpen(cloneIncident(inc))
+	}
 	return cloneIncident(inc)
 }
 
@@ -340,6 +352,9 @@ func (r *Recorder) SLOBreach(objective, rule, reason string) Incident {
 		eventlog.F("objective", objective),
 		eventlog.F("rule", rule),
 		eventlog.F("reason", reason))
+	if r.cfg.OnOpen != nil {
+		r.cfg.OnOpen(cloneIncident(inc))
+	}
 	return cloneIncident(inc)
 }
 

@@ -104,6 +104,42 @@ func TestLifecycleBlocked(t *testing.T) {
 	}
 }
 
+// TestOnOpenFiresOnEveryOpenPath pins the flight-recorder hook contract:
+// OnOpen fires exactly once per opened incident — process flag, device
+// failure, and SLO breach — with a deep copy carrying the incident ID.
+func TestOnOpenFiresOnEveryOpenPath(t *testing.T) {
+	var opened []Incident
+	rec, err := NewRecorder(Config{OnOpen: func(inc Incident) { opened = append(opened, inc) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Window(sample(7, 10, 0.1, detect.ActionNone, 101, "0"))
+	if len(opened) != 0 {
+		t.Fatalf("benign window fired OnOpen: %+v", opened)
+	}
+	rec.Window(sample(7, 35, 0.8, detect.ActionAlert, 102, "1"))
+	rec.Window(sample(7, 60, 0.9, detect.ActionAlert, 103, "1")) // same incident: no second fire
+	rec.DeviceFailure("csd-002", "chaos")
+	rec.SLOBreach("availability", "fast", "burn 20x")
+	if len(opened) != 3 {
+		t.Fatalf("OnOpen fired %d times, want 3 (flag, device, slo)", len(opened))
+	}
+	if opened[0].PID != 7 || opened[0].ID != 1 {
+		t.Fatalf("flag open = %+v", opened[0])
+	}
+	if opened[1].Kind != "device" || opened[1].ID != 2 {
+		t.Fatalf("device open = %+v", opened[1])
+	}
+	if opened[2].Kind != "slo" || opened[2].Objective != "availability" || opened[2].ID != 3 {
+		t.Fatalf("slo open = %+v", opened[2])
+	}
+	// The callback got a copy: mutating it must not corrupt recorder state.
+	opened[0].Trajectory = nil
+	if rec.Open() != 1 {
+		t.Fatalf("open incidents = %d, want the flagged process still open", rec.Open())
+	}
+}
+
 func TestEvictClosesAndReflagOpensDistinctIncident(t *testing.T) {
 	rec, err := NewRecorder(Config{})
 	if err != nil {

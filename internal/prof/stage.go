@@ -1,0 +1,170 @@
+package prof
+
+import (
+	"context"
+	"runtime/metrics"
+	"time"
+)
+
+// Stage names one segment of a request's host-side pipeline, in request
+// order. The stages cover where a request's wall-clock actually goes on the
+// host: scheduler queueing, sequence encoding, the (simulated) DMA
+// bookkeeping, the kernel-model compute, the detector's verdict logic, and
+// the cost of recording telemetry/trace/eventlog — observability pricing
+// itself.
+type Stage uint8
+
+const (
+	// StageQueue is serve-layer residency: enqueue to worker dispatch.
+	StageQueue Stage = iota
+	// StageEncode is the host-side sequence serialization (core/csd).
+	StageEncode
+	// StageTransfer is the host cost of the staged transfer — buffer writes
+	// and the simulated DMA bookkeeping, not the simulated device time.
+	StageTransfer
+	// StageCompute is the host cost of running the kernel pipeline model
+	// (decode + classify).
+	StageCompute
+	// StageVerdict is the detector's threshold/mitigation logic.
+	StageVerdict
+	// StageObserve is the cost of observability itself: telemetry
+	// observations, span records, trace emissions, and event-log calls made
+	// on behalf of the request.
+	StageObserve
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"queue", "encode", "transfer", "compute", "verdict", "observe",
+}
+
+// String returns the stage's label ("queue", "encode", ...).
+func (s Stage) String() string {
+	if s < numStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Breakdown accumulates one request's per-stage host costs. Like
+// telemetry.Span, it rides the request context and is written by one stage
+// at a time as the request hands off down the stack (caller → scheduler
+// worker → engine), so it needs no lock — it is NOT safe for truly
+// concurrent writers. A nil *Breakdown is valid and records nothing.
+type Breakdown struct {
+	// Job is the trace correlation ID (0 when tracing is off) — the key
+	// tying a flight-recorder breakdown to spans, events, and incidents.
+	Job int64
+	// Start stamps breakdown creation (request admission).
+	Start time.Time
+
+	wall        [numStages]int64
+	allocs      [numStages]int64
+	countAllocs bool
+}
+
+// NewBreakdown starts a breakdown for one request. A nil profiler returns
+// nil, which every Breakdown method accepts.
+func (p *Profiler) NewBreakdown(job int64) *Breakdown {
+	if p == nil {
+		return nil
+	}
+	return &Breakdown{Job: job, Start: p.cfg.Clock(), countAllocs: p.cfg.CountAllocs}
+}
+
+// Add attributes d to the stage, accumulating across calls.
+func (b *Breakdown) Add(s Stage, d time.Duration) {
+	if b == nil || s >= numStages {
+		return
+	}
+	b.wall[s] += int64(d)
+}
+
+// Wall returns the accumulated wall time of a stage.
+func (b *Breakdown) Wall(s Stage) time.Duration {
+	if b == nil || s >= numStages {
+		return 0
+	}
+	return time.Duration(b.wall[s])
+}
+
+// Allocs returns the accumulated allocation count of a stage (zero unless
+// Config.CountAllocs was set).
+func (b *Breakdown) Allocs(s Stage) int64 {
+	if b == nil || s >= numStages {
+		return 0
+	}
+	return b.allocs[s]
+}
+
+// Total sums all attributed stage wall time.
+func (b *Breakdown) Total() time.Duration {
+	if b == nil {
+		return 0
+	}
+	var t int64
+	for _, w := range b.wall {
+		t += w
+	}
+	return time.Duration(t)
+}
+
+// StageTimer measures one stage interval. It is a value type: Begin/End
+// pairs cost two clock reads and no allocation, cheap enough for the
+// request hot path.
+type StageTimer struct {
+	b  *Breakdown
+	s  Stage
+	t0 time.Time
+	a0 uint64
+}
+
+// Begin starts timing a stage. On a nil breakdown the returned timer is
+// inert and End is free — instrumentation sites need no branches.
+func (b *Breakdown) Begin(s Stage) StageTimer {
+	if b == nil {
+		return StageTimer{}
+	}
+	t := StageTimer{b: b, s: s, t0: time.Now()}
+	if b.countAllocs {
+		t.a0 = allocObjects()
+	}
+	return t
+}
+
+// End stops the timer and attributes the elapsed interval (and, when alloc
+// counting is on, the allocation delta) to the stage.
+func (t StageTimer) End() {
+	if t.b == nil {
+		return
+	}
+	t.b.wall[t.s] += int64(time.Since(t.t0))
+	if t.b.countAllocs {
+		t.b.allocs[t.s] += int64(allocObjects() - t.a0)
+	}
+}
+
+// allocObjects reads the process-global cumulative heap-allocation count.
+// Only meaningful between two points with no concurrent allocators — the
+// serialized self-audit, not a loaded fleet.
+func allocObjects() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(s)
+	return s[0].Value.Uint64()
+}
+
+type bdCtxKey struct{}
+
+// WithBreakdown returns a context carrying the breakdown, so lower layers
+// (scheduler, engine) can stamp their stages without the Inferencer
+// interface knowing about profiling.
+func WithBreakdown(ctx context.Context, b *Breakdown) context.Context {
+	return context.WithValue(ctx, bdCtxKey{}, b)
+}
+
+// BreakdownFrom returns the breakdown carried by ctx, or nil.
+func BreakdownFrom(ctx context.Context) *Breakdown {
+	b, _ := ctx.Value(bdCtxKey{}).(*Breakdown)
+	return b
+}

@@ -37,6 +37,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/prof"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/trace"
 )
@@ -104,6 +105,13 @@ type Config struct {
 	// (info: server.start / server.close). Device-attributed events carry
 	// the registry ID.
 	Events *eventlog.Logger
+	// Prof, when non-nil, attributes each request's host wall-clock to
+	// pipeline stages (queue, encode, transfer, compute, observe, ...): the
+	// server creates a prof.Breakdown per request that does not already
+	// carry one in its context, threads it down to the engine, and records
+	// it on completion. Requests that arrive with a caller-owned breakdown
+	// (e.g. from a detector) are stamped but recorded by their creator.
+	Prof *prof.Profiler
 }
 
 func (c *Config) defaults() error {
@@ -164,6 +172,13 @@ type request struct {
 	// ownSpan marks a server-created span that should be logged on
 	// completion (caller-owned spans are the caller's to log).
 	ownSpan bool
+	// bd, when non-nil, accumulates the request's per-stage host costs —
+	// the context breakdown when the caller supplied one, else a
+	// server-created breakdown destined for Config.Prof.
+	bd *prof.Breakdown
+	// ownBD marks a server-created breakdown that should be recorded on
+	// completion (caller-owned breakdowns are the caller's to record).
+	ownBD bool
 	// job is the trace correlation ID (0 when tracing is off).
 	job int64
 }
@@ -358,6 +373,16 @@ func (s *Server) submit(ctx context.Context, req *request) (kernels.Result, infe
 			req.span.ID = req.job
 		}
 	}
+	if req.bd = prof.BreakdownFrom(req.ctx); req.bd != nil {
+		// Caller-owned breakdown: stamp the trace job the scheduler just
+		// allocated so the flight recorder can correlate it.
+		if req.bd.Job == 0 {
+			req.bd.Job = req.job
+		}
+	} else if s.cfg.Prof != nil {
+		req.bd = s.cfg.Prof.NewBreakdown(req.job)
+		req.ownBD = true
+	}
 	d := s.pick()
 	if d == nil {
 		return kernels.Result{}, infer.Timing{}, ErrNoReadyDevice
@@ -487,6 +512,8 @@ func (s *Server) execute(d *slot, req *request) {
 	// Queue wait ends here, whether the request proceeds or was abandoned:
 	// the scheduling delay was paid either way.
 	wait := time.Since(req.enqueuedAt)
+	req.bd.Add(prof.StageQueue, wait)
+	obs := req.bd.Begin(prof.StageObserve)
 	d.queueWait.ObserveDuration(wait)
 	if req.span != nil {
 		req.span.Record(telemetry.PhaseQueue, wait)
@@ -508,18 +535,22 @@ func (s *Server) execute(d *slot, req *request) {
 			Start: start, Dur: wait, Job: req.job,
 		})
 	}
+	obs.End()
 	if err := req.ctx.Err(); err != nil {
 		d.h.DecPending()
 		d.canceled.Inc()
 		req.done <- response{err: err}
 		return
 	}
-	// The engine records transfer/compute phases into the span it finds in
-	// the context; thread the request's span down even when the server
-	// created it.
+	// The engine records transfer/compute phases into the span (and stage
+	// costs into the breakdown) it finds in the context; thread the
+	// request's down even when the server created them.
 	ctx := req.ctx
 	if req.ownSpan {
 		ctx = telemetry.WithSpan(ctx, req.span)
+	}
+	if req.ownBD {
+		ctx = prof.WithBreakdown(ctx, req.bd)
 	}
 	var resp response
 	if req.stored {
@@ -527,6 +558,7 @@ func (s *Server) execute(d *slot, req *request) {
 	} else {
 		resp.res, resp.timing, resp.err = d.inf.Predict(ctx, req.seq)
 	}
+	obs = req.bd.Begin(prof.StageObserve)
 	d.h.AddBusy(int64(resp.timing.Total()))
 	if resp.err == nil {
 		d.jobs.Inc()
@@ -546,6 +578,10 @@ func (s *Server) execute(d *slot, req *request) {
 	}
 	if req.ownSpan {
 		s.cfg.Spans.Add(*req.span)
+	}
+	obs.End()
+	if req.ownBD {
+		s.cfg.Prof.Record(req.bd)
 	}
 	// Drop the backlog count before releasing the caller, so a caller
 	// submitting its next request sees this device's true score.

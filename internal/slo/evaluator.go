@@ -50,6 +50,13 @@ type Config struct {
 	// Incidents, when non-nil, receives one SLO-breach incident per firing
 	// of a paging rule.
 	Incidents *incident.Recorder
+	// OnPage, when non-nil, is invoked (outside the evaluator's lock) every
+	// time a paging burn-rate rule starts firing, with the objective, the
+	// rule name, and the incident ID recorded for the page (0 when no
+	// incident recorder is wired). Callers that already wire
+	// incident.Config.OnOpen for flight-recorder dumps should not also dump
+	// here, or every page produces two dumps.
+	OnPage func(objective, rule string, incidentID int64)
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 	// MaxAlerts bounds the retained alert transition log; 0 defaults to 256.
@@ -476,6 +483,9 @@ func (e *Evaluator) Evaluate() Status {
 				e.mu.Lock()
 				e.opened++
 				e.mu.Unlock()
+			}
+			if f.rule.Page && e.cfg.OnPage != nil {
+				e.cfg.OnPage(f.objective, f.rule.Name, tr.IncidentID)
 			}
 		} else {
 			tr.State = "resolved"

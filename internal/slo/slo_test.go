@@ -342,6 +342,57 @@ func TestBurnAlertLifecycle(t *testing.T) {
 	}
 }
 
+// TestOnPageHook pins the paging callback: OnPage fires once per paging-rule
+// firing edge (not on re-evaluation, not for non-paging rules) and carries
+// the incident ID recorded for the page.
+func TestOnPageHook(t *testing.T) {
+	clk := newFakeClock()
+	incidents, err := incident.NewRecorder(incident.Config{Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type page struct {
+		objective, rule string
+		incidentID      int64
+	}
+	var pages []page
+	e, err := NewEvaluator(Config{
+		Objectives: []Objective{{
+			Name: "availability", Kind: KindAvailability,
+			Target: 0.99, Window: time.Hour,
+		}},
+		Incidents: incidents,
+		OnPage: func(objective, rule string, incidentID int64) {
+			pages = append(pages, page{objective, rule, incidentID})
+		},
+		Clock: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		e.Outcome(true)
+	}
+	for i := 0; i < 20; i++ {
+		e.Outcome(false)
+	}
+	e.Evaluate()
+	e.Evaluate() // edge-triggered: no duplicate page
+	if len(pages) != 1 {
+		t.Fatalf("OnPage fired %d times, want 1 (only the paging rule, only the edge)", len(pages))
+	}
+	if pages[0].objective != "availability" || pages[0].rule != "fast" {
+		t.Fatalf("page = %+v", pages[0])
+	}
+	if pages[0].incidentID == 0 {
+		t.Fatal("page carries no incident ID despite a wired recorder")
+	}
+	incs := incidents.Snapshot()
+	if len(incs) != 1 || incs[0].ID != pages[0].incidentID {
+		t.Fatalf("incident/page mismatch: pages=%+v incidents=%+v", pages, incs)
+	}
+}
+
 func TestAlertLogBounded(t *testing.T) {
 	clk := newFakeClock()
 	e, err := NewEvaluator(Config{

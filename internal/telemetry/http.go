@@ -2,8 +2,10 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"runtime/debug"
+	"sort"
 	"time"
 )
 
@@ -49,6 +51,10 @@ func readBuildInfo() buildInfo {
 //	/healthz       liveness probe: status, build identification (module,
 //	               version, go version, VCS revision), and process uptime
 //
+// Every scrape of /metrics or /metrics.json also refreshes the baseline Go
+// runtime series (go_goroutines, go_heap_alloc_bytes, go_gc_pauses_total),
+// so runtime health is visible even with no other instrumentation wired.
+//
 // spans may be nil (then /spans.json reports an empty ring). Extra handlers
 // (e.g. the event log's /events.json and the incident recorder's
 // /incidents.json, which live above this package in the import graph) mount
@@ -59,8 +65,10 @@ func NewHTTPHandler(r *Registry, spans *SpanLog) http.Handler {
 }
 
 // NewHTTPHandlerWith is NewHTTPHandler plus extra pattern → handler mounts
-// on the same mux. Extra patterns must not collide with the built-in
-// endpoints.
+// on the same mux. An extra pattern that collides with a built-in endpoint
+// panics at construction — a wiring bug, caught at the call site instead of
+// surfacing as shadowed scrapes later. Extra mounts are applied in sorted
+// pattern order, so mounting is deterministic.
 func NewHTTPHandlerWith(r *Registry, spans *SpanLog, extra map[string]http.Handler) http.Handler {
 	return NewHTTPHandlerOpts(r, HTTPOptions{Spans: spans, Extra: extra})
 }
@@ -83,12 +91,15 @@ type HTTPOptions struct {
 // NewHTTPHandlerOpts is NewHTTPHandler with the full option set.
 func NewHTTPHandlerOpts(r *Registry, opts HTTPOptions) http.Handler {
 	spans := opts.Spans
+	rt := newRuntimeStats(r)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		rt.refresh()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		rt.refresh()
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -130,8 +141,24 @@ func NewHTTPHandlerOpts(r *Registry, opts HTTPOptions) http.Handler {
 			UptimeSeconds float64   `json:"uptime_seconds"`
 		}{Status: status, Ready: ready, Build: build, UptimeSeconds: time.Since(processStart).Seconds()})
 	})
-	for pattern, h := range opts.Extra {
-		mux.Handle(pattern, h)
+	// Extra mounts are validated against the built-in endpoints and mounted
+	// in sorted order: a collision is a wiring bug that would otherwise
+	// surface as a mux panic (or, worse, silent shadowing on an older mux)
+	// far from the misconfigured call site, and map iteration order must not
+	// decide which handler wins.
+	builtin := map[string]bool{
+		"/metrics": true, "/metrics.json": true, "/spans.json": true, "/healthz": true,
+	}
+	patterns := make([]string, 0, len(opts.Extra))
+	for pattern := range opts.Extra {
+		if builtin[pattern] {
+			panic(fmt.Sprintf("telemetry: extra handler pattern %q collides with a built-in endpoint (/metrics, /metrics.json, /spans.json, /healthz)", pattern))
+		}
+		patterns = append(patterns, pattern)
+	}
+	sort.Strings(patterns)
+	for _, pattern := range patterns {
+		mux.Handle(pattern, opts.Extra[pattern])
 	}
 	return mux
 }

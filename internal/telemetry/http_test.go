@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -285,5 +286,85 @@ func TestHTTPHandlerExtraMounts(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s status %d", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestExtraMountCollisionPanics pins the duplicate-mount diagnosis: an extra
+// handler on a built-in path is a wiring bug that must fail loudly at
+// construction with a message naming the offending pattern, not surface as a
+// shadowed scrape or an opaque mux panic later.
+func TestExtraMountCollisionPanics(t *testing.T) {
+	for _, pattern := range []string{"/metrics", "/metrics.json", "/spans.json", "/healthz"} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("no panic for extra mount on %s", pattern)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "telemetry:") || !strings.Contains(msg, pattern) {
+					t.Fatalf("panic for %s = %v, want telemetry-prefixed message naming the pattern", pattern, r)
+				}
+			}()
+			NewHTTPHandlerWith(NewRegistry(), nil, map[string]http.Handler{
+				pattern: http.NotFoundHandler(),
+			})
+		}()
+	}
+}
+
+// TestRuntimeSeriesOnDefaultScrape pins satellite coverage: every metrics
+// endpoint carries baseline Go runtime health without any explicit wiring,
+// refreshed at scrape time.
+func TestRuntimeSeriesOnDefaultScrape(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(NewRegistry(), nil))
+	defer srv.Close()
+
+	runtime.GC() // guarantee at least one pause for go_gc_pauses_total
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_heap_alloc_bytes gauge",
+		"# TYPE go_gc_pauses_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []Metric `json:"metrics"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]int64{}
+	for _, m := range doc.Metrics {
+		vals[m.Name] = m.Value
+	}
+	if vals["go_goroutines"] <= 0 {
+		t.Errorf("go_goroutines = %d, want > 0", vals["go_goroutines"])
+	}
+	if vals["go_heap_alloc_bytes"] <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %d, want > 0", vals["go_heap_alloc_bytes"])
+	}
+	if vals["go_gc_pauses_total"] <= 0 {
+		t.Errorf("go_gc_pauses_total = %d, want > 0 after runtime.GC", vals["go_gc_pauses_total"])
 	}
 }

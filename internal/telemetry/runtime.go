@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"runtime/metrics"
+	"sync"
+)
+
+// runtimeStats maintains the baseline Go runtime health series every metrics
+// endpoint exports by default: goroutine count, live heap bytes, and
+// cumulative GC pauses. The series are refreshed lazily at scrape time — a
+// scrape-driven read of three runtime/metrics samples, no background
+// goroutine — so even a process with no other instrumentation wired answers
+// "is the runtime healthy" from /metrics alone. The deeper runtime telemetry
+// (allocation deltas, pause distributions, contention sites) lives in
+// internal/prof.
+type runtimeStats struct {
+	mu         sync.Mutex
+	goroutines *Gauge
+	heap       *Gauge
+	gcPauses   *Counter
+	// lastPauses is the previously observed cumulative pause count; it
+	// starts at zero so the first scrape credits every pause since process
+	// start to the counter.
+	lastPauses uint64
+	samples    []metrics.Sample
+}
+
+// newRuntimeStats registers the go_* series on r. A nil registry yields a
+// nil *runtimeStats, whose refresh is a no-op.
+func newRuntimeStats(r *Registry) *runtimeStats {
+	if r == nil {
+		return nil
+	}
+	return &runtimeStats{
+		goroutines: r.Gauge("go_goroutines", "Live goroutines at the last scrape."),
+		heap:       r.Gauge("go_heap_alloc_bytes", "Bytes of live heap objects at the last scrape."),
+		gcPauses:   r.Counter("go_gc_pauses_total", "Cumulative garbage-collection stop-the-world pauses."),
+		samples: []metrics.Sample{
+			{Name: "/sched/goroutines:goroutines"},
+			{Name: "/memory/classes/heap/objects:bytes"},
+			{Name: "/gc/pauses:seconds"},
+		},
+	}
+}
+
+// refresh re-reads the runtime and updates the go_* series. Safe for
+// concurrent scrapes and on a nil receiver.
+func (s *runtimeStats) refresh() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	s.goroutines.Set(int64(s.samples[0].Value.Uint64()))
+	s.heap.Set(int64(s.samples[1].Value.Uint64()))
+	var total uint64
+	for _, c := range s.samples[2].Value.Float64Histogram().Counts {
+		total += c
+	}
+	if total > s.lastPauses {
+		s.gcPauses.Add(int64(total - s.lastPauses))
+	}
+	s.lastPauses = total
+}

@@ -157,6 +157,24 @@ func TestSLOAndLoadComponentsAreKnown(t *testing.T) {
 	}
 }
 
+// TestProfComponentIsKnown pins the vocabulary growth from the continuous
+// profiler: "prof" is a legitimate emitting layer, and its sampler and
+// flight-recorder events lint clean while a near-miss component still trips
+// the vocabulary check.
+func TestProfComponentIsKnown(t *testing.T) {
+	src := header + `
+	l.Info(ctx, "prof", "prof.start")
+	l.Debug(ctx, "prof", "prof.sample")
+	l.Warn(ctx, "prof", "prof.flight.dump")
+	l.Warn(ctx, "porf", "prof.flight.dump")
+}
+`
+	diags := runOn(t, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `"porf"`) {
+		t.Fatalf("diagnostics = %v, want only the misspelled component", diags)
+	}
+}
+
 // TestUnknownComponentIsFlagged pins the component vocabulary: a literal
 // component outside the known layer set is a typo waiting to fork the
 // forensics timeline.

@@ -27,6 +27,9 @@ const telemetryPath = "/internal/telemetry"
 var boundedKeys = map[string]bool{
 	"device": true, "verdict": true, "level": true, "platform": true,
 	"kernel": true, "experiment": true, "outcome": true,
+	// "stage" values come from the prof.Stage enum (queue, encode,
+	// transfer, compute, verdict, observe).
+	"stage": true,
 }
 
 var Analyzer = &analysis.Analyzer{

@@ -31,6 +31,7 @@ func TestBoundedKeysAllowDynamicValues(t *testing.T) {
 	src := header + `
 	_ = telemetry.L("device", strconv.Itoa(i))
 	_ = telemetry.L("verdict", verdictName(i))
+	_ = telemetry.L("stage", verdictName(i))
 }
 
 func verdictName(i int) string { return "benign" }
