@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_JSON_DIR ?= bench-results
 
-.PHONY: build test bench bench-json bench-gate smoke load-smoke prof-smoke trace lint fuzz verify fmt
+.PHONY: build test bench bench-json bench-gate smoke load-smoke prof-smoke quality-smoke trace lint fuzz verify fmt
 
 build:
 	$(GO) build ./...
@@ -20,22 +20,26 @@ bench-json:
 	$(GO) run ./cmd/csdbench -experiment table2 -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdbench -experiment energy -json $(BENCH_JSON_DIR)
 
-# bench-gate regenerates the table1, fleet, and wallclock results and fails
-# (nonzero exit) when classification throughput or any platform's per-item
-# latency regressed more than ±15%, the fleet's serving throughput / p99
-# queue wait regressed more than ±50% (wall-clock benchmark), or the
-# instrumented serve path's ns/op (±50%) or allocs/op (±25%) regressed,
-# against the checked-in baselines. Refresh a baseline deliberately by
-# copying a trusted BENCH_table1.json / BENCH_fleet.json /
-# BENCH_wallclock.json over bench-results/baseline.json /
-# bench-results/baseline-fleet.json / bench-results/baseline-wallclock.json.
+# bench-gate regenerates the table1, fleet, wallclock, and quality results
+# and fails (nonzero exit) when classification throughput or any platform's
+# per-item latency regressed more than ±15%, the fleet's serving throughput /
+# p99 queue wait regressed more than ±50% (wall-clock benchmark), the
+# instrumented serve path's ns/op (±50%) or allocs/op (±25%) regressed, or
+# detection quality slipped (recall / detection latency ±15%, FPR +0.02
+# absolute, drift PSI +0.2 absolute), against the checked-in baselines.
+# Refresh a baseline deliberately by copying a trusted BENCH_<x>.json over
+# the matching bench-results/baseline-<x>.json (plain baseline.json for
+# table1); refresh the drift reference with
+# csdbench -experiment quality -quality-write-reference.
 bench-gate:
 	$(GO) run ./cmd/csdbench -experiment table1 -measure-go=false -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdbench -experiment fleet -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdbench -experiment wallclock -json $(BENCH_JSON_DIR)
+	$(GO) run ./cmd/csdbench -experiment quality -json $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/benchdiff -fresh $(BENCH_JSON_DIR)/BENCH_table1.json \
 		-fleet-fresh $(BENCH_JSON_DIR)/BENCH_fleet.json \
-		-wallclock-fresh $(BENCH_JSON_DIR)/BENCH_wallclock.json
+		-wallclock-fresh $(BENCH_JSON_DIR)/BENCH_wallclock.json \
+		-quality-fresh $(BENCH_JSON_DIR)/BENCH_quality.json
 
 # smoke replays the ransomware demo with full forensics on: the JSON-lines
 # event stream and one incident report per flagged process land next to the
@@ -72,6 +76,26 @@ prof-smoke:
 	@ls $(BENCH_JSON_DIR)/prof/flight-*.json >/dev/null 2>&1 || \
 		{ echo "prof-smoke: no flight dump produced" >&2; exit 1; }
 
+# quality-smoke proves the detection-quality loop on a seeded run: the
+# labeled PID population must produce true positives (the min-TP gate fails
+# the run on total blindness) and the scorecard artifact — the same document
+# /quality.json serves — lands next to the SLO report for upload. A second
+# run with -quality-inject-miss drills the recall SLO: every verdict is
+# forced un-flagged, the recall objective burns through, and the run must
+# page at least one incident.
+quality-smoke:
+	mkdir -p $(BENCH_JSON_DIR)
+	$(GO) run ./cmd/csdload -devices 2 -rate 800 -duration 3s -seed 13 \
+		-pids 200 -ransom-fraction 0.3 -latency-slo 25ms \
+		-quality-min-tp 1 -quality-json $(BENCH_JSON_DIR)/quality.json \
+		-json $(BENCH_JSON_DIR)/quality-slo-report.json
+	$(GO) run ./cmd/csdload -devices 2 -rate 800 -duration 3s -seed 13 \
+		-pids 200 -ransom-fraction 0.3 -latency-slo 25ms \
+		-quality-inject-miss -recall-target 0.99 \
+		-json $(BENCH_JSON_DIR)/quality-miss-report.json
+	@grep -q '"incidents_opened": 0' $(BENCH_JSON_DIR)/quality-miss-report.json && \
+		{ echo "quality-smoke: inject-miss run paged no incident" >&2; exit 1; } || true
+
 # trace runs the table1 configuration with the device timeline tracer on,
 # writing a Perfetto-loadable Chrome trace (open at https://ui.perfetto.dev)
 # next to the BENCH_*.json results and printing the cycle/occupancy profile.
@@ -106,6 +130,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzScheduleLoop -fuzztime=$(FUZZTIME) ./internal/hls/
 	$(GO) test -run=^$$ -fuzz=FuzzEventJSON -fuzztime=$(FUZZTIME) ./internal/eventlog/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeJSON -fuzztime=$(FUZZTIME) ./internal/eventlog/
+	$(GO) test -run=^$$ -fuzz=FuzzQualityLabel -fuzztime=$(FUZZTIME) ./internal/quality/
 
 # verify is the pre-merge gate: static checks (vet + both lint fronts), a
 # full build, and the whole test suite under the race detector (the serving

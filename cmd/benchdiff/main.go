@@ -1,10 +1,12 @@
 // Command benchdiff is the benchmark regression gate: it compares fresh
-// BENCH_table1.json, BENCH_fleet.json, and BENCH_wallclock.json results
-// (written by `make bench-gate` / cmd/csdbench) against the checked-in
-// baselines and fails — with a nonzero exit — when the FPGA classification
-// throughput, any platform's per-item latency, the fleet's serving
-// throughput, the fleet-wide p99 queue wait, or the instrumented serve
-// path's per-request wall-clock or allocation count regressed beyond the
+// BENCH_table1.json, BENCH_fleet.json, BENCH_wallclock.json, and
+// BENCH_quality.json results (written by `make bench-gate` / cmd/csdbench)
+// against the checked-in baselines and fails — with a nonzero exit — when
+// the FPGA classification throughput, any platform's per-item latency, the
+// fleet's serving throughput, the fleet-wide p99 queue wait, the
+// instrumented serve path's per-request wall-clock or allocation count, or
+// the detection-quality scorecard (recall, false-positive rate,
+// windows-to-flag quantiles, score-drift PSI) regressed beyond the
 // tolerance.
 //
 // The simulated device timings are deterministic, so the default ±15%
@@ -73,6 +75,21 @@ type wallclockDoc struct {
 	} `json:"result"`
 }
 
+// qualityDoc is the subset of BENCH_quality.json the gate compares: the
+// detection-quality scorecard headline numbers from csdbench's quality
+// experiment.
+type qualityDoc struct {
+	Experiment string `json:"experiment"`
+	Result     struct {
+		Recall           float64 `json:"recall"`
+		FPR              float64 `json:"fpr"`
+		WindowsToFlagP50 float64 `json:"windows_to_flag_p50"`
+		WindowsToFlagP99 float64 `json:"windows_to_flag_p99"`
+		BytesAtRiskP99   float64 `json:"bytes_at_risk_p99"`
+		DriftPSI         float64 `json:"drift_psi"`
+	} `json:"result"`
+}
+
 func readJSON(path string, doc any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -104,6 +121,11 @@ func run(args []string, out *os.File) error {
 	wcBaseline := fs.String("wallclock-baseline", "bench-results/baseline-wallclock.json", "checked-in wallclock baseline")
 	wcTolerance := fs.Float64("wallclock-tolerance", 0.50, "instrumented ns/op regression tolerance (wall-clock benchmark, wide by default)")
 	wcAllocTolerance := fs.Float64("wallclock-alloc-tolerance", 0.25, "instrumented allocs/op regression tolerance (allocation counts are stable, tighter)")
+	qFresh := fs.String("quality-fresh", "bench-results/BENCH_quality.json", "freshly produced detection-quality result (empty: skip the quality gate)")
+	qBaseline := fs.String("quality-baseline", "bench-results/baseline-quality.json", "checked-in detection-quality baseline")
+	qTolerance := fs.Float64("quality-tolerance", 0.15, "relative tolerance for recall and windows-to-flag/bytes-at-risk quantiles")
+	qFPRSlack := fs.Float64("quality-fpr-slack", 0.02, "absolute false-positive-rate headroom over baseline (relative deltas blow up when the baseline FPR is 0)")
+	qPSISlack := fs.Float64("quality-psi-slack", 0.2, "absolute drift-PSI headroom over baseline (0.2 = the conventional significant-shift boundary)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,6 +137,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *wcFresh != "" && (*wcTolerance <= 0 || *wcTolerance >= 1 || *wcAllocTolerance <= 0 || *wcAllocTolerance >= 1) {
 		return fmt.Errorf("wallclock tolerances (%v, %v) outside (0, 1)", *wcTolerance, *wcAllocTolerance)
+	}
+	if *qFresh != "" && (*qTolerance <= 0 || *qTolerance >= 1 || *qFPRSlack <= 0 || *qPSISlack <= 0) {
+		return fmt.Errorf("quality tolerances (%v, %v, %v) invalid", *qTolerance, *qFPRSlack, *qPSISlack)
 	}
 
 	base, err := readDoc(*baseline)
@@ -215,6 +240,49 @@ func run(args []string, out *os.File) error {
 			wcCur.Result.Instrumented.NSPerOp, *wcTolerance, false)
 		reportAt("wallclock instrumented allocs_per_op", wcBase.Result.Instrumented.AllocsPerOp,
 			wcCur.Result.Instrumented.AllocsPerOp, *wcAllocTolerance, false)
+	}
+
+	// Detection quality: recall (higher is better) and the detection-latency
+	// quantiles (lower is better) gate relatively; FPR and drift PSI gate on
+	// absolute slack because their baselines can legitimately be 0, where a
+	// relative delta is meaningless.
+	if *qFresh != "" {
+		var qBase, qCur qualityDoc
+		if err := readJSON(*qBaseline, &qBase); err != nil {
+			return fmt.Errorf("quality baseline: %w", err)
+		}
+		if err := readJSON(*qFresh, &qCur); err != nil {
+			return fmt.Errorf("fresh quality result: %w", err)
+		}
+		if qBase.Experiment != qCur.Experiment {
+			return fmt.Errorf("experiment mismatch: baseline %q vs fresh %q",
+				qBase.Experiment, qCur.Experiment)
+		}
+		reportAbs := func(metric string, baseVal, curVal, slack float64) {
+			status := "ok"
+			if curVal > baseVal+slack {
+				status = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: baseline %.4g, fresh %.4g (slack %.4g)", metric, baseVal, curVal, slack))
+			}
+			fmt.Fprintf(out, "%-44s baseline %12.4g  fresh %12.4g  %9s  %s\n",
+				metric, baseVal, curVal, fmt.Sprintf("+%.4g max", slack), status)
+		}
+		reportAt("quality recall", qBase.Result.Recall, qCur.Result.Recall, *qTolerance, true)
+		if qBase.Result.WindowsToFlagP50 > 0 {
+			reportAt("quality windows_to_flag_p50", qBase.Result.WindowsToFlagP50,
+				qCur.Result.WindowsToFlagP50, *qTolerance, false)
+		}
+		if qBase.Result.WindowsToFlagP99 > 0 {
+			reportAt("quality windows_to_flag_p99", qBase.Result.WindowsToFlagP99,
+				qCur.Result.WindowsToFlagP99, *qTolerance, false)
+		}
+		if qBase.Result.BytesAtRiskP99 > 0 {
+			reportAt("quality bytes_at_risk_p99", qBase.Result.BytesAtRiskP99,
+				qCur.Result.BytesAtRiskP99, *qTolerance, false)
+		}
+		reportAbs("quality fpr", qBase.Result.FPR, qCur.Result.FPR, *qFPRSlack)
+		reportAbs("quality drift_psi", qBase.Result.DriftPSI, qCur.Result.DriftPSI, *qPSISlack)
 	}
 
 	if len(regressions) > 0 {

@@ -40,7 +40,7 @@ func TestWithinTolerancePasses(t *testing.T) {
     "fpga_items_per_second": 416666.0
   }
 }`)
-	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout); err != nil {
+	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", "", "-quality-fresh", ""}, os.Stdout); err != nil {
 		t.Fatalf("within-tolerance comparison failed: %v", err)
 	}
 }
@@ -58,7 +58,7 @@ func TestThroughputRegressionFails(t *testing.T) {
     "fpga_items_per_second": 300000.0
   }
 }`)
-	err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout)
+	err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", "", "-quality-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("34% throughput drop passed the gate")
 	}
@@ -80,7 +80,7 @@ func TestLatencyRegressionFails(t *testing.T) {
     "fpga_items_per_second": 454545.45
   }
 }`)
-	err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout)
+	err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", "", "-quality-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("36% latency increase passed the gate")
 	}
@@ -99,7 +99,7 @@ func TestMissingPlatformFails(t *testing.T) {
     "fpga_items_per_second": 454545.45
   }
 }`)
-	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", "", "-quality-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("dropped CPU row passed the gate")
 	}
 }
@@ -108,7 +108,7 @@ func TestExperimentMismatchFails(t *testing.T) {
 	dir := t.TempDir()
 	base := writeDoc(t, dir, "baseline.json", baselineDoc)
 	fresh := writeDoc(t, dir, "fresh.json", `{"experiment": "table2", "result": {}}`)
-	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", fresh, "-fleet-fresh", "", "-wallclock-fresh", "", "-quality-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("experiment mismatch passed the gate")
 	}
 }
@@ -116,10 +116,10 @@ func TestExperimentMismatchFails(t *testing.T) {
 func TestBadFlagsAndFiles(t *testing.T) {
 	dir := t.TempDir()
 	base := writeDoc(t, dir, "baseline.json", baselineDoc)
-	if err := run([]string{"-baseline", base, "-fresh", filepath.Join(dir, "missing.json"), "-tolerance", "0.15", "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", filepath.Join(dir, "missing.json"), "-tolerance", "0.15", "-fleet-fresh", "", "-wallclock-fresh", "", "-quality-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("missing fresh file accepted")
 	}
-	if err := run([]string{"-baseline", base, "-fresh", base, "-tolerance", "2", "-fleet-fresh", "", "-wallclock-fresh", ""}, os.Stdout); err == nil {
+	if err := run([]string{"-baseline", base, "-fresh", base, "-tolerance", "2", "-fleet-fresh", "", "-wallclock-fresh", "", "-quality-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("tolerance 2 accepted")
 	}
 }
@@ -131,14 +131,16 @@ func TestCheckedInBaselineSelfComparison(t *testing.T) {
 	base := filepath.Join("..", "..", "bench-results", "baseline.json")
 	fleetBase := filepath.Join("..", "..", "bench-results", "baseline-fleet.json")
 	wcBase := filepath.Join("..", "..", "bench-results", "baseline-wallclock.json")
-	for _, p := range []string{base, fleetBase, wcBase} {
+	qBase := filepath.Join("..", "..", "bench-results", "baseline-quality.json")
+	for _, p := range []string{base, fleetBase, wcBase, qBase} {
 		if _, err := os.Stat(p); err != nil {
 			t.Fatalf("checked-in baseline missing: %v", err)
 		}
 	}
 	if err := run([]string{"-baseline", base, "-fresh", base,
 		"-fleet-baseline", fleetBase, "-fleet-fresh", fleetBase,
-		"-wallclock-baseline", wcBase, "-wallclock-fresh", wcBase}, os.Stdout); err != nil {
+		"-wallclock-baseline", wcBase, "-wallclock-fresh", wcBase,
+		"-quality-baseline", qBase, "-quality-fresh", qBase}, os.Stdout); err != nil {
 		t.Fatalf("baselines do not pass against themselves: %v", err)
 	}
 }
@@ -157,7 +159,7 @@ func TestFleetWithinTolerancePasses(t *testing.T) {
   "result": {"windows_per_second": 900.0, "queue_wait_p99_us": 55000.0}
 }`)
 	err := run([]string{"-baseline", base, "-fresh", base,
-		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh, "-wallclock-fresh", ""}, os.Stdout)
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh, "-wallclock-fresh", "", "-quality-fresh", ""}, os.Stdout)
 	if err != nil {
 		t.Fatalf("within-tolerance fleet comparison failed: %v", err)
 	}
@@ -172,7 +174,7 @@ func TestFleetThroughputRegressionFails(t *testing.T) {
   "result": {"windows_per_second": 400.0, "queue_wait_p99_us": 40000.0}
 }`)
 	err := run([]string{"-baseline", base, "-fresh", base,
-		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh, "-wallclock-fresh", ""}, os.Stdout)
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh, "-wallclock-fresh", "", "-quality-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("67% fleet throughput drop passed the gate")
 	}
@@ -190,7 +192,7 @@ func TestFleetQueueWaitRegressionFails(t *testing.T) {
   "result": {"windows_per_second": 1200.0, "queue_wait_p99_us": 90000.0}
 }`)
 	err := run([]string{"-baseline", base, "-fresh", base,
-		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh, "-wallclock-fresh", ""}, os.Stdout)
+		"-fleet-baseline", fleetBase, "-fleet-fresh", fresh, "-wallclock-fresh", "", "-quality-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("125% fleet p99 increase passed the gate")
 	}
@@ -213,7 +215,7 @@ func TestWallclockWithinTolerancePasses(t *testing.T) {
   "result": {"instrumented": {"ns_per_op": 1200000.0, "allocs_per_op": 480.0}}
 }`)
 	err := run([]string{"-baseline", base, "-fresh", base, "-fleet-fresh", "",
-		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh}, os.Stdout)
+		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh, "-quality-fresh", ""}, os.Stdout)
 	if err != nil {
 		t.Fatalf("within-tolerance wallclock comparison failed: %v", err)
 	}
@@ -228,7 +230,7 @@ func TestWallclockNSRegressionFails(t *testing.T) {
   "result": {"instrumented": {"ns_per_op": 1500000.0, "allocs_per_op": 430.0}}
 }`)
 	err := run([]string{"-baseline", base, "-fresh", base, "-fleet-fresh", "",
-		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh}, os.Stdout)
+		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh, "-quality-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("67% instrumented ns/op increase passed the gate")
 	}
@@ -246,12 +248,105 @@ func TestWallclockAllocRegressionFails(t *testing.T) {
   "result": {"instrumented": {"ns_per_op": 900000.0, "allocs_per_op": 600.0}}
 }`)
 	err := run([]string{"-baseline", base, "-fresh", base, "-fleet-fresh", "",
-		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh}, os.Stdout)
+		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh, "-quality-fresh", ""}, os.Stdout)
 	if err == nil {
 		t.Fatal("40% instrumented allocs/op increase passed the gate")
 	}
 	if !strings.Contains(err.Error(), "allocs_per_op") {
 		t.Fatalf("error does not name the regressed metric: %v", err)
+	}
+}
+
+const qualityBaselineDoc = `{
+  "experiment": "quality",
+  "result": {"recall": 0.99, "fpr": 0.01, "windows_to_flag_p50": 1.0,
+             "windows_to_flag_p99": 3.0, "bytes_at_risk_p99": 1048576.0, "drift_psi": 0.0}
+}`
+
+func qualityRun(t *testing.T, freshBody string) error {
+	t.Helper()
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", baselineDoc)
+	qBase := writeDoc(t, dir, "baseline-quality.json", qualityBaselineDoc)
+	fresh := writeDoc(t, dir, "fresh-quality.json", freshBody)
+	return run([]string{"-baseline", base, "-fresh", base, "-fleet-fresh", "", "-wallclock-fresh", "",
+		"-quality-baseline", qBase, "-quality-fresh", fresh}, os.Stdout)
+}
+
+func TestQualityWithinTolerancePasses(t *testing.T) {
+	// Recall −10% relative, FPR +0.015 absolute, PSI 0.15 absolute, latency
+	// quantiles +10% — all inside the default slack.
+	err := qualityRun(t, `{
+  "experiment": "quality",
+  "result": {"recall": 0.90, "fpr": 0.025, "windows_to_flag_p50": 1.1,
+             "windows_to_flag_p99": 3.3, "bytes_at_risk_p99": 1100000.0, "drift_psi": 0.15}
+}`)
+	if err != nil {
+		t.Fatalf("within-tolerance quality comparison failed: %v", err)
+	}
+}
+
+func TestQualityRecallRegressionFails(t *testing.T) {
+	err := qualityRun(t, `{
+  "experiment": "quality",
+  "result": {"recall": 0.60, "fpr": 0.01, "windows_to_flag_p50": 1.0,
+             "windows_to_flag_p99": 3.0, "bytes_at_risk_p99": 1048576.0, "drift_psi": 0.0}
+}`)
+	if err == nil {
+		t.Fatal("39% recall drop passed the gate")
+	}
+	if !strings.Contains(err.Error(), "recall") {
+		t.Fatalf("error does not name the regressed metric: %v", err)
+	}
+}
+
+func TestQualityFPRAbsoluteSlackFails(t *testing.T) {
+	// +0.03 absolute over a 0.01 baseline: the relative delta (×4) would be
+	// meaningless at a 0 baseline, but the absolute +0.02 slack catches it.
+	err := qualityRun(t, `{
+  "experiment": "quality",
+  "result": {"recall": 0.99, "fpr": 0.04, "windows_to_flag_p50": 1.0,
+             "windows_to_flag_p99": 3.0, "bytes_at_risk_p99": 1048576.0, "drift_psi": 0.0}
+}`)
+	if err == nil {
+		t.Fatal("+0.03 absolute FPR increase passed the gate")
+	}
+	if !strings.Contains(err.Error(), "fpr") {
+		t.Fatalf("error does not name the regressed metric: %v", err)
+	}
+}
+
+func TestQualityDriftPSIFails(t *testing.T) {
+	err := qualityRun(t, `{
+  "experiment": "quality",
+  "result": {"recall": 0.99, "fpr": 0.01, "windows_to_flag_p50": 1.0,
+             "windows_to_flag_p99": 3.0, "bytes_at_risk_p99": 1048576.0, "drift_psi": 0.35}
+}`)
+	if err == nil {
+		t.Fatal("PSI 0.35 over a drift-free baseline passed the gate")
+	}
+	if !strings.Contains(err.Error(), "drift_psi") {
+		t.Fatalf("error does not name the regressed metric: %v", err)
+	}
+}
+
+func TestQualityDetectionLatencyRegressionFails(t *testing.T) {
+	err := qualityRun(t, `{
+  "experiment": "quality",
+  "result": {"recall": 0.99, "fpr": 0.01, "windows_to_flag_p50": 1.0,
+             "windows_to_flag_p99": 6.0, "bytes_at_risk_p99": 1048576.0, "drift_psi": 0.0}
+}`)
+	if err == nil {
+		t.Fatal("2x windows-to-flag p99 passed the gate")
+	}
+	if !strings.Contains(err.Error(), "windows_to_flag_p99") {
+		t.Fatalf("error does not name the regressed metric: %v", err)
+	}
+}
+
+func TestQualityExperimentMismatchFails(t *testing.T) {
+	if err := qualityRun(t, `{"experiment": "fleet", "result": {}}`); err == nil {
+		t.Fatal("quality experiment mismatch passed the gate")
 	}
 }
 
@@ -261,7 +356,7 @@ func TestWallclockExperimentMismatchFails(t *testing.T) {
 	wcBase := writeDoc(t, dir, "baseline-wallclock.json", wallclockBaselineDoc)
 	fresh := writeDoc(t, dir, "fresh-wallclock.json", `{"experiment": "fleet", "result": {}}`)
 	if err := run([]string{"-baseline", base, "-fresh", base, "-fleet-fresh", "",
-		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh}, os.Stdout); err == nil {
+		"-wallclock-baseline", wcBase, "-wallclock-fresh", fresh, "-quality-fresh", ""}, os.Stdout); err == nil {
 		t.Fatal("wallclock experiment mismatch passed the gate")
 	}
 }

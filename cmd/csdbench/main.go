@@ -26,6 +26,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/experiments"
 	"github.com/kfrida1/csdinf/internal/prof"
+	"github.com/kfrida1/csdinf/internal/quality"
 )
 
 func main() {
@@ -45,7 +47,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("csdbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "fig3 | table1 | fig4 | metrics | table2 | energy | latency | models | window | fleet | wallclock | all")
+	experiment := fs.String("experiment", "all", "fig3 | table1 | fig4 | metrics | table2 | energy | latency | models | window | fleet | wallclock | quality | all")
 	trials := fs.Int("trials", 1000, "CPU/GPU latency samples for table1")
 	epochs := fs.Int("epochs", 40, "training epochs for fig4/metrics")
 	seed := fs.Int64("seed", 1, "seed for all randomized stages")
@@ -57,6 +59,10 @@ func run(args []string) error {
 	iterations := fs.Int("iterations", 2000, "measured requests per leg for the wallclock self-audit")
 	profOn := fs.Bool("prof", false, "run the continuous profiler during the experiment")
 	profDir := fs.String("prof-dir", "bench-results", "with -prof: directory for the prof.json snapshot artifact")
+	qualityRef := fs.String("quality-reference", "bench-results/quality-reference.json",
+		"with quality: pinned score distribution for the drift check (missing file: drift check off)")
+	qualityWriteRef := fs.String("quality-write-reference", "",
+		"with quality: additionally pin this run's score distribution to the given path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +96,9 @@ func run(args []string) error {
 		"wallclock": func() error {
 			return runWallClock(*jsonDir, *iterations, *seed)
 		},
+		"quality": func() error {
+			return runQuality(*jsonDir, *epochs, *seed, *qualityRef, *qualityWriteRef)
+		},
 	}
 	if *experiment == "all" {
 		for _, name := range []string{"fig3", "table1", "table2", "energy"} {
@@ -102,7 +111,7 @@ func run(args []string) error {
 	}
 	r, ok := runs[*experiment]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want fig3, table1, fig4, metrics, table2, energy, latency, models, window, fleet, all)", *experiment)
+		return fmt.Errorf("unknown experiment %q (want fig3, table1, fig4, metrics, table2, energy, latency, models, window, fleet, wallclock, quality, all)", *experiment)
 	}
 	return r()
 }
@@ -336,6 +345,72 @@ func runWallClock(jsonDir string, iterations int, seed int64) error {
 	fmt.Print(experiments.FormatWallClock(res))
 	fmt.Println()
 	return writeBench(jsonDir, "wallclock", res)
+}
+
+// runQuality closes the detection-quality loop: train, replay labeled
+// traffic through the scorecard-instrumented detector, and pin the
+// headline numbers (plus the full snapshot) in BENCH_quality.json for the
+// benchdiff gate.
+func runQuality(jsonDir string, epochs int, seed int64, refPath, writeRefPath string) error {
+	fmt.Println("=== Detection-quality scorecard: confusion, latency-to-flag, score drift ===")
+	fmt.Printf("(training a detector model first, %d epochs on the 1/10-scale corpus...)\n", epochs)
+	run, err := experiments.RunTraining(experiments.TrainRunConfig{
+		Epochs: epochs, Seed: seed, TargetAccuracy: 0.97,
+	})
+	if err != nil {
+		return err
+	}
+	var ref *quality.Reference
+	if refPath != "" {
+		ref, err = quality.LoadReference(refPath)
+		if err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+			fmt.Printf("(no pinned reference at %s; drift check off)\n", refPath)
+			ref = nil
+		}
+	}
+	res, err := experiments.QualityScorecard(experiments.QualityRunConfig{
+		Model: run.Model, Seed: seed, Reference: ref,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatQuality(res))
+	fmt.Println()
+	if writeRefPath != "" {
+		pinned, err := quality.ReferenceFrom("csdbench-quality", res.Snapshot)
+		if err != nil {
+			return err
+		}
+		if err := quality.WriteReference(writeRefPath, pinned); err != nil {
+			return err
+		}
+		fmt.Printf("(pinned score distribution to %s)\n\n", writeRefPath)
+	}
+	q := res.Snapshot
+	doc := struct {
+		Recall           float64          `json:"recall"`
+		FPR              float64          `json:"fpr"`
+		Precision        float64          `json:"precision"`
+		Accuracy         float64          `json:"accuracy"`
+		WindowsToFlagP50 float64          `json:"windows_to_flag_p50"`
+		WindowsToFlagP99 float64          `json:"windows_to_flag_p99"`
+		BytesAtRiskP50   float64          `json:"bytes_at_risk_p50"`
+		BytesAtRiskP99   float64          `json:"bytes_at_risk_p99"`
+		DriftPSI         float64          `json:"drift_psi"`
+		Drifted          bool             `json:"drifted"`
+		Snapshot         quality.Snapshot `json:"snapshot"`
+	}{
+		Recall: q.Total.Recall, FPR: q.Total.FPR,
+		Precision: q.Total.Precision, Accuracy: q.Total.Accuracy,
+		WindowsToFlagP50: q.WindowsToFlag.P50, WindowsToFlagP99: q.WindowsToFlag.P99,
+		BytesAtRiskP50: q.BytesAtRisk.P50, BytesAtRiskP99: q.BytesAtRisk.P99,
+		DriftPSI: q.Drift.PSI, Drifted: q.Drift.Drifted,
+		Snapshot: q,
+	}
+	return writeBench(jsonDir, "quality", doc)
 }
 
 func runEnergy(jsonDir string) error {

@@ -44,6 +44,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/prof"
+	"github.com/kfrida1/csdinf/internal/quality"
 	"github.com/kfrida1/csdinf/internal/sandbox"
 	"github.com/kfrida1/csdinf/internal/serve"
 	"github.com/kfrida1/csdinf/internal/telemetry"
@@ -73,14 +74,15 @@ func main() {
 // recorder and structured event log fed at every layer. Tests build it
 // directly to drive synthetic streams.
 type pipeline struct {
-	dev    *csd.SmartSSD // first (or only) drive; quarantine anchor
-	eng    *core.Engine  // nil in fleet mode
-	srv    *serve.Server // nil in fleet mode
-	fl     *fleet.Fleet  // nil in single-device mode
-	hot    *cti.HotSwapEngine
-	mux    *detect.Mux
-	rec    *incident.Recorder
-	events *eventlog.Logger
+	dev     *csd.SmartSSD // first (or only) drive; quarantine anchor
+	eng     *core.Engine  // nil in fleet mode
+	srv     *serve.Server // nil in fleet mode
+	fl      *fleet.Fleet  // nil in single-device mode
+	hot     *cti.HotSwapEngine
+	mux     *detect.Mux
+	rec     *incident.Recorder
+	events  *eventlog.Logger
+	quality *quality.Scorecard
 }
 
 type pipelineConfig struct {
@@ -172,6 +174,15 @@ func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
 		p.Close()
 		return nil, err
 	}
+	// The demo traffic comes from sandbox profiles, so ground truth is
+	// known: the scorecard judges every window verdict against the label
+	// replay stamps on the context.
+	scorecard, err := quality.New(quality.Config{Telemetry: cfg.reg, Events: cfg.events})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.quality = scorecard
 	mux, err := detect.NewMux(hot, detect.MuxConfig{
 		Detector: detect.Config{
 			Threshold: cfg.threshold,
@@ -180,6 +191,7 @@ func buildPipeline(cfg pipelineConfig) (*pipeline, error) {
 			OnWindow:  rec.Window,
 			Events:    cfg.events,
 			Prof:      cfg.profiler,
+			Quality:   scorecard,
 			OnBlock: func(e detect.Event) {
 				quarantine() // block all writes at the device level
 				if cfg.onBlock != nil {
@@ -330,7 +342,7 @@ func run(args []string) error {
 		mux := http.NewServeMux()
 		mux.Handle("/", telemetry.NewHTTPHandlerOpts(reg, telemetry.HTTPOptions{
 			Spans:  spans,
-			Extra:  extraHandlers(events, p.rec, profiler),
+			Extra:  extraHandlers(events, p.rec, profiler, p.quality),
 			Health: p.registry().Health,
 		}))
 		if *pprofOn {
@@ -356,7 +368,8 @@ func run(args []string) error {
 	}
 	fmt.Printf("\n--- replaying %d benign API calls (manual desktop interaction, pid %d) ---\n",
 		len(benignTrace), benignPID)
-	if err := replay(p.mux, benignPID, benignTrace, false); err != nil {
+	benignCtx := quality.WithLabel(context.Background(), benign.Label())
+	if err := replay(benignCtx, p.mux, benignPID, benignTrace, false); err != nil {
 		return err
 	}
 
@@ -371,7 +384,8 @@ func run(args []string) error {
 	}
 	fmt.Printf("--- %s.v%d begins executing as pid %d (%d calls max) ---\n",
 		*family, *variant, ransomPID, len(infected))
-	if err := replay(p.mux, ransomPID, infected, true); err != nil {
+	ransomCtx := quality.WithLabel(context.Background(), profile.Label())
+	if err := replay(ransomCtx, p.mux, ransomPID, infected, true); err != nil {
 		return err
 	}
 
@@ -384,6 +398,10 @@ func run(args []string) error {
 	blocked, blockedPID := p.mux.Blocked()
 	fmt.Printf("\nsummary: %d calls observed across %d processes, %d windows classified, %d alerts, blocked=%v\n",
 		calls, p.mux.Processes(), windows, alerts, blocked)
+	q := p.quality.Snapshot()
+	fmt.Printf("quality: tp=%d fp=%d tn=%d fn=%d  recall %.4f  fpr %.4f  (windows-to-flag p50 %.0f)\n",
+		q.Total.TP, q.Total.FP, q.Total.TN, q.Total.FN,
+		q.Total.Recall, q.Total.FPR, q.WindowsToFlag.P50)
 	printTelemetry(reg, spans)
 	if tracer != nil {
 		if err := writeTrace(*tracePath, tracer); err != nil {
@@ -441,10 +459,11 @@ func run(args []string) error {
 
 // extraHandlers assembles the observability endpoints mounted beside
 // /metrics; /prof.json appears only when the profiler is on.
-func extraHandlers(events *eventlog.Logger, rec *incident.Recorder, profiler *prof.Profiler) map[string]http.Handler {
+func extraHandlers(events *eventlog.Logger, rec *incident.Recorder, profiler *prof.Profiler, scorecard *quality.Scorecard) map[string]http.Handler {
 	extra := map[string]http.Handler{
 		"/events.json":    events.HTTPHandler(),
 		"/incidents.json": rec.HTTPHandler(),
+		"/quality.json":   scorecard.Handler(),
 	}
 	if profiler != nil {
 		extra["/prof.json"] = profiler.Handler()
@@ -494,9 +513,11 @@ func printTelemetry(reg *telemetry.Registry, spans *telemetry.SpanLog) {
 
 // replay feeds one process's API-call stream into the mux, stopping when
 // mitigation fires (for this or any process — the quarantine is global).
-func replay(mux *detect.Mux, pid int, calls []int, verbose bool) error {
+// The context carries the ground-truth quality label of the stream's
+// profile so the scorecard can grade every window verdict.
+func replay(ctx context.Context, mux *detect.Mux, pid int, calls []int, verbose bool) error {
 	for _, call := range calls {
-		ev, err := mux.Observe(context.Background(), pid, call)
+		ev, err := mux.Observe(ctx, pid, call)
 		if err != nil {
 			if errors.Is(err, detect.ErrBlocked) {
 				return nil

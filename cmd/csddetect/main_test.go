@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -14,6 +15,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/dataset"
 	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/incident"
+	"github.com/kfrida1/csdinf/internal/quality"
 	"github.com/kfrida1/csdinf/internal/sandbox"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/trace"
@@ -107,11 +109,13 @@ func TestForensicsEndToEnd(t *testing.T) {
 	}
 	defer p.Close()
 
-	benignTrace, err := sandbox.ManualInteractionProfile().Generate(300, 1)
+	benign := sandbox.ManualInteractionProfile()
+	benignTrace, err := benign.Generate(300, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := replay(p.mux, benignPID, benignTrace, false); err != nil {
+	benignCtx := quality.WithLabel(context.Background(), benign.Label())
+	if err := replay(benignCtx, p.mux, benignPID, benignTrace, false); err != nil {
 		t.Fatal(err)
 	}
 	prof, err := sandbox.RansomwareProfile("Lockbit", 1)
@@ -122,7 +126,8 @@ func TestForensicsEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := replay(p.mux, ransomPID, infected, false); err != nil {
+	ransomCtx := quality.WithLabel(context.Background(), prof.Label())
+	if err := replay(ransomCtx, p.mux, ransomPID, infected, false); err != nil {
 		t.Fatal(err)
 	}
 	blocked, pid := p.mux.Blocked()
@@ -161,6 +166,12 @@ func TestForensicsEndToEnd(t *testing.T) {
 	}
 	if inc.State != "closed" || inc.CloseReason != "blocked" {
 		t.Fatalf("incident not closed by mitigation: %+v", inc)
+	}
+
+	// Ground truth rode the replay context through detect into the
+	// forensic report.
+	if inc.Truth != "ransomware" || inc.Family != "lockbit" {
+		t.Fatalf("incident truth/family = %q/%q, want ransomware/lockbit", inc.Truth, inc.Family)
 	}
 
 	// Confidence trajectory: window-by-window verdicts ending in the block,
@@ -229,6 +240,7 @@ func TestForensicsEndToEnd(t *testing.T) {
 	srv := httptest.NewServer(telemetry.NewHTTPHandlerWith(reg, spans, map[string]http.Handler{
 		"/events.json":    events.HTTPHandler(),
 		"/incidents.json": p.rec.HTTPHandler(),
+		"/quality.json":   p.quality.Handler(),
 	}))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/spans.json")
@@ -277,6 +289,41 @@ func TestForensicsEndToEnd(t *testing.T) {
 	}
 	if !foundHTTP {
 		t.Fatalf("incident %d missing from /incidents.json", inc.ID)
+	}
+
+	// /quality.json: the scorecard graded every labeled window; the
+	// infected process must register as a true positive and the detector
+	// must have flagged at least one of its windows.
+	resp, err = http.Get(srv.URL + "/quality.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qDoc quality.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&qDoc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qDoc.Total.TP == 0 {
+		t.Fatalf("/quality.json confusion has no true positives: %+v", qDoc.Total)
+	}
+	if qDoc.Unlabeled != 0 {
+		t.Fatalf("%d windows unlabeled despite stamped contexts", qDoc.Unlabeled)
+	}
+	if qDoc.Labeled != qDoc.Windows {
+		t.Fatalf("labeled %d of %d windows", qDoc.Labeled, qDoc.Windows)
+	}
+	foundFam := false
+	for _, f := range qDoc.Families {
+		if f.Family == "lockbit" && f.TP > 0 {
+			foundFam = true
+		}
+	}
+	if !foundFam {
+		t.Fatalf("no lockbit true positives in per-family breakdown: %+v", qDoc.Families)
+	}
+	if qDoc.WindowsToFlag.Count == 0 || qDoc.WindowsToFlag.P50 <= 0 {
+		t.Fatalf("windows-to-flag latency untracked: %+v", qDoc.WindowsToFlag)
 	}
 
 	// The JSON-lines event stream records the story with the same job ID.
@@ -376,7 +423,7 @@ func TestDetectFleetDevices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := replay(p.mux, benignPID, benign, false); err != nil {
+	if err := replay(context.Background(), p.mux, benignPID, benign, false); err != nil {
 		t.Fatal(err)
 	}
 	prof, err := sandbox.RansomwareProfile("Lockbit", 1)
@@ -387,7 +434,7 @@ func TestDetectFleetDevices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := replay(p.mux, ransomPID, infected, false); err != nil {
+	if err := replay(context.Background(), p.mux, ransomPID, infected, false); err != nil {
 		t.Fatal(err)
 	}
 	if blocked, pid := p.mux.Blocked(); !blocked || pid != ransomPID {

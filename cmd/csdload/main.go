@@ -26,10 +26,24 @@
 //
 // The -seed flag makes the arrival schedule (and its report digest)
 // deterministic, which is how CI pins the generator.
+//
+// Every run is also a labeled detection-quality experiment: a
+// -ransom-fraction slice of the synthetic PID population carries
+// ground-truth ransomware labels (families round-robin from the sandbox
+// catalog), every measured verdict feeds the quality scorecard (confusion
+// matrix, per-family breakdown, windows-to-flag latency, PSI drift against
+// -quality-reference), and the report gains a detection-quality section —
+// served live at /quality.json with -metrics-addr and written to
+// -quality-json as an artifact. With -recall-target/-fpr-target the
+// scorecard feeds recall and false-positive-rate SLOs, so missed
+// ransomware burns an error budget and pages exactly like a latency
+// regression; -quality-inject-miss deliberately misses every labeled
+// window to drill that path.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,6 +61,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/load"
 	"github.com/kfrida1/csdinf/internal/lstm"
 	"github.com/kfrida1/csdinf/internal/prof"
+	"github.com/kfrida1/csdinf/internal/quality"
 	"github.com/kfrida1/csdinf/internal/slo"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/trace"
@@ -78,6 +93,14 @@ func run(args []string, out io.Writer) error {
 	availTarget := fs.Float64("availability-target", 0.999, "fraction of requests that must succeed")
 	profOn := fs.Bool("prof", false, "run the continuous profiler: runtime sampling, per-stage cost attribution, incident flight dumps")
 	profDir := fs.String("prof-dir", "prof-out", "with -prof: directory for flight dumps and the final prof.json snapshot")
+	ransomFraction := fs.Float64("ransom-fraction", 0.1, "fraction of the PID population labeled ground-truth ransomware")
+	qualityThreshold := fs.Float64("quality-threshold", 0.5, "probability at or above which a scored verdict counts as flagged")
+	qualityReference := fs.String("quality-reference", "", "pinned score-distribution JSON for PSI drift detection (empty: drift off)")
+	qualityInjectMiss := fs.Bool("quality-inject-miss", false, "fault injection: score every window as un-flagged, missing all ransomware (recall SLO drill)")
+	recallTarget := fs.Float64("recall-target", 0, "recall objective: fraction of ransomware windows that must be flagged (0: off)")
+	fprTarget := fs.Float64("fpr-target", 0, "false-positive objective: fraction of benign windows that must NOT be flagged (0: off)")
+	qualityJSON := fs.String("quality-json", "", "write the /quality.json scorecard document to this file")
+	qualityMinTP := fs.Int("quality-min-tp", 0, "fail the run unless the scorecard holds at least this many true positives")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,11 +117,37 @@ func run(args []string, out io.Writer) error {
 	events := eventlog.New(eventlog.Config{})
 	defer events.Close()
 
+	// The detection-quality scorecard. Its SLO hook closes over the
+	// evaluator built below (both Quality and the hook are nil-safe, so
+	// ordering is harmless); the profiler's flight dumps embed its
+	// snapshot so a recall-burn page ships with the confusion matrix that
+	// burned it.
+	var evaluator *slo.Evaluator
+	var reference *quality.Reference
+	if *qualityReference != "" {
+		if reference, err = quality.LoadReference(*qualityReference); err != nil {
+			return err
+		}
+	}
+	scorecard, err := quality.New(quality.Config{
+		Telemetry: reg,
+		Events:    events,
+		Reference: reference,
+		SLO:       func(truth, flagged bool) { evaluator.Quality(truth, flagged) },
+	})
+	if err != nil {
+		return err
+	}
+
 	var profiler *prof.Profiler
 	var tracer *trace.Tracer
 	incidentCfg := incident.Config{Events: events}
 	if *profOn {
-		profiler, err = prof.New(prof.Config{Telemetry: reg, Events: events})
+		profiler, err = prof.New(prof.Config{
+			Telemetry:   reg,
+			Events:      events,
+			FlightExtra: func() any { return scorecard.Snapshot() },
+		})
 		if err != nil {
 			return err
 		}
@@ -143,27 +192,46 @@ func run(args []string, out io.Writer) error {
 	// The SLO window is the measured part of the run: burn windows and the
 	// error budget scale with it (a 10s run lives on a compressed clock).
 	window := *duration - *warmup
-	evaluator, err := slo.NewEvaluator(slo.Config{
-		Objectives: []slo.Objective{
-			{
-				Name:        "latency",
-				Description: fmt.Sprintf("%.0f%% of requests classified within %v of intended arrival", *latencyTarget*100, *latencySLO),
-				Kind:        slo.KindLatency,
-				Target:      *latencyTarget,
-				Threshold:   *latencySLO,
-				Window:      window,
-			},
-			{
-				Name:        "availability",
-				Description: fmt.Sprintf("%.1f%% of requests succeed", *availTarget*100),
-				Kind:        slo.KindAvailability,
-				Target:      *availTarget,
-				Window:      window,
-			},
+	objectives := []slo.Objective{
+		{
+			Name:        "latency",
+			Description: fmt.Sprintf("%.0f%% of requests classified within %v of intended arrival", *latencyTarget*100, *latencySLO),
+			Kind:        slo.KindLatency,
+			Target:      *latencyTarget,
+			Threshold:   *latencySLO,
+			Window:      window,
 		},
-		Telemetry: reg,
-		Events:    events,
-		Incidents: rec,
+		{
+			Name:        "availability",
+			Description: fmt.Sprintf("%.1f%% of requests succeed", *availTarget*100),
+			Kind:        slo.KindAvailability,
+			Target:      *availTarget,
+			Window:      window,
+		},
+	}
+	if *recallTarget > 0 {
+		objectives = append(objectives, slo.Objective{
+			Name:        "recall",
+			Description: fmt.Sprintf("%.1f%% of ground-truth ransomware windows flagged", *recallTarget*100),
+			Kind:        slo.KindRecall,
+			Target:      *recallTarget,
+			Window:      window,
+		})
+	}
+	if *fprTarget > 0 {
+		objectives = append(objectives, slo.Objective{
+			Name:        "false-positive",
+			Description: fmt.Sprintf("%.1f%% of ground-truth benign windows left unflagged", *fprTarget*100),
+			Kind:        slo.KindFalsePositive,
+			Target:      *fprTarget,
+			Window:      window,
+		})
+	}
+	evaluator, err = slo.NewEvaluator(slo.Config{
+		Objectives: objectives,
+		Telemetry:  reg,
+		Events:     events,
+		Incidents:  rec,
 	})
 	if err != nil {
 		return err
@@ -180,6 +248,7 @@ func run(args []string, out io.Writer) error {
 			"/slo.json":       evaluator.HTTPHandler(),
 			"/events.json":    events.HTTPHandler(),
 			"/incidents.json": rec.HTTPHandler(),
+			"/quality.json":   scorecard.Handler(),
 		}
 		if profiler != nil {
 			extra["/prof.json"] = profiler.Handler()
@@ -201,17 +270,21 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := load.Run(ctx, load.Config{
-		Target:    fl,
-		Arrivals:  *arrivals,
-		Rate:      *rate,
-		Duration:  *duration,
-		Warmup:    *warmup,
-		PIDs:      *pids,
-		Vocab:     lstm.PaperConfig().VocabSize,
-		Seed:      *seed,
-		Evaluator: evaluator,
-		Events:    events,
-		Chaos:     steps,
+		Target:            fl,
+		Arrivals:          *arrivals,
+		Rate:              *rate,
+		Duration:          *duration,
+		Warmup:            *warmup,
+		PIDs:              *pids,
+		Vocab:             lstm.PaperConfig().VocabSize,
+		Seed:              *seed,
+		Evaluator:         evaluator,
+		Events:            events,
+		Chaos:             steps,
+		Quality:           scorecard,
+		QualityThreshold:  *qualityThreshold,
+		RansomFraction:    *ransomFraction,
+		QualityInjectMiss: *qualityInjectMiss,
 	})
 	if err != nil && !errors.Is(err, context.Canceled) {
 		return err
@@ -242,11 +315,38 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "profiler snapshot written to %s\n", path)
 	}
+	if *qualityJSON != "" {
+		if err := writeQualityJSON(*qualityJSON, scorecard); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "quality scorecard written to %s\n", *qualityJSON)
+	}
+	if *qualityMinTP > 0 {
+		if tp := scorecard.Snapshot().Total.TP; tp < *qualityMinTP {
+			return fmt.Errorf("quality gate: %d true positives, want at least %d", tp, *qualityMinTP)
+		}
+	}
 	if *metricsAddr != "" && *hold > 0 {
 		fmt.Fprintf(out, "holding metrics endpoint for %v...\n", *hold)
 		time.Sleep(*hold)
 	}
 	return nil
+}
+
+// writeQualityJSON writes the scorecard snapshot — the same document
+// /quality.json serves — as an indented JSON artifact.
+func writeQualityJSON(path string, scorecard *quality.Scorecard) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(scorecard.Snapshot()); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // chaosPlan schedules the fleet disturbances of a -chaos run: a drain and

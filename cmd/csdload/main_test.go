@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/kfrida1/csdinf/internal/load"
+	"github.com/kfrida1/csdinf/internal/quality"
 )
 
 // TestRunDeterministicReport runs csdload twice with the same seed at a
@@ -113,5 +114,123 @@ func TestRunChaos(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "chaos steps") {
 		t.Errorf("text report lacks chaos section:\n%s", out.String())
+	}
+}
+
+// TestRunQualityInjectMissPagesRecall is the quality loop end to end: with
+// every verdict forced un-flagged, ground-truth ransomware is 100% missed,
+// the recall objective burns its entire budget, the fast-burn rule pages an
+// incident, and the incident's flight dump carries the scorecard snapshot
+// whose confusion matrix burned it.
+func TestRunQualityInjectMissPagesRecall(t *testing.T) {
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	qualityPath := filepath.Join(dir, "quality.json")
+	profDir := filepath.Join(dir, "prof")
+	var out bytes.Buffer
+	err := run([]string{
+		"-devices", "2", "-rate", "800", "-duration", "700ms",
+		"-seed", "13", "-pids", "100", "-ransom-fraction", "0.3",
+		"-quality-inject-miss", "-recall-target", "0.99",
+		"-prof", "-prof-dir", profDir,
+		"-json", reportPath, "-quality-json", qualityPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res load.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. The scorecard shows total blindness: zero recall, every
+	//    ransomware window a false negative.
+	if res.Quality == nil {
+		t.Fatal("no quality block in the report artifact")
+	}
+	if res.Quality.Total.TP != 0 || res.Quality.Total.FN == 0 {
+		t.Fatalf("confusion %+v, want tp=0 and misses under inject-miss", res.Quality.Total)
+	}
+
+	// 2. The recall objective is violated with its budget exhausted, and
+	//    its paging rule fired through to an incident.
+	if res.SLO == nil {
+		t.Fatal("no SLO status")
+	}
+	var recall bool
+	for _, o := range res.SLO.Objectives {
+		if o.Name == "recall" {
+			recall = true
+			if o.Met || o.BudgetRemaining > 0 {
+				t.Errorf("recall objective %+v, want violated with exhausted budget", o)
+			}
+		}
+	}
+	if !recall {
+		t.Fatal("no recall objective in the report")
+	}
+	var pagedIncident int64
+	for _, a := range res.SLO.Alerts {
+		if a.Objective == "recall" && a.State == "firing" && a.IncidentID != 0 {
+			pagedIncident = a.IncidentID
+		}
+	}
+	if pagedIncident == 0 {
+		t.Fatalf("no firing recall alert with an incident; alerts = %+v", res.SLO.Alerts)
+	}
+
+	// 3. The incident's flight dump embeds the scorecard snapshot.
+	flights, err := filepath.Glob(filepath.Join(profDir, "flight-*.json"))
+	if err != nil || len(flights) == 0 {
+		t.Fatalf("no flight dumps in %s (err %v)", profDir, err)
+	}
+	var dumped bool
+	for _, path := range flights {
+		rawDump, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dump struct {
+			Reason string           `json:"reason"`
+			Extra  quality.Snapshot `json:"extra"`
+		}
+		if err := json.Unmarshal(rawDump, &dump); err != nil {
+			t.Fatalf("flight dump %s not valid JSON: %v", path, err)
+		}
+		if dump.Extra.Windows > 0 && dump.Extra.Total.FN > 0 {
+			dumped = true
+		}
+	}
+	if !dumped {
+		t.Errorf("no flight dump carries a populated scorecard snapshot (%d dumps)", len(flights))
+	}
+
+	// 4. The standalone quality artifact matches the report's snapshot.
+	rawQ, err := os.ReadFile(qualityPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact quality.Snapshot
+	if err := json.Unmarshal(rawQ, &artifact); err != nil {
+		t.Fatal(err)
+	}
+	if artifact.Total.FN != res.Quality.Total.FN || artifact.Windows != res.Quality.Windows {
+		t.Errorf("quality artifact %+v diverges from report %+v", artifact.Total, res.Quality.Total)
+	}
+
+	// 5. The min-TP gate turns total blindness into a hard failure.
+	var gateOut bytes.Buffer
+	err = run([]string{
+		"-devices", "1", "-rate", "400", "-duration", "300ms",
+		"-seed", "13", "-pids", "50", "-ransom-fraction", "0.3",
+		"-quality-inject-miss", "-quality-min-tp", "1",
+	}, &gateOut)
+	if err == nil || !strings.Contains(err.Error(), "quality gate") {
+		t.Errorf("min-tp gate error = %v, want a quality gate failure", err)
 	}
 }

@@ -63,6 +63,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/metrics"
 	"github.com/kfrida1/csdinf/internal/node"
 	"github.com/kfrida1/csdinf/internal/prof"
+	"github.com/kfrida1/csdinf/internal/quality"
 	"github.com/kfrida1/csdinf/internal/report"
 	"github.com/kfrida1/csdinf/internal/sandbox"
 	"github.com/kfrida1/csdinf/internal/serve"
@@ -670,9 +671,11 @@ type (
 
 // Objective kinds.
 const (
-	SLOAvailability = slo.KindAvailability
-	SLOLatency      = slo.KindLatency
-	SLODetection    = slo.KindDetection
+	SLOAvailability  = slo.KindAvailability
+	SLOLatency       = slo.KindLatency
+	SLODetection     = slo.KindDetection
+	SLORecall        = slo.KindRecall
+	SLOFalsePositive = slo.KindFalsePositive
 )
 
 // NewSLOEvaluator builds an SLO evaluator over the given objectives.
@@ -747,3 +750,62 @@ const (
 // Handler at /prof.json; and wire IncidentConfig.OnOpen to WriteFlight for
 // incident-correlated flight dumps. Close it to stop the sampler.
 func NewProfiler(cfg ProfilerConfig) (*Profiler, error) { return prof.New(cfg) }
+
+// Detection-quality types (observability layer 6 — see internal/quality):
+// ground-truth labels ride the request context, every classified window
+// feeds an online confusion matrix with per-family breakdowns and
+// detection-latency distributions, and a PSI drift detector watches the
+// live score distribution against a pinned reference. A nil
+// QualityScorecard is inert, like every other observability hook.
+type (
+	// QualityLabel is the ground-truth label riding a request context.
+	QualityLabel = quality.Label
+	// QualityScorecard is the online detection-quality aggregate behind
+	// /quality.json.
+	QualityScorecard = quality.Scorecard
+	// QualityConfig wires the scorecard into telemetry, events, the SLO
+	// feedback hook, and the drift reference.
+	QualityConfig = quality.Config
+	// QualityVerdict is one classified window as the scorecard sees it.
+	QualityVerdict = quality.Verdict
+	// QualitySnapshot is the scorecard's full exported state (the
+	// /quality.json document).
+	QualitySnapshot = quality.Snapshot
+	// QualityReference is a pinned score distribution for PSI drift
+	// detection.
+	QualityReference = quality.Reference
+)
+
+// NewQualityScorecard builds a detection-quality scorecard. Thread it
+// through DetectorConfig.Quality or LoadConfig.Quality, stamp generated
+// traffic with WithQualityLabel, and wire QualityConfig.SLO to
+// (*SLOEvaluator).Quality so recall and false-positive objectives burn on
+// misclassification.
+func NewQualityScorecard(cfg QualityConfig) (*QualityScorecard, error) { return quality.New(cfg) }
+
+// WithQualityLabel stamps a ground-truth label onto a request context; the
+// family string is sanitized to a bounded telemetry-legal value.
+func WithQualityLabel(ctx context.Context, l QualityLabel) context.Context {
+	return quality.WithLabel(ctx, l)
+}
+
+// QualityLabelFrom returns the ground-truth label stamped on the context,
+// if any.
+func QualityLabelFrom(ctx context.Context) (QualityLabel, bool) { return quality.LabelFrom(ctx) }
+
+// NewQualityReference builds a pinned score-distribution reference from
+// raw verdict probabilities observed in a known-good run.
+func NewQualityReference(name string, scores []float64) (*QualityReference, error) {
+	return quality.NewReference(name, scores)
+}
+
+// LoadQualityReference reads a pinned score-distribution reference (as
+// written by WriteQualityReference or csdbench -quality-write-reference).
+func LoadQualityReference(path string) (*QualityReference, error) {
+	return quality.LoadReference(path)
+}
+
+// WriteQualityReference pins a reference score distribution to disk.
+func WriteQualityReference(path string, r *QualityReference) error {
+	return quality.WriteReference(path, r)
+}

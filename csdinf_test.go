@@ -491,3 +491,53 @@ func TestObservabilityFacade(t *testing.T) {
 		t.Fatalf("sink stats = %+v", stats)
 	}
 }
+
+// TestQualityFacade exercises the detection-quality surface end to end
+// through the public API: scorecard construction, label stamping, SLO
+// feedback into recall/false-positive objectives, and reference round-trip.
+func TestQualityFacade(t *testing.T) {
+	ev, err := NewSLOEvaluator(SLOConfig{Objectives: []SLObjective{
+		{Name: "recall", Kind: SLORecall, Target: 0.5, Window: 60_000_000_000},
+		{Name: "fp", Kind: SLOFalsePositive, Target: 0.5, Window: 60_000_000_000},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := NewQualityScorecard(QualityConfig{SLO: ev.Quality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithQualityLabel(context.Background(), QualityLabel{Truth: true, Family: "LockBit"})
+	if l, ok := QualityLabelFrom(ctx); !ok || !l.Truth || l.Family != "lockbit" {
+		t.Fatalf("label round-trip = %+v, %v", l, ok)
+	}
+	card.Observe(ctx, QualityVerdict{PID: 1, Probability: 0.9, Flagged: true})
+	card.Observe(WithQualityLabel(context.Background(), QualityLabel{Family: "benign"}),
+		QualityVerdict{PID: 2, Probability: 0.1})
+
+	var snap QualitySnapshot = card.Snapshot()
+	if snap.Total.TP != 1 || snap.Total.TN != 1 {
+		t.Fatalf("confusion %+v, want tp=1 tn=1", snap.Total)
+	}
+	for _, o := range ev.Evaluate().Objectives {
+		if o.Good != 1 || o.Bad != 0 {
+			t.Errorf("objective %s counts %d/%d, want 1/0", o.Name, o.Good, o.Bad)
+		}
+	}
+
+	ref, err := NewQualityReference("facade", []float64{0.1, 0.2, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ref.json"
+	if err := WriteQualityReference(path, ref); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadQualityReference(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != ref.Name || back.Samples != ref.Samples {
+		t.Fatalf("reference round-trip lost identity: %+v vs %+v", back, ref)
+	}
+}

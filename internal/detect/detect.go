@@ -14,6 +14,7 @@ import (
 	"github.com/kfrida1/csdinf/internal/eventlog"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/prof"
+	"github.com/kfrida1/csdinf/internal/quality"
 	"github.com/kfrida1/csdinf/internal/telemetry"
 	"github.com/kfrida1/csdinf/internal/trace"
 )
@@ -90,6 +91,14 @@ type WindowSample struct {
 	QueueWait time.Duration
 	Transfer  time.Duration
 	Compute   time.Duration
+	// Truth is the ground-truth label that rode the request context
+	// ("ransomware" or "benign"), empty when the traffic carried no label
+	// (production streams have no ground truth; sandbox replays and load
+	// generators stamp one via quality.WithLabel).
+	Truth string
+	// Family is the labeled generating family or benign archetype; empty
+	// without a label.
+	Family string
 }
 
 // Config controls the detector.
@@ -130,6 +139,10 @@ type Config struct {
 	// layers below stamp their stages, and the detector adds its verdict
 	// and observation costs before recording the breakdown.
 	Prof *prof.Profiler
+	// Quality, when non-nil, receives every classified window's verdict
+	// together with the ground-truth label riding the request context (if
+	// any) — the detection-quality scorecard's feed.
+	Quality *quality.Scorecard
 }
 
 func (c *Config) defaults() {
@@ -246,7 +259,7 @@ func (d *Detector) classify(ctx context.Context) (*Event, error) {
 	// created for it even when no span ring is configured.
 	sp := telemetry.SpanFrom(ctx)
 	ownSpan := false
-	if sp == nil && (d.cfg.Spans != nil || d.cfg.OnWindow != nil || d.cfg.Events != nil) {
+	if sp == nil && (d.cfg.Spans != nil || d.cfg.OnWindow != nil || d.cfg.Events != nil || d.cfg.Quality != nil) {
 		sp = &telemetry.Span{Name: "window"}
 		ctx = telemetry.WithSpan(ctx, sp)
 		ownSpan = true
@@ -314,7 +327,7 @@ func (d *Detector) classify(ctx context.Context) (*Event, error) {
 // attribution its span accumulated on the way down the stack — to the
 // OnWindow observer and the event log.
 func (d *Detector) observeWindow(ctx context.Context, ev *Event, sp *telemetry.Span) {
-	if d.cfg.OnWindow == nil && d.cfg.Events == nil {
+	if d.cfg.OnWindow == nil && d.cfg.Events == nil && d.cfg.Quality == nil {
 		return
 	}
 	s := WindowSample{
@@ -324,6 +337,18 @@ func (d *Detector) observeWindow(ctx context.Context, ev *Event, sp *telemetry.S
 		Probability: ev.Probability,
 		Action:      ev.Action,
 	}
+	if lbl, ok := quality.LabelFrom(ctx); ok {
+		s.Truth, s.Family = "benign", lbl.Family
+		if lbl.Truth {
+			s.Truth = "ransomware"
+		}
+	}
+	d.cfg.Quality.Observe(ctx, quality.Verdict{
+		PID:         d.pid,
+		Probability: ev.Probability,
+		Flagged:     ev.Action >= ActionAlert,
+		Blocked:     ev.Action == ActionBlock,
+	})
 	if sp != nil {
 		s.Job = sp.ID
 		s.Device = sp.Device

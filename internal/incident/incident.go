@@ -58,6 +58,11 @@ type Window struct {
 	QueueWait time.Duration `json:"queue_wait_ns"`
 	Transfer  time.Duration `json:"transfer_ns"`
 	Compute   time.Duration `json:"compute_ns"`
+	// Truth is the ground-truth label that rode the classification request
+	// ("ransomware" or "benign"); empty for unlabeled production traffic.
+	// Together with Verdict it tells a reader at a glance whether this
+	// window was a hit, a miss, or a false alarm.
+	Truth string `json:"truth,omitempty"`
 }
 
 // Incident is the forensic record of one flagged process — or, for
@@ -121,6 +126,12 @@ type Incident struct {
 	QueueWaitTotal time.Duration `json:"queue_wait_total_ns"`
 	TransferTotal  time.Duration `json:"transfer_total_ns"`
 	ComputeTotal   time.Duration `json:"compute_total_ns"`
+	// Truth and Family are the process's ground-truth label when the
+	// traffic was labeled (quality.WithLabel): whether this incident
+	// caught real ransomware (and which emulated family) or false-alarmed
+	// on benign activity. Empty for unlabeled traffic.
+	Truth  string `json:"truth,omitempty"`
+	Family string `json:"family,omitempty"`
 }
 
 // Config controls the recorder.
@@ -203,6 +214,7 @@ func (r *Recorder) Window(s detect.WindowSample) {
 		QueueWait:   s.QueueWait,
 		Transfer:    s.Transfer,
 		Compute:     s.Compute,
+		Truth:       s.Truth,
 	}
 	if w.Time.IsZero() {
 		w.Time = r.cfg.Clock()
@@ -215,6 +227,9 @@ func (r *Recorder) Window(s detect.WindowSample) {
 		r.tracked[s.PID] = st
 	}
 	inc := &st.inc
+	if inc.Truth == "" && s.Truth != "" {
+		inc.Truth, inc.Family = s.Truth, s.Family
+	}
 	inc.WindowsTotal++
 	if s.Probability > inc.MaxProbability {
 		inc.MaxProbability = s.Probability

@@ -36,6 +36,8 @@ import (
 	"github.com/kfrida1/csdinf/internal/fleet"
 	"github.com/kfrida1/csdinf/internal/infer"
 	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/quality"
+	"github.com/kfrida1/csdinf/internal/sandbox"
 	"github.com/kfrida1/csdinf/internal/serve"
 	"github.com/kfrida1/csdinf/internal/slo"
 	"github.com/kfrida1/csdinf/internal/telemetry"
@@ -118,6 +120,25 @@ type Config struct {
 	Events *eventlog.Logger
 	// Chaos steps execute at their offsets, in At order.
 	Chaos []ChaosStep
+	// Quality, when non-nil, turns the run into a labeled detection-quality
+	// experiment: a RansomFraction slice of the PID population is labeled
+	// ground-truth ransomware (families assigned round-robin from the
+	// sandbox catalog), each request context carries its PID's label, and
+	// every measured successful prediction is scored into the scorecard as
+	// flagged iff probability >= QualityThreshold. Label assignment is a
+	// pure function of the PID, so it never perturbs the seeded arrival
+	// schedule (ScheduleDigest is unchanged by quality settings).
+	Quality *quality.Scorecard
+	// QualityThreshold is the flag boundary for quality scoring; 0
+	// defaults to 0.5.
+	QualityThreshold float64
+	// RansomFraction is the fraction of the PID population labeled
+	// ransomware, in [0, 1]; 0 defaults to 0.1.
+	RansomFraction float64
+	// QualityInjectMiss is a fault injection for SLO drills: every scored
+	// verdict is recorded as un-flagged, so ground-truth ransomware is
+	// always missed and a recall objective burns its entire budget.
+	QualityInjectMiss bool
 }
 
 // arrival is one scheduled request.
@@ -126,6 +147,20 @@ type arrival struct {
 	pid    int
 	tenant string
 	seq    []int
+}
+
+// labelFor derives a PID's ground-truth label: the first
+// round(RansomFraction × PIDs) PIDs of the population are ransomware,
+// with families assigned round-robin from the sandbox catalog. Pure in
+// the PID so quality labeling never consumes schedule randomness.
+func labelFor(cfg *Config, pid int) quality.Label {
+	idx := pid - 1000
+	ransom := int(cfg.RansomFraction*float64(cfg.PIDs) + 0.5)
+	if idx < ransom {
+		fam := sandbox.Families[idx%len(sandbox.Families)]
+		return quality.Label{Truth: true, Family: quality.SanitizeFamily(fam.Name)}
+	}
+	return quality.Label{Truth: false, Family: "benign"}
 }
 
 // ErrorCount is one entry of the run's error breakdown.
@@ -204,6 +239,9 @@ type Result struct {
 	SLO      *slo.Status     `json:"slo,omitempty"`
 	Timeline []TimelinePoint `json:"timeline,omitempty"`
 	Chaos    []ChaosResult   `json:"chaos,omitempty"`
+	// Quality is the detection-quality scorecard at run end, nil when no
+	// scorecard was configured.
+	Quality *quality.Snapshot `json:"quality,omitempty"`
 }
 
 func (c *Config) validate() error {
@@ -237,6 +275,18 @@ func (c *Config) validate() error {
 	}
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 16384
+	}
+	if c.QualityThreshold == 0 {
+		c.QualityThreshold = 0.5
+	}
+	if c.QualityThreshold < 0 || c.QualityThreshold >= 1 {
+		return fmt.Errorf("load: QualityThreshold %v outside (0, 1)", c.QualityThreshold)
+	}
+	if c.RansomFraction == 0 {
+		c.RansomFraction = 0.1
+	}
+	if c.RansomFraction < 0 || c.RansomFraction > 1 {
+		return fmt.Errorf("load: RansomFraction %v outside [0, 1]", c.RansomFraction)
 	}
 	if c.SampleEvery == 0 {
 		c.SampleEvery = c.Duration / 20
@@ -518,7 +568,10 @@ dispatch:
 			defer wg.Done()
 			defer inflight.Add(-1)
 			tctx := infer.WithTenant(ctx, a.tenant)
-			_, _, err := cfg.Target.Predict(tctx, a.seq)
+			if cfg.Quality != nil {
+				tctx = quality.WithLabel(tctx, labelFor(&cfg, a.pid))
+			}
+			res, _, err := cfg.Target.Predict(tctx, a.seq)
 			lat := time.Since(intended)
 			if !post {
 				warm.Add(1)
@@ -535,6 +588,17 @@ dispatch:
 			hist.ObserveDuration(lat)
 			cfg.Evaluator.Outcome(ok)
 			cfg.Evaluator.Latency(lat, ok)
+			if cfg.Quality != nil && ok {
+				flagged := res.Probability >= cfg.QualityThreshold
+				if cfg.QualityInjectMiss {
+					flagged = false
+				}
+				cfg.Quality.Observe(tctx, quality.Verdict{
+					PID:         a.pid,
+					Probability: res.Probability,
+					Flagged:     flagged,
+				})
+			}
 		}(a, intended, post)
 	}
 	wg.Wait()
@@ -581,6 +645,10 @@ dispatch:
 	if cfg.Evaluator != nil {
 		st := cfg.Evaluator.Evaluate()
 		res.SLO = &st
+	}
+	if cfg.Quality != nil {
+		q := cfg.Quality.Snapshot()
+		res.Quality = &q
 	}
 
 	doneFields := []eventlog.Field{

@@ -72,6 +72,27 @@ func (r *Result) WriteText(w io.Writer) error {
 			}
 		}
 	}
+	if q := r.Quality; q != nil {
+		b.WriteString("\ndetection quality\n")
+		fmt.Fprintf(&b, "  confusion tp=%d fp=%d tn=%d fn=%d  (%d labeled windows, %d unlabeled)\n",
+			q.Total.TP, q.Total.FP, q.Total.TN, q.Total.FN, q.Labeled, q.Unlabeled)
+		fmt.Fprintf(&b, "  rates     recall %.4f  fpr %.4f  precision %.4f  accuracy %.4f\n",
+			q.Total.Recall, q.Total.FPR, q.Total.Precision, q.Total.Accuracy)
+		fmt.Fprintf(&b, "  to-flag   p50 %.0f  p99 %.0f  max %.0f windows  (%d flagged processes of %d tracked)\n",
+			q.WindowsToFlag.P50, q.WindowsToFlag.P99, q.WindowsToFlag.Max,
+			q.Processes.Flagged, q.Processes.Tracked)
+		if q.Drift.Reference != "" {
+			state := "stable"
+			if q.Drift.Drifted {
+				state = "DRIFTED"
+			}
+			if q.Drift.LowCount {
+				state = "low-count"
+			}
+			fmt.Fprintf(&b, "  drift     psi %.4f vs %s (threshold %.2f)  [%s]\n",
+				q.Drift.PSI, q.Drift.Reference, q.Drift.Threshold, state)
+		}
+	}
 	if len(r.Chaos) > 0 {
 		b.WriteString("\nchaos steps\n")
 		for _, c := range r.Chaos {

@@ -118,6 +118,10 @@ type FlightDump struct {
 	Seq        int64             `json:"seq"`
 	Samples    []Sample          `json:"samples"`
 	Requests   []BreakdownRecord `json:"requests"`
+	// Extra is the Config.FlightExtra payload captured at dump time
+	// (e.g. the detection-quality scorecard snapshot); absent when no
+	// hook is configured.
+	Extra any `json:"extra,omitempty"`
 }
 
 // Flight snapshots the flight recorder. A fresh runtime sample is taken
@@ -133,11 +137,15 @@ func (p *Profiler) Flight(reason string, incidentID int64) FlightDump {
 	p.dumps++
 	seq := p.dumps
 	p.mu.Unlock()
-	return FlightDump{
+	d := FlightDump{
 		Reason: reason, IncidentID: incidentID,
 		Time: p.cfg.Clock(), Seq: seq,
 		Samples: samples, Requests: breakdowns,
 	}
+	if p.cfg.FlightExtra != nil {
+		d.Extra = p.cfg.FlightExtra()
+	}
+	return d
 }
 
 // WriteFlight dumps the flight recorder to dir/flight-<seq>.json and emits

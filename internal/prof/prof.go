@@ -79,6 +79,13 @@ type Config struct {
 	// prof.start (info, at construction), prof.sample (debug, per sampler
 	// tick), and prof.flight.dump (warn, per flight-recorder dump).
 	Events *eventlog.Logger
+	// FlightExtra, when non-nil, is invoked at every flight dump and its
+	// result embedded in the dump's "extra" field — subsystem state worth
+	// shipping with a page (csdload wires the detection-quality
+	// scorecard's Snapshot here, so a recall-burn page carries the
+	// confusion matrix that burned it). The callback must be safe to call
+	// from any goroutine.
+	FlightExtra func() any
 	// Clock overrides time.Now for sample timestamps in tests. Durations
 	// (stage costs, sampler cost) always use the monotonic host clock.
 	Clock func() time.Time

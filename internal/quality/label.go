@@ -1,0 +1,96 @@
+// Package quality is observability layer 6: the live detection-quality
+// scorecard. The five layers below it (telemetry, trace, eventlog/incident,
+// slo, prof) watch how fast the stack serves verdicts; this one watches
+// whether the verdicts are *right*. Ground-truth labels ride the request
+// context (WithLabel / LabelFrom, mirroring infer's tenant plumbing), get
+// stamped by whoever generates the traffic — sandbox profiles, csdload's
+// synthetic PID population, csddetect's demo pipeline — and are consumed
+// where detect emits window verdicts. The Scorecard folds every labeled
+// verdict into an online confusion matrix (overall and per ransomware
+// family), detection-latency distributions measured the way the related
+// work does (windows-until-flagged, simulated bytes-written-before-block),
+// and a score-distribution histogram with a PSI-based drift detector
+// against a pinned Reference.
+//
+// Import discipline: quality sits below detect/incident/slo in the
+// dependency order (detect imports quality, incident imports detect, slo
+// imports incident), so this package must only import telemetry, eventlog,
+// and metrics. The SLO feedback loop is a plain func hook (Config.SLO)
+// that callers wire to slo.Evaluator.Quality.
+package quality
+
+import "context"
+
+// Label is the ground truth riding a request context: whether the process
+// behind the API-call sequence is actually ransomware, and which family
+// (or benign archetype) generated it.
+type Label struct {
+	// Truth is true when the traffic source is ransomware.
+	Truth bool
+	// Family names the generating family ("wannacry", "lockbit", ...) or
+	// benign archetype; it is sanitized to a bounded, telemetry-legal
+	// value by WithLabel.
+	Family string
+}
+
+type labelKey struct{}
+
+// WithLabel stamps a ground-truth label onto the context. The family
+// string is sanitized (see SanitizeFamily) so downstream consumers can use
+// it as a bounded telemetry label value verbatim.
+func WithLabel(ctx context.Context, l Label) context.Context {
+	l.Family = SanitizeFamily(l.Family)
+	return context.WithValue(ctx, labelKey{}, l)
+}
+
+// LabelFrom returns the ground-truth label stamped on the context, if any.
+func LabelFrom(ctx context.Context) (Label, bool) {
+	l, ok := ctx.Value(labelKey{}).(Label)
+	return l, ok
+}
+
+// maxFamilyLen bounds sanitized family names; real family names top out
+// around "teslacrypt" (10 runes), so 24 leaves headroom without letting a
+// hostile label explode series cardinality via sheer length.
+const maxFamilyLen = 24
+
+// FamilyUnknown is the sanitized form of an empty or fully-illegal family
+// string.
+const FamilyUnknown = "unknown"
+
+// SanitizeFamily maps an arbitrary family string onto the bounded
+// vocabulary used for telemetry labels and per-family breakdowns:
+// lowercase [a-z0-9-], at most 24 bytes, never empty (illegal input
+// collapses to FamilyUnknown). Runs of other characters become a single
+// '-'; leading/trailing '-' are trimmed. The function is idempotent:
+// SanitizeFamily(SanitizeFamily(s)) == SanitizeFamily(s).
+func SanitizeFamily(s string) string {
+	out := make([]byte, 0, maxFamilyLen)
+	pendingDash := false
+	for i := 0; i < len(s) && len(out) < maxFamilyLen; i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+			fallthrough
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			if pendingDash && len(out) > 0 {
+				if len(out)+2 > maxFamilyLen {
+					// No room for dash + character: stop rather than
+					// emit a trailing dash.
+					i = len(s)
+					continue
+				}
+				out = append(out, '-')
+			}
+			pendingDash = false
+			out = append(out, c)
+		default:
+			pendingDash = true
+		}
+	}
+	if len(out) == 0 {
+		return FamilyUnknown
+	}
+	return string(out)
+}

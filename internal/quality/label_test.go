@@ -1,0 +1,94 @@
+package quality
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeFamily(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"lockbit", "lockbit"},
+		{"LockBit", "lockbit"},
+		{"Locky.AA", "locky-aa"},
+		{"tesla crypt", "tesla-crypt"},
+		{"--ryuk--", "ryuk"},
+		{"bad__rabbit", "bad-rabbit"},
+		{"", FamilyUnknown},
+		{"!!!", FamilyUnknown},
+		{"CRYPTOWALL4", "cryptowall4"},
+		{strings.Repeat("a", 100), strings.Repeat("a", maxFamilyLen)},
+		// A dash that would land exactly at the length bound is dropped
+		// rather than emitted trailing.
+		{strings.Repeat("a", maxFamilyLen-1) + ".b", strings.Repeat("a", maxFamilyLen-1)},
+	}
+	for _, c := range cases {
+		if got := SanitizeFamily(c.in); got != c.want {
+			t.Errorf("SanitizeFamily(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeFamilyIdempotent(t *testing.T) {
+	for _, s := range []string{"Locky.AA", "  spaces  ", "", "x", "WannaCry-2.0"} {
+		once := SanitizeFamily(s)
+		if twice := SanitizeFamily(once); twice != once {
+			t.Errorf("not idempotent on %q: %q -> %q", s, once, twice)
+		}
+	}
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := LabelFrom(ctx); ok {
+		t.Fatal("bare context claims to carry a label")
+	}
+	ctx = WithLabel(ctx, Label{Truth: true, Family: "LockBit.Green"})
+	l, ok := LabelFrom(ctx)
+	if !ok {
+		t.Fatal("label lost in transit")
+	}
+	if !l.Truth || l.Family != "lockbit-green" {
+		t.Errorf("got %+v, want truth with sanitized family lockbit-green", l)
+	}
+}
+
+// FuzzQualityLabel pins the sanitation invariants for arbitrary family
+// strings: bounded length, the [a-z0-9-] alphabet with no edge dashes,
+// never empty, idempotent, and a lossless context round-trip of the
+// sanitized form.
+func FuzzQualityLabel(f *testing.F) {
+	for _, seed := range []string{"lockbit", "Locky.AA", "", "!!!", "--x--", strings.Repeat("Z", 80), "a.b.c", "田ryuk田"} {
+		f.Add(seed, true)
+	}
+	f.Fuzz(func(t *testing.T, family string, truth bool) {
+		got := SanitizeFamily(family)
+		if got == "" {
+			t.Fatalf("SanitizeFamily(%q) produced an empty family", family)
+		}
+		if len(got) > maxFamilyLen {
+			t.Fatalf("SanitizeFamily(%q) = %q exceeds %d bytes", family, got, maxFamilyLen)
+		}
+		for i := 0; i < len(got); i++ {
+			c := got[i]
+			legal := (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-'
+			if !legal {
+				t.Fatalf("SanitizeFamily(%q) = %q contains illegal byte %q", family, got, c)
+			}
+		}
+		if got[0] == '-' || got[len(got)-1] == '-' {
+			t.Fatalf("SanitizeFamily(%q) = %q has an edge dash", family, got)
+		}
+		if again := SanitizeFamily(got); again != got {
+			t.Fatalf("not idempotent: SanitizeFamily(%q) = %q, then %q", family, got, again)
+		}
+		ctx := WithLabel(context.Background(), Label{Truth: truth, Family: family})
+		l, ok := LabelFrom(ctx)
+		if !ok {
+			t.Fatal("label lost in context round-trip")
+		}
+		if l.Truth != truth || l.Family != got {
+			t.Fatalf("round-trip %+v, want truth=%v family=%q", l, truth, got)
+		}
+	})
+}

@@ -25,7 +25,9 @@ package sandbox
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
+	"github.com/kfrida1/csdinf/internal/quality"
 	"github.com/kfrida1/csdinf/internal/winapi"
 )
 
@@ -205,6 +207,20 @@ type Profile struct {
 	Ransomware bool
 	// Phases run in order; their Frac values should sum to ~1.
 	Phases []Phase
+}
+
+// Label returns the ground-truth quality label of traces drawn from this
+// profile, ready to stamp on a request context via quality.WithLabel so
+// the detection-quality scorecard can judge the verdicts downstream. The
+// family is the profile name with any ".vN" variant suffix stripped
+// ("Wannacry.v3" → "wannacry"); benign profiles keep their app name as the
+// archetype.
+func (p *Profile) Label() quality.Label {
+	fam := p.Name
+	if i := strings.IndexByte(fam, '.'); i >= 0 {
+		fam = fam[:i]
+	}
+	return quality.Label{Truth: p.Ransomware, Family: quality.SanitizeFamily(fam)}
 }
 
 // Generate draws a trace of exactly length API-call IDs from the profile,

@@ -281,6 +281,19 @@ func (e *Evaluator) Detection(windows int) {
 	})
 }
 
+// Quality records one ground-truth-labeled window verdict: ransomware
+// windows feed recall objectives (good when flagged), benign windows feed
+// false-positive objectives (good when not flagged). Wire this method
+// value to quality.Config.SLO — the scorecard calls it for every labeled
+// verdict. Safe as a method value on a nil evaluator.
+func (e *Evaluator) Quality(truth, flagged bool) {
+	if truth {
+		e.record(KindRecall, func(Objective) bool { return flagged })
+		return
+	}
+	e.record(KindFalsePositive, func(Objective) bool { return !flagged })
+}
+
 func (e *Evaluator) record(kind Kind, good func(Objective) bool) {
 	if e == nil {
 		return

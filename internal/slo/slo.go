@@ -48,6 +48,15 @@ const (
 	// Objective.MaxWindows classified windows — the paper's
 	// detection-latency promise expressed as windows-until-flagged.
 	KindDetection
+	// KindRecall: an event is one ground-truth-ransomware window (labeled
+	// via the quality layer); it is good when the detector flagged it.
+	// Attainment is live recall, so a burst of missed ransomware burns
+	// the budget and pages.
+	KindRecall
+	// KindFalsePositive: an event is one ground-truth-benign window; it
+	// is good when the detector did NOT flag it. Attainment is
+	// 1 − false-positive-rate.
+	KindFalsePositive
 )
 
 // String returns the kind name used in JSON status.
@@ -59,6 +68,10 @@ func (k Kind) String() string {
 		return "latency"
 	case KindDetection:
 		return "detection"
+	case KindRecall:
+		return "recall"
+	case KindFalsePositive:
+		return "false-positive"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -179,6 +179,45 @@ func TestDetectionObjectiveWindows(t *testing.T) {
 	}
 }
 
+// TestQualityObjectives pins the scorecard feedback loop: ransomware
+// verdicts burn recall objectives (good iff flagged), benign verdicts burn
+// false-positive objectives (good iff not flagged), and each kind only
+// sees its own class.
+func TestQualityObjectives(t *testing.T) {
+	clk := newFakeClock()
+	e, err := NewEvaluator(Config{
+		Objectives: []Objective{
+			{Name: "recall", Kind: KindRecall, Target: 0.5, Window: time.Minute},
+			{Name: "fp", Kind: KindFalsePositive, Target: 0.5, Window: time.Minute},
+		},
+		Clock: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Quality(true, true)   // ransomware caught: recall good
+	e.Quality(true, false)  // ransomware missed: recall bad
+	e.Quality(false, false) // benign passed: fp good
+	e.Quality(false, true)  // benign flagged: fp bad
+	e.Quality(false, false) // benign passed: fp good
+	for _, o := range e.Evaluate().Objectives {
+		switch o.Name {
+		case "recall":
+			if o.Good != 1 || o.Bad != 1 {
+				t.Errorf("recall counts = %d/%d, want 1/1 (benign verdicts excluded)", o.Good, o.Bad)
+			}
+		case "fp":
+			if o.Good != 2 || o.Bad != 1 {
+				t.Errorf("fp counts = %d/%d, want 2/1 (ransomware verdicts excluded)", o.Good, o.Bad)
+			}
+		}
+	}
+	// The method value is safe on a nil evaluator — quality.Config.SLO can
+	// be wired unconditionally.
+	var nilEval *Evaluator
+	nilEval.Quality(true, false)
+}
+
 // TestBurnAlertLifecycle drives an availability objective through a burst of
 // failures and checks the full alert lifecycle: both burn rules fire, the
 // paging rule opens an incident, slo.* events land in the stream, and the

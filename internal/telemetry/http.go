@@ -103,10 +103,16 @@ func NewHTTPHandlerOpts(r *Registry, opts HTTPOptions) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		// Zero state serializes as [], never null, like every JSON
+		// endpoint in the stack.
+		metrics := r.Snapshot()
+		if metrics == nil {
+			metrics = []Metric{}
+		}
 		_ = enc.Encode(struct {
 			Metrics []Metric `json:"metrics"`
 			Spans   []Span   `json:"recent_spans,omitempty"`
-		}{Metrics: r.Snapshot(), Spans: spans.Snapshot()})
+		}{Metrics: metrics, Spans: spans.Snapshot()})
 	})
 	mux.HandleFunc("/spans.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

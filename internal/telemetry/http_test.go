@@ -159,6 +159,26 @@ func TestHTTPHandlerZeroSpans(t *testing.T) {
 	}
 }
 
+// TestHTTPHandlerZeroMetrics pins the zero-state shape of /metrics.json: a
+// nil registry must serve "metrics": [] — not null — matching the
+// normalization every other JSON endpoint in the stack guarantees.
+func TestHTTPHandlerZeroMetrics(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"metrics": []`) {
+		t.Fatalf("/metrics.json zero state not normalized:\n%s", body)
+	}
+}
+
 // TestSpanLogConcurrentWriters hammers one SpanLog from writers while
 // /spans.json and Snapshot readers race them (run with -race). Retention
 // must hold: the ring never exceeds capacity and Total counts every Add.

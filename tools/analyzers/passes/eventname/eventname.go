@@ -45,7 +45,7 @@ var nameArgIndex = map[string]int{
 var knownComponents = map[string]bool{
 	"core": true, "csd": true, "cti": true, "detect": true,
 	"device": true, "engine": true, "fleet": true, "incident": true,
-	"load": true, "prof": true, "serve": true, "slo": true,
+	"load": true, "prof": true, "quality": true, "serve": true, "slo": true,
 }
 
 var Analyzer = &analysis.Analyzer{

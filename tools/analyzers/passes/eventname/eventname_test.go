@@ -175,6 +175,23 @@ func TestProfComponentIsKnown(t *testing.T) {
 	}
 }
 
+// TestQualityComponentIsKnown pins the vocabulary growth from the
+// detection-quality scorecard: "quality" is a legitimate emitting layer and
+// its drift-edge events lint clean while a near-miss component still trips
+// the vocabulary check.
+func TestQualityComponentIsKnown(t *testing.T) {
+	src := header + `
+	l.Warn(ctx, "quality", "quality.drift.detected")
+	l.Info(ctx, "quality", "quality.drift.cleared")
+	l.Warn(ctx, "qualty", "quality.drift.detected")
+}
+`
+	diags := runOn(t, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `"qualty"`) {
+		t.Fatalf("diagnostics = %v, want only the misspelled component", diags)
+	}
+}
+
 // TestUnknownComponentIsFlagged pins the component vocabulary: a literal
 // component outside the known layer set is a typo waiting to fork the
 // forensics timeline.

@@ -30,6 +30,10 @@ var boundedKeys = map[string]bool{
 	// "stage" values come from the prof.Stage enum (queue, encode,
 	// transfer, compute, verdict, observe).
 	"stage": true,
+	// "family" values pass through quality.SanitizeFamily, which bounds
+	// them to the sandbox catalog vocabulary plus "benign"/"unknown"/
+	// "other".
+	"family": true,
 }
 
 var Analyzer = &analysis.Analyzer{

@@ -41,6 +41,21 @@ func verdictName(i int) string { return "benign" }
 	}
 }
 
+// TestFamilyKeyIsBounded pins the vocabulary growth from the quality
+// scorecard: "family" values pass through SanitizeFamily and stay bounded,
+// so a dynamic family value is legitimate.
+func TestFamilyKeyIsBounded(t *testing.T) {
+	src := header + `
+	_ = telemetry.L("family", familyName(i))
+}
+
+func familyName(i int) string { return "lockbit" }
+`
+	if diags := runOn(t, src); len(diags) != 0 {
+		t.Fatalf("family key flagged: %v", diags)
+	}
+}
+
 func TestUnboundedKeyRejectsDynamicValue(t *testing.T) {
 	src := header + `
 	_ = telemetry.L("path", path)
