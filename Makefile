@@ -104,16 +104,19 @@ trace:
 		-trace $(BENCH_JSON_DIR)/trace.json -json $(BENCH_JSON_DIR)
 
 # lint runs both static-analysis fronts (see DESIGN.md "Static analysis"):
-#   1. the design-rule checker over the supported deploy matrix, writing
-#      the machine-readable findings CI uploads as an artifact;
+#   1. the design-rule checker over the supported deploy matrix, and the
+#      numeric range analysis over a quick-trained paper model, each writing
+#      the machine-readable findings CI uploads as artifacts;
 #   2. the custom Go-source analyzers (simclock, ctxfirst, telemetrylabels,
-#      eventname) from the tools/analyzers module, plus that module's own
-#      test suite (which includes linting this repository as a fixture);
+#      eventname, fixedwidth) from the tools/analyzers module, plus that
+#      module's own test suite (which includes linting this repository as a
+#      fixture);
 #   3. staticcheck over both modules, when the binary is installed (CI
 #      installs it; locally: go install honnef.co/go/tools/cmd/staticcheck@latest).
 lint:
 	mkdir -p $(BENCH_JSON_DIR)
 	$(GO) run ./cmd/csdlint drc -q -json $(BENCH_JSON_DIR)/drc.json
+	$(GO) run ./cmd/csdlint ranges -q -json $(BENCH_JSON_DIR)/ranges.json
 	cd tools/analyzers && $(GO) run ./cmd/csdlint-go -root ../..
 	cd tools/analyzers && $(GO) test ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -131,6 +134,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzEventJSON -fuzztime=$(FUZZTIME) ./internal/eventlog/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeJSON -fuzztime=$(FUZZTIME) ./internal/eventlog/
 	$(GO) test -run=^$$ -fuzz=FuzzQualityLabel -fuzztime=$(FUZZTIME) ./internal/quality/
+	$(GO) test -run=^$$ -fuzz=FuzzIntervalSoundness -fuzztime=$(FUZZTIME) ./internal/absint/
 
 # verify is the pre-merge gate: static checks (vet + both lint fronts), a
 # full build, and the whole test suite under the race detector (the serving

@@ -66,7 +66,15 @@ func run(args []string) error {
 
 	kcfg := kernels.Config{Level: lv, Part: part, GateCUs: *gateCUs, Streaming: *streaming}
 	if *runDRC {
-		design, err := kernels.DesignFor(lstm.PaperConfig(), kcfg)
+		// The build flow has no trained weights, so the numeric rules run
+		// over a seeded paper-architecture model: the same deterministic
+		// initialization every test uses, enough to prove the architecture
+		// fits int64 at the default scale before compiling.
+		m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+		if err != nil {
+			return err
+		}
+		design, err := kernels.DesignForModel(m, kcfg)
 		if err != nil {
 			return err
 		}

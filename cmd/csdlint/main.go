@@ -1,7 +1,8 @@
 // Command csdlint is the static-analysis front door of the repository.
 //
-//	csdlint drc [flags]    run the design-rule checker over kernel designs
-//	csdlint rules          print the design-rule catalogue
+//	csdlint drc [flags]     run the design-rule checker over kernel designs
+//	csdlint ranges [flags]  prove the fixed-point datapath overflow-free
+//	csdlint rules           print the design-rule catalogue
 //
 // `csdlint drc` validates kernel designs — HLS pragma legality, initiation-
 // interval feasibility, resource budgets, DDR-bank connectivity, dataflow
@@ -19,9 +20,9 @@
 // memory-port II bound — the very bottleneck Fig. 3's II level removes) are
 // reported but do not fail the run.
 //
-// The Go-source analyzers (simclock, ctxfirst, telemetrylabels, eventname)
-// live in the separate tools/analyzers module and run via its csdlint-go
-// driver; `make lint` runs both fronts.
+// The Go-source analyzers (simclock, ctxfirst, telemetrylabels, eventname,
+// fixedwidth) live in the separate tools/analyzers module and run via its
+// csdlint-go driver; `make lint` runs both fronts.
 package main
 
 import (
@@ -58,6 +59,8 @@ func run(args []string, out io.Writer) (int, error) {
 	switch args[0] {
 	case "drc":
 		return runDRC(args[1:], out)
+	case "ranges":
+		return runRanges(args[1:], out)
 	case "rules":
 		return 0, printRules(out)
 	case "help", "-h", "-help", "--help":
@@ -70,9 +73,10 @@ func run(args []string, out io.Writer) (int, error) {
 }
 
 func usage(out io.Writer) {
-	fmt.Fprintln(out, "usage: csdlint <drc|rules> [flags]")
-	fmt.Fprintln(out, "  drc    run the design-rule checker (csdlint drc -h for flags)")
-	fmt.Fprintln(out, "  rules  print the rule catalogue")
+	fmt.Fprintln(out, "usage: csdlint <drc|ranges|rules> [flags]")
+	fmt.Fprintln(out, "  drc     run the design-rule checker (csdlint drc -h for flags)")
+	fmt.Fprintln(out, "  ranges  prove the fixed-point datapath overflow-free (csdlint ranges -h)")
+	fmt.Fprintln(out, "  rules   print the rule catalogue")
 }
 
 // checkedDesign is one (configuration, report) pair of a run, the JSON
@@ -188,7 +192,7 @@ func writeJSON(path string, checked []checkedDesign) error {
 func printRules(out io.Writer) error {
 	fmt.Fprintln(out, "Design-rule catalogue (see DESIGN.md \"Static analysis\" for the severity policy):")
 	for _, r := range drc.Rules() {
-		fmt.Fprintf(out, "  %-8s %-6s %s\n", r.ID, r.Severity, r.Title)
+		fmt.Fprintf(out, "  %-8s %-5s %-6s %s\n", r.ID, r.Category, r.Severity, r.Title)
 	}
 	return nil
 }

@@ -86,10 +86,99 @@ func TestRulesSubcommand(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
-	for _, id := range []string{"PRAG001", "II001", "BUF001", "RES002", "AXI001", "DF003"} {
+	for _, id := range []string{"PRAG001", "II001", "BUF001", "RES002", "AXI001", "DF003", "NUM001", "NUM004"} {
 		if !strings.Contains(out.String(), id) {
 			t.Fatalf("rule catalogue missing %s:\n%s", id, out.String())
 		}
+	}
+	// The catalogue prints the category column (satellite of the numeric
+	// analysis issue: rule listings must carry the rule group).
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "NUM001") && !strings.Contains(line, " NUM ") {
+			t.Fatalf("NUM001 line is missing its category column: %q", line)
+		}
+	}
+}
+
+// TestRangesProvesQuickTrainedModel is the acceptance gate: the default run
+// (deterministic quick-trained paper model, scale 10⁶) must prove the
+// datapath overflow-free and exit 0.
+func TestRangesProvesQuickTrainedModel(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"ranges"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, out.String())
+	}
+	for _, want := range []string{"PROVED overflow-free", "kernel_hidden_state/logit", "0 error(s)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRangesRefutesOverflowFixture pins the negative path: the seeded
+// overflow weight file must be refuted with error-level NUM findings and
+// exit status 1.
+func TestRangesRefutesOverflowFixture(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ranges.json")
+	var out strings.Builder
+	code, err := run([]string{"ranges", "-weights", filepath.Join("testdata", "overflow_weights.txt"), "-json", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, out.String())
+	}
+	for _, want := range []string{"REFUTED", "NUM001"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact struct {
+		Ranges struct {
+			Scale  int64 `json:"scale"`
+			Stages []struct {
+				Stage    string `json:"stage"`
+				Overflow bool   `json:"overflow"`
+			} `json:"stages"`
+		} `json:"ranges"`
+		Findings []struct {
+			Rule     string `json:"rule"`
+			Category string `json:"category"`
+			Severity string `json:"severity"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &artifact); err != nil {
+		t.Fatalf("artifact does not decode: %v", err)
+	}
+	if artifact.Ranges.Scale != 1_000_000 {
+		t.Fatalf("artifact scale = %d, want the 10⁶ default", artifact.Ranges.Scale)
+	}
+	sawOverflowStage, sawNUM001 := false, false
+	for _, s := range artifact.Ranges.Stages {
+		if s.Overflow {
+			sawOverflowStage = true
+		}
+	}
+	for _, f := range artifact.Findings {
+		if f.Rule == "NUM001" {
+			sawNUM001 = true
+			if f.Category != "NUM" {
+				t.Errorf("NUM001 finding carries category %q", f.Category)
+			}
+		}
+	}
+	if !sawOverflowStage || !sawNUM001 {
+		t.Fatalf("artifact missing overflow evidence (stage=%v finding=%v):\n%s",
+			sawOverflowStage, sawNUM001, data)
 	}
 }
 

@@ -1,0 +1,144 @@
+package main
+
+// csdlint ranges — the numeric front of the static analyzer.
+//
+// The subcommand runs the internal/absint interval analysis over a trained
+// model's actual weight values: every fixed-point intermediate of the
+// LevelFixedPoint datapath gets a worst-case [lo, hi] bound, and the verdict
+// states whether the whole datapath provably fits int64 at the chosen scale
+// and window. The NUM design rules (accumulator overflow, activation-domain
+// escapes, scale coarseness, headroom) are then evaluated over the report —
+// the same rules core.Deploy and csdbuild -drc gate on.
+//
+//	csdlint ranges                          # quick-trained paper model, scale 10⁶
+//	csdlint ranges -scale 256               # the width-sweep's coarsest scale
+//	csdlint ranges -weights model.txt       # analyze shipped weights
+//	csdlint ranges -json ranges.json        # machine-readable CI artifact
+//
+// Exit status 1 when the analysis refutes the datapath (error-level NUM
+// findings), 0 when it proves it overflow-free.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/kfrida1/csdinf/internal/absint"
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/drc"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/train"
+)
+
+// rangesArtifact is the -json payload: the full interval report plus the NUM
+// findings derived from it.
+type rangesArtifact struct {
+	Ranges   *absint.Report `json:"ranges"`
+	Findings []drc.Finding  `json:"findings"`
+}
+
+func runRanges(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("csdlint ranges", flag.ContinueOnError)
+	fs.SetOutput(out)
+	weights := fs.String("weights", "", "analyze this weight file (the text format of §III-A); default: the deterministic quick-trained paper model")
+	scale := fs.Int64("scale", 0, "fixed-point scale (default 1000000, the paper's 10⁶)")
+	seqLen := fs.Int("seqlen", 0, "classification window length (default 100)")
+	jsonPath := fs.String("json", "", "write the machine-readable report to this file")
+	quiet := fs.Bool("q", false, "suppress the range table; print findings and the verdict only")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	m, err := rangesModel(*weights)
+	if err != nil {
+		return 2, err
+	}
+
+	// DesignForModel runs the interval analysis and attaches it to the full
+	// fixed-point design, so the NUM rules see exactly what a deployment
+	// would; ranges reports only the NUM category — the structural rules
+	// have their own subcommand.
+	design, err := kernels.DesignForModel(m, kernels.Config{
+		Level: kernels.LevelFixedPoint, Scale: *scale, SeqLen: *seqLen,
+	})
+	if err != nil {
+		return 2, err
+	}
+	rep := design.Numeric
+
+	if !*quiet {
+		if err := rep.WriteText(out); err != nil {
+			return 2, err
+		}
+	}
+
+	var numeric []drc.Finding
+	errors := 0
+	for _, f := range drc.Check(design).Findings {
+		if f.Category != "NUM" {
+			continue
+		}
+		numeric = append(numeric, f)
+		if f.Severity == drc.SevError {
+			errors++
+		}
+	}
+	if len(numeric) > 0 {
+		fmt.Fprintln(out)
+		for _, f := range numeric {
+			fmt.Fprintln(out, f)
+		}
+	}
+	fmt.Fprintf(out, "\ncsdlint ranges: %d stage(s) analyzed, %d numeric finding(s), %d error(s)\n",
+		len(rep.Stages), len(numeric), errors)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rangesArtifact{Ranges: rep, Findings: numeric}, "", "  ")
+		if err != nil {
+			return 2, err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return 2, err
+		}
+	}
+
+	if errors > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// rangesModel loads the model under analysis: the given weight file, or —
+// when none is named — the deterministic quick-trained paper model (the same
+// seeded corpus-split-train recipe the test suite uses, so repeated runs
+// analyze identical weights).
+func rangesModel(weights string) (*lstm.Model, error) {
+	if weights != "" {
+		f, err := os.Open(weights)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := lstm.ReadText(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", weights, err)
+		}
+		return m, nil
+	}
+	ds, err := dataset.Build(dataset.BuildConfig{RansomwareCount: 120, BenignCount: 120, Seed: 11})
+	if err != nil {
+		return nil, err
+	}
+	trainDS, testDS, err := ds.Split(0.2, 12)
+	if err != nil {
+		return nil, err
+	}
+	res, err := train.Train(trainDS, testDS, train.Config{Epochs: 3, Seed: 11})
+	if err != nil {
+		return nil, err
+	}
+	return res.Model, nil
+}

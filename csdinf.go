@@ -46,6 +46,7 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/kfrida1/csdinf/internal/absint"
 	"github.com/kfrida1/csdinf/internal/core"
 	"github.com/kfrida1/csdinf/internal/csd"
 	"github.com/kfrida1/csdinf/internal/cti"
@@ -493,6 +494,30 @@ func BuildFPGABinary(level OptLevel, part Part) (*FPGABinary, error) {
 
 // OpenRuntime attaches the XRT-style runtime to a CSD.
 func OpenRuntime(dev *SmartSSD) (*RuntimeDevice, error) { return xrt.Open(dev) }
+
+// Numeric static-analysis types (the interval-domain abstract interpreter
+// over the fixed-point datapath — see internal/absint). Deploy runs this
+// analysis automatically for fixed-point engines and refuses models it
+// cannot prove overflow-free; AnalyzeNumerics exposes the same verdict
+// directly, e.g. to pick a scale before deployment or to inspect per-stage
+// headroom. The CLI front end is `csdlint ranges`.
+type (
+	// NumericReport is the per-stage interval analysis of one (model,
+	// scale, sequence-length) deployment; OverflowFree gives the verdict.
+	NumericReport = absint.Report
+	// NumericStageRange is one datapath stage's proven [lo, hi] bounds,
+	// bit width, and headroom.
+	NumericStageRange = absint.StageRange
+	// NumericAnalysisConfig parameterizes an analysis run; the zero value
+	// analyzes the paper's deployment (scale 10⁶, sequence length 100).
+	NumericAnalysisConfig = absint.Config
+)
+
+// AnalyzeNumerics proves (or refutes) that the model's fixed-point datapath
+// fits int64 at the configured scale and sequence length.
+func AnalyzeNumerics(m *Model, cfg NumericAnalysisConfig) (*NumericReport, error) {
+	return absint.Analyze(m, cfg)
+}
 
 // Per-process detection types.
 type (

@@ -1,0 +1,474 @@
+// Package absint is an interval-domain abstract interpreter over the
+// fixed-point LSTM datapath of internal/kernels.
+//
+// The FPGA kernels execute the classifier entirely in scaled-integer
+// arithmetic (internal/fixed): every weight, activation, and accumulator is
+// an int64 carrying a scale S, raw dot-product accumulators carry S², and
+// nothing checks for overflow at runtime — exactly like the fixed-width
+// datapath the HLS flow synthesizes. Whether that is safe depends on the
+// trained weights, the scale, and the sequence length. This package answers
+// the question statically, the way HLS bitwidth analysis does: it propagates
+// [lo, hi] intervals through every stage the kernels execute —
+//
+//	embedding lookup → per-gate input/hidden dot products → pre-activation
+//	sums → PLAN sigmoid / exact softsign → cell-state update (iterated over
+//	the sequence length) → output projection
+//
+// — computing the worst-case magnitude and required integer bits of every
+// intermediate, and proving (or refuting) that the computation fits int64.
+//
+// Soundness. All interval arithmetic is exact (math/big), the quantized
+// coefficients are the very int64 values kernels.Pipeline.quantize derives,
+// and accumulator bounds are sums of absolute values — so they cover every
+// partial sum of a dot product, not just the final total. The PLAN sigmoid's
+// output bound is computed from the quantized segment coefficients (at coarse
+// scales coefficient rounding can push the output slightly above 1.0; the
+// analysis models that, rather than assuming the real-valued [0, 1]). The
+// bounds assume no intermediate wraps — which is precisely what the overflow
+// and activation-domain checks establish; when the analysis proves a design
+// clean, the concrete datapath can never leave the predicted intervals.
+// FuzzIntervalSoundness cross-checks this claim against concrete execution
+// through the kernels' numeric probe.
+//
+// The result surfaces as the DRC NUM rule category (internal/drc), the
+// `csdlint ranges` report, and the gate ROADMAP item 4's fixed-point width
+// sweep deploys behind.
+package absint
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"github.com/kfrida1/csdinf/internal/fixed"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// Config parameterizes an analysis run. The zero value analyzes the paper's
+// deployment: scale 10⁶, sequence length 100.
+type Config struct {
+	// Scale is the fixed-point scale (default fixed.DefaultScale).
+	Scale int64
+	// SeqLen is the sequence length consumed per classification (default
+	// 100, the paper's window). The cell state accumulates across exactly
+	// this many steps before the pipeline resets.
+	SeqLen int
+}
+
+func (c *Config) defaults() {
+	if c.Scale == 0 {
+		c.Scale = fixed.DefaultScale
+	}
+	if c.SeqLen == 0 {
+		c.SeqLen = 100
+	}
+}
+
+// maxScale bounds the analyzable scale: the PLAN sigmoid computes 5·scale for
+// its saturation threshold, which must itself fit int64.
+const maxScale = int64(^uint64(0)>>1) / 8
+
+var (
+	bigMaxInt64 = new(big.Int).SetInt64(int64(^uint64(0) >> 1))
+	bigMinInt64 = new(big.Int).Neg(new(big.Int).Add(bigMaxInt64, big.NewInt(1)))
+)
+
+// Analyze runs the abstract interpretation of the fixed-point datapath for
+// model m under cfg. The returned report always carries every stage (or, if
+// quantization itself overflows, the offending quantize stages) — inspect
+// OverflowFree for the verdict.
+func Analyze(m *lstm.Model, cfg Config) (*Report, error) {
+	if m == nil {
+		return nil, errors.New("absint: nil model")
+	}
+	cfg.defaults()
+	if cfg.Scale < 1 {
+		return nil, fmt.Errorf("absint: scale must be positive, got %d", cfg.Scale)
+	}
+	if cfg.Scale > maxScale {
+		return nil, fmt.Errorf("absint: scale %d exceeds %d (PLAN sigmoid needs 5·scale representable)", cfg.Scale, maxScale)
+	}
+	if cfg.SeqLen < 1 {
+		return nil, fmt.Errorf("absint: seqlen must be positive, got %d", cfg.SeqLen)
+	}
+	a := analysis{
+		arith:  fixed.MustNew(cfg.Scale),
+		mcfg:   m.Config(),
+		seqLen: cfg.SeqLen,
+		rep: &Report{
+			Scale:  cfg.Scale,
+			SeqLen: cfg.SeqLen,
+			Model:  m.Config(),
+		},
+	}
+	a.rep.ActDomain = a.actDomain().String()
+	if !a.quantize(m) {
+		// Quantization itself overflowed: the report holds the offending
+		// quantize/* stages and nothing downstream is meaningful.
+		return a.rep, nil
+	}
+	a.run()
+	return a.rep, nil
+}
+
+// analysis carries the quantized parameters and accumulating report.
+type analysis struct {
+	arith  fixed.Arith
+	mcfg   lstm.Config
+	seqLen int
+	rep    *Report
+
+	qEmbed [][]fixed.Value
+	qWx    [4][][]fixed.Value
+	qWh    [4][][]fixed.Value
+	qB     [4][]fixed.Value
+	qFCW   []fixed.Value
+	qFCB   fixed.Value
+}
+
+// quantize mirrors kernels.Pipeline.quantize exactly, but with overflow
+// checking, and counts the weights the scale is too coarse to represent
+// (nonzero floats that quantize to zero — the NUM003 signal). It reports
+// false when any parameter is unrepresentable at this scale.
+func (a *analysis) quantize(m *lstm.Model) bool {
+	ok := true
+	quantSlice := func(name string, fs []float64) []fixed.Value {
+		out := make([]fixed.Value, len(fs))
+		for i, f := range fs {
+			v, err := a.arith.FromFloatChecked(f)
+			if err != nil {
+				a.quantOverflowStage(name, f)
+				ok = false
+				continue
+			}
+			out[i] = v
+			if f != 0 {
+				a.rep.NonzeroWeights++
+				if v == 0 {
+					a.rep.UnderflowedWeights++
+				}
+			}
+		}
+		return out
+	}
+
+	cfg := a.mcfg
+	a.qEmbed = make([][]fixed.Value, cfg.VocabSize)
+	for i := range a.qEmbed {
+		a.qEmbed[i] = quantSlice("embedding", m.Embedding.Row(i))
+	}
+	for g := range m.Gates {
+		slug := GateSlug(lstm.GateName(g + 1))
+		a.qWx[g] = make([][]fixed.Value, cfg.HiddenSize)
+		a.qWh[g] = make([][]fixed.Value, cfg.HiddenSize)
+		for r := 0; r < cfg.HiddenSize; r++ {
+			a.qWx[g][r] = quantSlice("gate_"+slug+"/wx", m.Gates[g].Wx.Row(r))
+			a.qWh[g][r] = quantSlice("gate_"+slug+"/wh", m.Gates[g].Wh.Row(r))
+		}
+		a.qB[g] = quantSlice("gate_"+slug+"/b", m.Gates[g].B)
+	}
+	a.qFCW = quantSlice("fc/w", m.FCW)
+	fcb := quantSlice("fc/b", []float64{m.FCB})
+	a.qFCB = fcb[0]
+	return ok
+}
+
+// quantOverflowStage records a parameter the scale cannot represent; it
+// dedupes per parameter name so a whole unrepresentable matrix yields one
+// stage, not thousands.
+func (a *analysis) quantOverflowStage(name string, f float64) {
+	stage := "quantize/" + name
+	for _, s := range a.rep.Stages {
+		if s.Stage == stage {
+			return
+		}
+	}
+	// Exact magnitude of the unrepresentable value f·S.
+	scaled, _ := new(big.Float).Mul(big.NewFloat(f), new(big.Float).SetInt64(a.arith.Scale())).Int(nil)
+	iv := ival{lo: scaled, hi: new(big.Int).Set(scaled)}
+	if scaled.Sign() < 0 {
+		iv.hi.Neg(iv.hi)
+	} else {
+		iv.lo = new(big.Int).Neg(scaled)
+	}
+	a.addStage(stage, iv, false, "")
+}
+
+// run performs the interval propagation over the full datapath, appending
+// stages to the report in dataflow order.
+func (a *analysis) run() {
+	S := big.NewInt(a.arith.Scale())
+
+	// kernel_preprocess: the embedding values themselves, plus per-column
+	// maximum magnitudes used to bound the input dot products below.
+	embedIv := ival{lo: new(big.Int), hi: new(big.Int)}
+	colMax := make([]*big.Int, a.mcfg.EmbedDim)
+	for o := range colMax {
+		colMax[o] = new(big.Int)
+	}
+	for _, row := range a.qEmbed {
+		for o, v := range row {
+			b := big.NewInt(v)
+			if b.Cmp(embedIv.hi) > 0 {
+				embedIv.hi.Set(b)
+			}
+			if b.Cmp(embedIv.lo) < 0 {
+				embedIv.lo.Set(b)
+			}
+			if b.Abs(b); b.Cmp(colMax[o]) > 0 {
+				colMax[o].Set(b)
+			}
+		}
+	}
+	a.addStage(StageEmbed, embedIv, false, "")
+
+	// Activation output intervals are model-independent: the exact softsign
+	// stays within [-1, 1]; the PLAN sigmoid's bound comes from its
+	// quantized segment coefficients (slightly above 1.0 at coarse scales).
+	sigIv := a.sigmoidRange()
+	ssIv := ival{lo: new(big.Int).Neg(S), hi: new(big.Int).Set(S)}
+
+	// h = o ⊙ softsign(c) — computable before the gate bounds because it
+	// depends only on the activation output intervals.
+	hiddenRaw := mulI(sigIv, ssIv)
+	hiddenIv := a.rescaleI(hiddenRaw)
+	hAbs := absMax(hiddenIv)
+
+	// kernel_gates: per gate, the raw input/hidden accumulators, the
+	// pre-activation sum, and the activated output.
+	for g := 0; g < 4; g++ {
+		name := lstm.GateName(g + 1)
+
+		wxB := new(big.Int)
+		for _, row := range a.qWx[g] {
+			rowSum := new(big.Int)
+			t := new(big.Int)
+			for o, w := range row {
+				rowSum.Add(rowSum, t.Mul(t.SetInt64(w).Abs(t), colMax[o]))
+			}
+			if rowSum.Cmp(wxB) > 0 {
+				wxB.Set(rowSum)
+			}
+		}
+		a.addStage(GateStage(name, StageWxAcc), symI(wxB), true, "")
+
+		whB := new(big.Int)
+		for _, row := range a.qWh[g] {
+			rowSum := new(big.Int)
+			t := new(big.Int)
+			for _, w := range row {
+				rowSum.Add(rowSum, t.Mul(t.SetInt64(w).Abs(t), hAbs))
+			}
+			if rowSum.Cmp(whB) > 0 {
+				whB.Set(rowSum)
+			}
+		}
+		a.addStage(GateStage(name, StageWhAcc), symI(whB), true, "")
+
+		bMax := new(big.Int)
+		for _, b := range a.qB[g] {
+			t := big.NewInt(b)
+			if t.Abs(t); t.Cmp(bMax) > 0 {
+				bMax.Set(t)
+			}
+		}
+		preB := new(big.Int).Add(a.rdiv(wxB), a.rdiv(whB))
+		preB.Add(preB, bMax)
+		act := ActSigmoid
+		if name == lstm.GateCandidate {
+			act = ActSoftsign
+		}
+		a.addStage(GateStage(name, StagePreact), symI(preB), false, act)
+
+		outIv := sigIv
+		if name == lstm.GateCandidate {
+			outIv = ssIv
+		}
+		a.addStage(GateStage(name, StageGateOut), outIv, false, "")
+	}
+
+	// kernel_hidden_state: the cell state accumulates for SeqLen steps
+	// before the counter fires and the pipeline resets, so iterate the
+	// update c ← f⊙c + i⊙C' exactly that many times, tracking the union of
+	// every intermediate along the way.
+	icRaw := mulI(sigIv, ssIv)
+	cellIv := ival{lo: new(big.Int), hi: new(big.Int)}
+	fcRawU := ival{lo: new(big.Int), hi: new(big.Int)}
+	cellU := ival{lo: new(big.Int), hi: new(big.Int)}
+	icTerm := a.rescaleI(icRaw)
+	for t := 0; t < a.seqLen; t++ {
+		fcRaw := mulI(sigIv, cellIv)
+		fcRawU = unionI(fcRawU, fcRaw)
+		cellIv = addI(a.rescaleI(fcRaw), icTerm)
+		cellU = unionI(cellU, cellIv)
+	}
+	a.addStage(StageCellForgetRaw, fcRawU, true, "")
+	a.addStage(StageCellInputRaw, icRaw, true, "")
+	a.addStage(StageCellState, cellU, false, ActSoftsign)
+	a.addStage(StageCellAct, ssIv, false, "")
+	a.addStage(StageHiddenRaw, hiddenRaw, true, "")
+	a.addStage(StageHiddenState, hiddenIv, false, "")
+
+	// Fully-connected head.
+	fcB := new(big.Int)
+	t := new(big.Int)
+	for _, w := range a.qFCW {
+		fcB.Add(fcB, t.Mul(t.SetInt64(w).Abs(t), hAbs))
+	}
+	a.addStage(StageFCAcc, symI(fcB), true, "")
+	logitIv := addI(a.rescaleI(symI(fcB)), ival{lo: big.NewInt(a.qFCB), hi: big.NewInt(a.qFCB)})
+	a.addStage(StageLogit, logitIv, false, "")
+}
+
+// sigmoidRange computes the exact output interval of the PLAN sigmoid over
+// all representable inputs, using the quantized segment coefficients the
+// fixed-point evaluator really multiplies by. Each segment y = c·|x| + d is
+// monotone, so its supremum sits at the segment's upper input bound; the
+// negative half is 1 - y, so the lower bound is min(0, 1 - ymax).
+func (a *analysis) sigmoidRange() ival {
+	one := a.arith.One()
+	q := a.arith.FromFloat
+	type segment struct {
+		hi   fixed.Value // largest |x| routed to this segment
+		c, d fixed.Value
+	}
+	segs := []segment{
+		// The raw arithmetic below computes exact segment *boundaries* (the
+		// largest representable input routed to each segment), not datapath
+		// values: maxScale caps the scale at 2⁶⁰ so 5·S cannot wrap.
+		{hi: 5*one - 1, c: q(0.03125), d: q(0.84375)}, //csdlint:allow fixedwidth exact segment bound, 5·S ≤ 5·2⁶⁰
+		{hi: q(2.375) - 1, c: q(0.125), d: q(0.625)},  //csdlint:allow fixedwidth exact segment bound
+		{hi: one - 1, c: q(0.25), d: q(0.5)},          //csdlint:allow fixedwidth exact segment bound
+	}
+	ymax := big.NewInt(one) // the |x| ≥ 5 plateau
+	for _, s := range segs {
+		if s.hi < 0 {
+			continue
+		}
+		y := new(big.Int).Mul(big.NewInt(s.c), big.NewInt(s.hi))
+		y = a.rdiv(y)
+		y.Add(y, big.NewInt(s.d))
+		if y.Cmp(ymax) > 0 {
+			ymax.Set(y)
+		}
+	}
+	lo := new(big.Int).Sub(big.NewInt(one), ymax)
+	if lo.Sign() > 0 {
+		lo.SetInt64(0)
+	}
+	return ival{lo: lo, hi: ymax}
+}
+
+// actDomain returns the largest |x| for which the fixed-point activation
+// evaluators are internally overflow-free: softsign computes x·S + (|x|+S)/2
+// inside its rounded division, so |x| ≤ (MaxInt64 − S) / (S + 1) keeps every
+// internal term in range (and covers the PLAN sigmoid's c·|x| products, whose
+// coefficients never exceed S).
+func (a *analysis) actDomain() *big.Int {
+	s := new(big.Int).SetInt64(a.arith.Scale())
+	d := new(big.Int).Sub(bigMaxInt64, s)
+	return d.Quo(d, new(big.Int).Add(s, big.NewInt(1)))
+}
+
+// addStage appends a stage to the report, deriving bit width, headroom, and
+// the overflow / activation-domain verdicts. Raw (scale-S²) stages must also
+// absorb the half-scale rounding bias the subsequent rescale adds.
+func (a *analysis) addStage(name string, iv ival, raw bool, act string) {
+	m := absMax(iv)
+	bits := m.BitLen()
+	margin := new(big.Int)
+	if raw {
+		margin.SetInt64(a.arith.Scale() / 2)
+	}
+	overflow := new(big.Int).Add(iv.hi, margin).Cmp(bigMaxInt64) > 0 ||
+		new(big.Int).Sub(iv.lo, margin).Cmp(bigMinInt64) < 0
+	st := StageRange{
+		Stage:    name,
+		Kernel:   kernelOf(name),
+		Raw:      raw,
+		Lo:       iv.lo.String(),
+		Hi:       iv.hi.String(),
+		Bits:     bits,
+		Headroom: 63 - bits,
+		Overflow: overflow,
+		ActInput: act,
+	}
+	if act != "" && m.Cmp(a.actDomain()) > 0 {
+		st.DomainViolation = true
+	}
+	a.rep.Stages = append(a.rep.Stages, st)
+}
+
+// rdiv is fixed.roundedDiv on a magnitude: (|v| + S/2) / S, exact.
+func (a *analysis) rdiv(v *big.Int) *big.Int {
+	s := new(big.Int).SetInt64(a.arith.Scale())
+	half := new(big.Int).SetInt64(a.arith.Scale() / 2)
+	out := new(big.Int).Abs(v)
+	out.Add(out, half)
+	out.Quo(out, s)
+	if v.Sign() < 0 {
+		out.Neg(out)
+	}
+	return out
+}
+
+// rescaleI applies the rounded rescale to both interval endpoints; the
+// division is monotone, so endpoint images bound the whole image.
+func (a *analysis) rescaleI(iv ival) ival {
+	return ival{lo: a.rdiv(iv.lo), hi: a.rdiv(iv.hi)}
+}
+
+// ival is a closed interval of exact integers.
+type ival struct{ lo, hi *big.Int }
+
+// symI returns [-b, b].
+func symI(b *big.Int) ival {
+	return ival{lo: new(big.Int).Neg(b), hi: new(big.Int).Set(b)}
+}
+
+// addI is interval addition.
+func addI(x, y ival) ival {
+	return ival{lo: new(big.Int).Add(x.lo, y.lo), hi: new(big.Int).Add(x.hi, y.hi)}
+}
+
+// mulI is interval multiplication: the extrema of the four endpoint products.
+func mulI(x, y ival) ival {
+	ps := []*big.Int{
+		new(big.Int).Mul(x.lo, y.lo),
+		new(big.Int).Mul(x.lo, y.hi),
+		new(big.Int).Mul(x.hi, y.lo),
+		new(big.Int).Mul(x.hi, y.hi),
+	}
+	out := ival{lo: ps[0], hi: ps[0]}
+	for _, p := range ps[1:] {
+		if p.Cmp(out.lo) < 0 {
+			out.lo = p
+		}
+		if p.Cmp(out.hi) > 0 {
+			out.hi = p
+		}
+	}
+	return ival{lo: new(big.Int).Set(out.lo), hi: new(big.Int).Set(out.hi)}
+}
+
+// unionI is the interval hull of x and y.
+func unionI(x, y ival) ival {
+	out := ival{lo: new(big.Int).Set(x.lo), hi: new(big.Int).Set(x.hi)}
+	if y.lo.Cmp(out.lo) < 0 {
+		out.lo.Set(y.lo)
+	}
+	if y.hi.Cmp(out.hi) > 0 {
+		out.hi.Set(y.hi)
+	}
+	return out
+}
+
+// absMax returns max(|lo|, |hi|).
+func absMax(iv ival) *big.Int {
+	l := new(big.Int).Abs(iv.lo)
+	h := new(big.Int).Abs(iv.hi)
+	if l.Cmp(h) > 0 {
+		return l
+	}
+	return h
+}

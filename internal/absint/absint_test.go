@@ -1,0 +1,250 @@
+package absint
+
+import (
+	"math/big"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/activation"
+	"github.com/kfrida1/csdinf/internal/fixed"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// TestAnalyzePaperModelClean proves the property the whole PR exists for:
+// the paper's architecture at the paper's scale and window is overflow-free,
+// with comfortable headroom everywhere.
+func TestAnalyzePaperModelClean(t *testing.T) {
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OverflowFree() {
+		t.Fatalf("paper model at default scale refuted:\noverflows: %v\ndomain: %v",
+			rep.Overflows(), rep.DomainViolations())
+	}
+	min, ok := rep.MinHeadroom()
+	if !ok {
+		t.Fatal("no stages analyzed")
+	}
+	if min.Headroom < 2 {
+		t.Fatalf("min headroom %d at %s: expected comfortable margin at scale 10^6", min.Headroom, min.Stage)
+	}
+	if rep.UnderflowedWeights != 0 {
+		t.Fatalf("scale 10^6 underflowed %d weights", rep.UnderflowedWeights)
+	}
+}
+
+// TestAnalyzeStageCoverage pins the stage inventory: every intermediate of
+// the fixed datapath must appear exactly once, under its kernel.
+func TestAnalyzeStageCoverage(t *testing.T) {
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{StageEmbed}
+	for _, g := range lstm.GateNames {
+		want = append(want,
+			GateStage(g, StageWxAcc), GateStage(g, StageWhAcc),
+			GateStage(g, StagePreact), GateStage(g, StageGateOut))
+	}
+	want = append(want, StageCellForgetRaw, StageCellInputRaw, StageCellState,
+		StageCellAct, StageHiddenRaw, StageHiddenState, StageFCAcc, StageLogit)
+
+	seen := map[string]int{}
+	for _, s := range rep.Stages {
+		seen[s.Stage]++
+	}
+	for _, name := range want {
+		if seen[name] != 1 {
+			t.Errorf("stage %s appears %d times, want 1", name, seen[name])
+		}
+	}
+	if len(rep.Stages) != len(want) {
+		t.Errorf("report has %d stages, want %d", len(rep.Stages), len(want))
+	}
+	for _, s := range rep.Stages {
+		if s.Kernel == "" {
+			t.Errorf("stage %s has no kernel", s.Stage)
+		}
+	}
+}
+
+// TestSeededOverflowRefuted is the negative proof: a model with weights far
+// outside the trained regime must be refuted at the default scale — this is
+// the same fixture cmd/csdlint's NUM-001 exit-code test deploys.
+func TestSeededOverflowRefuted(t *testing.T) {
+	m := overflowModel(t)
+	rep, err := Analyze(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OverflowFree() {
+		t.Fatal("overflow fixture was proved clean")
+	}
+	ovs := rep.Overflows()
+	if len(ovs) == 0 {
+		t.Fatal("refuted report lists no overflow stages")
+	}
+	var sawAcc bool
+	for _, s := range ovs {
+		if s.Stage == GateStage(lstm.GateInput, StageWxAcc) {
+			sawAcc = true
+			if s.Headroom >= 0 {
+				t.Errorf("overflowing accumulator reports headroom %d", s.Headroom)
+			}
+		}
+	}
+	if !sawAcc {
+		t.Errorf("input-gate wx accumulator not among overflows: %v", ovs)
+	}
+}
+
+// overflowModel builds a tiny model whose weights (~±2500) make the raw
+// scale-S² input dot products exceed int64 at the default 10⁶ scale:
+// (2500·10⁶)² ≈ 6·10¹⁸·10³ ≫ 2⁶³.
+func overflowModel(t *testing.T) *lstm.Model {
+	t.Helper()
+	cfg := lstm.Config{VocabSize: 4, EmbedDim: 2, HiddenSize: 2, CellActivation: activation.Softsign}
+	m, err := lstm.NewModel(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.VocabSize; i++ {
+		row := m.Embedding.Row(i)
+		for o := range row {
+			row[o] = 2500
+		}
+	}
+	for g := range m.Gates {
+		for r := 0; r < cfg.HiddenSize; r++ {
+			wx := m.Gates[g].Wx.Row(r)
+			for o := range wx {
+				wx[o] = 2500
+			}
+		}
+	}
+	return m
+}
+
+// TestSigmoidRangeCoarseScale pins the soundness subtlety the fuzzer first
+// surfaced: at coarse scales the PLAN segment coefficients round up, and the
+// quantized sigmoid can exceed 1.0 — so the gate-output interval must come
+// from the quantized coefficients, not the real-valued [0, 1].
+func TestSigmoidRangeCoarseScale(t *testing.T) {
+	a := analysis{arith: fixed.MustNew(16)}
+	iv := a.sigmoidRange()
+	one := big.NewInt(16)
+	if iv.hi.Cmp(one) <= 0 {
+		t.Fatalf("scale-16 sigmoid hi = %s, expected above one: FromFloat(0.03125)=1 makes the top segment overshoot", iv.hi)
+	}
+	if iv.lo.Sign() >= 0 {
+		t.Fatalf("scale-16 sigmoid lo = %s, expected negative (1 - overshoot)", iv.lo)
+	}
+	// At the paper's scale the coefficients are exact and the classic
+	// [0, 1] bound holds.
+	a = analysis{arith: fixed.Default}
+	iv = a.sigmoidRange()
+	if iv.hi.Cmp(big.NewInt(fixed.DefaultScale)) != 0 || iv.lo.Sign() != 0 {
+		t.Fatalf("scale-10⁶ sigmoid range [%s, %s], want [0, 1000000]", iv.lo, iv.hi)
+	}
+}
+
+// TestUnderflowAccounting checks NUM003's signal: at a scale of 2⁸ most
+// Xavier-initialized weights (|w| ≲ 0.3) survive, but weights below half the
+// quantization step vanish.
+func TestUnderflowAccounting(t *testing.T) {
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Analyze(m, Config{Scale: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.UnderflowedWeights == 0 {
+		t.Fatal("scale 4 should underflow many Xavier weights")
+	}
+	if f := coarse.UnderflowFraction(); f <= 0 || f > 1 {
+		t.Fatalf("underflow fraction %v out of range", f)
+	}
+	fine, err := Analyze(m, Config{Scale: fixed.DefaultScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.NonzeroWeights != coarse.NonzeroWeights {
+		t.Fatalf("nonzero count depends on scale: %d vs %d", fine.NonzeroWeights, coarse.NonzeroWeights)
+	}
+}
+
+// TestQuantizeOverflow covers the degenerate case where the scale itself is
+// too large for the weights: quantization overflows before any datapath
+// stage exists, and the report must refuse with quantize/* stages.
+func TestQuantizeOverflow(t *testing.T) {
+	cfg := lstm.Config{VocabSize: 4, EmbedDim: 2, HiddenSize: 2, CellActivation: activation.Softsign}
+	m, err := lstm.NewModel(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Embedding.Row(0)[0] = 1e12 // 1e12 · 1e9 scale ≫ 2⁶³
+	rep, err := Analyze(m, Config{Scale: 1_000_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OverflowFree() {
+		t.Fatal("unrepresentable weight proved clean")
+	}
+	st, ok := rep.Stage("quantize/embedding")
+	if !ok || !st.Overflow {
+		t.Fatalf("missing quantize overflow stage, got %+v", rep.Stages)
+	}
+}
+
+// TestConfigValidation exercises the guard rails.
+func TestConfigValidation(t *testing.T) {
+	m, err := lstm.NewModel(lstm.Config{VocabSize: 4, EmbedDim: 2, HiddenSize: 2, CellActivation: activation.Softsign}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(nil, Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Analyze(m, Config{Scale: -5}); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, err := Analyze(m, Config{Scale: maxScale + 1}); err == nil {
+		t.Error("huge scale accepted")
+	}
+	if _, err := Analyze(m, Config{SeqLen: -1}); err == nil {
+		t.Error("negative seqlen accepted")
+	}
+}
+
+// TestContains checks the fuzzer's containment primitive against a known
+// stage.
+func TestContains(t *testing.T) {
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in, ok := rep.Contains(StageHiddenState, 0); !ok || !in {
+		t.Fatalf("Contains(hidden, 0) = %v, %v; zero state must be inside", in, ok)
+	}
+	if _, ok := rep.Contains("no/such/stage", 0); ok {
+		t.Fatal("unknown stage reported as known")
+	}
+	// The hidden state is bounded by ±1.0 at the working scale.
+	if in, _ := rep.Contains(StageHiddenState, 2*fixed.DefaultScale); in {
+		t.Fatal("value at 2.0 inside the hidden-state interval")
+	}
+}

@@ -1,0 +1,96 @@
+package absint_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/absint"
+	"github.com/kfrida1/csdinf/internal/activation"
+	"github.com/kfrida1/csdinf/internal/fixed"
+	"github.com/kfrida1/csdinf/internal/kernels"
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// fuzzScales spans fine to deliberately hostile quantizations: the coarse end
+// produces plenty of refuted (overflowing) designs, the fine end plenty of
+// proven ones, so the fuzzer exercises both sides of the verdict.
+var fuzzScales = []int64{64, 4096, fixed.DefaultScale, 1 << 24, 1 << 34, 1 << 44}
+
+// FuzzIntervalSoundness is the soundness oracle for the abstract interpreter:
+// whenever Analyze PROVES a model overflow-free at a scale, running the real
+// fixed-point pipeline with the numeric probe installed must observe (a) zero
+// wrapped operations and (b) every concrete intermediate inside the predicted
+// interval of its stage. A counterexample here means the interval transfer
+// functions are unsound — the analysis claimed safety the datapath violates.
+//
+// Models are seeded tiny LSTMs with weights amplified by up to 255×, so the
+// accumulator magnitudes sweep from trivially safe to well past int64.
+func FuzzIntervalSoundness(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(1), int64(7))
+	f.Add(int64(3), uint8(0), uint8(40), int64(11))
+	f.Add(int64(5), uint8(5), uint8(200), int64(13))
+	f.Add(int64(9), uint8(4), uint8(17), int64(2))
+	f.Fuzz(func(t *testing.T, seed int64, scaleIdx, amp uint8, seqSeed int64) {
+		scale := fuzzScales[int(scaleIdx)%len(fuzzScales)]
+		cfg := lstm.Config{
+			VocabSize: 6, EmbedDim: 3, HiddenSize: 4,
+			CellActivation: activation.Softsign,
+		}
+		m, err := lstm.NewModel(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factor := float64(amp)
+		amplify := func(fs []float64) {
+			for i := range fs {
+				fs[i] *= factor
+			}
+		}
+		amplify(m.Embedding.Data)
+		for g := range m.Gates {
+			amplify(m.Gates[g].Wx.Data)
+			amplify(m.Gates[g].Wh.Data)
+			amplify(m.Gates[g].B)
+		}
+		amplify(m.FCW)
+		m.FCB *= factor
+
+		const seqLen = 8
+		rep, err := absint.Analyze(m, absint.Config{Scale: scale, SeqLen: seqLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OverflowFree() {
+			// Refuted designs make no safety claim; nothing to check.
+			t.Skip("design refuted at this scale")
+		}
+
+		pipe, err := kernels.New(m, kernels.Config{
+			Level: kernels.LevelFixedPoint, Scale: scale, SeqLen: seqLen,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe.SetNumericProbe(func(stage string, v fixed.Value, wrapErr error) {
+			if wrapErr != nil {
+				t.Errorf("proved-clean design wrapped at %s: %v", stage, wrapErr)
+			}
+			in, known := rep.Contains(stage, int64(v))
+			switch {
+			case !known:
+				t.Errorf("probe observed stage %s unknown to the report", stage)
+			case !in:
+				t.Errorf("concrete value %d at %s escapes the predicted interval", v, stage)
+			}
+		})
+
+		rng := rand.New(rand.NewSource(seqSeed))
+		seq := make([]int, seqLen)
+		for i := range seq {
+			seq[i] = rng.Intn(cfg.VocabSize)
+		}
+		if _, _, err := pipe.Classify(seq); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

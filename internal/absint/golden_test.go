@@ -1,0 +1,95 @@
+package absint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/kfrida1/csdinf/internal/absint"
+	"github.com/kfrida1/csdinf/internal/dataset"
+	"github.com/kfrida1/csdinf/internal/lstm"
+	"github.com/kfrida1/csdinf/internal/train"
+)
+
+// trainedModel quick-trains the paper architecture on a deterministic
+// miniature corpus — enough epochs for the weights to leave the Xavier
+// initialization regime, small enough for test budgets. Everything is
+// seeded, so the weights (and therefore the analyzed intervals) are
+// reproducible.
+func trainedModel(t testing.TB) *lstm.Model {
+	t.Helper()
+	ds, err := dataset.Build(dataset.BuildConfig{RansomwareCount: 120, BenignCount: 120, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainDS, testDS, err := ds.Split(0.2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := train.Train(trainDS, testDS, train.Config{Epochs: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Model
+}
+
+// TestGoldenTrainedRangeSweep goldens the full text report of the trained
+// paper model across the ROADMAP item 4 width-sweep scales 2⁸, 2¹², 2¹⁶ —
+// pinning both the analysis results and the report format. Refresh with
+// UPDATE_GOLDEN=1 after a deliberate change.
+func TestGoldenTrainedRangeSweep(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	for _, scale := range []int64{1 << 8, 1 << 12, 1 << 16} {
+		rep, err := absint.Analyze(m, absint.Config{Scale: scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OverflowFree() {
+			t.Errorf("trained model refuted at scale %d", scale)
+		}
+		if err := rep.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString("\n")
+	}
+
+	golden := filepath.Join("testdata", "ranges_sweep.txt")
+	want, err := os.ReadFile(golden)
+	if os.IsNotExist(err) || os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("range report drifted from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestJSONRoundTrip checks the -json artifact payload carries the whole
+// report faithfully.
+func TestJSONRoundTrip(t *testing.T) {
+	m, err := lstm.NewModel(lstm.PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := absint.Analyze(m, absint.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"scale": 1000000`, `"stages"`, absint.StageLogit, `"act_domain"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("JSON artifact missing %q", want)
+		}
+	}
+}

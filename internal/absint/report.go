@@ -1,0 +1,205 @@
+package absint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// StageRange is the analyzed interval of one fixed-point intermediate.
+//
+// Lo and Hi are decimal strings because a refuted design's bounds exceed
+// int64 by construction — the very thing the analysis exists to detect.
+type StageRange struct {
+	// Stage is the stage identifier (see the Stage* constants).
+	Stage string `json:"stage"`
+	// Kernel is the kernel computing this stage.
+	Kernel string `json:"kernel"`
+	// Raw marks scale-S² values (dot accumulators, pre-rescale products);
+	// unset means the working scale S.
+	Raw bool `json:"raw,omitempty"`
+	// Lo and Hi bound every value this stage can hold, inclusive.
+	Lo string `json:"lo"`
+	Hi string `json:"hi"`
+	// Bits is the magnitude bit width of the interval's extreme.
+	Bits int `json:"bits"`
+	// Headroom is 63 − Bits: the spare integer bits before int64 wraps.
+	// Negative headroom means the stage provably can overflow.
+	Headroom int `json:"headroom"`
+	// Overflow reports that the interval (plus the rescale rounding bias on
+	// raw stages) escapes int64.
+	Overflow bool `json:"overflow,omitempty"`
+	// ActInput names the activation this stage feeds (ActSigmoid or
+	// ActSoftsign), when it feeds one.
+	ActInput string `json:"act_input,omitempty"`
+	// DomainViolation reports that the stage can exceed the activation
+	// evaluators' internally overflow-free input domain.
+	DomainViolation bool `json:"domain_violation,omitempty"`
+}
+
+// Report is the result of one analysis run: every datapath stage with its
+// proven bounds, plus the quantization-coarseness accounting.
+type Report struct {
+	Scale  int64       `json:"scale"`
+	SeqLen int         `json:"seq_len"`
+	Model  lstm.Config `json:"model"`
+	// ActDomain is the largest activation-input magnitude the fixed-point
+	// evaluators handle without internal overflow, as a decimal string.
+	ActDomain string       `json:"act_domain"`
+	Stages    []StageRange `json:"stages"`
+	// NonzeroWeights counts nonzero float parameters; UnderflowedWeights
+	// counts those the scale quantizes to zero (the NUM003 signal).
+	NonzeroWeights     int `json:"nonzero_weights"`
+	UnderflowedWeights int `json:"underflowed_weights"`
+}
+
+// Overflows returns the stages that can escape int64.
+func (r *Report) Overflows() []StageRange {
+	var out []StageRange
+	for _, s := range r.Stages {
+		if s.Overflow {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DomainViolations returns the activation-input stages that can leave the
+// evaluators' safe domain.
+func (r *Report) DomainViolations() []StageRange {
+	var out []StageRange
+	for _, s := range r.Stages {
+		if s.DomainViolation {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MinHeadroom returns the stage with the least headroom, false when the
+// report has no stages.
+func (r *Report) MinHeadroom() (StageRange, bool) {
+	if len(r.Stages) == 0 {
+		return StageRange{}, false
+	}
+	min := r.Stages[0]
+	for _, s := range r.Stages[1:] {
+		if s.Headroom < min.Headroom {
+			min = s
+		}
+	}
+	return min, true
+}
+
+// UnderflowFraction is the fraction of nonzero weights the scale is too
+// coarse to represent (0 when the model has no nonzero weights).
+func (r *Report) UnderflowFraction() float64 {
+	if r.NonzeroWeights == 0 {
+		return 0
+	}
+	return float64(r.UnderflowedWeights) / float64(r.NonzeroWeights)
+}
+
+// OverflowFree reports the headline verdict: no stage can overflow int64 and
+// no activation input can leave the safe domain.
+func (r *Report) OverflowFree() bool {
+	for _, s := range r.Stages {
+		if s.Overflow || s.DomainViolation {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText renders the per-stage range report in the fixed-width layout the
+// `csdlint ranges` subcommand prints. The output is deterministic for a given
+// report, so tests golden it.
+func (r *Report) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("numeric range analysis: scale %d, seqlen %d (vocab %d, embed %d, hidden %d)\n",
+		r.Scale, r.SeqLen, r.Model.VocabSize, r.Model.EmbedDim, r.Model.HiddenSize)
+	bw.printf("activation-safe input domain: |x| <= %s\n\n", r.ActDomain)
+	bw.printf("%-34s %-5s %4s %8s  %s\n", "stage", "scale", "bits", "headroom", "range")
+	for _, s := range r.Stages {
+		scale := "S"
+		if s.Raw {
+			scale = "S^2"
+		}
+		flags := ""
+		if s.Overflow {
+			flags += "  OVERFLOW"
+		}
+		if s.DomainViolation {
+			flags += "  ACT-DOMAIN"
+		}
+		act := ""
+		if s.ActInput != "" {
+			act = " -> " + s.ActInput
+		}
+		bw.printf("%-34s %-5s %4d %8d  [%s, %s]%s%s\n",
+			s.Stage, scale, s.Bits, s.Headroom, s.Lo, s.Hi, act, flags)
+	}
+	bw.printf("\nweights: %d nonzero, %d below the quantization step (%.2f%%)\n",
+		r.NonzeroWeights, r.UnderflowedWeights, 100*r.UnderflowFraction())
+	if r.OverflowFree() {
+		if min, ok := r.MinHeadroom(); ok {
+			bw.printf("verdict: PROVED overflow-free (min headroom %d bits at %s)\n",
+				min.Headroom, min.Stage)
+		} else {
+			bw.printf("verdict: PROVED overflow-free (no stages)\n")
+		}
+	} else {
+		bw.printf("verdict: REFUTED (%d overflow stage(s), %d activation-domain violation(s))\n",
+			len(r.Overflows()), len(r.DomainViolations()))
+	}
+	return bw.err
+}
+
+// JSON renders the report as indented JSON, the `csdlint ranges -json`
+// artifact payload.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Stage returns the named stage, false when absent.
+func (r *Report) Stage(name string) (StageRange, bool) {
+	for _, s := range r.Stages {
+		if s.Stage == name {
+			return s, true
+		}
+	}
+	return StageRange{}, false
+}
+
+// Contains reports whether v lies inside the named stage's interval. It is
+// the primitive FuzzIntervalSoundness checks concrete observations with; the
+// second result is false when the stage is unknown.
+func (r *Report) Contains(name string, v int64) (bool, bool) {
+	s, ok := r.Stage(name)
+	if !ok {
+		return false, false
+	}
+	lo, ok1 := new(big.Int).SetString(s.Lo, 10)
+	hi, ok2 := new(big.Int).SetString(s.Hi, 10)
+	if !ok1 || !ok2 {
+		return false, false
+	}
+	b := big.NewInt(v)
+	return lo.Cmp(b) <= 0 && b.Cmp(hi) <= 0, true
+}
+
+// errWriter coalesces write errors across the many printf calls above.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

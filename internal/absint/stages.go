@@ -1,0 +1,77 @@
+package absint
+
+import (
+	"strings"
+
+	"github.com/kfrida1/csdinf/internal/lstm"
+)
+
+// Stage identifiers name every fixed-point intermediate the kernels compute,
+// prefixed with the kernel that computes it (the names match the kernel
+// constants in internal/kernels). The kernels' numeric probe reports concrete
+// values under the same identifiers, which is what lets
+// FuzzIntervalSoundness match observations to predictions.
+const (
+	// StageEmbed is the quantized embedding value consumed per item.
+	StageEmbed = "kernel_preprocess/embed"
+
+	// StageCellForgetRaw is the raw scale-S² product f⊙c of the cell update.
+	StageCellForgetRaw = "kernel_hidden_state/f_c_raw"
+	// StageCellInputRaw is the raw scale-S² product i⊙C' of the cell update.
+	StageCellInputRaw = "kernel_hidden_state/i_cand_raw"
+	// StageCellState is the cell state c after the update, which feeds the
+	// softsign cell activation. It accumulates over SeqLen steps.
+	StageCellState = "kernel_hidden_state/cell"
+	// StageCellAct is softsign(c).
+	StageCellAct = "kernel_hidden_state/cell_act"
+	// StageHiddenRaw is the raw scale-S² product o⊙softsign(c).
+	StageHiddenRaw = "kernel_hidden_state/o_act_raw"
+	// StageHiddenState is the hidden state h fed back into the gates.
+	StageHiddenState = "kernel_hidden_state/hidden"
+	// StageFCAcc is the raw scale-S² accumulator of the FC head dot product.
+	StageFCAcc = "kernel_hidden_state/fc_acc"
+	// StageLogit is the classification logit.
+	StageLogit = "kernel_hidden_state/logit"
+)
+
+// Per-gate stage parts, composed with GateStage.
+const (
+	// StageWxAcc is the raw scale-S² accumulator of Wx·x.
+	StageWxAcc = "wx_acc"
+	// StageWhAcc is the raw scale-S² accumulator of Wh·h.
+	StageWhAcc = "wh_acc"
+	// StagePreact is the pre-activation sum Wx·x + Wh·h + b.
+	StagePreact = "preact"
+	// StageGateOut is the activated gate output.
+	StageGateOut = "out"
+)
+
+// Activation names recorded on stages that feed an activation evaluator.
+const (
+	ActSigmoid  = "sigmoid"
+	ActSoftsign = "softsign"
+)
+
+// GateSlug returns the stage-identifier slug for a gate: i, f, o, cand.
+// (GateName.String uses the paper's C′ notation, which is hostile to
+// machine-readable identifiers.)
+func GateSlug(g lstm.GateName) string {
+	if g == lstm.GateCandidate {
+		return "cand"
+	}
+	return g.String()
+}
+
+// GateStage composes the stage identifier of a per-gate intermediate, e.g.
+// GateStage(lstm.GateInput, StageWxAcc) = "kernel_gates/i/wx_acc".
+func GateStage(g lstm.GateName, part string) string {
+	return "kernel_gates/" + GateSlug(g) + "/" + part
+}
+
+// kernelOf extracts the kernel prefix of a stage identifier.
+func kernelOf(stage string) string {
+	if i := strings.IndexByte(stage, '/'); i >= 0 {
+		return stage[:i]
+	}
+	return stage
+}

@@ -117,7 +117,7 @@ func NewFixed(a fixed.Arith) Fixed {
 // (x*S) / (|x| + S) with rounding, where S is the scale. No approximation is
 // involved; this is why the paper prefers softsign on hardware.
 func (f Fixed) Softsign(x fixed.Value) fixed.Value {
-	den := f.a.Abs(x) + f.a.One()
+	den := f.a.Add(f.a.Abs(x), f.a.One())
 	// den >= S > 0, so Div cannot fail; compute directly to stay in the
 	// single-rounding regime.
 	v, err := f.a.Div(x, den)
@@ -145,7 +145,7 @@ func (f Fixed) Sigmoid(x fixed.Value) fixed.Value {
 	one := f.a.One()
 	var y fixed.Value
 	switch {
-	case ax >= 5*one:
+	case ax >= f.a.FromInt(5):
 		y = one
 	case ax >= f.a.FromFloat(2.375):
 		y = f.a.Add(f.a.Mul(f.a.FromFloat(0.03125), ax), f.a.FromFloat(0.84375))

@@ -134,7 +134,13 @@ func Deploy(dev *csd.SmartSSD, m *lstm.Model, cfg DeployConfig) (*Engine, error)
 		return nil, errors.New("core: nil model")
 	}
 	if cfg.DRC != DRCOff {
-		design, derr := kernels.DesignFor(m.Config(), kernels.Config{Level: cfg.Level, Part: cfg.Part})
+		// DesignForModel (not DesignFor): with the trained weights in hand
+		// the design carries the interval analysis of internal/absint, so
+		// the checker also proves the fixed-point datapath overflow-free at
+		// the deployment's scale and window before any kernel is placed.
+		design, derr := kernels.DesignForModel(m, kernels.Config{
+			Level: cfg.Level, Part: cfg.Part, SeqLen: cfg.SeqLen, Scale: cfg.Scale,
+		})
 		if derr != nil {
 			return nil, fmt.Errorf("core: design check: %w", derr)
 		}

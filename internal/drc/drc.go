@@ -12,12 +12,14 @@
 // the command line, core.Deploy refuses error-level designs before touching
 // the device, and CI fails on them with machine-readable JSON findings.
 //
-// Rules fall into five groups, mirroring the sections of a v++ synthesis
+// Rules fall into seven groups, mirroring the sections of a v++ synthesis
 // log: PRAG (pragma legality), II (initiation-interval feasibility), BUF
 // (buffer/partition storage), RES (fabric budgets per CU, per kernel, and
-// per device), AXI (DDR-bank connectivity and port conflicts), and DF
-// (dataflow stage matching). See Rules for the full catalogue and DESIGN.md
-// "Static analysis" for the severity policy.
+// per device), AXI (DDR-bank connectivity and port conflicts), DF (dataflow
+// stage matching), and NUM (fixed-point numeric safety, fed by the
+// internal/absint interval analysis attached to Design.Numeric). See Rules
+// for the full catalogue and DESIGN.md "Static analysis" for the severity
+// policy.
 package drc
 
 import (
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/kfrida1/csdinf/internal/absint"
 	"github.com/kfrida1/csdinf/internal/fpga"
 	"github.com/kfrida1/csdinf/internal/hls"
 )
@@ -83,37 +86,59 @@ func (s *Severity) UnmarshalJSON(b []byte) error {
 type Rule struct {
 	// ID is the stable rule identifier (e.g. "RES002").
 	ID string `json:"id"`
+	// Category is the rule group the ID belongs to (PRAG, II, BUF, RES,
+	// AXI, DF, NUM) — the ID with its trailing digits removed.
+	Category string `json:"category"`
 	// Severity is the rule's fixed severity.
 	Severity Severity `json:"severity"`
 	// Title is the one-line rule statement.
 	Title string `json:"title"`
 }
 
+// CategoryOf returns the rule group of a rule ID: the ID with its trailing
+// digits stripped (e.g. "NUM001" → "NUM").
+func CategoryOf(id string) string {
+	return strings.TrimRight(id, "0123456789")
+}
+
 // The rule catalogue. IDs are stable: tools and CI filters key on them.
-var catalogue = []Rule{
-	{PragPipelineSubLoops, SevError, "PIPELINE on a loop containing sub-loops (HLS would require them fully unrolled)"},
-	{PragNegativeTrip, SevError, "negative loop trip count"},
-	{PragUnrollExceedsTrip, SevWarn, "UNROLL factor exceeds the loop trip count (factor is clamped)"},
-	{PragUnrollRagged, SevWarn, "UNROLL factor does not divide the trip count (ragged final iterations)"},
-	{PragIIWithoutPipeline, SevWarn, "II= requested on a loop without PIPELINE (pragma is ignored)"},
-	{PragPartitionNoAccess, SevInfo, "ARRAY_PARTITION on a loop with no indexed memory accesses (no-op)"},
-	{PragPipelineZeroTrip, SevWarn, "PIPELINE on a zero-trip loop (pipeline never fills)"},
-	{IICarriedDep, SevWarn, "requested II below the loop-carried dependency bound"},
-	{IIMemoryPorts, SevWarn, "requested II below the memory-port bound (ARRAY_PARTITION would lift it)"},
-	{BufDead, SevInfo, "buffer with no storage (zero or negative words)"},
-	{BufPartitionHuge, SevWarn, "ARRAY_PARTITION complete on a large buffer (register fan-out explodes FF/LUT and routing)"},
-	{BufPartitionUnindexed, SevWarn, "ARRAY_PARTITION complete on a buffer no partitioned loop indexes (burns FF for nothing)"},
-	{ResMalformedKernel, SevError, "malformed kernel (missing name, duplicate name, or non-positive CU count)"},
-	{ResCUOverflow, SevError, "a single compute unit exceeds the device budget"},
-	{ResKernelOverflow, SevError, "a kernel's compute units together exceed the device budget"},
-	{ResDesignOverflow, SevError, "the whole design exceeds the device budget"},
-	{ResTightFit, SevWarn, "design utilization above the routing-closure threshold"},
-	{AXIBankRange, SevError, "AXI master bound to a DDR bank the part does not have"},
-	{AXIPortConflict, SevWarn, "too many AXI masters contending for one DDR bank"},
-	{AXIUnbound, SevInfo, "kernel has no DDR-bank connectivity entry while others do"},
-	{DFUnknownKernel, SevError, "dataflow stream references a kernel not in the design"},
-	{DFFanOutMismatch, SevWarn, "dataflow fan-out does not match the consumer's compute-unit count"},
-	{DFCycle, SevError, "dataflow streams form a cycle"},
+// Categories derive from the IDs; withCategories fills them so the literal
+// table stays readable.
+var catalogue = withCategories([]Rule{
+	{PragPipelineSubLoops, "", SevError, "PIPELINE on a loop containing sub-loops (HLS would require them fully unrolled)"},
+	{PragNegativeTrip, "", SevError, "negative loop trip count"},
+	{PragUnrollExceedsTrip, "", SevWarn, "UNROLL factor exceeds the loop trip count (factor is clamped)"},
+	{PragUnrollRagged, "", SevWarn, "UNROLL factor does not divide the trip count (ragged final iterations)"},
+	{PragIIWithoutPipeline, "", SevWarn, "II= requested on a loop without PIPELINE (pragma is ignored)"},
+	{PragPartitionNoAccess, "", SevInfo, "ARRAY_PARTITION on a loop with no indexed memory accesses (no-op)"},
+	{PragPipelineZeroTrip, "", SevWarn, "PIPELINE on a zero-trip loop (pipeline never fills)"},
+	{IICarriedDep, "", SevWarn, "requested II below the loop-carried dependency bound"},
+	{IIMemoryPorts, "", SevWarn, "requested II below the memory-port bound (ARRAY_PARTITION would lift it)"},
+	{BufDead, "", SevInfo, "buffer with no storage (zero or negative words)"},
+	{BufPartitionHuge, "", SevWarn, "ARRAY_PARTITION complete on a large buffer (register fan-out explodes FF/LUT and routing)"},
+	{BufPartitionUnindexed, "", SevWarn, "ARRAY_PARTITION complete on a buffer no partitioned loop indexes (burns FF for nothing)"},
+	{ResMalformedKernel, "", SevError, "malformed kernel (missing name, duplicate name, or non-positive CU count)"},
+	{ResCUOverflow, "", SevError, "a single compute unit exceeds the device budget"},
+	{ResKernelOverflow, "", SevError, "a kernel's compute units together exceed the device budget"},
+	{ResDesignOverflow, "", SevError, "the whole design exceeds the device budget"},
+	{ResTightFit, "", SevWarn, "design utilization above the routing-closure threshold"},
+	{AXIBankRange, "", SevError, "AXI master bound to a DDR bank the part does not have"},
+	{AXIPortConflict, "", SevWarn, "too many AXI masters contending for one DDR bank"},
+	{AXIUnbound, "", SevInfo, "kernel has no DDR-bank connectivity entry while others do"},
+	{DFUnknownKernel, "", SevError, "dataflow stream references a kernel not in the design"},
+	{DFFanOutMismatch, "", SevWarn, "dataflow fan-out does not match the consumer's compute-unit count"},
+	{DFCycle, "", SevError, "dataflow streams form a cycle"},
+	{NumAccOverflow, "", SevError, "a fixed-point intermediate can overflow its int64 accumulator at this scale"},
+	{NumActDomain, "", SevError, "an activation input can leave the fixed-point evaluator's safe domain"},
+	{NumScaleCoarse, "", SevWarn, "scale too coarse for the weight dynamic range (nonzero weights quantize to zero)"},
+	{NumLowHeadroom, "", SevInfo, "a fixed-point intermediate has fewer than the advisory headroom bits"},
+})
+
+func withCategories(rules []Rule) []Rule {
+	for i := range rules {
+		rules[i].Category = CategoryOf(rules[i].ID)
+	}
+	return rules
 }
 
 // Rule IDs.
@@ -141,6 +166,10 @@ const (
 	DFUnknownKernel       = "DF001"
 	DFFanOutMismatch      = "DF002"
 	DFCycle               = "DF003"
+	NumAccOverflow        = "NUM001"
+	NumActDomain          = "NUM002"
+	NumScaleCoarse        = "NUM003"
+	NumLowHeadroom        = "NUM004"
 )
 
 // Rules returns the rule catalogue, in report order.
@@ -162,6 +191,9 @@ var ruleByID = func() map[string]Rule {
 type Finding struct {
 	// Rule is the catalogue ID.
 	Rule string `json:"rule"`
+	// Category is the rule group (PRAG, II, BUF, RES, AXI, DF, NUM), so
+	// consumers can separate finding classes without parsing IDs.
+	Category string `json:"category"`
 	// Severity is the rule's severity.
 	Severity Severity `json:"severity"`
 	// Kernel names the offending kernel; empty for design-level findings.
@@ -213,6 +245,11 @@ type Design struct {
 	// master ports (optional; the sp= options of a v++ link). Nil skips
 	// the AXI rules entirely; a partial map fires AXIUnbound.
 	Connectivity map[string][]int
+	// Numeric is the fixed-point range analysis of the datapath, attached
+	// by kernels.DesignForModel when the trained weights are available
+	// (fixed-point levels only). Nil skips the NUM rules: without weights
+	// there is nothing sound to prove.
+	Numeric *absint.Report
 }
 
 // Thresholds tune the advisory rules; zero values take defaults.
@@ -225,6 +262,12 @@ type Thresholds struct {
 	// MastersPerBank is the AXI002 port-conflict limit; 0 defaults to 16,
 	// the per-controller port cap of the Vitis DDR interconnect.
 	MastersPerBank int
+	// WeightUnderflow is the NUM003 scale-coarseness limit: the fraction of
+	// nonzero weights allowed to quantize to zero; 0 defaults to 0.05.
+	WeightUnderflow float64
+	// HeadroomBits is the NUM004 advisory margin: stages with less spare
+	// integer headroom are reported; 0 defaults to 2 bits.
+	HeadroomBits int
 }
 
 func (t *Thresholds) defaults() {
@@ -236,6 +279,12 @@ func (t *Thresholds) defaults() {
 	}
 	if t.MastersPerBank == 0 {
 		t.MastersPerBank = 16
+	}
+	if t.WeightUnderflow == 0 {
+		t.WeightUnderflow = 0.05
+	}
+	if t.HeadroomBits == 0 {
+		t.HeadroomBits = 2
 	}
 }
 
@@ -275,7 +324,7 @@ func (r *Report) add(rule, kernel, object, format string, args ...any) {
 		panic("drc: unknown rule " + rule)
 	}
 	r.Findings = append(r.Findings, Finding{
-		Rule: rule, Severity: def.Severity,
+		Rule: rule, Category: def.Category, Severity: def.Severity,
 		Kernel: kernel, Object: object,
 		Message: fmt.Sprintf(format, args...),
 	})
@@ -348,7 +397,52 @@ func CheckWith(d Design, th Thresholds) Report {
 	checkDesignBudget(&r, d.Part, total, th)
 	checkConnectivity(&r, d, th)
 	checkDataflow(&r, d, seen)
+	checkNumeric(&r, d, th)
 	return r
+}
+
+// checkNumeric runs the NUM rules over the attached interval analysis.
+//
+// NUM001 and NUM002 are the twin halves of the overflow proof: NUM001 fires
+// per stage whose interval (plus the rescale rounding bias on raw
+// accumulators) escapes int64; NUM002 fires per activation input that can
+// leave the evaluators' internally overflow-free domain. They frequently
+// co-fire — the softsign feeding on the cell state computes c·S internally,
+// the same raw product the f⊙c stage accumulates — which is correct: both
+// facts must be fixed independently when the scale changes.
+func checkNumeric(r *Report, d Design, th Thresholds) {
+	rep := d.Numeric
+	if rep == nil {
+		return
+	}
+	for _, s := range rep.Overflows() {
+		r.add(NumAccOverflow, s.Kernel, stageObject(s),
+			"interval [%s, %s] needs %d magnitude bits; int64 offers 63 (scale %d, seqlen %d)",
+			s.Lo, s.Hi, s.Bits, rep.Scale, rep.SeqLen)
+	}
+	for _, s := range rep.DomainViolations() {
+		r.add(NumActDomain, s.Kernel, stageObject(s),
+			"%s input can reach [%s, %s], outside the evaluator's safe domain |x| <= %s",
+			s.ActInput, s.Lo, s.Hi, rep.ActDomain)
+	}
+	if f := rep.UnderflowFraction(); f > th.WeightUnderflow {
+		r.add(NumScaleCoarse, "", "quantize",
+			"scale %d zeroes %d of %d nonzero weights (%.1f%%, above the %.0f%% limit)",
+			rep.Scale, rep.UnderflowedWeights, rep.NonzeroWeights, f*100, th.WeightUnderflow*100)
+	}
+	if rep.OverflowFree() {
+		if min, ok := rep.MinHeadroom(); ok && min.Headroom < th.HeadroomBits {
+			r.add(NumLowHeadroom, min.Kernel, stageObject(min),
+				"tightest stage has %d bit(s) of headroom, under the %d-bit advisory margin",
+				min.Headroom, th.HeadroomBits)
+		}
+	}
+}
+
+// stageObject strips the kernel prefix from a stage path so renderings of
+// Finding (kernel + "/" + object) don't repeat it.
+func stageObject(s absint.StageRange) string {
+	return strings.TrimPrefix(s.Stage, s.Kernel+"/")
 }
 
 // checkKernelShape covers RES001; it returns false when the kernel is too

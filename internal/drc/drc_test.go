@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/kfrida1/csdinf/internal/absint"
 	"github.com/kfrida1/csdinf/internal/drc"
 	"github.com/kfrida1/csdinf/internal/fpga"
 	"github.com/kfrida1/csdinf/internal/hls"
@@ -103,6 +104,42 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if back.Findings[0].Severity != rep.Findings[0].Severity {
 		t.Fatalf("severity did not survive JSON: %v vs %v", back.Findings[0], rep.Findings[0])
+	}
+}
+
+// TestFindingCategory pins the category plumbing: every finding carries its
+// rule group, the JSON artifact serializes it, and CategoryOf strips trailing
+// digits only.
+func TestFindingCategory(t *testing.T) {
+	rep := drc.Check(illegalDesign())
+	for _, f := range rep.Findings {
+		if f.Category == "" {
+			t.Errorf("finding %s has empty category", f.Rule)
+		}
+		if want := drc.CategoryOf(f.Rule); f.Category != want {
+			t.Errorf("finding %s carries category %q, want %q", f.Rule, f.Category, want)
+		}
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"category": "II"`)) {
+		t.Error("JSON report is missing the category field")
+	}
+	for id, want := range map[string]string{
+		drc.IICarriedDep:     "II",
+		drc.NumAccOverflow:   "NUM",
+		drc.PragNegativeTrip: "PRAG",
+	} {
+		if got := drc.CategoryOf(id); got != want {
+			t.Errorf("CategoryOf(%s) = %q, want %q", id, got, want)
+		}
+	}
+	for _, r := range drc.Rules() {
+		if r.Category != drc.CategoryOf(r.ID) {
+			t.Errorf("catalogue rule %s has category %q", r.ID, r.Category)
+		}
 	}
 }
 
@@ -243,6 +280,36 @@ func TestEveryRuleHasAFiringFixture(t *testing.T) {
 	fixtures[drc.ResKernelOverflow] = drc.Design{Part: part, Kernels: []fpga.KernelSpec{
 		{Name: "k", CUs: 4, Loops: []hls.Loop{
 			{Name: "l", Trip: 600, Unroll: 600, Body: []hls.Op{hls.FMul}},
+		}},
+	}}
+
+	// The NUM rules consume an attached numeric range analysis; the fixtures
+	// craft minimal absint reports with the offending stage facts. (End-to-end
+	// NUM001 coverage against a real overflowing model lives in
+	// internal/absint and cmd/csdlint.)
+	fixtures[drc.NumAccOverflow] = drc.Design{Part: part, Numeric: &absint.Report{
+		Scale: 1_000_000, SeqLen: 100, Stages: []absint.StageRange{{
+			Stage: "kernel_gates/i/wx_acc", Kernel: "kernel_gates", Raw: true,
+			Lo: "-12500000000000000000", Hi: "12500000000000000000",
+			Bits: 64, Headroom: -1, Overflow: true,
+		}},
+	}}
+	fixtures[drc.NumActDomain] = drc.Design{Part: part, Numeric: &absint.Report{
+		Scale: 1_000_000, SeqLen: 100, ActDomain: "9223372035854",
+		Stages: []absint.StageRange{{
+			Stage: "kernel_hidden_state/cell", Kernel: "kernel_hidden_state",
+			Lo: "-10000000000000", Hi: "10000000000000",
+			Bits: 44, Headroom: 19, ActInput: absint.ActSoftsign, DomainViolation: true,
+		}},
+	}}
+	fixtures[drc.NumScaleCoarse] = drc.Design{Part: part, Numeric: &absint.Report{
+		Scale: 16, SeqLen: 100, NonzeroWeights: 100, UnderflowedWeights: 20,
+	}}
+	fixtures[drc.NumLowHeadroom] = drc.Design{Part: part, Numeric: &absint.Report{
+		Scale: 1_000_000, SeqLen: 100, Stages: []absint.StageRange{{
+			Stage: "kernel_hidden_state/fc_acc", Kernel: "kernel_hidden_state", Raw: true,
+			Lo: "-4611686018427387904", Hi: "4611686018427387904",
+			Bits: 62, Headroom: 1,
 		}},
 	}}
 

@@ -1,6 +1,9 @@
 package kernels
 
 import (
+	"errors"
+
+	"github.com/kfrida1/csdinf/internal/absint"
 	"github.com/kfrida1/csdinf/internal/drc"
 	"github.com/kfrida1/csdinf/internal/fpga"
 	"github.com/kfrida1/csdinf/internal/lstm"
@@ -31,6 +34,35 @@ func DesignFor(model lstm.Config, cfg Config) (drc.Design, error) {
 		},
 		Connectivity: connectivityFor(specs, cfg.Part),
 	}, nil
+}
+
+// DesignForModel is DesignFor with the trained weights attached: at the
+// fixed-point level it additionally runs the internal/absint interval
+// analysis over m's actual weight values and carries the numeric report in
+// the design, arming the checker's NUM rule group (accumulator overflow,
+// activation-domain escapes, scale coarseness, headroom). The float levels
+// have no fixed-width intermediates and LevelMixed's narrow operands are
+// bounded by construction, so those levels return the weight-free design
+// unchanged. core.Deploy and the csdbuild/csdlint front ends call this form;
+// DesignFor remains for configuration-only checks where no trained model
+// exists yet.
+func DesignForModel(m *lstm.Model, cfg Config) (drc.Design, error) {
+	if m == nil {
+		return drc.Design{}, errors.New("kernels: nil model")
+	}
+	cfg.defaults()
+	d, err := DesignFor(m.Config(), cfg)
+	if err != nil {
+		return drc.Design{}, err
+	}
+	if cfg.Level == LevelFixedPoint {
+		rep, err := absint.Analyze(m, absint.Config{Scale: cfg.Scale, SeqLen: cfg.SeqLen})
+		if err != nil {
+			return drc.Design{}, err
+		}
+		d.Numeric = rep
+	}
+	return d, nil
 }
 
 // connectivityFor derives the paper's DDR-bank map (§III-C: parameters in

@@ -99,6 +99,7 @@ type Pipeline struct {
 	narrow  fixed.Arith
 	fact    activation.Fixed
 	gateCUs int
+	probe   NumericProbe
 
 	// Quantized parameters (LevelFixedPoint only).
 	qEmbed [][]fixed.Value    // M rows of O values
@@ -405,6 +406,9 @@ func (p *Pipeline) stepFloat(item int) (Result, bool, error) {
 // stepFixed executes one item entirely in scale-10⁶ fixed point — the
 // arithmetic the FPGA DSP slices perform at LevelFixedPoint.
 func (p *Pipeline) stepFixed(item int) (Result, bool) {
+	if p.probe != nil {
+		return p.stepFixedProbed(item)
+	}
 	cfg := p.cfg
 	x := p.qEmbed[item]
 

@@ -67,10 +67,12 @@ func (p *Pipeline) stepMixed(item int) (Result, bool) {
 		hNarrow[k] = p.narrow.FromFloat(p.arith.ToFloat(v))
 	}
 
-	// Rescale factor from narrow-squared products to the wide scale:
-	// narrow dot yields scale NarrowScale; multiply by S_wide/S_narrow.
+	// Widen narrow-scale pre-activations to the wide scale. The wide scale
+	// is an exact multiple of NarrowScale, so Rescale is the exact widening
+	// multiply — but routed through the sanctioned conversion rather than a
+	// raw scale-ratio product.
 	widen := func(v fixed.Value) fixed.Value {
-		return v * (p.arith.Scale() / p.narrow.Scale())
+		return p.arith.Rescale(v, p.narrow)
 	}
 
 	var gates [4][]fixed.Value

@@ -1,5 +1,6 @@
 // Command csdlint-go runs the repository's custom Go-source analyzers —
-// simclock, ctxfirst, telemetrylabels, eventname — over a source tree, in
+// simclock, ctxfirst, telemetrylabels, eventname, fixedwidth — over a
+// source tree, in
 // the style of an x/tools multichecker but with no dependencies beyond the
 // standard library.
 //
@@ -20,6 +21,7 @@ import (
 	"github.com/kfrida1/csdinf/tools/analyzers/analysis"
 	"github.com/kfrida1/csdinf/tools/analyzers/passes/ctxfirst"
 	"github.com/kfrida1/csdinf/tools/analyzers/passes/eventname"
+	"github.com/kfrida1/csdinf/tools/analyzers/passes/fixedwidth"
 	"github.com/kfrida1/csdinf/tools/analyzers/passes/simclock"
 	"github.com/kfrida1/csdinf/tools/analyzers/passes/telemetrylabels"
 )
@@ -30,6 +32,7 @@ var All = []*analysis.Analyzer{
 	ctxfirst.Analyzer,
 	telemetrylabels.Analyzer,
 	eventname.Analyzer,
+	fixedwidth.Analyzer,
 }
 
 func main() {

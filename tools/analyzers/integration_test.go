@@ -8,6 +8,7 @@ import (
 	"github.com/kfrida1/csdinf/tools/analyzers/analysis"
 	"github.com/kfrida1/csdinf/tools/analyzers/passes/ctxfirst"
 	"github.com/kfrida1/csdinf/tools/analyzers/passes/eventname"
+	"github.com/kfrida1/csdinf/tools/analyzers/passes/fixedwidth"
 	"github.com/kfrida1/csdinf/tools/analyzers/passes/simclock"
 	"github.com/kfrida1/csdinf/tools/analyzers/passes/telemetrylabels"
 )
@@ -33,6 +34,7 @@ func TestRepositoryIsClean(t *testing.T) {
 		ctxfirst.Analyzer,
 		telemetrylabels.Analyzer,
 		eventname.Analyzer,
+		fixedwidth.Analyzer,
 	})
 	for _, d := range diags {
 		t.Errorf("%s", d)

@@ -1,0 +1,187 @@
+package fixedwidth
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/kfrida1/csdinf/tools/analyzers/analysis"
+)
+
+func runOn(t *testing.T, dir, src string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.PackageFromSource(dir, map[string]string{"a.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{Analyzer})
+}
+
+func TestFlagsRawOpsOnDeclaredValues(t *testing.T) {
+	src := `package kernels
+
+import "github.com/kfrida1/csdinf/internal/fixed"
+
+func bad(x, y fixed.Value) fixed.Value {
+	sum := x + y
+	diff := x - y
+	prod := x * y
+	sum += diff
+	prod *= x
+	return sum
+}
+
+func legal(x, y fixed.Value, n int) bool {
+	m := n + 1      // plain int arithmetic stays legal
+	_ = m
+	return x >= y   // comparisons stay legal: scales cancel
+}
+`
+	diags := runOn(t, "internal/kernels", src)
+	if len(diags) != 5 {
+		t.Fatalf("diagnostics = %d, want 5 (+, -, *, +=, *=): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "fixed.Arith methods") {
+			t.Fatalf("unexpected message: %s", d.Message)
+		}
+	}
+}
+
+func TestTracksSlicesIndexingAndRange(t *testing.T) {
+	src := `package kernels
+
+import "github.com/kfrida1/csdinf/internal/fixed"
+
+func bad(xs []fixed.Value) fixed.Value {
+	var acc fixed.Value
+	for _, v := range xs {
+		acc = acc + v
+	}
+	return acc + xs[0]
+}
+`
+	if diags := runOn(t, "internal/kernels", src); len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 (range element, index)", diags)
+	}
+}
+
+func TestTracksStructFieldsAcrossPackage(t *testing.T) {
+	src := `package kernels
+
+import "github.com/kfrida1/csdinf/internal/fixed"
+
+type pipe struct {
+	qFCB fixed.Value
+	hQ   []fixed.Value
+	n    int
+}
+
+func (p *pipe) bad() fixed.Value {
+	return p.qFCB + p.hQ[0]
+}
+
+func (p *pipe) legal() int {
+	return p.n + 1
+}
+`
+	if diags := runOn(t, "internal/kernels", src); len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want 1 (field +)", diags)
+	}
+}
+
+func TestTracksProducerResultsAndAssignments(t *testing.T) {
+	src := `package kernels
+
+import "github.com/kfrida1/csdinf/internal/fixed"
+
+type pipe struct{ arith fixed.Arith }
+
+func (p *pipe) bad(x, y fixed.Value) fixed.Value {
+	pre := p.arith.Dot(nil, nil)
+	pre2 := pre * 2                    // assigned from a producer: tracked
+	one := p.arith.One() - 1           // producer result used raw
+	a := fixed.MustNew(100)
+	v, err := a.Div(x, y)              // multi-assign: first result tracked
+	_ = err
+	return pre2 + one + v
+}
+`
+	diags := runOn(t, "internal/kernels", src)
+	if len(diags) != 4 {
+		t.Fatalf("diagnostics = %d, want 4 (pre*2, One()-1, v chain of two +): %v", len(diags), diags)
+	}
+}
+
+func TestStdlibCallsAreNotProducers(t *testing.T) {
+	// math.Abs is in the producer name set ("Abs") but math is not an
+	// arith-like receiver: float code in packages that also import fixed
+	// must stay legal.
+	src := `package activation
+
+import (
+	"math"
+
+	"github.com/kfrida1/csdinf/internal/fixed"
+)
+
+var _ fixed.Value
+
+func SoftsignF(x float64) float64 {
+	return x / (math.Abs(x) + 1)
+}
+`
+	if diags := runOn(t, "internal/activation", src); len(diags) != 0 {
+		t.Fatalf("float stdlib arithmetic flagged: %v", diags)
+	}
+}
+
+func TestInternalFixedIsExempt(t *testing.T) {
+	src := `package fixed
+
+import "github.com/kfrida1/csdinf/internal/fixed"
+
+func raw(x, y fixed.Value) fixed.Value { return x + y }
+`
+	if diags := runOn(t, "internal/fixed", src); len(diags) != 0 {
+		t.Fatalf("internal/fixed flagged: %v", diags)
+	}
+}
+
+func TestFilesWithoutFixedImportAreSkipped(t *testing.T) {
+	src := `package detect
+
+type Value int64
+
+func add(x, y Value) Value { return x + y }
+`
+	if diags := runOn(t, "internal/detect", src); len(diags) != 0 {
+		t.Fatalf("unrelated Value type flagged: %v", diags)
+	}
+}
+
+func TestAllowAnnotationSuppresses(t *testing.T) {
+	src := `package absint
+
+import "github.com/kfrida1/csdinf/internal/fixed"
+
+func bounds(one fixed.Value) fixed.Value {
+	hi := 5*one - 1 //csdlint:allow fixedwidth exact segment bound, cannot wrap
+	return hi
+}
+
+func unannotated(one fixed.Value) fixed.Value {
+	return 5*one - 1
+}
+`
+	diags := runOn(t, "internal/absint", src)
+	// The unannotated function has two findings (* and -); the annotated
+	// line has none.
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 from the unannotated function", diags)
+	}
+	for _, d := range diags {
+		if d.Pos.Line != 11 {
+			t.Fatalf("flagged line %d, want 11 only", d.Pos.Line)
+		}
+	}
+}
